@@ -1,0 +1,115 @@
+//! Standalone-model repair: the model is asked to fix the program with a
+//! generic prompt and its best proposal is applied, for a handful of
+//! iterations, with no rollback — whatever the model does is kept, so
+//! hallucinations compound exactly as in the paper's Fig. 5a.
+
+use crate::BaselineOutcome;
+use rb_lang::Program;
+use rb_llm::{LanguageModel, ModelId, PromptStrategy, RepairContext, SimulatedModel};
+use rb_miri::run_program;
+use rustbrain::slow::ORACLE_RUN_MS;
+
+/// The standalone-LLM repair loop.
+pub struct LlmOnly {
+    model: SimulatedModel,
+    max_iterations: usize,
+}
+
+impl LlmOnly {
+    /// Creates a standalone repair loop around a model.
+    #[must_use]
+    pub fn new(model: ModelId, temperature: f64, seed: u64) -> LlmOnly {
+        LlmOnly {
+            model: SimulatedModel::new(model, temperature, seed),
+            max_iterations: 3,
+        }
+    }
+
+    /// Overrides the iteration budget.
+    #[must_use]
+    pub fn with_iterations(mut self, n: usize) -> LlmOnly {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Attempts to repair `program`; `reference` is the gold output used
+    /// for the acceptability judgement.
+    pub fn repair(&mut self, program: &Program, reference: &[String]) -> BaselineOutcome {
+        let mut current = program.clone();
+        let mut report = run_program(&current);
+        let mut overhead = 0.0f64;
+        let mut iterations = 0usize;
+
+        while !report.passes() && iterations < self.max_iterations {
+            let Some(primary) = report.primary().cloned() else { break };
+            let ctx = RepairContext::new(&current, &primary, PromptStrategy::Freeform);
+            let resp = self.model.propose(&ctx);
+            overhead += resp.latency_ms;
+            let mut applied = false;
+            for proposal in &resp.proposals {
+                if let Some(mut candidate) = proposal.rule.apply(&current, &primary) {
+                    if resp.drift {
+                        if let Some(drifted) = rb_llm::rules::apply_semantic_drift(&candidate) {
+                            candidate = drifted;
+                        }
+                    }
+                    // No rollback: the model's output replaces the program.
+                    current = candidate;
+                    applied = true;
+                    break;
+                }
+            }
+            report = run_program(&current);
+            overhead += ORACLE_RUN_MS;
+            iterations += 1;
+            if !applied {
+                break; // the model had nothing; give up
+            }
+        }
+        BaselineOutcome {
+            passed: report.passes(),
+            acceptable: report.passes() && report.outputs == reference,
+            overhead_ms: overhead,
+            iterations,
+            final_program: current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_dataset::Corpus;
+    use rb_miri::UbClass;
+
+    #[test]
+    fn fixes_some_simple_cases() {
+        let corpus = Corpus::generate(3, 4, &[UbClass::Alloc]);
+        let mut fixer = LlmOnly::new(ModelId::Gpt4, 0.5, 1);
+        let fixed = corpus
+            .cases
+            .iter()
+            .filter(|c| fixer.repair(&c.buggy, &c.gold_outputs()).passed)
+            .count();
+        assert!(fixed >= 1, "GPT-4 alone should fix at least one alloc case");
+    }
+
+    #[test]
+    fn leaves_program_unchanged_when_clean() {
+        let p = rb_lang::parser::parse_program("fn main() { print(1i32); }").unwrap();
+        let mut fixer = LlmOnly::new(ModelId::Gpt35, 0.5, 2);
+        let out = fixer.repair(&p, &["1".to_owned()]);
+        assert!(out.passed && out.acceptable);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        // A hard case the weak model likely cannot fix in 2 tries.
+        let corpus = Corpus::generate(9, 1, &[UbClass::StackBorrow]);
+        let case = &corpus.cases[0];
+        let mut fixer = LlmOnly::new(ModelId::Gpt35, 0.9, 3).with_iterations(2);
+        let out = fixer.repair(&case.buggy, &case.gold_outputs());
+        assert!(out.iterations <= 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-system comparisons: the orderings between baselines that the
+//! paper's figures rely on must hold on a shared corpus.
+
+use rb_baselines::{HumanExpert, LlmOnly, RustAssistant};
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+
+fn corpus() -> Corpus {
+    Corpus::generate(77, 3, &UbClass::FIG12)
+}
+
+#[test]
+fn rust_assistant_at_least_matches_llm_only() {
+    // The fixed pipeline iterates with restart rollback; it should not be
+    // *worse* than a raw 3-shot model on pass rate.
+    let c = corpus();
+    let mut ra = RustAssistant::new(ModelId::Gpt4, 0.5, 1);
+    let mut alone = LlmOnly::new(ModelId::Gpt4, 0.5, 1);
+    let (mut ra_pass, mut alone_pass) = (0, 0);
+    for case in &c.cases {
+        let gold = case.gold_outputs();
+        ra_pass += usize::from(ra.repair(&case.buggy, &gold).passed);
+        alone_pass += usize::from(alone.repair(&case.buggy, &gold).passed);
+    }
+    assert!(
+        ra_pass + 2 >= alone_pass,
+        "RustAssistant {ra_pass} far below LlmOnly {alone_pass}"
+    );
+}
+
+#[test]
+fn humans_are_slow_but_reliable() {
+    let mut human = HumanExpert::new(3);
+    let mut pass = 0usize;
+    let mut total_time = 0.0f64;
+    let n = 200;
+    for i in 0..n {
+        let class = UbClass::ALL[i % UbClass::ALL.len()];
+        let o = human.repair(class);
+        pass += usize::from(o.passed);
+        total_time += o.time_s;
+    }
+    assert!(pass as f64 / n as f64 > 0.92, "human pass rate {pass}/{n}");
+    // Mean human time across classes lands near the paper's 442 s.
+    let mean = total_time / n as f64;
+    assert!((250.0..650.0).contains(&mean), "mean human time {mean}");
+}
+
+#[test]
+fn stronger_models_help_every_baseline() {
+    let c = Corpus::generate(5, 2, &UbClass::FIG8);
+    let pass_with = |model: ModelId| {
+        let mut fixer = LlmOnly::new(model, 0.5, 9);
+        c.cases
+            .iter()
+            .filter(|case| fixer.repair(&case.buggy, &case.gold_outputs()).passed)
+            .count()
+    };
+    let weak = pass_with(ModelId::Gpt35);
+    let strong = pass_with(ModelId::GptO1);
+    assert!(strong > weak, "O1 {strong} <= GPT-3.5 {weak}");
+}
+
+#[test]
+fn baseline_outcomes_are_internally_consistent() {
+    let c = Corpus::generate(13, 1, &UbClass::FIG10);
+    let mut ra = RustAssistant::new(ModelId::Claude35, 0.5, 2);
+    let mut alone = LlmOnly::new(ModelId::Claude35, 0.5, 2);
+    for case in &c.cases {
+        let gold = case.gold_outputs();
+        for o in [ra.repair(&case.buggy, &gold), alone.repair(&case.buggy, &gold)] {
+            assert!(!o.acceptable || o.passed, "{}: acceptable without pass", case.id);
+            if o.passed {
+                assert!(
+                    rb_miri::run_program(&o.final_program).passes(),
+                    "{}: claimed pass not backed by oracle",
+                    case.id
+                );
+            }
+            assert!(o.overhead_ms >= 0.0 && o.overhead_ms.is_finite());
+        }
+    }
+}
+
+#[test]
+fn baselines_deterministic_per_seed() {
+    let c = Corpus::generate(21, 1, &[UbClass::Validity, UbClass::Panic]);
+    let run = || {
+        let mut ra = RustAssistant::new(ModelId::Gpt4, 0.5, 4);
+        c.cases
+            .iter()
+            .map(|case| {
+                let o = ra.repair(&case.buggy, &case.gold_outputs());
+                (o.passed, o.acceptable, o.iterations)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,27 @@
+//! Criterion wrappers around each paper-figure experiment, so
+//! `cargo bench` exercises every table/figure end-to-end (small corpora;
+//! the binaries regenerate the full-size artefacts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rb_bench::experiments::{
+    ablation_prune, ablation_rollback, fig10, fig11, fig12, fig7, rq2, table1,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_flexibility", |b| b.iter(|| black_box(fig7::run(1))));
+    g.bench_function("fig8_fig9_grid", |b| b.iter(|| black_box(rq2::run(1, 1))));
+    g.bench_function("fig10_o1", |b| b.iter(|| black_box(fig10::run(1, 1))));
+    g.bench_function("fig11_temperature", |b| b.iter(|| black_box(fig11::run(1, 1, 1))));
+    g.bench_function("fig12_rustassistant", |b| b.iter(|| black_box(fig12::run(1, 1))));
+    g.bench_function("table1_speedup", |b| b.iter(|| black_box(table1::run(1, 1))));
+    g.bench_function("ablation_rollback", |b| {
+        b.iter(|| black_box(ablation_rollback::run(1, 1)))
+    });
+    g.bench_function("ablation_prune", |b| b.iter(|| black_box(ablation_prune::run(1))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks of the knowledge base: insertion and
+//! similarity queries at several sizes (the Algorithm 1 index).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rb_dataset::Corpus;
+use rb_lang::prune::prune_program;
+use rb_lang::vectorize::AstVector;
+use rb_llm::RepairRule;
+use rb_miri::UbClass;
+use rustbrain::KnowledgeBase;
+
+fn bench_kb(c: &mut Criterion) {
+    let corpus = Corpus::generate_full(3, 2);
+    let vectors: Vec<(AstVector, UbClass)> = corpus
+        .cases
+        .iter()
+        .map(|case| {
+            let (p, _) = prune_program(&case.buggy);
+            (AstVector::embed(&p), case.class)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("knowledge/query");
+    for &size in &[16usize, 128, 1024] {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..size {
+            let (v, class) = &vectors[i % vectors.len()];
+            kb.insert(v.clone(), *class, RepairRule::HoistLocalOut);
+        }
+        let (qv, qc) = &vectors[0];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(kb.query(black_box(qv), *qc, 2)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("knowledge/cosine", |b| {
+        let a = &vectors[0].0;
+        let d = &vectors[1].0;
+        b.iter(|| black_box(a.cosine(black_box(d))))
+    });
+}
+
+criterion_group!(benches, bench_kb);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks of the language substrate: parsing, printing,
+//! pruning (Algorithm 1) and vectorisation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rb_dataset::Corpus;
+use rb_lang::parser::parse_program;
+use rb_lang::printer::print_program;
+use rb_lang::prune::prune_program;
+use rb_lang::vectorize::AstVector;
+
+fn bench_lang(c: &mut Criterion) {
+    let corpus = Corpus::generate_full(11, 1);
+    let sources: Vec<String> = corpus.cases.iter().map(|x| print_program(&x.buggy)).collect();
+
+    c.bench_function("lang/parse_corpus", |b| {
+        b.iter(|| {
+            for s in &sources {
+                black_box(parse_program(black_box(s)).unwrap());
+            }
+        })
+    });
+    c.bench_function("lang/print_corpus", |b| {
+        b.iter(|| {
+            for case in &corpus.cases {
+                black_box(print_program(black_box(&case.buggy)));
+            }
+        })
+    });
+    c.bench_function("lang/prune_corpus", |b| {
+        b.iter(|| {
+            for case in &corpus.cases {
+                black_box(prune_program(black_box(&case.buggy)));
+            }
+        })
+    });
+    c.bench_function("lang/vectorize_corpus", |b| {
+        b.iter(|| {
+            for case in &corpus.cases {
+                black_box(AstVector::embed(black_box(&case.buggy)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_lang);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks of the UB oracle (the substrate the whole
+//! repair loop spins on).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rb_dataset::Corpus;
+use rb_lang::parser::parse_program;
+use rb_miri::run_program;
+
+fn bench_oracle(c: &mut Criterion) {
+    let clean = parse_program(
+        "fn fib(n: i32) -> i32 { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); } \
+         fn main() { print(fib(12)); }",
+    )
+    .unwrap();
+    c.bench_function("oracle/clean_fib12", |b| {
+        b.iter(|| black_box(run_program(black_box(&clean))))
+    });
+
+    let corpus = Corpus::generate_full(7, 1);
+    c.bench_function("oracle/full_corpus_buggy", |b| {
+        b.iter(|| {
+            for case in &corpus.cases {
+                black_box(run_program(black_box(&case.buggy)));
+            }
+        })
+    });
+    c.bench_function("oracle/full_corpus_gold", |b| {
+        b.iter(|| {
+            for case in &corpus.cases {
+                black_box(run_program(black_box(&case.gold)));
+            }
+        })
+    });
+
+    let threads = parse_program(
+        "static mut G: i32 = 0; fn main() { \
+         spawn { lock(1) { unsafe { G = G + 1; } } } \
+         spawn { lock(1) { unsafe { G = G + 1; } } } \
+         join; unsafe { print(G); } }",
+    )
+    .unwrap();
+    c.bench_function("oracle/threads_with_race_scan", |b| {
+        b.iter(|| black_box(run_program(black_box(&threads))))
+    });
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

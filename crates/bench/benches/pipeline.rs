@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the end-to-end repair pipelines on one
+//! representative case per system.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rb_baselines::{LlmOnly, RustAssistant};
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::{RustBrain, RustBrainConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(5, 1, &[UbClass::DanglingPointer]);
+    let case = &corpus.cases[0];
+    let gold = case.gold_outputs();
+
+    c.bench_function("pipeline/rustbrain_repair", |b| {
+        b.iter(|| {
+            let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 1));
+            black_box(brain.repair(black_box(&case.buggy), &gold))
+        })
+    });
+    c.bench_function("pipeline/llm_only_repair", |b| {
+        b.iter(|| {
+            let mut fixer = LlmOnly::new(ModelId::Gpt4, 0.5, 1);
+            black_box(fixer.repair(black_box(&case.buggy), &gold))
+        })
+    });
+    c.bench_function("pipeline/rust_assistant_repair", |b| {
+        b.iter(|| {
+            let mut ra = RustAssistant::new(ModelId::Gpt4, 0.5, 1);
+            black_box(ra.repair(black_box(&case.buggy), &gold))
+        })
+    });
+    c.bench_function("pipeline/corpus_generation", |b| {
+        b.iter(|| black_box(Corpus::generate(9, 1, &[UbClass::Alloc, UbClass::Panic])))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Algorithm 1 (AST pruning) retrieval ablation.
+use rb_bench::experiments::{ablation_prune, DEFAULT_SEED};
+fn main() {
+    let a = ablation_prune::run(DEFAULT_SEED);
+    print!("{}", a.render());
+}

@@ -1,0 +1,6 @@
+//! Rollback-policy ablation (the paper's Fig. 5 mechanisms).
+use rb_bench::experiments::{ablation_rollback, DEFAULT_SEED};
+fn main() {
+    let a = ablation_rollback::run(DEFAULT_SEED, 4);
+    print!("{}", a.render());
+}

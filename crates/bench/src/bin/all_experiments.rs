@@ -1,0 +1,29 @@
+//! Runs every experiment sequentially — the full reproduction of the
+//! paper's evaluation section.
+use rb_bench::experiments::*;
+fn main() {
+    let seed = DEFAULT_SEED;
+    println!("== RQ1 ==");
+    let f7 = fig7::run(seed);
+    print!("{}", f7.render());
+    if let Some(f) = f7.kb_overhead_factor() {
+        println!("knowledge-base overhead factor: {f:.2}x");
+    }
+    println!("\n== RQ2 ==");
+    let grid = rq2::run(seed, DEFAULT_PER_CLASS);
+    print!("{}", grid.render(false));
+    println!();
+    print!("{}", grid.render(true));
+    println!();
+    print!("{}", fig10::run(seed, DEFAULT_PER_CLASS).render());
+    println!("\n== RQ3 ==");
+    print!("{}", fig11::run(seed, 4, 3).render());
+    println!("\n== RQ4 ==");
+    print!("{}", fig12::run(seed, DEFAULT_PER_CLASS).render());
+    println!();
+    print!("{}", table1::run(seed, DEFAULT_PER_CLASS).render());
+    println!("\n== Ablations ==");
+    print!("{}", ablation_rollback::run(seed, 4).render());
+    println!();
+    print!("{}", ablation_prune::run(seed).render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 10 (GPT-4 vs GPT-O1 under RustBrain).
+use rb_bench::experiments::{fig10, DEFAULT_PER_CLASS, DEFAULT_SEED};
+fn main() {
+    let r = fig10::run(DEFAULT_SEED, DEFAULT_PER_CLASS);
+    print!("{}", r.render());
+    println!(
+        "overall exec: GPT-4+RB {:.1}% vs O1+RB {:.1}%; panic exec gap +{:.1} points",
+        r.gpt4_exec(),
+        r.o1_exec(),
+        r.panic_exec_gap()
+    );
+}

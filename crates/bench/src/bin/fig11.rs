@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 11 (temperature sensitivity with CIs).
+use rb_bench::experiments::{fig11, DEFAULT_SEED};
+fn main() {
+    let r = fig11::run(DEFAULT_SEED, 4, 3);
+    print!("{}", r.render());
+    println!("best exec temperature: {:.1}", r.best_exec_temperature());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 12 (RustBrain vs RustAssistant).
+use rb_bench::experiments::{fig12, DEFAULT_PER_CLASS, DEFAULT_SEED};
+fn main() {
+    let r = fig12::run(DEFAULT_SEED, DEFAULT_PER_CLASS);
+    print!("{}", r.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 7 (RQ1 flexibility matrix).
+fn main() {
+    let result = rb_bench::experiments::fig7::run(rb_bench::experiments::DEFAULT_SEED);
+    print!("{}", result.render());
+    if let Some(f) = result.kb_overhead_factor() {
+        println!("knowledge-base overhead factor: {f:.2}x");
+    }
+}

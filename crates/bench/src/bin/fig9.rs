@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 9 (execution / acceptability rate grid).
+use rb_bench::experiments::{rq2, DEFAULT_PER_CLASS, DEFAULT_SEED};
+fn main() {
+    let grid = rq2::run(DEFAULT_SEED, DEFAULT_PER_CLASS);
+    print!("{}", grid.render(true));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I (repair time vs human experts).
+use rb_bench::experiments::{table1, DEFAULT_PER_CLASS, DEFAULT_SEED};
+fn main() {
+    let t = table1::run(DEFAULT_SEED, DEFAULT_PER_CLASS);
+    print!("{}", t.render());
+}

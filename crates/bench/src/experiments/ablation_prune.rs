@@ -1,0 +1,224 @@
+//! Algorithm 1 ablation: does pruning the AST before vectorisation improve
+//! knowledge-base retrieval? We index solved cases with pruned vs unpruned
+//! embeddings and measure whether the nearest neighbour of a fresh query
+//! carries the *correct* repair rule, plus the query-cost growth with base
+//! size.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rb_dataset::{all_templates, CaseSources};
+use rb_lang::parser::parse_program;
+use rb_lang::prune::prune_program;
+use rb_lang::vectorize::AstVector;
+use rb_llm::RepairRule;
+use rb_miri::UbClass;
+use rustbrain::KnowledgeBase;
+use serde::{Deserialize, Serialize};
+
+/// Experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PruneAblation {
+    /// Retrieval accuracy with Algorithm 1 pruning (clean queries).
+    pub pruned_accuracy: f64,
+    /// Retrieval accuracy on raw embeddings (clean queries).
+    pub unpruned_accuracy: f64,
+    /// Retrieval accuracy with pruning when queries carry irrelevant
+    /// statements — the noise Algorithm 1 exists to remove.
+    pub pruned_noisy_accuracy: f64,
+    /// Retrieval accuracy without pruning on the same noisy queries.
+    pub unpruned_noisy_accuracy: f64,
+    /// Mean statements removed by pruning per noisy program.
+    pub mean_removed: f64,
+    /// Query cost (simulated ms) at knowledge-base sizes 10/100/1000.
+    pub query_cost_ms: [f64; 3],
+}
+
+impl PruneAblation {
+    /// Renders the ablation summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "Algorithm 1 (AST pruning) ablation\n\
+             clean queries  — pruned: {:.1}%   unpruned: {:.1}%\n\
+             noisy queries  — pruned: {:.1}%   unpruned: {:.1}%\n\
+             mean statements pruned per noisy program: {:.1}\n\
+             KB query cost at size 10/100/1000: {:.0} / {:.0} / {:.0} ms\n",
+            self.pruned_accuracy * 100.0,
+            self.unpruned_accuracy * 100.0,
+            self.pruned_noisy_accuracy * 100.0,
+            self.unpruned_noisy_accuracy * 100.0,
+            self.mean_removed,
+            self.query_cost_ms[0],
+            self.query_cost_ms[1],
+            self.query_cost_ms[2],
+        )
+    }
+}
+
+/// The canonical rule for each template family (what a correct retrieval
+/// should surface).
+fn canonical_rule(template: &str) -> RepairRule {
+    match template {
+        "double_free" => RepairRule::RemoveDoubleFree,
+        "layout_mismatch" => RepairRule::FixDeallocLayout,
+        "leak" => RepairRule::AddDealloc,
+        "scope_escape" => RepairRule::HoistLocalOut,
+        "use_after_free" => RepairRule::ReorderDeallocAfterUse,
+        "oob_offset" => RepairRule::AlignOffsetDown,
+        "read_before_write" => RepairRule::InitializeBeforeRead,
+        "union_tail" => RepairRule::UnionUseLargestField,
+        "int_roundtrip" | "transmute_ref" | "addr_arith" => RepairRule::UseDirectPointer,
+        "odd_offset" => RepairRule::AlignOffsetDown,
+        "array_cast" => RepairRule::AlignOffsetUp,
+        "bool_transmute" => RepairRule::BoolFromComparison,
+        "transmute_size" => RepairRule::TransmuteBytesToFromLe,
+        "int_to_ref" => RepairRule::BorrowLocalInstead,
+        "write_invalidates" => RepairRule::RetakePointerAfterWrite,
+        "shared_write" => RepairRule::UseRawMutDirect,
+        "two_mut" | "cross_fn" => RepairRule::SingleMutBorrow,
+        "two_writers" | "heap_writers" | "reader_writer" => RepairRule::LockSpawnBodies,
+        "increment" => RepairRule::UseAtomics,
+        "main_read" => RepairRule::MoveReadAfterJoin,
+        "unchecked_add" => RepairRule::WidenArithmetic,
+        "assume_init" => RepairRule::InitializeBeforeRead,
+        "copy_overlap" => RepairRule::CopyWithoutOverlap,
+        "forged" => RepairRule::DirectFnUse,
+        "wrong_sig" => RepairRule::FixFnPtrSignature,
+        "arity" | "ret_mismatch" => RepairRule::ReplaceTailCallWithReturn,
+        "assert_threshold" => RepairRule::WeakenAssert,
+        "div_zero" => RepairRule::GuardDivision,
+        "index_literal" => RepairRule::FixLiteralIndex,
+        "overflow" => RepairRule::WidenArithmetic,
+        "ref_invalidated" => RepairRule::RetakePointerAfterWrite,
+        "three_writers" => RepairRule::LockSpawnBodies,
+        "callee_unchecked" => RepairRule::WidenArithmetic,
+        "helper_writer" => RepairRule::LockSpawnBodies,
+        "callee_transmute" => RepairRule::BoolFromComparison,
+        other => panic!("unknown template {other}"),
+    }
+}
+
+fn embed(src: &str, pruned: bool) -> (AstVector, usize) {
+    let prog = parse_program(src).expect("template parses");
+    if pruned {
+        let (p, removed) = prune_program(&prog);
+        (AstVector::embed(&p), removed)
+    } else {
+        (AstVector::embed(&prog), 0)
+    }
+}
+
+/// Prepends `n` irrelevant-but-plausible statements to `main` — the noise
+/// real projects surround their unsafe cores with.
+fn inject_noise(src: &str, n: usize, seed: u64) -> String {
+    let mut noise = String::new();
+    for i in 0..n {
+        let v = (seed as usize).wrapping_mul(31).wrapping_add(i * 7) % 90 + 1;
+        noise.push_str(&format!(
+            "let aux_{i}: i32 = {v}; if aux_{i} > 0 {{ print(aux_{i}); }} "
+        ));
+    }
+    // Insert right after `fn main() {`.
+    src.replacen("fn main() { ", &format!("fn main() {{ {noise}"), 1)
+}
+
+fn retrieval_accuracy(seed: u64, pruned: bool, noisy: bool, removed_acc: &mut Vec<f64>) -> f64 {
+    let templates = all_templates();
+    // Index one instance per template; query with a fresh instance.
+    let mut kb = KnowledgeBase::new();
+    let mut index_rng = ChaCha8Rng::seed_from_u64(seed);
+    for t in &templates {
+        let CaseSources { buggy, .. } = (t.make)(&mut index_rng);
+        let (v, _) = embed(&buggy, pruned);
+        kb.insert(v, t.class, canonical_rule(t.name));
+    }
+    let mut query_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut hits = 0usize;
+    for (i, t) in templates.iter().enumerate() {
+        let CaseSources { buggy, .. } = (t.make)(&mut query_rng);
+        let query_src = if noisy {
+            inject_noise(&buggy, 6, seed.wrapping_add(i as u64))
+        } else {
+            buggy
+        };
+        let (v, removed) = embed(&query_src, pruned);
+        if pruned && noisy {
+            removed_acc.push(removed as f64);
+        }
+        let shots = kb.query(&v, t.class, 1);
+        if shots.first().map(|s| s.rule) == Some(canonical_rule(t.name)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / templates.len() as f64
+}
+
+/// Runs the ablation.
+#[must_use]
+pub fn run(seed: u64) -> PruneAblation {
+    let mut removed = Vec::new();
+    let pruned_accuracy = retrieval_accuracy(seed, true, false, &mut Vec::new());
+    let unpruned_accuracy = retrieval_accuracy(seed, false, false, &mut Vec::new());
+    let pruned_noisy_accuracy = retrieval_accuracy(seed, true, true, &mut removed);
+    let unpruned_noisy_accuracy = retrieval_accuracy(seed, false, true, &mut Vec::new());
+    let probe = AstVector::embed(&parse_program("fn main() { }").unwrap());
+    let cost = |n: usize| {
+        let mut kb = KnowledgeBase::new();
+        for _ in 0..n {
+            kb.insert(probe.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        }
+        kb.last_query_cost_ms()
+    };
+    PruneAblation {
+        pruned_accuracy,
+        unpruned_accuracy,
+        pruned_noisy_accuracy,
+        unpruned_noisy_accuracy,
+        mean_removed: crate::stats::mean(&removed),
+        query_cost_ms: [cost(10), cost(100), cost(1000)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_does_not_hurt_clean_retrieval() {
+        let a = run(17);
+        assert!(
+            a.pruned_accuracy + 1e-9 >= a.unpruned_accuracy - 0.15,
+            "pruned {} vs unpruned {}",
+            a.pruned_accuracy,
+            a.unpruned_accuracy
+        );
+        assert!(a.pruned_accuracy > 0.6, "retrieval accuracy {}", a.pruned_accuracy);
+    }
+
+    #[test]
+    fn pruning_wins_under_noise() {
+        // The paper's claim for Algorithm 1: irrelevant code distracts
+        // retrieval; pruning removes it.
+        let a = run(17);
+        assert!(
+            a.pruned_noisy_accuracy > a.unpruned_noisy_accuracy,
+            "pruned {} vs unpruned {} on noisy queries",
+            a.pruned_noisy_accuracy,
+            a.unpruned_noisy_accuracy
+        );
+        assert!(a.mean_removed >= 3.0, "noise was not pruned: {}", a.mean_removed);
+    }
+
+    #[test]
+    fn query_cost_monotonic_in_size() {
+        let a = run(1);
+        assert!(a.query_cost_ms[0] < a.query_cost_ms[1]);
+        assert!(a.query_cost_ms[1] < a.query_cost_ms[2]);
+    }
+
+    #[test]
+    fn render_has_percentages() {
+        let text = run(2).render();
+        assert!(text.contains("noisy queries"));
+    }
+}

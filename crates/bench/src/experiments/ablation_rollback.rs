@@ -1,0 +1,145 @@
+//! Rollback ablation (paper Fig. 5): adaptive rollback vs restart-from-
+//! initial vs no rollback, measured on pass rate, discarded thoughts (the
+//! paper's `c·Tₙ` vs `c·Tₙ₋ₐ` overhead argument) and oracle iterations.
+
+use crate::runner::{overall_rates, System};
+use crate::stats::Rate;
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::{RollbackPolicy, RustBrain, RustBrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Results for one policy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolicyResult {
+    /// The policy.
+    pub policy: String,
+    /// Pass rate.
+    pub pass: Rate,
+    /// Exec rate.
+    pub exec: Rate,
+    /// Total rollbacks across the corpus.
+    pub rollbacks: usize,
+    /// Mean simulated seconds per case.
+    pub mean_time_s: f64,
+}
+
+/// Experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RollbackAblation {
+    /// One row per policy.
+    pub rows: Vec<PolicyResult>,
+}
+
+impl RollbackAblation {
+    /// Renders the ablation table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("Rollback ablation (paper Fig. 5 mechanisms)\n");
+        out.push_str(&format!(
+            "{:<12}{:>8}{:>8}{:>11}{:>12}\n",
+            "policy", "pass", "exec", "rollbacks", "time/case"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12}{:>7.1}%{:>7.1}%{:>11}{:>11.1}s\n",
+                r.policy,
+                r.pass.percent(),
+                r.exec.percent(),
+                r.rollbacks,
+                r.mean_time_s
+            ));
+        }
+        out
+    }
+
+    /// Row accessor by policy name.
+    #[must_use]
+    pub fn row(&self, policy: &str) -> &PolicyResult {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy)
+            .unwrap_or_else(|| panic!("no row {policy}"))
+    }
+}
+
+/// Runs the ablation over a hallucination-prone model (GPT-3.5, where
+/// rollback matters most).
+#[must_use]
+pub fn run(seed: u64, per_class: usize) -> RollbackAblation {
+    let classes: Vec<UbClass> = UbClass::FIG12.to_vec();
+    let corpus = Corpus::generate(seed, per_class, &classes);
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("adaptive", RollbackPolicy::Adaptive),
+        ("to-initial", RollbackPolicy::ToInitial),
+        ("none", RollbackPolicy::None),
+    ] {
+        let mut cfg = RustBrainConfig::for_model(ModelId::Gpt35, seed);
+        cfg.rollback = policy;
+        // Count rollbacks via direct pipeline access.
+        let mut brain = RustBrain::new(cfg.clone());
+        let mut rollbacks = 0usize;
+        let mut times = Vec::new();
+        let mut results = Vec::new();
+        for case in &corpus.cases {
+            let out = brain.repair(&case.buggy, &case.gold_outputs());
+            rollbacks += out.rollbacks;
+            times.push(out.overhead_ms / 1000.0);
+            results.push(crate::runner::CaseResult {
+                case_id: case.id.clone(),
+                class: case.class,
+                passed: out.passed,
+                acceptable: out.acceptable,
+                overhead_ms: out.overhead_ms,
+            });
+        }
+        let (pass, exec) = overall_rates(&results);
+        rows.push(PolicyResult {
+            policy: label.to_owned(),
+            pass,
+            exec,
+            rollbacks,
+            mean_time_s: crate::stats::mean(&times),
+        });
+        // Silence unused warning for the System import used by siblings.
+        let _ = System::llm;
+    }
+    RollbackAblation { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_not_worse_than_alternatives() {
+        let a = run(31, 3);
+        let adaptive = a.row("adaptive");
+        let none = a.row("none");
+        let initial = a.row("to-initial");
+        // Adaptive must not lose to no-rollback on pass rate, and should
+        // not be slower than restart-from-scratch.
+        assert!(
+            adaptive.pass.value() + 1e-9 >= none.pass.value() - 0.1,
+            "adaptive {} vs none {}",
+            adaptive.pass.percent(),
+            none.pass.percent()
+        );
+        assert!(
+            adaptive.mean_time_s <= initial.mean_time_s * 1.35,
+            "adaptive slower than restart: {} vs {}",
+            adaptive.mean_time_s,
+            initial.mean_time_s
+        );
+    }
+
+    #[test]
+    fn render_lists_policies() {
+        let text = run(1, 1).render();
+        assert!(text.contains("adaptive"));
+        assert!(text.contains("to-initial"));
+        assert!(text.contains("none"));
+    }
+}

@@ -1,0 +1,149 @@
+//! RQ3 (Fig. 11): sensitivity of GPT-4+RustBrain to sampling temperature.
+//! Pass and exec rates with 95 % Wilson confidence intervals across
+//! temperatures 0.1–0.9; the paper finds the optimum near 0.5, with high
+//! temperatures trading semantic integrity for flexibility.
+
+use crate::runner::{overall_rates, System};
+use crate::stats::Rate;
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::RustBrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// One temperature point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TempPoint {
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// Pass rate with sample size.
+    pub pass: Rate,
+    /// Exec rate with sample size.
+    pub exec: Rate,
+}
+
+impl TempPoint {
+    /// 95 % Wilson CI of the pass rate.
+    #[must_use]
+    pub fn pass_ci(&self) -> (f64, f64) {
+        self.pass.wilson_ci(1.96)
+    }
+
+    /// 95 % Wilson CI of the exec rate.
+    #[must_use]
+    pub fn exec_ci(&self) -> (f64, f64) {
+        self.exec.wilson_ci(1.96)
+    }
+}
+
+/// Experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig11Result {
+    /// Points, ascending in temperature.
+    pub points: Vec<TempPoint>,
+}
+
+impl Fig11Result {
+    /// Renders the sweep as a table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Fig. 11: temperature sensitivity of GPT-4+RustBrain (95% CI)\n",
+        );
+        out.push_str(&format!(
+            "{:<6}{:>8}{:>19}{:>8}{:>19}\n",
+            "temp", "pass", "pass CI", "exec", "exec CI"
+        ));
+        for p in &self.points {
+            let (pl, ph) = p.pass_ci();
+            let (el, eh) = p.exec_ci();
+            out.push_str(&format!(
+                "{:<6.1}{:>7.1}%  [{:>5.1}%, {:>5.1}%]{:>7.1}%  [{:>5.1}%, {:>5.1}%]\n",
+                p.temperature,
+                p.pass.percent(),
+                pl * 100.0,
+                ph * 100.0,
+                p.exec.percent(),
+                el * 100.0,
+                eh * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Temperature with the best exec rate.
+    #[must_use]
+    pub fn best_exec_temperature(&self) -> f64 {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.exec
+                    .value()
+                    .partial_cmp(&b.exec.value())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map_or(0.5, |p| p.temperature)
+    }
+}
+
+/// Runs the sweep: `reps` corpora per temperature, aggregated.
+#[must_use]
+pub fn run(seed: u64, per_class: usize, reps: usize) -> Fig11Result {
+    let temps = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let classes: Vec<UbClass> = UbClass::FIG8.to_vec();
+    let mut points = Vec::new();
+    for (ti, &temperature) in temps.iter().enumerate() {
+        let mut pass = Rate::default();
+        let mut exec = Rate::default();
+        for rep in 0..reps {
+            let corpus_seed = seed.wrapping_add(rep as u64 * 101);
+            let corpus = Corpus::generate(corpus_seed, per_class, &classes);
+            let mut cfg = RustBrainConfig::for_model(ModelId::Gpt4, seed + ti as u64 + rep as u64 * 7);
+            cfg.temperature = temperature;
+            let mut system = System::brain(cfg);
+            let results = system.run_corpus(&corpus.cases);
+            let (p, e) = overall_rates(&results);
+            pass.hits += p.hits;
+            pass.n += p.n;
+            exec.hits += e.hits;
+            exec.n += e.n;
+        }
+        points.push(TempPoint { temperature, pass, exec });
+    }
+    Fig11Result { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_nine_points() {
+        let r = run(3, 1, 1);
+        assert_eq!(r.points.len(), 9);
+        assert!(r.points.iter().all(|p| p.pass.n > 0));
+        for p in &r.points {
+            let (lo, hi) = p.pass_ci();
+            assert!(lo <= p.pass.value() && p.pass.value() <= hi);
+        }
+    }
+
+    #[test]
+    fn mid_temperatures_not_dominated_by_extremes() {
+        // The shape claim: the best exec temperature is interior (not 0.9),
+        // i.e. excessive flexibility costs semantic integrity.
+        let r = run(9, 2, 2);
+        let best = r.best_exec_temperature();
+        assert!(
+            (0.1..=0.8).contains(&best),
+            "best exec temperature {best} at the hot extreme"
+        );
+        let exec_09 = r.points.last().unwrap().exec.value();
+        let exec_best = r
+            .points
+            .iter()
+            .map(|p| p.exec.value())
+            .fold(0.0f64, f64::max);
+        assert!(exec_best >= exec_09);
+    }
+}

@@ -1,0 +1,134 @@
+//! RQ4 (Fig. 12): RustBrain vs RustAssistant per class, pass and exec,
+//! plus the no-knowledge exec series. The paper reports +33 % pass and
+//! +41 % exec for RustBrain.
+
+use crate::runner::{rates_by_class, System};
+use crate::stats::Rate;
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::RustBrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// Experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig12Result {
+    /// Classes (Fig. 8's plus `uninit`).
+    pub classes: Vec<UbClass>,
+    /// GPT-4+RustBrain per-class rates.
+    pub rustbrain: Vec<(UbClass, Rate, Rate)>,
+    /// RustAssistant per-class rates.
+    pub rust_assistant: Vec<(UbClass, Rate, Rate)>,
+    /// GPT-4+RustBrain without knowledge, per-class rates.
+    pub rustbrain_no_kb: Vec<(UbClass, Rate, Rate)>,
+}
+
+fn overall(rows: &[(UbClass, Rate, Rate)], exec: bool) -> f64 {
+    let (mut h, mut n) = (0usize, 0usize);
+    for (_, p, e) in rows {
+        let r = if exec { e } else { p };
+        h += r.hits;
+        n += r.n;
+    }
+    100.0 * h as f64 / n.max(1) as f64
+}
+
+impl Fig12Result {
+    /// RustBrain's pass-rate advantage in percentage points.
+    #[must_use]
+    pub fn pass_advantage(&self) -> f64 {
+        overall(&self.rustbrain, false) - overall(&self.rust_assistant, false)
+    }
+
+    /// RustBrain's exec-rate advantage in percentage points.
+    #[must_use]
+    pub fn exec_advantage(&self) -> f64 {
+        overall(&self.rustbrain, true) - overall(&self.rust_assistant, true)
+    }
+
+    /// Renders the comparison table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Fig. 12: RustBrain vs RustAssistant on UB repair (%)\n",
+        );
+        out.push_str(&format!(
+            "{:<18}{:>10}{:>10}{:>10}{:>10}{:>14}\n",
+            "class", "RB pass", "RA pass", "RB exec", "RA exec", "RB noKB exec"
+        ));
+        for (((c, rbp, rbe), (_, rap, rae)), (_, _, nke)) in self
+            .rustbrain
+            .iter()
+            .zip(&self.rust_assistant)
+            .zip(&self.rustbrain_no_kb)
+        {
+            out.push_str(&format!(
+                "{:<18}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>13.1}%\n",
+                c.label(),
+                rbp.percent(),
+                rap.percent(),
+                rbe.percent(),
+                rae.percent(),
+                nke.percent()
+            ));
+        }
+        out.push_str(&format!(
+            "overall: RustBrain pass {:.1}% / exec {:.1}%; RustAssistant pass {:.1}% / exec {:.1}%; \
+             advantage +{:.1} / +{:.1} points\n",
+            overall(&self.rustbrain, false),
+            overall(&self.rustbrain, true),
+            overall(&self.rust_assistant, false),
+            overall(&self.rust_assistant, true),
+            self.pass_advantage(),
+            self.exec_advantage()
+        ));
+        out
+    }
+}
+
+/// Runs Fig. 12.
+#[must_use]
+pub fn run(seed: u64, per_class: usize) -> Fig12Result {
+    let classes: Vec<UbClass> = UbClass::FIG12.to_vec();
+    let corpus = Corpus::generate(seed, per_class, &classes);
+    let mut rb = System::brain(RustBrainConfig::for_model(ModelId::Gpt4, seed));
+    let mut ra = System::rust_assistant(seed);
+    let mut nk = System::brain(RustBrainConfig::without_knowledge(ModelId::Gpt4, seed));
+    let rb_r = rb.run_corpus(&corpus.cases);
+    let ra_r = ra.run_corpus(&corpus.cases);
+    let nk_r = nk.run_corpus(&corpus.cases);
+    Fig12Result {
+        classes: classes.clone(),
+        rustbrain: rates_by_class(&rb_r, &classes),
+        rust_assistant: rates_by_class(&ra_r, &classes),
+        rustbrain_no_kb: rates_by_class(&nk_r, &classes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rustbrain_dominates_fixed_pipeline() {
+        let r = run(13, 4);
+        assert_eq!(r.classes.len(), 12);
+        assert!(
+            r.pass_advantage() > 5.0,
+            "pass advantage only {:.1} points",
+            r.pass_advantage()
+        );
+        assert!(
+            r.exec_advantage() > 10.0,
+            "exec advantage only {:.1} points",
+            r.exec_advantage()
+        );
+    }
+
+    #[test]
+    fn render_summarises_advantage() {
+        let text = run(2, 2).render();
+        assert!(text.contains("advantage"));
+        assert!(text.contains("uninit"));
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per paper table/figure, each regenerating the corresponding
+//! rows/series. See `DESIGN.md` §3 for the experiment index.
+
+pub mod ablation_prune;
+pub mod ablation_rollback;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod rq2;
+pub mod table1;
+
+/// Default corpus seed used by all experiments (override via each
+/// experiment's `run` parameters).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Default cases per class for the grid experiments.
+pub const DEFAULT_PER_CLASS: usize = 8;

@@ -1,0 +1,167 @@
+//! RQ2 (Figs. 8 and 9): pass-by-Miri rate and execution (semantic
+//! acceptability) rate per UB class, across the paper's seven
+//! configurations: three standalone models, the three +RustBrain variants
+//! and GPT-4+RustBrain without the knowledge base.
+
+use crate::runner::{rates_by_class, System};
+use crate::stats::Rate;
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::RustBrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// The seven configurations of Figs. 8/9, in the paper's legend order.
+pub const CONFIG_LABELS: [&str; 7] = [
+    "GPT-3.5",
+    "Claude-3.5",
+    "GPT-4",
+    "GPT-3.5+RustBrain",
+    "Claude-3.5+RustBrain",
+    "GPT-4+RustBrain(non knowledge)",
+    "GPT-4+RustBrain",
+];
+
+/// Result grid: per configuration, per class, (pass, exec) rates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Rq2Grid {
+    /// Classes in display order.
+    pub classes: Vec<UbClass>,
+    /// Rows: `(config label, per-class (class, pass, exec))`.
+    pub rows: Vec<(String, Vec<(UbClass, Rate, Rate)>)>,
+}
+
+impl Rq2Grid {
+    /// Overall pass rate of a configuration.
+    #[must_use]
+    pub fn overall_pass(&self, label: &str) -> f64 {
+        self.overall(label, false)
+    }
+
+    /// Overall exec rate of a configuration.
+    #[must_use]
+    pub fn overall_exec(&self, label: &str) -> f64 {
+        self.overall(label, true)
+    }
+
+    fn overall(&self, label: &str, exec: bool) -> f64 {
+        let row = self
+            .rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("unknown config {label}"));
+        let (mut hits, mut n) = (0usize, 0usize);
+        for (_, pass, ex) in &row.1 {
+            let r = if exec { ex } else { pass };
+            hits += r.hits;
+            n += r.n;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / n as f64
+        }
+    }
+
+    /// Renders one of the two figures as an aligned text table.
+    #[must_use]
+    pub fn render(&self, exec: bool) -> String {
+        let title = if exec {
+            "Fig. 9: RustBrain fixes UBs — semantic acceptability (execution) rate (%)"
+        } else {
+            "Fig. 8: RustBrain fixes UBs — pass-by-Miri rate (%)"
+        };
+        let mut out = format!("{title}\n");
+        out.push_str(&format!("{:<32}", "config"));
+        for c in &self.classes {
+            out.push_str(&format!("{:>16}", c.label()));
+        }
+        out.push_str(&format!("{:>9}\n", "avg"));
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{label:<32}"));
+            for (_, pass, ex) in cells {
+                let r = if exec { ex } else { pass };
+                out.push_str(&format!("{:>15.1}%", r.percent()));
+            }
+            out.push_str(&format!("{:>8.1}%\n", self.overall(label, exec)));
+        }
+        out
+    }
+}
+
+/// Runs the full RQ2 grid.
+#[must_use]
+pub fn run(seed: u64, per_class: usize) -> Rq2Grid {
+    let classes: Vec<UbClass> = UbClass::FIG8.to_vec();
+    let corpus = Corpus::generate(seed, per_class, &classes);
+    let mut rows = Vec::new();
+    let systems: Vec<(String, System)> = vec![
+        ("GPT-3.5".into(), System::llm(ModelId::Gpt35, seed)),
+        ("Claude-3.5".into(), System::llm(ModelId::Claude35, seed)),
+        ("GPT-4".into(), System::llm(ModelId::Gpt4, seed)),
+        (
+            "GPT-3.5+RustBrain".into(),
+            System::brain(RustBrainConfig::for_model(ModelId::Gpt35, seed)),
+        ),
+        (
+            "Claude-3.5+RustBrain".into(),
+            System::brain(RustBrainConfig::for_model(ModelId::Claude35, seed)),
+        ),
+        (
+            "GPT-4+RustBrain(non knowledge)".into(),
+            System::brain(RustBrainConfig::without_knowledge(ModelId::Gpt4, seed)),
+        ),
+        (
+            "GPT-4+RustBrain".into(),
+            System::brain(RustBrainConfig::for_model(ModelId::Gpt4, seed)),
+        ),
+    ];
+    for (label, mut system) in systems {
+        let results = system.run_corpus(&corpus.cases);
+        rows.push((label, rates_by_class(&results, &classes)));
+    }
+    Rq2Grid { classes, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_paper_orderings() {
+        let grid = run(7, 3);
+        assert_eq!(grid.rows.len(), 7);
+        assert_eq!(grid.classes.len(), 11);
+
+        // The headline orderings of the paper's RQ2 must hold:
+        // RustBrain lifts every base model substantially,
+        let g4 = grid.overall_pass("GPT-4");
+        let g4_rb = grid.overall_pass("GPT-4+RustBrain");
+        assert!(g4_rb >= g4 + 15.0, "RustBrain lift too small: {g4} -> {g4_rb}");
+        // the knowledge base does not hurt pass rate,
+        let no_kb = grid.overall_pass("GPT-4+RustBrain(non knowledge)");
+        assert!(g4_rb + 10.0 >= no_kb, "KB config collapsed: {g4_rb} vs {no_kb}");
+        // GPT-3.5+RustBrain reaches at least standalone GPT-4 level,
+        let g35_rb = grid.overall_pass("GPT-3.5+RustBrain");
+        assert!(g35_rb >= g4, "GPT-3.5+RB ({g35_rb}) < GPT-4 alone ({g4})");
+        // and execution rate never exceeds pass rate anywhere.
+        for label in CONFIG_LABELS {
+            assert!(
+                grid.overall_exec(label) <= grid.overall_pass(label) + 1e-9,
+                "{label}: exec > pass"
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let grid = run(3, 2);
+        let fig8 = grid.render(false);
+        let fig9 = grid.render(true);
+        for label in CONFIG_LABELS {
+            assert!(fig8.contains(label));
+            assert!(fig9.contains(label));
+        }
+        assert!(fig8.contains("danglingpointer"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Table I (RQ4): repair time of GPT-4+RustBrain — with and without the
+//! knowledge base — against human experts, per UB class, with the speedup
+//! column. The paper reports a 7.4× average speedup, up to 18× on
+//! func.calls, and that the feedback mechanism lets repeated similar UBs
+//! bypass the knowledge base (the table's red sections).
+
+use crate::runner::System;
+use crate::stats::mean;
+use rb_baselines::human::HumanExpert;
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::RustBrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// UB class.
+    pub class: UbClass,
+    /// Mean GPT-4+RustBrain time without knowledge (s).
+    pub no_knowledge_s: f64,
+    /// Mean GPT-4+RustBrain time with knowledge (s).
+    pub knowledge_s: f64,
+    /// Mean human-expert time (s).
+    pub human_s: f64,
+    /// Human time / no-knowledge time.
+    pub speedup: f64,
+}
+
+/// Experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Rows in the paper's class order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Average row (the paper's last line).
+    #[must_use]
+    pub fn averages(&self) -> (f64, f64, f64, f64) {
+        let nk = mean(&self.rows.iter().map(|r| r.no_knowledge_s).collect::<Vec<_>>());
+        let k = mean(&self.rows.iter().map(|r| r.knowledge_s).collect::<Vec<_>>());
+        let h = mean(&self.rows.iter().map(|r| r.human_s).collect::<Vec<_>>());
+        (nk, k, h, h / nk.max(1e-9))
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table I: Execution time of RustBrain (GPT-4) against human experts\n",
+        );
+        out.push_str(&format!(
+            "{:<18}{:>14}{:>14}{:>10}{:>10}\n",
+            "type", "no knowl. (s)", "knowledge (s)", "human (s)", "speedup"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18}{:>14.1}{:>14.1}{:>10.0}{:>9.2}x\n",
+                r.class.label(),
+                r.no_knowledge_s,
+                r.knowledge_s,
+                r.human_s,
+                r.speedup
+            ));
+        }
+        let (nk, k, h, s) = self.averages();
+        out.push_str(&format!(
+            "{:<18}{:>14.1}{:>14.1}{:>10.0}{:>9.2}x\n",
+            "Average", nk, k, h, s
+        ));
+        out
+    }
+}
+
+/// Runs Table I over `per_class` cases per class.
+#[must_use]
+pub fn run(seed: u64, per_class: usize) -> Table1Result {
+    let classes: Vec<UbClass> = UbClass::TABLE1.to_vec();
+    let corpus = Corpus::generate(seed, per_class, &classes);
+    let mut human = HumanExpert::new(seed);
+    let mut no_kb = System::brain(RustBrainConfig::without_knowledge(ModelId::Gpt4, seed));
+    let mut kb = System::brain(RustBrainConfig::for_model(ModelId::Gpt4, seed));
+
+    let nk_results = no_kb.run_corpus(&corpus.cases);
+    let kb_results = kb.run_corpus(&corpus.cases);
+
+    let mut rows = Vec::new();
+    for &class in &classes {
+        let nk_times: Vec<f64> = nk_results
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.overhead_ms / 1000.0)
+            .collect();
+        let kb_times: Vec<f64> = kb_results
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.overhead_ms / 1000.0)
+            .collect();
+        let human_s = human.mean_time_s(class, per_class.max(4));
+        let no_knowledge_s = mean(&nk_times);
+        rows.push(Table1Row {
+            class,
+            no_knowledge_s,
+            knowledge_s: mean(&kb_times),
+            human_s,
+            speedup: human_s / no_knowledge_s.max(1e-9),
+        });
+    }
+    Table1Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_baselines::human::human_time_s;
+
+    #[test]
+    fn speedups_substantial_and_knowledge_costs_time() {
+        let t = run(21, 4);
+        assert_eq!(t.rows.len(), 12);
+        let (nk, k, h, speedup) = t.averages();
+        // The paper's mean speedup is 7.4x; the shape claim is that the
+        // framework is several-fold faster than humans.
+        assert!(speedup > 3.0, "mean speedup only {speedup:.2}x");
+        assert!(h > nk, "humans should be slower on average");
+        // Knowledge adds retrieval overhead on average.
+        assert!(k > nk * 0.9, "knowledge config unexpectedly cheap: {k} vs {nk}");
+    }
+
+    #[test]
+    fn human_column_matches_reference() {
+        let t = run(3, 2);
+        for row in &t.rows {
+            let expected = human_time_s(row.class);
+            assert!(
+                (row.human_s - expected).abs() / expected < 0.35,
+                "{}: sampled {} vs nominal {}",
+                row.class,
+                row.human_s,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_average_line() {
+        let text = run(2, 2).render();
+        assert!(text.contains("Average"));
+        assert!(text.contains("func.call"));
+    }
+}

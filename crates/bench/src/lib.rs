@@ -1,0 +1,28 @@
+//! # rb-bench — experiment harness
+//!
+//! Regenerates every table and figure of the RustBrain paper's evaluation
+//! over the reproduction stack. Each experiment is a library function
+//! returning a structured result (so tests can assert the paper's *shape*
+//! claims) plus a `render()` for the command-line binaries:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig7` | Fig. 7 — RQ1 flexibility matrix |
+//! | `fig8` | Fig. 8 — pass-by-Miri grid |
+//! | `fig9` | Fig. 9 — execution (acceptability) grid |
+//! | `fig10` | Fig. 10 — GPT-4 vs GPT-O1 under RustBrain |
+//! | `fig11` | Fig. 11 — temperature sweep with CIs |
+//! | `fig12` | Fig. 12 — RustBrain vs RustAssistant |
+//! | `table1` | Table I — repair time vs human experts |
+//! | `ablation_rollback` | Fig. 5 mechanisms |
+//! | `ablation_prune` | Algorithm 1 retrieval ablation |
+//! | `all_experiments` | everything above, sequentially |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{overall_rates, rates_by_class, CaseResult, System};
+pub use stats::Rate;

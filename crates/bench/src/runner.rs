@@ -1,0 +1,150 @@
+//! Uniform driver over the repair systems under comparison, so every
+//! experiment iterates a corpus the same way.
+
+use rb_baselines::{LlmOnly, RustAssistant};
+use rb_dataset::UbCase;
+use rb_llm::ModelId;
+use rustbrain::{RustBrain, RustBrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Result of one case repair, system-agnostic.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Case id.
+    pub case_id: String,
+    /// UB class.
+    pub class: rb_miri::UbClass,
+    /// Passed the oracle.
+    pub passed: bool,
+    /// Semantically acceptable.
+    pub acceptable: bool,
+    /// Simulated time in milliseconds.
+    pub overhead_ms: f64,
+}
+
+/// A repair system under test.
+pub enum System {
+    /// Standalone model.
+    Llm(LlmOnly),
+    /// RustAssistant fixed pipeline.
+    RustAssistant(RustAssistant),
+    /// The RustBrain framework.
+    Brain(Box<RustBrain>),
+}
+
+impl System {
+    /// A standalone model at the paper's default temperature.
+    #[must_use]
+    pub fn llm(model: ModelId, seed: u64) -> System {
+        System::Llm(LlmOnly::new(model, 0.5, seed))
+    }
+
+    /// The RustAssistant baseline (GPT-4-backed, as in the paper).
+    #[must_use]
+    pub fn rust_assistant(seed: u64) -> System {
+        System::RustAssistant(RustAssistant::new(ModelId::Gpt4, 0.5, seed))
+    }
+
+    /// A RustBrain instance.
+    #[must_use]
+    pub fn brain(config: RustBrainConfig) -> System {
+        System::Brain(Box::new(RustBrain::new(config)))
+    }
+
+    /// Repairs one corpus case.
+    pub fn repair_case(&mut self, case: &UbCase) -> CaseResult {
+        let reference = case.gold_outputs();
+        let (passed, acceptable, overhead_ms) = match self {
+            System::Llm(s) => {
+                let o = s.repair(&case.buggy, &reference);
+                (o.passed, o.acceptable, o.overhead_ms)
+            }
+            System::RustAssistant(s) => {
+                let o = s.repair(&case.buggy, &reference);
+                (o.passed, o.acceptable, o.overhead_ms)
+            }
+            System::Brain(s) => {
+                let o = s.repair(&case.buggy, &reference);
+                (o.passed, o.acceptable, o.overhead_ms)
+            }
+        };
+        CaseResult {
+            case_id: case.id.clone(),
+            class: case.class,
+            passed,
+            acceptable,
+            overhead_ms,
+        }
+    }
+
+    /// Repairs every case of a corpus in order (order matters: stateful
+    /// systems learn across cases, as in the paper's sequential runs).
+    pub fn run_corpus(&mut self, cases: &[UbCase]) -> Vec<CaseResult> {
+        cases.iter().map(|c| self.repair_case(c)).collect()
+    }
+}
+
+/// Aggregates results per class into (pass %, exec %) pairs.
+#[must_use]
+pub fn rates_by_class(
+    results: &[CaseResult],
+    classes: &[rb_miri::UbClass],
+) -> Vec<(rb_miri::UbClass, crate::stats::Rate, crate::stats::Rate)> {
+    classes
+        .iter()
+        .map(|&class| {
+            let mut pass = crate::stats::Rate::default();
+            let mut exec = crate::stats::Rate::default();
+            for r in results.iter().filter(|r| r.class == class) {
+                pass.record(r.passed);
+                exec.record(r.acceptable);
+            }
+            (class, pass, exec)
+        })
+        .collect()
+}
+
+/// Overall (pass, exec) rates.
+#[must_use]
+pub fn overall_rates(results: &[CaseResult]) -> (crate::stats::Rate, crate::stats::Rate) {
+    let mut pass = crate::stats::Rate::default();
+    let mut exec = crate::stats::Rate::default();
+    for r in results {
+        pass.record(r.passed);
+        exec.record(r.acceptable);
+    }
+    (pass, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_dataset::Corpus;
+    use rb_miri::UbClass;
+
+    #[test]
+    fn all_systems_run_a_small_corpus() {
+        let corpus = Corpus::generate(1, 2, &[UbClass::Alloc]);
+        for mut sys in [
+            System::llm(ModelId::Gpt4, 1),
+            System::rust_assistant(1),
+            System::brain(RustBrainConfig::for_model(ModelId::Gpt4, 1)),
+        ] {
+            let results = sys.run_corpus(&corpus.cases);
+            assert_eq!(results.len(), 2);
+            let (pass, exec) = overall_rates(&results);
+            assert_eq!(pass.n, 2);
+            assert!(exec.hits <= pass.hits, "exec cannot exceed pass");
+        }
+    }
+
+    #[test]
+    fn rates_by_class_partitions() {
+        let corpus = Corpus::generate(2, 2, &[UbClass::Alloc, UbClass::Panic]);
+        let mut sys = System::brain(RustBrainConfig::for_model(ModelId::GptO1, 3));
+        let results = sys.run_corpus(&corpus.cases);
+        let rows = rates_by_class(&results, &[UbClass::Alloc, UbClass::Panic]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(_, p, _)| p.n == 2));
+    }
+}

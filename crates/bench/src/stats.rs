@@ -1,0 +1,131 @@
+//! Small statistics helpers: rates, means and the Wilson confidence
+//! interval the paper's RQ3 uses to report temperature stability.
+
+use serde::{Deserialize, Serialize};
+
+/// A success rate with its sample size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rate {
+    /// Successes.
+    pub hits: usize,
+    /// Trials.
+    pub n: usize,
+}
+
+impl Rate {
+    /// Creates a rate.
+    #[must_use]
+    pub fn new(hits: usize, n: usize) -> Rate {
+        Rate { hits, n }
+    }
+
+    /// Point estimate in `[0, 1]` (0 for empty samples).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.n as f64
+        }
+    }
+
+    /// Point estimate as a percentage.
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        self.value() * 100.0
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, hit: bool) {
+        self.n += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Wilson score interval at confidence `z` (1.96 ≈ 95 %).
+    #[must_use]
+    pub fn wilson_ci(&self, z: f64) -> (f64, f64) {
+        if self.n == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.n as f64;
+        let p = self.value();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+}
+
+/// Mean of a slice (0 for empty).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_accumulates() {
+        let mut r = Rate::default();
+        r.record(true);
+        r.record(false);
+        r.record(true);
+        assert_eq!(r.hits, 2);
+        assert_eq!(r.n, 3);
+        assert!((r.value() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_brackets_point_estimate() {
+        let r = Rate::new(80, 100);
+        let (lo, hi) = r.wilson_ci(1.96);
+        assert!(lo < 0.8 && 0.8 < hi);
+        assert!(lo > 0.70 && hi < 0.88, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn wilson_tightens_with_n() {
+        let small = Rate::new(8, 10).wilson_ci(1.96);
+        let large = Rate::new(800, 1000).wilson_ci(1.96);
+        assert!((large.1 - large.0) < (small.1 - small.0));
+    }
+
+    #[test]
+    fn wilson_edges() {
+        let r = Rate::new(0, 10);
+        let (lo, _) = r.wilson_ci(1.96);
+        assert_eq!(lo, 0.0);
+        let r = Rate::new(10, 10);
+        let (_, hi) = r.wilson_ci(1.96);
+        assert!(hi <= 1.0);
+        assert_eq!(Rate::new(0, 0).wilson_ci(1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+}

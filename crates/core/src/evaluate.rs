@@ -1,0 +1,90 @@
+//! The evaluation triplet (paper §III-C): *(accuracy, acceptability,
+//! overhead)* — passes Miri, preserves gold semantics, and costs how much
+//! simulated time.
+
+use rb_lang::Program;
+use rb_miri::{run_program, MiriReport};
+use serde::{Deserialize, Serialize};
+
+/// Multi-dimensional assessment of one repair attempt.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalTriplet {
+    /// Passes the oracle with zero diagnostics.
+    pub accuracy: bool,
+    /// Observable outputs match the reference (gold) outputs.
+    pub acceptability: bool,
+    /// Simulated time spent producing the repair, in milliseconds.
+    pub overhead_ms: f64,
+}
+
+impl EvalTriplet {
+    /// Scalar quality used to rank solutions in the feedback loop:
+    /// acceptable ≻ merely-passing ≻ failing; overhead breaks ties.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        let quality = match (self.accuracy, self.acceptability) {
+            (true, true) => 2.0,
+            (true, false) => 1.0,
+            _ => 0.0,
+        };
+        // Up to 0.5 bonus for being fast (saturates at ~10 minutes).
+        let speed = 0.5 / (1.0 + self.overhead_ms / 60_000.0);
+        quality + speed
+    }
+}
+
+/// Evaluates a candidate repair against reference outputs.
+#[must_use]
+pub fn evaluate(candidate: &Program, reference_outputs: &[String], overhead_ms: f64) -> EvalTriplet {
+    let report = run_program(candidate);
+    evaluate_with_report(&report, reference_outputs, overhead_ms)
+}
+
+/// Evaluates from an already-computed oracle report.
+#[must_use]
+pub fn evaluate_with_report(
+    report: &MiriReport,
+    reference_outputs: &[String],
+    overhead_ms: f64,
+) -> EvalTriplet {
+    let accuracy = report.passes();
+    EvalTriplet {
+        accuracy,
+        acceptability: accuracy && report.outputs == reference_outputs,
+        overhead_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_lang::parser::parse_program;
+
+    #[test]
+    fn acceptable_beats_passing_beats_failing() {
+        let acceptable = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 50_000.0 };
+        let passing = EvalTriplet { accuracy: true, acceptability: false, overhead_ms: 1_000.0 };
+        let failing = EvalTriplet { accuracy: false, acceptability: false, overhead_ms: 0.0 };
+        assert!(acceptable.score() > passing.score());
+        assert!(passing.score() > failing.score());
+    }
+
+    #[test]
+    fn faster_same_quality_scores_higher() {
+        let fast = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 10_000.0 };
+        let slow = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 300_000.0 };
+        assert!(fast.score() > slow.score());
+    }
+
+    #[test]
+    fn evaluate_compares_outputs() {
+        let good = parse_program("fn main() { print(7i32); }").unwrap();
+        let t = evaluate(&good, &["7".into()], 100.0);
+        assert!(t.accuracy && t.acceptability);
+        let t = evaluate(&good, &["8".into()], 100.0);
+        assert!(t.accuracy && !t.acceptability);
+        let bad = parse_program("fn main() { let z: i32 = 0; print(1 / z); }").unwrap();
+        let t = evaluate(&bad, &["7".into()], 100.0);
+        assert!(!t.accuracy && !t.acceptability);
+    }
+}

@@ -1,0 +1,188 @@
+//! The fast-thinking stage (paper stage F2): rapid, intuitive generation of
+//! diverse candidate repair solutions from extracted code features, guided
+//! by learned priors from the feedback loop.
+
+use crate::features::CodeFeatures;
+use crate::feedback::Priors;
+use crate::solution::{AgentKind, Solution};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The fast-thinking solution generator.
+#[derive(Debug)]
+pub struct FastThinking {
+    rng: ChaCha8Rng,
+}
+
+impl FastThinking {
+    /// Creates a generator from a seeded RNG.
+    #[must_use]
+    pub fn new(rng: ChaCha8Rng) -> FastThinking {
+        FastThinking { rng }
+    }
+
+    /// Generates up to `k` distinct solutions for the featured problem.
+    ///
+    /// Sampling is weighted by the feedback priors for the error class;
+    /// `temperature` widens the sampling distribution (low temperatures
+    /// produce near-duplicates — the paper's "limited flexibility" at 0.1).
+    /// When feedback is enabled and a remembered best solution exists for
+    /// the class, it is emitted first (the self-learning replay path).
+    pub fn generate(
+        &mut self,
+        features: &CodeFeatures,
+        priors: &Priors,
+        k: usize,
+        temperature: f64,
+        use_feedback: bool,
+    ) -> Vec<Solution> {
+        let mut out: Vec<Solution> = Vec::new();
+        if use_feedback {
+            if let Some(best) = priors.best_solution(features.class) {
+                out.push(Solution::new(best.to_vec()));
+            }
+        }
+        let mut attempts = 0;
+        while out.len() < k && attempts < k * 6 {
+            attempts += 1;
+            let len = 1 + self.rng.gen_range(0..3); // 1..=3 steps
+            let mut steps = Vec::with_capacity(len);
+            for position in 0..len {
+                let agent = self.sample_agent(features, priors, temperature, &steps, position);
+                steps.push(agent);
+            }
+            let sol = Solution::new(steps);
+            if !out.contains(&sol) {
+                out.push(sol);
+            }
+        }
+        // Low temperature yields duplicates; pad deterministically so the
+        // caller still receives k entries (duplicates model wasted samples).
+        while out.len() < k {
+            let idx = out.len() % out.len().max(1);
+            let clone = out.get(idx).cloned().unwrap_or_else(|| {
+                Solution::new(vec![AgentKind::Modify])
+            });
+            out.push(clone);
+        }
+        out.truncate(k);
+        out
+    }
+
+    fn sample_agent(
+        &mut self,
+        features: &CodeFeatures,
+        priors: &Priors,
+        temperature: f64,
+        chosen: &[AgentKind],
+        position: usize,
+    ) -> AgentKind {
+        let mut weights: Vec<(AgentKind, f64)> = AgentKind::ALL
+            .iter()
+            .map(|&a| {
+                let mut w = priors.weight(features.class, a);
+                // Mild structural intuition: heavy unsafe surface favours
+                // replacement/modification; repeated agents are discouraged.
+                if features.metrics.total_unsafe_ops() > 0 && a == AgentKind::Assert {
+                    w *= 0.85;
+                }
+                if chosen.contains(&a) {
+                    w *= 0.3;
+                }
+                // Abstract reasoning is a follow-up agent, not an opener.
+                if position == 0 && a == AgentKind::AbstractReasoning {
+                    w *= 0.5;
+                }
+                // Temperature-scaled multiplicative noise.
+                let noise = 1.0 + (self.rng.gen::<f64>() - 0.5) * 2.0 * temperature;
+                (a, (w * noise).max(1e-3))
+            })
+            .collect();
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut pick = self.rng.gen::<f64>() * total;
+        for (a, w) in weights.drain(..) {
+            if pick <= w {
+                return a;
+            }
+            pick -= w;
+        }
+        AgentKind::Modify
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::EvalTriplet;
+    use crate::features::extract_features;
+    use rand::SeedableRng;
+    use rb_lang::parser::parse_program;
+    use rb_miri::run_program;
+
+    fn features() -> CodeFeatures {
+        let p = parse_program("fn main() { let z: i32 = 0; print(5 / z); }").unwrap();
+        let r = run_program(&p);
+        extract_features(&p, &r)
+    }
+
+    fn gen(seed: u64, temp: f64, priors: &Priors, feedback: bool) -> Vec<Solution> {
+        let mut ft = FastThinking::new(ChaCha8Rng::seed_from_u64(seed));
+        ft.generate(&features(), priors, 10, temp, feedback)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let sols = gen(1, 0.5, &Priors::new(), true);
+        assert_eq!(sols.len(), 10);
+        assert!(sols.iter().all(|s| !s.steps.is_empty() && s.steps.len() <= 3));
+    }
+
+    #[test]
+    fn higher_temperature_more_diversity() {
+        let distinct = |temp: f64| {
+            let sols = gen(3, temp, &Priors::new(), false);
+            let mut d = sols;
+            d.sort_by_key(Solution::describe);
+            d.dedup();
+            d.len()
+        };
+        assert!(distinct(0.9) >= distinct(0.05));
+    }
+
+    #[test]
+    fn feedback_replays_best_solution_first() {
+        let mut priors = Priors::new();
+        let good = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 1000.0 };
+        priors.update(
+            rb_miri::UbClass::Panic,
+            &[AgentKind::Modify, AgentKind::Assert],
+            &good,
+        );
+        let sols = gen(5, 0.5, &priors, true);
+        assert_eq!(sols[0].steps, vec![AgentKind::Modify, AgentKind::Assert]);
+    }
+
+    #[test]
+    fn learned_priors_shift_distribution() {
+        let mut priors = Priors::new();
+        let good = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 1000.0 };
+        for _ in 0..8 {
+            priors.update(rb_miri::UbClass::Panic, &[AgentKind::SafeReplace], &good);
+        }
+        let count_leading = |priors: &Priors| {
+            (0..20)
+                .map(|seed| gen(seed, 0.4, priors, false))
+                .flat_map(|sols| sols.into_iter().map(|s| s.steps[0]))
+                .filter(|a| *a == AgentKind::SafeReplace)
+                .count()
+        };
+        assert!(count_leading(&priors) > count_leading(&Priors::new()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(7, 0.5, &Priors::new(), true);
+        let b = gen(7, 0.5, &Priors::new(), true);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! The AST-similarity knowledge base behind the abstract reasoning agent
+//! (paper Fig. 6): pruned ASTs are embedded as vectors; retrieval returns
+//! the repair rules that solved the most similar past errors, attached to
+//! prompts as few-shots. Querying costs simulated time proportional to the
+//! base's size — the source of the paper's 2–4× knowledge overhead.
+
+use rb_lang::vectorize::AstVector;
+use rb_llm::{FewShot, RepairRule};
+use rb_miri::UbClass;
+use serde::{Deserialize, Serialize};
+
+/// One stored solved case.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KbEntry {
+    /// Embedding of the pruned buggy AST.
+    pub vector: AstVector,
+    /// UB class of the solved case.
+    pub class: UbClass,
+    /// The rule that produced the accepted repair.
+    pub rule: RepairRule,
+}
+
+/// The knowledge base.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    entries: Vec<KbEntry>,
+    /// Total simulated milliseconds spent in queries.
+    pub query_time_ms: f64,
+    /// Number of queries served.
+    pub queries: u64,
+}
+
+/// Fixed per-query cost plus a per-entry scan cost (simulated ms).
+const QUERY_BASE_MS: f64 = 9_000.0;
+const QUERY_PER_ENTRY_MS: f64 = 60.0;
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base.
+    #[must_use]
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// Seeds the base with `entries` (used to model a pre-built knowledge
+    /// base of a given size for the ablation benchmarks).
+    #[must_use]
+    pub fn with_entries(entries: Vec<KbEntry>) -> KnowledgeBase {
+        KnowledgeBase { entries, ..KnowledgeBase::default() }
+    }
+
+    /// Number of stored cases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the base is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores a solved case.
+    pub fn insert(&mut self, vector: AstVector, class: UbClass, rule: RepairRule) {
+        self.entries.push(KbEntry { vector, class, rule });
+    }
+
+    /// Retrieves up to `k` few-shots for a query vector, preferring
+    /// same-class entries, ranked by cosine similarity. Entries below the
+    /// similarity floor (0.6) are not returned. Each call accrues simulated
+    /// query time.
+    pub fn query(&mut self, vector: &AstVector, class: UbClass, k: usize) -> Vec<FewShot> {
+        self.queries += 1;
+        self.query_time_ms += QUERY_BASE_MS + QUERY_PER_ENTRY_MS * self.entries.len() as f64;
+        let mut scored: Vec<(f64, &KbEntry)> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut sim = vector.cosine(&e.vector);
+                if e.class == class {
+                    sim += 0.05; // same-class tie-break bonus
+                }
+                (sim, e)
+            })
+            .filter(|(sim, _)| *sim >= 0.6)
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(sim, e)| FewShot { rule: e.rule, similarity: sim.min(1.0) })
+            .collect()
+    }
+
+    /// Cost of the most recent query in simulated milliseconds (used by the
+    /// pipeline to charge overhead).
+    #[must_use]
+    pub fn last_query_cost_ms(&self) -> f64 {
+        QUERY_BASE_MS + QUERY_PER_ENTRY_MS * self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_lang::parser::parse_program;
+    use rb_lang::prune::prune_program;
+
+    fn vec_of(src: &str) -> AstVector {
+        let p = parse_program(src).unwrap();
+        let (pruned, _) = prune_program(&p);
+        AstVector::embed(&pruned)
+    }
+
+    #[test]
+    fn retrieval_prefers_similar_cases() {
+        let mut kb = KnowledgeBase::new();
+        let dangling = vec_of(
+            "fn main() { let q: *const i32 = 0 as *const i32; \
+             { let x: i32 = 5; q = &raw const x; } unsafe { print(*q); } }",
+        );
+        let race = vec_of(
+            "static mut G: i32 = 0; fn main() { \
+             spawn { unsafe { G = 1; } } spawn { unsafe { G = 2; } } join; }",
+        );
+        kb.insert(dangling.clone(), UbClass::DanglingPointer, RepairRule::HoistLocalOut);
+        kb.insert(race, UbClass::DataRace, RepairRule::LockSpawnBodies);
+
+        let query = vec_of(
+            "fn main() { let p: *const i32 = 0 as *const i32; \
+             { let val: i32 = 9; p = &raw const val; } unsafe { print(*p); } }",
+        );
+        let shots = kb.query(&query, UbClass::DanglingPointer, 1);
+        assert_eq!(shots.len(), 1);
+        assert_eq!(shots[0].rule, RepairRule::HoistLocalOut);
+        assert!(shots[0].similarity > 0.9);
+    }
+
+    #[test]
+    fn dissimilar_entries_filtered() {
+        let mut kb = KnowledgeBase::new();
+        let race = vec_of(
+            "static mut G: i32 = 0; fn main() { \
+             spawn { unsafe { G = 1; } } spawn { unsafe { G = 2; } } join; }",
+        );
+        kb.insert(race, UbClass::DataRace, RepairRule::LockSpawnBodies);
+        // An empty-ish program is not similar to a threaded one.
+        let query = vec_of("fn main() { print(1i32); }");
+        let shots = kb.query(&query, UbClass::DataRace, 3);
+        assert!(shots.is_empty(), "{shots:?}");
+    }
+
+    #[test]
+    fn query_cost_grows_with_size() {
+        let mut kb = KnowledgeBase::new();
+        let v = vec_of("fn main() { print(1i32); }");
+        let c0 = kb.last_query_cost_ms();
+        for _ in 0..50 {
+            kb.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        }
+        assert!(kb.last_query_cost_ms() > c0);
+        kb.query(&v, UbClass::Panic, 1);
+        assert_eq!(kb.queries, 1);
+        assert!(kb.query_time_ms > 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The slow-thinking stage (paper stages S1–S2): decompose a solution into
+//! agent steps, execute each step through the language model, verify every
+//! edit with the oracle, and guard the search with the rollback agent.
+
+use crate::config::RollbackPolicy;
+use crate::evaluate::{evaluate_with_report, EvalTriplet};
+use crate::knowledge::KnowledgeBase;
+use crate::rollback::{RollbackTracker, ThoughtTrace};
+use crate::solution::{AgentKind, Solution};
+use rb_lang::prune::prune_program;
+use rb_lang::vectorize::AstVector;
+use rb_lang::Program;
+use rb_llm::{LanguageModel, RepairContext, RepairRule};
+use rb_miri::{run_program, MiriReport};
+use serde::{Deserialize, Serialize};
+
+/// Fixed simulated cost of one oracle (Miri) run in milliseconds.
+pub const ORACLE_RUN_MS: f64 = 800.0;
+
+/// Fixed simulated cost of decomposing/validating one agent step
+/// (the slow-thinking bookkeeping around each model call).
+pub const STEP_DECOMPOSE_MS: f64 = 3_000.0;
+
+/// Record of one executed agent step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Which agent ran.
+    pub agent: AgentKind,
+    /// The rule it applied (when any proposal was applicable).
+    pub rule: Option<RepairRule>,
+    /// Oracle error count after the step.
+    pub errors_after: usize,
+    /// Simulated latency of the step (model + retrieval + oracle).
+    pub latency_ms: f64,
+    /// Knowledge shots attached to the prompt.
+    pub shots: usize,
+}
+
+/// Result of executing one solution.
+#[derive(Clone, Debug)]
+pub struct SolutionOutcome {
+    /// The executed solution.
+    pub solution: Solution,
+    /// Best program state reached.
+    pub final_program: Program,
+    /// Evaluation triplet of the best state.
+    pub eval: EvalTriplet,
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Thought/error-count trace (the paper's `N` sequence).
+    pub trace: ThoughtTrace,
+    /// Oracle invocations consumed.
+    pub oracle_runs: usize,
+    /// Total simulated time of this solution.
+    pub overhead_ms: f64,
+    /// The rule whose application produced the passing state, if any.
+    pub fixing_rule: Option<RepairRule>,
+    /// The state the slow-thinking process *ended* in (not necessarily the
+    /// best one) — the continuation point under the no-rollback policy.
+    pub end_program: Program,
+    /// Oracle report of the end state.
+    pub end_report: MiriReport,
+}
+
+/// Executes one solution against a failing program.
+///
+/// Steps run in order; the solution is cycled (up to three passes) while it
+/// keeps making progress — the paper's "fine-tune solution" refinement.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_solution(
+    model: &mut dyn LanguageModel,
+    mut kb: Option<&mut KnowledgeBase>,
+    policy: RollbackPolicy,
+    program: &Program,
+    report: &MiriReport,
+    solution: &Solution,
+    reference: &[String],
+    max_oracle_runs: usize,
+) -> SolutionOutcome {
+    let mut tracker = RollbackTracker::new(policy, program.clone(), report.clone());
+    let mut steps: Vec<StepRecord> = Vec::new();
+    let mut overhead = 0.0f64;
+    let mut oracle_runs = 0usize;
+    let mut fixing_rule = None;
+
+    'passes: for _pass in 0..3 {
+        let errors_at_pass_start = tracker.current().1.error_count();
+        for &agent in &solution.steps {
+            if tracker.current().1.passes() || oracle_runs >= max_oracle_runs {
+                break 'passes;
+            }
+            let (cur_prog, cur_report) = {
+                let (p, r) = tracker.current();
+                (p.clone(), r.clone())
+            };
+            let Some(primary) = cur_report.primary().cloned() else {
+                break 'passes;
+            };
+            // Abstract reasoning: retrieve similar solved cases.
+            let mut shots = Vec::new();
+            if agent == AgentKind::AbstractReasoning {
+                if let Some(kb) = kb.as_deref_mut() {
+                    let (pruned, _) = prune_program(&cur_prog);
+                    let vector = if pruned.stmt_count() == 0 {
+                        AstVector::embed(&cur_prog)
+                    } else {
+                        AstVector::embed(&pruned)
+                    };
+                    overhead += kb.last_query_cost_ms();
+                    shots = kb.query(&vector, primary.class(), 2);
+                }
+            }
+            let mut ctx = RepairContext::new(&cur_prog, &primary, agent.strategy());
+            ctx.shots = shots;
+            let shot_count = ctx.shots.len();
+            let resp = model.propose(&ctx);
+            overhead += resp.latency_ms + STEP_DECOMPOSE_MS;
+
+            let mut applied: Option<(RepairRule, Program)> = None;
+            for proposal in &resp.proposals {
+                if let Some(mut candidate) = proposal.rule.apply(&cur_prog, &primary) {
+                    if resp.drift {
+                        if let Some(drifted) = rb_llm::rules::apply_semantic_drift(&candidate) {
+                            candidate = drifted;
+                        }
+                    }
+                    applied = Some((proposal.rule, candidate));
+                    break;
+                }
+            }
+            match applied {
+                Some((rule, candidate)) => {
+                    let creport = run_program(&candidate);
+                    oracle_runs += 1;
+                    overhead += ORACLE_RUN_MS;
+                    let errors_after = creport.error_count();
+                    if errors_after == 0 {
+                        fixing_rule = Some(rule);
+                    }
+                    tracker.observe(candidate, creport);
+                    steps.push(StepRecord {
+                        agent,
+                        rule: Some(rule),
+                        errors_after,
+                        latency_ms: resp.latency_ms + ORACLE_RUN_MS,
+                        shots: shot_count,
+                    });
+                }
+                None => {
+                    steps.push(StepRecord {
+                        agent,
+                        rule: None,
+                        errors_after: cur_report.error_count(),
+                        latency_ms: resp.latency_ms,
+                        shots: shot_count,
+                    });
+                }
+            }
+        }
+        // Stop cycling when a full pass made no progress.
+        if tracker.current().1.error_count() >= errors_at_pass_start {
+            break;
+        }
+    }
+
+    let (end_prog, end_report) = {
+        let (p, r) = tracker.current();
+        (p.clone(), r.clone())
+    };
+    let (best_prog, best_report) = tracker.best();
+    let eval = evaluate_with_report(best_report, reference, overhead);
+    SolutionOutcome {
+        solution: solution.clone(),
+        final_program: best_prog.clone(),
+        eval,
+        steps,
+        trace: tracker.trace.clone(),
+        oracle_runs,
+        overhead_ms: overhead,
+        fixing_rule,
+        end_program: end_prog,
+        end_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_llm::{ModelId, SimulatedModel};
+
+    fn fixture() -> (Program, MiriReport) {
+        let p = rb_lang::parser::parse_program(
+            "fn main() { let p: *mut u8 = 0 as *mut u8; \
+             unsafe { p = alloc(4usize, 4usize); ptr_write::<i32>(p as *mut i32, 3i32); } \
+             unsafe { print(ptr_read::<i32>(p as *const i32)); } \
+             unsafe { dealloc(p, 4usize, 4usize); } \
+             unsafe { dealloc(p, 4usize, 4usize); } }",
+        )
+        .unwrap();
+        let r = run_program(&p);
+        (p, r)
+    }
+
+    #[test]
+    fn modify_solution_fixes_double_free() {
+        let (p, r) = fixture();
+        let mut model = SimulatedModel::new(ModelId::GptO1, 0.3, 1);
+        let sol = Solution::new(vec![AgentKind::Modify, AgentKind::SafeReplace]);
+        let out = execute_solution(
+            &mut model,
+            None,
+            RollbackPolicy::Adaptive,
+            &p,
+            &r,
+            &sol,
+            &["3".to_owned()],
+            12,
+        );
+        assert!(out.eval.accuracy, "trace: {:?}", out.trace);
+        assert!(out.eval.acceptability);
+        assert_eq!(out.fixing_rule, Some(RepairRule::RemoveDoubleFree));
+        assert!(out.overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let (p, r) = fixture();
+        let mut model = SimulatedModel::new(ModelId::Gpt35, 0.9, 2);
+        let sol = Solution::new(vec![AgentKind::Assert, AgentKind::Assert, AgentKind::Assert]);
+        let out = execute_solution(
+            &mut model,
+            None,
+            RollbackPolicy::Adaptive,
+            &p,
+            &r,
+            &sol,
+            &["3".to_owned()],
+            2,
+        );
+        assert!(out.oracle_runs <= 2);
+    }
+
+    #[test]
+    fn trace_records_error_sequence() {
+        let (p, r) = fixture();
+        let mut model = SimulatedModel::new(ModelId::Gpt4, 0.5, 3);
+        let sol = Solution::new(vec![AgentKind::Modify]);
+        let out = execute_solution(
+            &mut model,
+            None,
+            RollbackPolicy::Adaptive,
+            &p,
+            &r,
+            &sol,
+            &["3".to_owned()],
+            8,
+        );
+        assert_eq!(out.trace.error_counts[0], r.error_count());
+        assert!(out.trace.error_counts.len() >= 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Repair solutions: ordered sequences of agent steps, the unit fast
+//! thinking generates and slow thinking decomposes and executes.
+
+use rb_llm::PromptStrategy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The agents of the slow-thinking stage (paper §III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AgentKind {
+    /// Equivalent-replacement agent (safe API substitution).
+    SafeReplace,
+    /// Assertion agent (guards / pre-assertions).
+    Assert,
+    /// Semantic-modification agent.
+    Modify,
+    /// Abstract-reasoning agent: retrieves similar pruned-AST cases from
+    /// the knowledge base and prompts with them.
+    AbstractReasoning,
+}
+
+impl AgentKind {
+    /// All agents.
+    pub const ALL: [AgentKind; 4] = [
+        AgentKind::SafeReplace,
+        AgentKind::Assert,
+        AgentKind::Modify,
+        AgentKind::AbstractReasoning,
+    ];
+
+    /// Prompt strategy the agent uses.
+    #[must_use]
+    pub fn strategy(self) -> PromptStrategy {
+        match self {
+            AgentKind::SafeReplace => PromptStrategy::SafeReplace,
+            AgentKind::Assert => PromptStrategy::Assert,
+            AgentKind::Modify => PromptStrategy::Modify,
+            AgentKind::AbstractReasoning => PromptStrategy::Freeform,
+        }
+    }
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AgentKind::SafeReplace => "safe-replace",
+            AgentKind::Assert => "assert",
+            AgentKind::Modify => "modify",
+            AgentKind::AbstractReasoning => "abstract-reasoning",
+        }
+    }
+}
+
+impl fmt::Display for AgentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One candidate repair solution: an ordered agent sequence. The order
+/// encodes the repair strategy ("the order of these steps reflects diverse
+/// repair strategies", paper stage S1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Solution {
+    /// Agent steps, executed in order until the oracle passes.
+    pub steps: Vec<AgentKind>,
+}
+
+impl Solution {
+    /// Creates a solution from steps.
+    #[must_use]
+    pub fn new(steps: Vec<AgentKind>) -> Solution {
+        Solution { steps }
+    }
+
+    /// Whether the solution consults the knowledge base.
+    #[must_use]
+    pub fn uses_knowledge(&self) -> bool {
+        self.steps.contains(&AgentKind::AbstractReasoning)
+    }
+
+    /// Compact display such as `[modify → assert]`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let parts: Vec<&str> = self.steps.iter().map(|a| a.label()).collect();
+        format!("[{}]", parts.join(" → "))
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_align() {
+        assert_eq!(AgentKind::SafeReplace.strategy(), PromptStrategy::SafeReplace);
+        assert_eq!(AgentKind::AbstractReasoning.strategy(), PromptStrategy::Freeform);
+    }
+
+    #[test]
+    fn describe_shows_order() {
+        let s = Solution::new(vec![AgentKind::Modify, AgentKind::Assert]);
+        assert_eq!(s.describe(), "[modify → assert]");
+        assert!(!s.uses_knowledge());
+        let s = Solution::new(vec![AgentKind::AbstractReasoning]);
+        assert!(s.uses_knowledge());
+    }
+}

@@ -1,0 +1,172 @@
+//! Framework-level integration tests: configuration matrix, self-learning
+//! dynamics, knowledge retrieval wiring, and the RQ mechanisms at the unit
+//! of a single RustBrain instance.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rb_dataset::{templates_for, Corpus, UbCase};
+use rb_llm::{ModelId, RepairRule};
+use rb_miri::UbClass;
+use rustbrain::{RollbackPolicy, RustBrain, RustBrainConfig};
+
+fn stream_of(class: UbClass, template: &str, n: usize, seed: u64) -> Vec<UbCase> {
+    let t = templates_for(class)
+        .into_iter()
+        .find(|t| t.name == template)
+        .expect("template exists");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let s = (t.make)(&mut rng);
+            UbCase::from_sources(
+                format!("{}/{}/{}", class.label(), template, i),
+                class,
+                template,
+                &s.buggy,
+                &s.gold,
+                &s.description,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn config_matrix_all_variants_run() {
+    let corpus = Corpus::generate(3, 1, &[UbClass::Validity, UbClass::Alloc]);
+    for model in ModelId::ALL {
+        for use_knowledge in [false, true] {
+            for rollback in [RollbackPolicy::Adaptive, RollbackPolicy::ToInitial, RollbackPolicy::None] {
+                let mut cfg = RustBrainConfig::for_model(model, 1);
+                cfg.use_knowledge = use_knowledge;
+                cfg.rollback = rollback;
+                let mut brain = RustBrain::new(cfg);
+                for case in &corpus.cases {
+                    let out = brain.repair(&case.buggy, &case.gold_outputs());
+                    assert!(out.oracle_runs >= 1 || out.passed);
+                    assert!(out.overhead_ms.is_finite() && out.overhead_ms >= 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn knowledge_retrieval_feeds_similar_cases() {
+    // Solve one scope-escape case, then verify the KB returns its rule for
+    // a structurally similar query.
+    let cases = stream_of(UbClass::DanglingPointer, "scope_escape", 2, 11);
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::GptO1, 4));
+    let first = brain.repair(&cases[0].buggy, &cases[0].gold_outputs());
+    assert!(first.passed);
+    assert_eq!(brain.knowledge().len(), 1);
+    // The stored rule must be a dangling-pointer fix.
+    let second = brain.repair(&cases[1].buggy, &cases[1].gold_outputs());
+    assert!(second.passed);
+}
+
+#[test]
+fn feedback_disabled_means_no_prior_updates() {
+    let cases = stream_of(UbClass::Panic, "div_zero", 2, 5);
+    let mut cfg = RustBrainConfig::for_model(ModelId::Gpt4, 2);
+    cfg.use_feedback = false;
+    let mut brain = RustBrain::new(cfg);
+    for case in &cases {
+        brain.repair(&case.buggy, &case.gold_outputs());
+    }
+    assert_eq!(brain.priors().updates(), 0);
+
+    let mut cfg = RustBrainConfig::for_model(ModelId::Gpt4, 2);
+    cfg.use_feedback = true;
+    let mut brain = RustBrain::new(cfg);
+    for case in &cases {
+        brain.repair(&case.buggy, &case.gold_outputs());
+    }
+    assert!(brain.priors().updates() > 0);
+}
+
+#[test]
+fn no_knowledge_config_never_queries() {
+    let cases = stream_of(UbClass::Validity, "bool_transmute", 3, 9);
+    let mut brain = RustBrain::new(RustBrainConfig::without_knowledge(ModelId::Gpt4, 3));
+    for case in &cases {
+        brain.repair(&case.buggy, &case.gold_outputs());
+    }
+    assert_eq!(brain.knowledge().queries, 0);
+    assert_eq!(brain.knowledge().len(), 0);
+}
+
+#[test]
+fn seeded_knowledge_accelerates_hard_class() {
+    // Pre-seeding the KB with the correct rule for a Rust-specific class
+    // must not reduce the success rate of a weak model.
+    let cases = stream_of(UbClass::StackBorrow, "write_invalidates", 6, 21);
+    let run_with = |seed_kb: bool| {
+        let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt35, 13));
+        if seed_kb {
+            for case in &cases {
+                brain.seed_knowledge(&case.buggy, UbClass::StackBorrow, RepairRule::RetakePointerAfterWrite);
+            }
+        }
+        cases
+            .iter()
+            .filter(|c| brain.repair(&c.buggy, &c.gold_outputs()).acceptable)
+            .count()
+    };
+    let without = run_with(false);
+    let with = run_with(true);
+    assert!(
+        with >= without,
+        "seeded KB hurt the weak model: {with} < {without}"
+    );
+}
+
+#[test]
+fn multi_function_cases_are_repairable() {
+    // The future-work extension: UB inside helper functions.
+    for (class, template) in [
+        (UbClass::FuncCall, "callee_unchecked"),
+        (UbClass::DataRace, "helper_writer"),
+        (UbClass::Validity, "callee_transmute"),
+    ] {
+        let cases = stream_of(class, template, 2, 31);
+        let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::GptO1, 6));
+        let repaired = cases
+            .iter()
+            .filter(|c| brain.repair(&c.buggy, &c.gold_outputs()).passed)
+            .count();
+        assert!(repaired >= 1, "{template}: no multi-function case repaired");
+    }
+}
+
+#[test]
+fn outcome_invariants() {
+    let corpus = Corpus::generate(41, 1, &UbClass::FIG10);
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Claude35, 8));
+    for case in &corpus.cases {
+        let out = brain.repair(&case.buggy, &case.gold_outputs());
+        // acceptable implies passed;
+        assert!(!out.acceptable || out.passed, "{}", case.id);
+        // the history starts at the buggy program's error count (>0);
+        assert!(out.error_history[0] > 0, "{}", case.id);
+        // a passing outcome has a winning solution recorded;
+        assert_eq!(out.best_solution.is_some(), out.passed, "{}", case.id);
+        // the class matches the case's class.
+        assert_eq!(out.class, case.class, "{}", case.id);
+    }
+}
+
+#[test]
+fn budget_caps_are_respected() {
+    let cases = stream_of(UbClass::StackBorrow, "write_invalidates", 1, 51);
+    let mut cfg = RustBrainConfig::for_model(ModelId::Gpt35, 9);
+    cfg.max_model_calls = 3;
+    cfg.max_iterations = 4;
+    let mut brain = RustBrain::new(cfg);
+    let before = brain.model_stats().calls;
+    let out = brain.repair(&cases[0].buggy, &cases[0].gold_outputs());
+    let spent = brain.model_stats().calls - before;
+    // Budget is checked between solutions; one solution may run a few calls
+    // past the cap, but not a multiple of it.
+    assert!(spent <= 3 + 9, "model calls {spent} blew the cap");
+    assert!(out.oracle_runs <= 4 + 9, "oracle runs {} blew the cap", out.oracle_runs);
+}

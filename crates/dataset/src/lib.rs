@@ -1,0 +1,28 @@
+//! # rb-dataset — UB benchmark corpus
+//!
+//! A seeded generator of undefined-behaviour benchmark cases modelled on
+//! the Miri test suite the paper evaluates on. Each case pairs a buggy
+//! program with a developer *gold repair*; the gold program's observable
+//! output is the reference for semantic-acceptability judgement (the
+//! paper's "execution rate" metric).
+//!
+//! ```
+//! use rb_dataset::Corpus;
+//! use rb_miri::UbClass;
+//!
+//! let corpus = Corpus::generate(42, 2, &[UbClass::DanglingPointer]);
+//! assert_eq!(corpus.len(), 2);
+//! for case in &corpus.cases {
+//!     case.validate().expect("buggy fails, gold passes");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod corpus;
+pub mod templates;
+
+pub use case::{semantically_acceptable, UbCase};
+pub use corpus::{validate_all_templates, Corpus};
+pub use templates::{all_templates, templates_for, CaseSources, Template};

@@ -1,0 +1,1117 @@
+//! Template families: parametric generators producing (buggy, gold) source
+//! pairs for every UB class of the paper's evaluation. Each template mirrors
+//! a defect pattern from the Miri test suite; the gold program is the repair
+//! a developer would write (safe substitution, guarding, or semantic
+//! modification — the paper's Principle 2 triad).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rb_miri::UbClass;
+
+/// Sources produced by one template instantiation.
+#[derive(Clone, Debug)]
+pub struct CaseSources {
+    /// Buggy program source.
+    pub buggy: String,
+    /// Gold repaired source.
+    pub gold: String,
+    /// Defect description.
+    pub description: String,
+}
+
+/// A template family.
+#[derive(Clone, Copy)]
+pub struct Template {
+    /// Family name, used in case ids.
+    pub name: &'static str,
+    /// UB class all instances exhibit.
+    pub class: UbClass,
+    /// Instantiator.
+    pub make: fn(&mut ChaCha8Rng) -> CaseSources,
+}
+
+impl std::fmt::Debug for Template {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Template")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .finish()
+    }
+}
+
+const NAMES: [&str; 8] = ["val", "data", "item", "num", "count", "total", "entry", "elem"];
+const PTRS: [&str; 6] = ["p", "ptr", "q", "cursor", "handle", "slot"];
+
+fn name(rng: &mut ChaCha8Rng) -> &'static str {
+    NAMES[rng.gen_range(0..NAMES.len())]
+}
+
+fn ptr(rng: &mut ChaCha8Rng) -> &'static str {
+    PTRS[rng.gen_range(0..PTRS.len())]
+}
+
+fn ptr2(rng: &mut ChaCha8Rng, not: &str) -> &'static str {
+    loop {
+        let p = PTRS[rng.gen_range(0..PTRS.len())];
+        if p != not {
+            return p;
+        }
+    }
+}
+
+fn small(rng: &mut ChaCha8Rng) -> i64 {
+    rng.gen_range(1..100)
+}
+
+// ============================= alloc =========================================
+
+fn alloc_double_free(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    let s = [4usize, 8][rng.gen_range(0..2)];
+    let common = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc({s}usize, 4usize); ptr_write::<i32>({p} as *mut i32, {v}i32); }} \
+         unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} \
+         unsafe {{ dealloc({p}, {s}usize, 4usize); }}"
+    );
+    CaseSources {
+        buggy: format!("{common} unsafe {{ dealloc({p}, {s}usize, 4usize); }} }}"),
+        gold: format!("{common} }}"),
+        description: "heap allocation freed twice".into(),
+    }
+}
+
+fn alloc_layout_mismatch(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(8usize, 4usize); ptr_write::<i32>({p} as *mut i32, {v}i32); }} \
+         unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }}"
+    );
+    CaseSources {
+        buggy: format!("{prelude} unsafe {{ dealloc({p}, 4usize, 4usize); }} }}"),
+        gold: format!("{prelude} unsafe {{ dealloc({p}, 8usize, 4usize); }} }}"),
+        description: "dealloc called with a layout differing from the allocation's".into(),
+    }
+}
+
+fn alloc_leak(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(4usize, 4usize); ptr_write::<i32>({p} as *mut i32, {v}i32); }} \
+         unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }}"
+    );
+    CaseSources {
+        buggy: format!("{prelude} }}"),
+        gold: format!("{prelude} unsafe {{ dealloc({p}, 4usize, 4usize); }} }}"),
+        description: "heap allocation never freed (memory leak)".into(),
+    }
+}
+
+// ========================= dangling pointer ==================================
+
+fn dangling_scope_escape(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let q = ptr(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {q}: *const i32 = 0 as *const i32; \
+             {{ let {x}: i32 = {v}; {q} = &raw const {x}; }} \
+             unsafe {{ print(*{q}); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             let {q}: *const i32 = &raw const {x}; \
+             unsafe {{ print(*{q}); }} }}"
+        ),
+        description: "pointer to a local escapes its scope and is dereferenced".into(),
+    }
+}
+
+fn dangling_use_after_free(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(4usize, 4usize); ptr_write::<i32>({p} as *mut i32, {v}i32); }}"
+    );
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             unsafe {{ dealloc({p}, 4usize, 4usize); }} \
+             unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} }}"
+        ),
+        gold: format!(
+            "{prelude} \
+             unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} \
+             unsafe {{ dealloc({p}, 4usize, 4usize); }} }}"
+        ),
+        description: "read through a pointer after its allocation was freed".into(),
+    }
+}
+
+fn dangling_oob_offset(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let q = ptr2(rng, p);
+    let v = rng.gen_range(1..120);
+    let bad = rng.gen_range(9..20);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(8usize, 4usize); ptr_write::<i32>({p} as *mut i32, {v}i32); }}"
+    );
+    let epilogue = format!("unsafe {{ dealloc({p}, 8usize, 4usize); }} }}");
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             unsafe {{ let {q}: *mut u8 = ptr_offset::<u8>({p}, {bad}i32); \
+             print(ptr_read::<u8>({q})); }} {epilogue}"
+        ),
+        gold: format!(
+            "{prelude} \
+             unsafe {{ let {q}: *mut u8 = ptr_offset::<u8>({p}, 0i32); \
+             print(ptr_read::<u8>({q})); }} {epilogue}"
+        ),
+        description: "pointer arithmetic past the end of the allocation".into(),
+    }
+}
+
+// ============================== uninit =======================================
+
+fn uninit_read_before_write(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {p}: *mut u8 = 0 as *mut u8; \
+             unsafe {{ {p} = alloc(4usize, 4usize); }} \
+             unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} \
+             unsafe {{ ptr_write::<i32>({p} as *mut i32, {v}i32); dealloc({p}, 4usize, 4usize); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {p}: *mut u8 = 0 as *mut u8; \
+             unsafe {{ {p} = alloc(4usize, 4usize); }} \
+             unsafe {{ ptr_write::<i32>({p} as *mut i32, {v}i32); }} \
+             unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} \
+             unsafe {{ dealloc({p}, 4usize, 4usize); }} }}"
+        ),
+        description: "freshly allocated memory read before initialisation".into(),
+    }
+}
+
+fn uninit_union_tail(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = rng.gen_range(1..200);
+    let u = ["Mix", "Pack", "Raw", "Blob"][rng.gen_range(0..4)];
+    CaseSources {
+        buggy: format!(
+            "union {u} {{ small: u8, big: u32 }} \
+             fn main() {{ let m: {u} = {u} {{ small: {v}u8 }}; unsafe {{ print(m.big); }} }}"
+        ),
+        gold: format!(
+            "union {u} {{ small: u8, big: u32 }} \
+             fn main() {{ let m: {u} = {u} {{ big: {v}u32 }}; unsafe {{ print(m.big); }} }}"
+        ),
+        description: "reading a large union field after initialising a smaller one".into(),
+    }
+}
+
+// ============================ provenance =====================================
+
+fn provenance_int_roundtrip(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let p = ptr(rng);
+    let q = ptr2(rng, p);
+    let v = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {x}: i32 = {v}; \
+         let {p}: *const i32 = &raw const {x};"
+    );
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             let addr: usize = {p} as usize; \
+             let {q}: *const i32 = addr as *const i32; \
+             unsafe {{ print(*{q}); }} }}"
+        ),
+        gold: format!("{prelude} unsafe {{ print(*{p}); }} }}"),
+        description: "pointer laundered through an integer loses provenance".into(),
+    }
+}
+
+fn provenance_transmute_ref(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             let r: &i32 = &{x}; \
+             unsafe {{ \
+             let addr: usize = transmute::<&i32, usize>(r); \
+             let q: *const i32 = addr as *const i32; \
+             print(*q); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             let r: &i32 = &{x}; \
+             unsafe {{ \
+             let q: *const i32 = r as *const i32; \
+             print(*q); }} }}"
+        ),
+        description: "reference transmuted to usize and back (paper Fig. 3, ex. 1)".into(),
+    }
+}
+
+fn provenance_addr_arith(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let p = ptr(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             let {p}: *const i32 = &raw const {x}; \
+             let addr: usize = ptr_addr({p}); \
+             let fresh: *const i32 = addr as *const i32; \
+             unsafe {{ print(*fresh); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             let {p}: *const i32 = &raw const {x}; \
+             unsafe {{ print(*{p}); }} }}"
+        ),
+        description: "pointer reconstructed from a bare address (strict provenance)".into(),
+    }
+}
+
+// ============================ unaligned ======================================
+
+fn unaligned_odd_offset(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let q = ptr2(rng, p);
+    let v = small(rng);
+    let odd = [1i64, 2, 3][rng.gen_range(0..3)];
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(8usize, 8usize); ptr_write::<u32>({p} as *mut u32, {v}u32); }}"
+    );
+    let epilogue = format!("unsafe {{ dealloc({p}, 8usize, 8usize); }} }}");
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             unsafe {{ let {q}: *mut u8 = ptr_offset::<u8>({p}, {odd}i32); \
+             print(ptr_read::<u32>({q} as *const u32)); }} {epilogue}"
+        ),
+        gold: format!(
+            "{prelude} \
+             unsafe {{ let {q}: *mut u8 = ptr_offset::<u8>({p}, 0i32); \
+             print(ptr_read::<u32>({q} as *const u32)); }} {epilogue}"
+        ),
+        description: "u32 read at an odd byte offset (misaligned access)".into(),
+    }
+}
+
+fn unaligned_array_cast(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = small(rng);
+    let w = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let buf: [u32; 2] = [{v}u32, {w}u32]; \
+         unsafe {{ \
+         let base: *const u8 = &raw const buf as *const u8;"
+    );
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             let shifted: *const u8 = ptr_offset::<u8>(base, 1i32); \
+             print(ptr_read::<u32>(shifted as *const u32)); }} }}"
+        ),
+        gold: format!(
+            "{prelude} \
+             let shifted: *const u8 = ptr_offset::<u8>(base, 4i32); \
+             print(ptr_read::<u32>(shifted as *const u32)); }} }}"
+        ),
+        description: "array reinterpreted at a misaligned byte boundary".into(),
+    }
+}
+
+// ============================= validity ======================================
+
+fn validity_bool_transmute(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = rng.gen_range(2..9);
+    let x = name(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: u8 = {v}u8; \
+             unsafe {{ let flag: bool = transmute::<u8, bool>({x}); print(flag); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: u8 = {v}u8; \
+             let flag: bool = {x} != 0u8; print(flag); }}"
+        ),
+        description: "bool constructed from a byte other than 0 or 1".into(),
+    }
+}
+
+fn validity_transmute_size(rng: &mut ChaCha8Rng) -> CaseSources {
+    let a = rng.gen_range(1..200);
+    let b = rng.gen_range(1..200);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let n1: [u8; 2] = [{a}u8, {b}u8]; \
+             unsafe {{ let n2: u32 = transmute::<[u8; 2], u32>(n1); print(n2); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let n1: [u8; 2] = [{a}u8, {b}u8]; \
+             let n2: u32 = from_le_bytes::<u16>(n1) as u32; print(n2); }}"
+        ),
+        description: "transmute between differently sized types (paper Fig. 3, ex. 2)".into(),
+    }
+}
+
+fn validity_int_to_ref(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let v = small(rng);
+    let addr = rng.gen_range(64..4096) * 8;
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ let r: &i32 = transmute::<usize, &i32>({addr}usize); print(*r); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             let r: &i32 = &{x}; print(*r); }}"
+        ),
+        description: "reference forged from an arbitrary integer address".into(),
+    }
+}
+
+// =========================== stacked borrows =================================
+
+fn stackborrow_write_invalidates(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let p = ptr(rng);
+    let v = small(rng);
+    let w = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             let {p}: *const i32 = &raw const {x}; \
+             {x} = {w}; \
+             print(ptr_read::<i32>({p})); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             {x} = {w}; \
+             let {p}: *const i32 = &raw const {x}; \
+             print(ptr_read::<i32>({p})); }} }}"
+        ),
+        description: "raw pointer invalidated by a write through the owner".into(),
+    }
+}
+
+fn stackborrow_shared_write(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let p = ptr(rng);
+    let v = small(rng);
+    let w = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             let r: &i32 = &{x}; \
+             let {p}: *mut i32 = r as *mut i32; \
+             ptr_write::<i32>({p}, {w}i32); \
+             print({x}); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             let {p}: *mut i32 = &raw mut {x}; \
+             ptr_write::<i32>({p}, {w}i32); \
+             print({x}); }} }}"
+        ),
+        description: "write through a raw pointer derived from a shared reference".into(),
+    }
+}
+
+// ============================ both borrows ===================================
+
+fn bothborrow_two_mut(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let v = small(rng);
+    let w = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             let first: &mut i32 = &mut {x}; \
+             let second: &mut i32 = &mut {x}; \
+             *second = {w}; \
+             print(*first); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             let first: &mut i32 = &mut {x}; \
+             *first = {w}; \
+             print(*first); }} }}"
+        ),
+        description: "two live exclusive reborrows of the same local".into(),
+    }
+}
+
+fn bothborrow_cross_fn(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn bump(r: &mut i32) {{ *r = *r + 1; }} \
+             fn main() {{ \
+             let {x}: i32 = {v}; \
+             let first: &mut i32 = &mut {x}; \
+             let second: &mut i32 = &mut {x}; \
+             bump(first); \
+             print(*second); }}"
+        ),
+        gold: format!(
+            "fn bump(r: &mut i32) {{ *r = *r + 1; }} \
+             fn main() {{ \
+             let {x}: i32 = {v}; \
+             let first: &mut i32 = &mut {x}; \
+             bump(first); \
+             print({x}); }}"
+        ),
+        description: "exclusive reborrow used after a second exclusive reborrow".into(),
+    }
+}
+
+// ============================== data race ====================================
+
+fn datarace_two_writers(rng: &mut ChaCha8Rng) -> CaseSources {
+    let a = small(rng);
+    let b = small(rng);
+    let g = ["SHARED", "GLOBAL", "STATE", "FLAGS"][rng.gen_range(0..4)];
+    CaseSources {
+        buggy: format!(
+            "static mut {g}: i32 = 0; \
+             fn main() {{ \
+             spawn {{ unsafe {{ {g} = {a}; }} }} \
+             spawn {{ unsafe {{ {g} = {b}; }} }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        gold: format!(
+            "static mut {g}: i32 = 0; \
+             fn main() {{ \
+             spawn {{ lock(1) {{ unsafe {{ {g} = {a}; }} }} }} \
+             spawn {{ lock(1) {{ unsafe {{ {g} = {b}; }} }} }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        description: "two threads write a mutable static without synchronisation".into(),
+    }
+}
+
+fn datarace_increment(rng: &mut ChaCha8Rng) -> CaseSources {
+    let g = ["COUNTER", "TICKS", "TALLY"][rng.gen_range(0..3)];
+    CaseSources {
+        buggy: format!(
+            "static mut {g}: i32 = 0; \
+             fn main() {{ \
+             spawn {{ unsafe {{ {g} = {g} + 1; }} }} \
+             spawn {{ unsafe {{ {g} = {g} + 1; }} }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        gold: format!(
+            "static mut {g}: i32 = 0; \
+             fn main() {{ \
+             spawn {{ atomic_store({g}, atomic_load({g}) + 1i32); }} \
+             spawn {{ atomic_store({g}, atomic_load({g}) + 1i32); }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        description: "unsynchronised concurrent increments of a mutable static".into(),
+    }
+}
+
+fn datarace_main_read(rng: &mut ChaCha8Rng) -> CaseSources {
+    let a = small(rng);
+    let g = ["RESULT", "OUTPUT", "STATUS"][rng.gen_range(0..3)];
+    CaseSources {
+        buggy: format!(
+            "static mut {g}: i32 = 0; \
+             fn main() {{ \
+             spawn {{ unsafe {{ {g} = {a}; }} }} \
+             unsafe {{ print({g}); }} \
+             join; }}"
+        ),
+        gold: format!(
+            "static mut {g}: i32 = 0; \
+             fn main() {{ \
+             spawn {{ unsafe {{ {g} = {a}; }} }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        description: "main reads a static while a spawned thread writes it".into(),
+    }
+}
+
+// ============================= concurrency ===================================
+
+fn concurrency_heap_writers(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let a = small(rng);
+    let b = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(4usize, 4usize); ptr_write::<i32>({p} as *mut i32, 0i32); }}"
+    );
+    let epilogue = format!(
+        "join; unsafe {{ print(ptr_read::<i32>({p} as *const i32)); dealloc({p}, 4usize, 4usize); }} }}"
+    );
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             spawn {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {a}i32); }} }} \
+             spawn {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {b}i32); }} }} \
+             {epilogue}"
+        ),
+        gold: format!(
+            "{prelude} \
+             spawn {{ lock(2) {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {a}i32); }} }} }} \
+             spawn {{ lock(2) {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {b}i32); }} }} }} \
+             {epilogue}"
+        ),
+        description: "two threads write shared heap memory through raw pointers".into(),
+    }
+}
+
+fn concurrency_reader_writer(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let a = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(4usize, 4usize); ptr_write::<i32>({p} as *mut i32, 0i32); }}"
+    );
+    let epilogue = format!("join; unsafe {{ dealloc({p}, 4usize, 4usize); }} }}");
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             spawn {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {a}i32); }} }} \
+             spawn {{ unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} }} \
+             {epilogue}"
+        ),
+        gold: format!(
+            "{prelude} \
+             spawn {{ lock(3) {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {a}i32); }} }} }} \
+             spawn {{ lock(3) {{ unsafe {{ print(ptr_read::<i32>({p} as *const i32)); }} }} }} \
+             {epilogue}"
+        ),
+        description: "unsynchronised reader and writer share heap memory".into(),
+    }
+}
+
+// ============================== func.call ====================================
+
+fn funccall_unchecked_add(rng: &mut ChaCha8Rng) -> CaseSources {
+    let k = rng.gen_range(1..100);
+    let x = name(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = 2147483647; \
+             let delta: i32 = {k}; \
+             unsafe {{ print(unchecked_add::<i32>({x}, delta)); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = 2147483647; \
+             let delta: i32 = {k}; \
+             print({x} as i64 + delta as i64); }}"
+        ),
+        description: "unchecked_add overflows i32 (unsafe contract violated)".into(),
+    }
+}
+
+fn funccall_assume_init(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {p}: *mut u8 = 0 as *mut u8; \
+             unsafe {{ {p} = alloc(4usize, 4usize); }} \
+             unsafe {{ print(assume_init_read::<i32>({p} as *const i32)); }} \
+             unsafe {{ ptr_write::<i32>({p} as *mut i32, {v}i32); dealloc({p}, 4usize, 4usize); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {p}: *mut u8 = 0 as *mut u8; \
+             unsafe {{ {p} = alloc(4usize, 4usize); }} \
+             unsafe {{ ptr_write::<i32>({p} as *mut i32, {v}i32); }} \
+             unsafe {{ print(assume_init_read::<i32>({p} as *const i32)); }} \
+             unsafe {{ dealloc({p}, 4usize, 4usize); }} }}"
+        ),
+        description: "assume_init_read before initialisation (contract violated)".into(),
+    }
+}
+
+fn funccall_copy_overlap(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let v = small(rng);
+    let w = small(rng);
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(8usize, 4usize); \
+         ptr_write::<i32>({p} as *mut i32, {v}i32); \
+         ptr_write::<i32>(ptr_offset::<u8>({p}, 4i32) as *mut i32, {w}i32); }}"
+    );
+    let epilogue = format!(
+        "unsafe {{ print(ptr_read::<i32>(ptr_offset::<u8>({p}, 4i32) as *const i32)); \
+         dealloc({p}, 8usize, 4usize); }} }}"
+    );
+    CaseSources {
+        buggy: format!(
+            "{prelude} \
+             unsafe {{ copy_nonoverlapping::<u8>({p}, ptr_offset::<u8>({p}, 2i32), 4usize); }} \
+             {epilogue}"
+        ),
+        gold: format!(
+            "{prelude} \
+             unsafe {{ copy_nonoverlapping::<u8>({p}, ptr_offset::<u8>({p}, 4i32), 4usize); }} \
+             {epilogue}"
+        ),
+        description: "copy_nonoverlapping with overlapping source and destination".into(),
+    }
+}
+
+// ============================ func.pointer ===================================
+
+fn funcpointer_forged(rng: &mut ChaCha8Rng) -> CaseSources {
+    let m = rng.gen_range(2..9);
+    let k = small(rng);
+    let addr = rng.gen_range(512..8192) * 8;
+    CaseSources {
+        buggy: format!(
+            "fn scale(x: i32) -> i32 {{ return x * {m}; }} \
+             fn main() {{ unsafe {{ \
+             let f: fn(i32) -> i32 = transmute::<usize, fn(i32) -> i32>({addr}usize); \
+             print((f)({k})); }} }}"
+        ),
+        gold: format!(
+            "fn scale(x: i32) -> i32 {{ return x * {m}; }} \
+             fn main() {{ \
+             let f: fn(i32) -> i32 = scale; \
+             print((f)({k})); }}"
+        ),
+        description: "function pointer forged from an arbitrary address".into(),
+    }
+}
+
+fn funcpointer_wrong_sig(rng: &mut ChaCha8Rng) -> CaseSources {
+    let k = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn add2(x: i32, y: i32) -> i32 {{ return x + y; }} \
+             fn main() {{ unsafe {{ \
+             let f: fn(i32) -> i32 = transmute::<fn(i32, i32) -> i32, fn(i32) -> i32>(add2); \
+             print((f)({k})); }} }}"
+        ),
+        gold: format!(
+            "fn add2(x: i32, y: i32) -> i32 {{ return x + y; }} \
+             fn main() {{ \
+             let f: fn(i32, i32) -> i32 = add2; \
+             print((f)({k}, 1)); }}"
+        ),
+        description: "function pointer transmuted to a different signature".into(),
+    }
+}
+
+// ============================== tail call ====================================
+
+fn tailcall_arity(rng: &mut ChaCha8Rng) -> CaseSources {
+    let k = small(rng);
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn helper(x: i32, y: i32) -> i32 {{ return x + y; }} \
+             fn runner(x: i32) -> i32 {{ tailcall helper(x, {k}); }} \
+             fn main() {{ print(runner({v})); }}"
+        ),
+        gold: format!(
+            "fn helper(x: i32, y: i32) -> i32 {{ return x + y; }} \
+             fn runner(x: i32) -> i32 {{ return helper(x, {k}); }} \
+             fn main() {{ print(runner({v})); }}"
+        ),
+        description: "tail call to a function with a different arity".into(),
+    }
+}
+
+fn tailcall_ret_mismatch(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn log_it(x: i32) {{ print(x); }} \
+             fn runner(x: i32) -> i32 {{ tailcall log_it(x); }} \
+             fn main() {{ print(runner({v})); }}"
+        ),
+        gold: format!(
+            "fn log_it(x: i32) {{ print(x); }} \
+             fn runner(x: i32) -> i32 {{ log_it(x); return x; }} \
+             fn main() {{ print(runner({v})); }}"
+        ),
+        description: "tail call to a function with a different return type".into(),
+    }
+}
+
+// ================================ panic ======================================
+
+fn panic_assert_threshold(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = rng.gen_range(1..50);
+    let t = rng.gen_range(51..99);
+    let x = name(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             assert({x} > {t}, \"value too small\"); \
+             print({x}); }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             assert({x} >= 0, \"value negative\"); \
+             print({x}); }}"
+        ),
+        description: "assertion with an incorrect threshold always fails".into(),
+    }
+}
+
+fn panic_div_zero(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = small(rng);
+    let x = name(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let divisor: i32 = 0; \
+             let {x}: i32 = {v}; \
+             print({x} / divisor); }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let divisor: i32 = 0; \
+             let {x}: i32 = {v}; \
+             if divisor != 0 {{ print({x} / divisor); }} else {{ print(0); }} }}"
+        ),
+        description: "division by a zero divisor".into(),
+    }
+}
+
+fn panic_index_literal(rng: &mut ChaCha8Rng) -> CaseSources {
+    let n = rng.gen_range(3..6);
+    let bad = n + rng.gen_range(1..4);
+    let elems: Vec<String> = (0..n).map(|i| format!("{}", (i + 1) * 10)).collect();
+    let elems = elems.join(", ");
+    let last = n * 10;
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let table: [i32; {n}] = [{elems}]; \
+             let idx: i32 = {bad}; \
+             print(table[idx]); }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let table: [i32; {n}] = [{elems}]; \
+             let idx: i32 = {}; \
+             print(table[idx]); }}",
+            n - 1
+        ),
+        description: format!("index {bad} out of bounds for length {n} (gold prints {last})"),
+    }
+}
+
+fn panic_overflow(rng: &mut ChaCha8Rng) -> CaseSources {
+    let k = small(rng);
+    let x = name(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = 2147483647; \
+             let step: i32 = {k}; \
+             print({x} + step); }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = 2147483647; \
+             let step: i32 = {k}; \
+             print({x} as i64 + step as i64); }}"
+        ),
+        description: "checked i32 addition overflows and panics".into(),
+    }
+}
+
+fn stackborrow_ref_invalidated(rng: &mut ChaCha8Rng) -> CaseSources {
+    let x = name(rng);
+    let v = small(rng);
+    let w = small(rng);
+    CaseSources {
+        buggy: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             let view: &i32 = &{x}; \
+             {x} = {w}; \
+             print(*view); }} }}"
+        ),
+        gold: format!(
+            "fn main() {{ \
+             let {x}: i32 = {v}; \
+             unsafe {{ \
+             {x} = {w}; \
+             let view: &i32 = &{x}; \
+             print(*view); }} }}"
+        ),
+        description: "shared reference invalidated by a write through the owner".into(),
+    }
+}
+
+fn concurrency_three_writers(rng: &mut ChaCha8Rng) -> CaseSources {
+    let p = ptr(rng);
+    let vals: Vec<i64> = (0..3).map(|_| small(rng)).collect();
+    let prelude = format!(
+        "fn main() {{ \
+         let {p}: *mut u8 = 0 as *mut u8; \
+         unsafe {{ {p} = alloc(4usize, 4usize); ptr_write::<i32>({p} as *mut i32, 0i32); }}"
+    );
+    let epilogue = format!(
+        "join; unsafe {{ print(ptr_read::<i32>({p} as *const i32)); dealloc({p}, 4usize, 4usize); }} }}"
+    );
+    let spawns_buggy: String = vals
+        .iter()
+        .map(|v| format!("spawn {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {v}i32); }} }} "))
+        .collect();
+    let spawns_gold: String = vals
+        .iter()
+        .map(|v| {
+            format!(
+                "spawn {{ lock(4) {{ unsafe {{ ptr_write::<i32>({p} as *mut i32, {v}i32); }} }} }} "
+            )
+        })
+        .collect();
+    CaseSources {
+        buggy: format!("{prelude} {spawns_buggy}{epilogue}"),
+        gold: format!("{prelude} {spawns_gold}{epilogue}"),
+        description: "three threads race on the same heap word".into(),
+    }
+}
+
+// ===================== multi-function (paper future work) ===================
+//
+// The paper's conclusion names "automated safety enhancements for complex
+// Rust code involving multi-module calls" as future work; these templates
+// put the UB inside a helper function so repairs must act across function
+// boundaries.
+
+fn funccall_callee_unchecked(rng: &mut ChaCha8Rng) -> CaseSources {
+    let k = small(rng);
+    CaseSources {
+        buggy: format!(
+            "unsafe fn bump(x: i32) -> i32 {{ return unchecked_add::<i32>(x, {k}); }} \
+             fn main() {{ \
+             let seed: i32 = 2147483647; \
+             unsafe {{ print(bump(seed)); }} }}"
+        ),
+        gold: format!(
+            "fn bump(x: i32) -> i64 {{ return x as i64 + {k} as i64; }} \
+             fn main() {{ \
+             let seed: i32 = 2147483647; \
+             print(bump(seed)); }}"
+        ),
+        description: "unchecked_add overflows inside a helper function".into(),
+    }
+}
+
+fn datarace_helper_writer(rng: &mut ChaCha8Rng) -> CaseSources {
+    let g = ["TOTAL", "SUM", "ACCUM"][rng.gen_range(0..3)];
+    CaseSources {
+        buggy: format!(
+            "static mut {g}: i32 = 0; \
+             fn add_one() {{ unsafe {{ {g} = {g} + 1; }} }} \
+             fn main() {{ \
+             spawn {{ add_one(); }} \
+             spawn {{ add_one(); }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        gold: format!(
+            "static mut {g}: i32 = 0; \
+             fn add_one() {{ unsafe {{ {g} = {g} + 1; }} }} \
+             fn main() {{ \
+             spawn {{ lock(1) {{ add_one(); }} }} \
+             spawn {{ lock(1) {{ add_one(); }} }} \
+             join; \
+             unsafe {{ print({g}); }} }}"
+        ),
+        description: "threads race on a static through a shared helper function".into(),
+    }
+}
+
+fn validity_callee_transmute(rng: &mut ChaCha8Rng) -> CaseSources {
+    let v = rng.gen_range(2..9);
+    CaseSources {
+        buggy: format!(
+            "unsafe fn to_flag(raw_v: u8) -> bool {{ return transmute::<u8, bool>(raw_v); }} \
+             fn main() {{ \
+             let code: u8 = {v}u8; \
+             unsafe {{ print(to_flag(code)); }} }}"
+        ),
+        gold: format!(
+            "fn to_flag(raw_v: u8) -> bool {{ return raw_v != 0u8; }} \
+             fn main() {{ \
+             let code: u8 = {v}u8; \
+             print(to_flag(code)); }}"
+        ),
+        description: "invalid bool constructed inside a conversion helper".into(),
+    }
+}
+
+/// All template families in a stable order.
+#[must_use]
+pub fn all_templates() -> Vec<Template> {
+    vec![
+        Template { name: "double_free", class: UbClass::Alloc, make: alloc_double_free },
+        Template { name: "layout_mismatch", class: UbClass::Alloc, make: alloc_layout_mismatch },
+        Template { name: "leak", class: UbClass::Alloc, make: alloc_leak },
+        Template { name: "scope_escape", class: UbClass::DanglingPointer, make: dangling_scope_escape },
+        Template { name: "use_after_free", class: UbClass::DanglingPointer, make: dangling_use_after_free },
+        Template { name: "oob_offset", class: UbClass::DanglingPointer, make: dangling_oob_offset },
+        Template { name: "read_before_write", class: UbClass::Uninit, make: uninit_read_before_write },
+        Template { name: "union_tail", class: UbClass::Uninit, make: uninit_union_tail },
+        Template { name: "int_roundtrip", class: UbClass::Provenance, make: provenance_int_roundtrip },
+        Template { name: "transmute_ref", class: UbClass::Provenance, make: provenance_transmute_ref },
+        Template { name: "addr_arith", class: UbClass::Provenance, make: provenance_addr_arith },
+        Template { name: "odd_offset", class: UbClass::Unaligned, make: unaligned_odd_offset },
+        Template { name: "array_cast", class: UbClass::Unaligned, make: unaligned_array_cast },
+        Template { name: "bool_transmute", class: UbClass::Validity, make: validity_bool_transmute },
+        Template { name: "transmute_size", class: UbClass::Validity, make: validity_transmute_size },
+        Template { name: "int_to_ref", class: UbClass::Validity, make: validity_int_to_ref },
+        Template { name: "write_invalidates", class: UbClass::StackBorrow, make: stackborrow_write_invalidates },
+        Template { name: "shared_write", class: UbClass::StackBorrow, make: stackborrow_shared_write },
+        Template { name: "two_mut", class: UbClass::BothBorrow, make: bothborrow_two_mut },
+        Template { name: "cross_fn", class: UbClass::BothBorrow, make: bothborrow_cross_fn },
+        Template { name: "two_writers", class: UbClass::DataRace, make: datarace_two_writers },
+        Template { name: "increment", class: UbClass::DataRace, make: datarace_increment },
+        Template { name: "main_read", class: UbClass::DataRace, make: datarace_main_read },
+        Template { name: "heap_writers", class: UbClass::Concurrency, make: concurrency_heap_writers },
+        Template { name: "reader_writer", class: UbClass::Concurrency, make: concurrency_reader_writer },
+        Template { name: "unchecked_add", class: UbClass::FuncCall, make: funccall_unchecked_add },
+        Template { name: "assume_init", class: UbClass::FuncCall, make: funccall_assume_init },
+        Template { name: "copy_overlap", class: UbClass::FuncCall, make: funccall_copy_overlap },
+        Template { name: "forged", class: UbClass::FuncPointer, make: funcpointer_forged },
+        Template { name: "wrong_sig", class: UbClass::FuncPointer, make: funcpointer_wrong_sig },
+        Template { name: "arity", class: UbClass::TailCall, make: tailcall_arity },
+        Template { name: "ret_mismatch", class: UbClass::TailCall, make: tailcall_ret_mismatch },
+        Template { name: "assert_threshold", class: UbClass::Panic, make: panic_assert_threshold },
+        Template { name: "div_zero", class: UbClass::Panic, make: panic_div_zero },
+        Template { name: "index_literal", class: UbClass::Panic, make: panic_index_literal },
+        Template { name: "overflow", class: UbClass::Panic, make: panic_overflow },
+        Template { name: "ref_invalidated", class: UbClass::StackBorrow, make: stackborrow_ref_invalidated },
+        Template { name: "three_writers", class: UbClass::Concurrency, make: concurrency_three_writers },
+        // Multi-function families (the paper's future-work direction).
+        Template { name: "callee_unchecked", class: UbClass::FuncCall, make: funccall_callee_unchecked },
+        Template { name: "helper_writer", class: UbClass::DataRace, make: datarace_helper_writer },
+        Template { name: "callee_transmute", class: UbClass::Validity, make: validity_callee_transmute },
+    ]
+}
+
+/// Templates belonging to one class.
+#[must_use]
+pub fn templates_for(class: UbClass) -> Vec<Template> {
+    all_templates().into_iter().filter(|t| t.class == class).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_class_has_templates() {
+        for class in UbClass::ALL {
+            assert!(
+                !templates_for(class).is_empty(),
+                "no templates for {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn template_names_unique_within_class() {
+        for class in UbClass::ALL {
+            let names: Vec<&str> = templates_for(class).iter().map(|t| t.name).collect();
+            let mut dedup = names.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(names.len(), dedup.len(), "{class}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        for t in all_templates() {
+            let mut r1 = ChaCha8Rng::seed_from_u64(42);
+            let mut r2 = ChaCha8Rng::seed_from_u64(42);
+            let a = (t.make)(&mut r1);
+            let b = (t.make)(&mut r2);
+            assert_eq!(a.buggy, b.buggy, "{}", t.name);
+            assert_eq!(a.gold, b.gold, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn seeds_vary_output() {
+        let t = all_templates()[0];
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(999);
+        let a = (t.make)(&mut r1);
+        let b = (t.make)(&mut r2);
+        assert_ne!(a.buggy, b.buggy);
+    }
+}

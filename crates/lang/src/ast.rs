@@ -1,0 +1,917 @@
+//! Abstract syntax tree for the mini unsafe-Rust IR.
+//!
+//! The IR models the subset of Rust that matters for undefined-behaviour
+//! repair: raw pointers, references, transmutes, unions, mutable statics,
+//! heap allocation, threads and the `unsafe` marker. Every construct the
+//! paper's five unsafe-operation categories mention is representable:
+//!
+//! 1. dereferencing raw pointers ([`Expr::Deref`] of a raw pointer),
+//! 2. calling unsafe functions ([`Function::is_unsafe`], unsafe builtins),
+//! 3. implementing unsafe traits (modelled by unsafe builtin contracts),
+//! 4. accessing/modifying mutable statics ([`Expr::StaticRef`]),
+//! 5. accessing union fields ([`Expr::UnionField`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mutability marker used by references, raw pointers and statics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mutability {
+    /// Shared / read-only.
+    Not,
+    /// Exclusive / writable.
+    Mut,
+}
+
+impl Mutability {
+    /// Returns `true` for [`Mutability::Mut`].
+    #[must_use]
+    pub fn is_mut(self) -> bool {
+        matches!(self, Mutability::Mut)
+    }
+}
+
+impl fmt::Display for Mutability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutability::Not => write!(f, "const"),
+            Mutability::Mut => write!(f, "mut"),
+        }
+    }
+}
+
+/// Primitive integer types of the IR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are the Rust primitive integer types
+pub enum IntTy {
+    I8,
+    I16,
+    I32,
+    I64,
+    Isize,
+    U8,
+    U16,
+    U32,
+    U64,
+    Usize,
+}
+
+impl IntTy {
+    /// Size of the type in bytes (the IR fixes `usize`/`isize` at 8 bytes).
+    #[must_use]
+    pub fn size(self) -> usize {
+        match self {
+            IntTy::I8 | IntTy::U8 => 1,
+            IntTy::I16 | IntTy::U16 => 2,
+            IntTy::I32 | IntTy::U32 => 4,
+            IntTy::I64 | IntTy::U64 | IntTy::Isize | IntTy::Usize => 8,
+        }
+    }
+
+    /// Required alignment in bytes (same as size for primitives).
+    #[must_use]
+    pub fn align(self) -> usize {
+        self.size()
+    }
+
+    /// Whether the type is signed.
+    #[must_use]
+    pub fn signed(self) -> bool {
+        matches!(
+            self,
+            IntTy::I8 | IntTy::I16 | IntTy::I32 | IntTy::I64 | IntTy::Isize
+        )
+    }
+
+    /// Smallest representable value.
+    #[must_use]
+    pub fn min(self) -> i128 {
+        if self.signed() {
+            -(1i128 << (self.size() * 8 - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable value.
+    #[must_use]
+    pub fn max(self) -> i128 {
+        if self.signed() {
+            (1i128 << (self.size() * 8 - 1)) - 1
+        } else {
+            (1i128 << (self.size() * 8)) - 1
+        }
+    }
+
+    /// Wraps `v` into the representable range of the type (two's complement).
+    #[must_use]
+    pub fn wrap(self, v: i128) -> i128 {
+        let bits = (self.size() * 8) as u32;
+        let mask: u128 = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        let raw = (v as u128) & mask;
+        if self.signed() && bits < 128 && (raw >> (bits - 1)) & 1 == 1 {
+            (raw as i128) - (1i128 << bits)
+        } else {
+            raw as i128
+        }
+    }
+
+    /// Whether `v` is in range for the type.
+    #[must_use]
+    pub fn in_range(self, v: i128) -> bool {
+        v >= self.min() && v <= self.max()
+    }
+
+    /// All integer types, useful for enumeration in generators and tests.
+    pub const ALL: [IntTy; 10] = [
+        IntTy::I8,
+        IntTy::I16,
+        IntTy::I32,
+        IntTy::I64,
+        IntTy::Isize,
+        IntTy::U8,
+        IntTy::U16,
+        IntTy::U32,
+        IntTy::U64,
+        IntTy::Usize,
+    ];
+}
+
+impl fmt::Display for IntTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntTy::I8 => "i8",
+            IntTy::I16 => "i16",
+            IntTy::I32 => "i32",
+            IntTy::I64 => "i64",
+            IntTy::Isize => "isize",
+            IntTy::U8 => "u8",
+            IntTy::U16 => "u16",
+            IntTy::U32 => "u32",
+            IntTy::U64 => "u64",
+            IntTy::Usize => "usize",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Types of the IR.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// The unit type `()`.
+    Unit,
+    /// `bool`.
+    Bool,
+    /// Integer types.
+    Int(IntTy),
+    /// Raw pointer `*const T` / `*mut T`.
+    RawPtr(Box<Ty>, Mutability),
+    /// Reference `&T` / `&mut T`.
+    Ref(Box<Ty>, Mutability),
+    /// Fixed-size array `[T; N]`.
+    Array(Box<Ty>, usize),
+    /// Tuple `(T, U, ...)`; the empty tuple is [`Ty::Unit`].
+    Tuple(Vec<Ty>),
+    /// Function pointer `fn(A, B) -> R`.
+    FnPtr(Vec<Ty>, Box<Ty>),
+    /// A named union declared at program level.
+    Union(String),
+    /// An owning heap box `Box<T>`.
+    Boxed(Box<Ty>),
+}
+
+impl Ty {
+    /// Shorthand for `*const u8` (what `alloc` returns).
+    #[must_use]
+    pub fn raw_u8_mut() -> Ty {
+        Ty::RawPtr(Box::new(Ty::Int(IntTy::U8)), Mutability::Mut)
+    }
+
+    /// Shorthand for a raw pointer to `t`.
+    #[must_use]
+    pub fn raw(t: Ty, m: Mutability) -> Ty {
+        Ty::RawPtr(Box::new(t), m)
+    }
+
+    /// Shorthand for a reference to `t`.
+    #[must_use]
+    pub fn reference(t: Ty, m: Mutability) -> Ty {
+        Ty::Ref(Box::new(t), m)
+    }
+
+    /// Size of the type in bytes. Unions need the program for field layout,
+    /// so this returns `None` for them; use [`crate::check::union_layout`].
+    #[must_use]
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            Ty::Unit => Some(0),
+            Ty::Bool => Some(1),
+            Ty::Int(t) => Some(t.size()),
+            Ty::RawPtr(..) | Ty::Ref(..) | Ty::FnPtr(..) | Ty::Boxed(_) => Some(8),
+            Ty::Array(t, n) => t.size().map(|s| s * n),
+            Ty::Tuple(ts) => ts.iter().map(Ty::size).sum(),
+            Ty::Union(_) => None,
+        }
+    }
+
+    /// Alignment of the type in bytes (`None` for unions, like [`Ty::size`]).
+    #[must_use]
+    pub fn align(&self) -> Option<usize> {
+        match self {
+            Ty::Unit => Some(1),
+            Ty::Bool => Some(1),
+            Ty::Int(t) => Some(t.align()),
+            Ty::RawPtr(..) | Ty::Ref(..) | Ty::FnPtr(..) | Ty::Boxed(_) => Some(8),
+            Ty::Array(t, _) => t.align(),
+            Ty::Tuple(ts) => ts.iter().map(Ty::align).try_fold(1usize, |a, b| b.map(|b| a.max(b))),
+            Ty::Union(_) => None,
+        }
+    }
+
+    /// Whether the type is any kind of pointer (raw, ref, fn or box).
+    #[must_use]
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Ty::RawPtr(..) | Ty::Ref(..) | Ty::FnPtr(..) | Ty::Boxed(_))
+    }
+
+    /// Whether this is an integer type.
+    #[must_use]
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::Int(_))
+    }
+
+    /// The pointee type, for raw pointers, references and boxes.
+    #[must_use]
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::RawPtr(t, _) | Ty::Ref(t, _) | Ty::Boxed(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Literal values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lit {
+    /// The unit literal `()`.
+    Unit,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal with its type.
+    Int(i128, IntTy),
+}
+
+impl Lit {
+    /// Type of the literal.
+    #[must_use]
+    pub fn ty(&self) -> Ty {
+        match self {
+            Lit::Unit => Ty::Unit,
+            Lit::Bool(_) => Ty::Bool,
+            Lit::Int(_, t) => Ty::Int(*t),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical / bitwise not `!x`.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the variants are Rust's binary operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator produces a boolean.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Built-in operations modelling the standard-library API surface that the
+/// paper's repair categories touch. Unsafe builtins carry the obligations a
+/// real `unsafe fn` would document in its `# Safety` section; violating them
+/// is UB detected by the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BuiltinKind {
+    /// `alloc(size, align) -> *mut u8`: heap allocation, uninitialised.
+    Alloc,
+    /// `dealloc(ptr, size, align)`: frees; UB on layout mismatch/double free.
+    Dealloc,
+    /// `ptr_read::<T>(p) -> T`: unsafe typed read through a raw pointer.
+    PtrRead,
+    /// `ptr_write::<T>(p, v)`: unsafe typed write through a raw pointer.
+    PtrWrite,
+    /// `ptr_offset::<T>(p, n) -> ptr`: element offset (`n * size_of::<T>`).
+    PtrOffset,
+    /// `transmute::<A, B>(v) -> B`: bit reinterpretation; size mismatch and
+    /// invalid values are UB.
+    Transmute,
+    /// `box_new::<T>(v) -> Box<T>`: heap-allocates and initialises.
+    BoxNew,
+    /// `box_into_raw::<T>(b) -> *mut T`: leaks the box, returning its pointer.
+    BoxIntoRaw,
+    /// `box_from_raw::<T>(p) -> Box<T>`: re-owns a raw pointer; UB if not
+    /// from `box_into_raw` or already owned.
+    BoxFromRaw,
+    /// `drop_box::<T>(b)`: drops a box, freeing its allocation.
+    DropBox,
+    /// `get_unchecked::<T>(r, i) -> T`: unchecked array indexing; OOB is UB.
+    GetUnchecked,
+    /// `unchecked_add::<T>(a, b)`: UB on overflow.
+    UncheckedAdd,
+    /// `unchecked_sub::<T>(a, b)`: UB on overflow.
+    UncheckedSub,
+    /// `unchecked_mul::<T>(a, b)`: UB on overflow.
+    UncheckedMul,
+    /// `checked_add::<T>(a, b) -> T`: safe, panics on overflow (gold repair).
+    CheckedAdd,
+    /// `checked_sub::<T>(a, b) -> T`: safe, panics on overflow.
+    CheckedSub,
+    /// `checked_mul::<T>(a, b) -> T`: safe, panics on overflow.
+    CheckedMul,
+    /// `atomic_load(static) -> value`: synchronised read of a static.
+    AtomicLoad,
+    /// `atomic_store(static, v)`: synchronised write of a static.
+    AtomicStore,
+    /// `from_le_bytes::<T>(array) -> T`: safe byte conversion.
+    FromLeBytes,
+    /// `to_le_bytes::<T>(v) -> [u8; N]`: safe byte conversion.
+    ToLeBytes,
+    /// `ptr_addr(p) -> usize`: address without provenance (strict-provenance).
+    PtrAddr,
+    /// `copy_nonoverlapping::<T>(src, dst, n)`: UB on overlap or invalid ptrs.
+    CopyNonoverlapping,
+    /// `assume_init_read::<T>(p) -> T`: read promising initialisation; UB if
+    /// the bytes are uninitialised.
+    AssumeInitRead,
+    /// `abort()` - terminates execution without UB (models `std::process::abort`).
+    Abort,
+}
+
+impl BuiltinKind {
+    /// Whether calling the builtin requires an `unsafe` context (E0133).
+    #[must_use]
+    pub fn is_unsafe(self) -> bool {
+        match self {
+            BuiltinKind::Alloc
+            | BuiltinKind::Dealloc
+            | BuiltinKind::PtrRead
+            | BuiltinKind::PtrWrite
+            | BuiltinKind::PtrOffset
+            | BuiltinKind::Transmute
+            | BuiltinKind::BoxFromRaw
+            | BuiltinKind::GetUnchecked
+            | BuiltinKind::UncheckedAdd
+            | BuiltinKind::UncheckedSub
+            | BuiltinKind::UncheckedMul
+            | BuiltinKind::CopyNonoverlapping
+            | BuiltinKind::AssumeInitRead => true,
+            BuiltinKind::BoxNew
+            | BuiltinKind::BoxIntoRaw
+            | BuiltinKind::DropBox
+            | BuiltinKind::CheckedAdd
+            | BuiltinKind::CheckedSub
+            | BuiltinKind::CheckedMul
+            | BuiltinKind::AtomicLoad
+            | BuiltinKind::AtomicStore
+            | BuiltinKind::FromLeBytes
+            | BuiltinKind::ToLeBytes
+            | BuiltinKind::PtrAddr
+            | BuiltinKind::Abort => false,
+        }
+    }
+
+    /// Source-level name of the builtin.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BuiltinKind::Alloc => "alloc",
+            BuiltinKind::Dealloc => "dealloc",
+            BuiltinKind::PtrRead => "ptr_read",
+            BuiltinKind::PtrWrite => "ptr_write",
+            BuiltinKind::PtrOffset => "ptr_offset",
+            BuiltinKind::Transmute => "transmute",
+            BuiltinKind::BoxNew => "box_new",
+            BuiltinKind::BoxIntoRaw => "box_into_raw",
+            BuiltinKind::BoxFromRaw => "box_from_raw",
+            BuiltinKind::DropBox => "drop_box",
+            BuiltinKind::GetUnchecked => "get_unchecked",
+            BuiltinKind::UncheckedAdd => "unchecked_add",
+            BuiltinKind::UncheckedSub => "unchecked_sub",
+            BuiltinKind::UncheckedMul => "unchecked_mul",
+            BuiltinKind::CheckedAdd => "checked_add",
+            BuiltinKind::CheckedSub => "checked_sub",
+            BuiltinKind::CheckedMul => "checked_mul",
+            BuiltinKind::AtomicLoad => "atomic_load",
+            BuiltinKind::AtomicStore => "atomic_store",
+            BuiltinKind::FromLeBytes => "from_le_bytes",
+            BuiltinKind::ToLeBytes => "to_le_bytes",
+            BuiltinKind::PtrAddr => "ptr_addr",
+            BuiltinKind::CopyNonoverlapping => "copy_nonoverlapping",
+            BuiltinKind::AssumeInitRead => "assume_init_read",
+            BuiltinKind::Abort => "abort",
+        }
+    }
+
+    /// Looks up a builtin by its source-level name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<BuiltinKind> {
+        Self::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// All builtins in a stable order.
+    pub const ALL: [BuiltinKind; 25] = [
+        BuiltinKind::Alloc,
+        BuiltinKind::Dealloc,
+        BuiltinKind::PtrRead,
+        BuiltinKind::PtrWrite,
+        BuiltinKind::PtrOffset,
+        BuiltinKind::Transmute,
+        BuiltinKind::BoxNew,
+        BuiltinKind::BoxIntoRaw,
+        BuiltinKind::BoxFromRaw,
+        BuiltinKind::DropBox,
+        BuiltinKind::GetUnchecked,
+        BuiltinKind::UncheckedAdd,
+        BuiltinKind::UncheckedSub,
+        BuiltinKind::UncheckedMul,
+        BuiltinKind::CheckedAdd,
+        BuiltinKind::CheckedSub,
+        BuiltinKind::CheckedMul,
+        BuiltinKind::AtomicLoad,
+        BuiltinKind::AtomicStore,
+        BuiltinKind::FromLeBytes,
+        BuiltinKind::ToLeBytes,
+        BuiltinKind::PtrAddr,
+        BuiltinKind::CopyNonoverlapping,
+        BuiltinKind::AssumeInitRead,
+        BuiltinKind::Abort,
+    ];
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal.
+    Lit(Lit),
+    /// A variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation. Checked arithmetic: overflow and division by zero
+    /// panic (matching release-mode Rust semantics under Miri's default).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `expr as ty` cast: numeric truncation/extension, pointer-to-int and
+    /// int-to-pointer (losing provenance), pointer-to-pointer.
+    Cast(Box<Expr>, Ty),
+    /// `&place` / `&mut place`: take a reference (retags under stacked
+    /// borrows).
+    AddrOf(Mutability, Box<Expr>),
+    /// `&raw const place` / `&raw mut place`: take a raw pointer.
+    RawAddrOf(Mutability, Box<Expr>),
+    /// `*expr`: dereference. Unsafe when the operand is a raw pointer.
+    Deref(Box<Expr>),
+    /// `base[i]`: bounds-checked indexing (panics on OOB).
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.N`: tuple field access.
+    Field(Box<Expr>, usize),
+    /// Tuple construction.
+    Tuple(Vec<Expr>),
+    /// Array literal `[a, b, c]`.
+    ArrayLit(Vec<Expr>),
+    /// Array repeat `[v; N]`.
+    ArrayRepeat(Box<Expr>, usize),
+    /// Call to a named user function.
+    Call(String, Vec<Expr>),
+    /// Call through a function-pointer value (unsafe when the pointer came
+    /// from a transmute).
+    CallPtr(Box<Expr>, Vec<Expr>),
+    /// Built-in (std-API) call with explicit type arguments.
+    Builtin(BuiltinKind, Vec<Ty>, Vec<Expr>),
+    /// Union construction `U { field: expr }`.
+    UnionLit(String, String, Box<Expr>),
+    /// Union field read `u.field` (unsafe).
+    UnionField(Box<Expr>, String),
+    /// Reference to a static: `&STATIC` (or the static as a place).
+    StaticRef(String),
+}
+
+impl Expr {
+    /// Convenience integer literal.
+    #[must_use]
+    pub fn int(v: i128, ty: IntTy) -> Expr {
+        Expr::Lit(Lit::Int(v, ty))
+    }
+
+    /// Convenience `i32` literal.
+    #[must_use]
+    pub fn i32(v: i32) -> Expr {
+        Expr::int(i128::from(v), IntTy::I32)
+    }
+
+    /// Convenience `usize` literal.
+    #[must_use]
+    pub fn usize(v: usize) -> Expr {
+        Expr::int(v as i128, IntTy::Usize)
+    }
+
+    /// Convenience variable reference.
+    #[must_use]
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// Whether this expression is a syntactic place (can be assigned to /
+    /// have its address taken).
+    #[must_use]
+    pub fn is_place(&self) -> bool {
+        match self {
+            Expr::Var(_) | Expr::StaticRef(_) => true,
+            Expr::Deref(_) => true,
+            Expr::Index(b, _) | Expr::Field(b, _) => b.is_place(),
+            Expr::UnionField(b, _) => b.is_place(),
+            _ => false,
+        }
+    }
+}
+
+/// A block of statements. `unsafe` blocks are represented by
+/// [`Stmt::Unsafe`] wrapping a block.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Block {
+    /// Statements in execution order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates a block from statements.
+    #[must_use]
+    pub fn new(stmts: Vec<Stmt>) -> Block {
+        Block { stmts }
+    }
+
+    /// Number of statements, recursively.
+    #[must_use]
+    pub fn len_recursive(&self) -> usize {
+        self.stmts.iter().map(Stmt::len_recursive).sum()
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `let name: ty = init;` — introduces a stack slot.
+    Let {
+        /// Binding name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initialiser.
+        init: Expr,
+    },
+    /// `place = value;`
+    Assign {
+        /// Target place expression.
+        place: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// Expression statement (value discarded).
+    Expr(Expr),
+    /// `unsafe { ... }` block.
+    Unsafe(Block),
+    /// Lexical scope `{ ... }`: locals die (stack slots invalidated) at the
+    /// closing brace, which is how dangling pointers to locals arise.
+    Scope(Block),
+    /// `if cond { .. } else { .. }`.
+    If {
+        /// Condition (must evaluate to `bool`).
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Optional else branch.
+        else_blk: Option<Block>,
+    },
+    /// `while cond { .. }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `assert(cond, "msg");` — panics when false.
+    Assert {
+        /// Condition that must hold.
+        cond: Expr,
+        /// Panic message.
+        msg: String,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `spawn { ... }` — runs the block on another thread. The spawned block
+    /// captures the current locals by value snapshot and shares statics and
+    /// the heap.
+    Spawn(Block),
+    /// `join;` — waits for all spawned threads.
+    JoinAll,
+    /// `lock(N) { ... }` — runs the block while holding global lock `N`.
+    Lock(u32, Block),
+    /// `print(expr);` — observable output used for semantic-equivalence
+    /// checking between the original, gold and repaired programs.
+    Print(Expr),
+    /// `tailcall f(args);` — a guaranteed tail call; signature mismatch with
+    /// the current function is UB (models `become`-style ABI requirements).
+    TailCall(String, Vec<Expr>),
+    /// Explicit no-op (left behind by repairs that delete a statement).
+    Nop,
+}
+
+impl Stmt {
+    /// Number of statements in this statement, recursively (itself + nested).
+    #[must_use]
+    pub fn len_recursive(&self) -> usize {
+        1 + match self {
+            Stmt::Unsafe(b) | Stmt::Scope(b) | Stmt::Spawn(b) | Stmt::Lock(_, b) => {
+                b.len_recursive()
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => then_blk.len_recursive() + else_blk.as_ref().map_or(0, Block::len_recursive),
+            Stmt::While { body, .. } => body.len_recursive(),
+            _ => 0,
+        }
+    }
+
+    /// Whether this statement syntactically contains an `unsafe` block or
+    /// construct requiring `unsafe`.
+    #[must_use]
+    pub fn contains_unsafe(&self) -> bool {
+        matches!(self, Stmt::Unsafe(_))
+            || match self {
+                Stmt::Scope(b) | Stmt::Spawn(b) | Stmt::Lock(_, b) => {
+                    b.stmts.iter().any(Stmt::contains_unsafe)
+                }
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
+                    then_blk.stmts.iter().any(Stmt::contains_unsafe)
+                        || else_blk
+                            .as_ref()
+                            .is_some_and(|b| b.stmts.iter().any(Stmt::contains_unsafe))
+                }
+                Stmt::While { body, .. } => body.stmts.iter().any(Stmt::contains_unsafe),
+                _ => false,
+            }
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within a program).
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Ty,
+    /// Whether the function is declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Body.
+    pub body: Block,
+}
+
+impl Function {
+    /// Function-pointer type of this function.
+    #[must_use]
+    pub fn fn_ptr_ty(&self) -> Ty {
+        Ty::FnPtr(
+            self.params.iter().map(|(_, t)| t.clone()).collect(),
+            Box::new(self.ret.clone()),
+        )
+    }
+}
+
+/// A `static` item. Mutable statics require `unsafe` to access.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StaticDef {
+    /// Static name (conventionally SCREAMING_SNAKE_CASE).
+    pub name: String,
+    /// Type of the static.
+    pub ty: Ty,
+    /// Constant initialiser.
+    pub init: Lit,
+    /// Whether declared `static mut`.
+    pub mutable: bool,
+}
+
+/// A `union` declaration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UnionDef {
+    /// Union name.
+    pub name: String,
+    /// Fields (name, type) sharing storage.
+    pub fields: Vec<(String, Ty)>,
+}
+
+/// A whole program: unions, statics and functions; execution starts at
+/// `main`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Program {
+    /// Union declarations.
+    pub unions: Vec<UnionDef>,
+    /// Static items.
+    pub statics: Vec<StaticDef>,
+    /// Function definitions; must include `main`.
+    pub funcs: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a union by name.
+    #[must_use]
+    pub fn union_def(&self, name: &str) -> Option<&UnionDef> {
+        self.unions.iter().find(|u| u.name == name)
+    }
+
+    /// Looks up a static by name.
+    #[must_use]
+    pub fn static_def(&self, name: &str) -> Option<&StaticDef> {
+        self.statics.iter().find(|s| s.name == name)
+    }
+
+    /// Total statement count across all functions (a simple size metric).
+    #[must_use]
+    pub fn stmt_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.body.len_recursive()).sum()
+    }
+}
+
+/// A path addressing one statement inside a program, stable under edits to
+/// unrelated statements. The first element is the function index; remaining
+/// elements walk nested blocks: at each level the index selects a statement,
+/// and descending into `If` uses `then_blk` when the next component's
+/// `branch` bit is 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StmtPath {
+    /// Index of the function in [`Program::funcs`].
+    pub func: usize,
+    /// Steps into nested blocks. Each step is `(stmt_index, branch)` where
+    /// `branch` selects which child block of the statement to descend into
+    /// (0 = then/body/block, 1 = else).
+    pub steps: Vec<(usize, u8)>,
+}
+
+impl StmtPath {
+    /// Path to a top-level statement of function `func`.
+    #[must_use]
+    pub fn top(func: usize, idx: usize) -> StmtPath {
+        StmtPath {
+            func,
+            steps: vec![(idx, 0)],
+        }
+    }
+
+    /// Returns a new path descending one nesting level.
+    #[must_use]
+    pub fn child(&self, idx: usize, branch: u8) -> StmtPath {
+        let mut steps = self.steps.clone();
+        steps.push((idx, branch));
+        StmtPath { func: self.func, steps }
+    }
+
+    /// The index of this statement within its innermost block.
+    #[must_use]
+    pub fn leaf_index(&self) -> usize {
+        self.steps.last().map_or(0, |(i, _)| *i)
+    }
+}
+
+impl fmt::Display for StmtPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.func)?;
+        for (i, b) in &self.steps {
+            write!(f, ".{i}")?;
+            if *b != 0 {
+                write!(f, "e")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ty_sizes_and_ranges() {
+        assert_eq!(IntTy::U8.size(), 1);
+        assert_eq!(IntTy::Usize.size(), 8);
+        assert_eq!(IntTy::I8.min(), -128);
+        assert_eq!(IntTy::I8.max(), 127);
+        assert_eq!(IntTy::U16.max(), 65535);
+        assert!(IntTy::I32.in_range(-2_147_483_648));
+        assert!(!IntTy::I32.in_range(2_147_483_648));
+    }
+
+    #[test]
+    fn int_wrap_two_complement() {
+        assert_eq!(IntTy::U8.wrap(256), 0);
+        assert_eq!(IntTy::U8.wrap(257), 1);
+        assert_eq!(IntTy::I8.wrap(128), -128);
+        assert_eq!(IntTy::I8.wrap(-129), 127);
+        assert_eq!(IntTy::U64.wrap(-1), u64::MAX as i128);
+    }
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::Bool.size(), Some(1));
+        assert_eq!(Ty::raw_u8_mut().size(), Some(8));
+        assert_eq!(Ty::Array(Box::new(Ty::Int(IntTy::U16)), 3).size(), Some(6));
+        assert_eq!(
+            Ty::Tuple(vec![Ty::Int(IntTy::U8), Ty::Int(IntTy::U32)]).size(),
+            Some(5)
+        );
+        assert_eq!(Ty::Union("U".into()).size(), None);
+    }
+
+    #[test]
+    fn builtin_name_roundtrip() {
+        for b in BuiltinKind::ALL {
+            assert_eq!(BuiltinKind::from_name(b.name()), Some(b));
+        }
+        assert_eq!(BuiltinKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn builtin_unsafety_matches_rust() {
+        assert!(BuiltinKind::PtrRead.is_unsafe());
+        assert!(BuiltinKind::Transmute.is_unsafe());
+        assert!(!BuiltinKind::CheckedAdd.is_unsafe());
+        assert!(!BuiltinKind::FromLeBytes.is_unsafe());
+        assert!(!BuiltinKind::AtomicStore.is_unsafe());
+    }
+
+    #[test]
+    fn place_expressions() {
+        assert!(Expr::var("x").is_place());
+        assert!(Expr::Deref(Box::new(Expr::var("p"))).is_place());
+        assert!(Expr::Index(Box::new(Expr::var("a")), Box::new(Expr::i32(0))).is_place());
+        assert!(!Expr::i32(3).is_place());
+        assert!(!Expr::Tuple(vec![]).is_place());
+    }
+
+    #[test]
+    fn stmt_recursive_len() {
+        let s = Stmt::Unsafe(Block::new(vec![Stmt::Nop, Stmt::Nop]));
+        assert_eq!(s.len_recursive(), 3);
+        let s = Stmt::If {
+            cond: Expr::Lit(Lit::Bool(true)),
+            then_blk: Block::new(vec![Stmt::Nop]),
+            else_blk: Some(Block::new(vec![Stmt::Nop, Stmt::Nop])),
+        };
+        assert_eq!(s.len_recursive(), 4);
+    }
+
+    #[test]
+    fn stmt_path_display() {
+        let p = StmtPath::top(0, 2).child(1, 0).child(0, 1);
+        assert_eq!(p.to_string(), "fn#0.2.1.0e");
+        assert_eq!(p.leaf_index(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Fluent builders for constructing IR programs in code, used heavily by
+//! the dataset templates. The builder produces exactly the same [`Program`]
+//! values the parser would.
+
+use crate::ast::{
+    Block, Expr, Function, Lit, Mutability, Program, StaticDef, Stmt, Ty, UnionDef,
+};
+
+/// Builds a [`Program`] item by item.
+///
+/// ```
+/// # use rb_lang::builder::ProgramBuilder;
+/// # use rb_lang::ast::{Expr, IntTy, Ty};
+/// let prog = ProgramBuilder::new()
+///     .func("main", &[], Ty::Unit, false, |f| {
+///         f.let_("x", Ty::Int(IntTy::I32), Expr::i32(1));
+///         f.print(Expr::var("x"));
+///     })
+///     .build();
+/// assert!(prog.func("main").is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    prog: Program,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Adds a union declaration.
+    #[must_use]
+    pub fn union(mut self, name: &str, fields: &[(&str, Ty)]) -> Self {
+        self.prog.unions.push(UnionDef {
+            name: name.to_owned(),
+            fields: fields.iter().map(|(n, t)| ((*n).to_owned(), t.clone())).collect(),
+        });
+        self
+    }
+
+    /// Adds an immutable static.
+    #[must_use]
+    pub fn static_item(mut self, name: &str, ty: Ty, init: Lit) -> Self {
+        self.prog.statics.push(StaticDef { name: name.to_owned(), ty, init, mutable: false });
+        self
+    }
+
+    /// Adds a `static mut`.
+    #[must_use]
+    pub fn static_mut(mut self, name: &str, ty: Ty, init: Lit) -> Self {
+        self.prog.statics.push(StaticDef { name: name.to_owned(), ty, init, mutable: true });
+        self
+    }
+
+    /// Adds a function whose body is built by `build`.
+    #[must_use]
+    pub fn func(
+        mut self,
+        name: &str,
+        params: &[(&str, Ty)],
+        ret: Ty,
+        is_unsafe: bool,
+        build: impl FnOnce(&mut BlockBuilder),
+    ) -> Self {
+        let mut b = BlockBuilder::default();
+        build(&mut b);
+        self.prog.funcs.push(Function {
+            name: name.to_owned(),
+            params: params.iter().map(|(n, t)| ((*n).to_owned(), t.clone())).collect(),
+            ret,
+            is_unsafe,
+            body: b.finish(),
+        });
+        self
+    }
+
+    /// Finishes, returning the program.
+    #[must_use]
+    pub fn build(self) -> Program {
+        self.prog
+    }
+}
+
+/// Builds a [`Block`] statement by statement.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl BlockBuilder {
+    /// Finishes, returning the block.
+    #[must_use]
+    pub fn finish(self) -> Block {
+        Block::new(self.stmts)
+    }
+
+    /// Pushes an arbitrary statement.
+    pub fn stmt(&mut self, s: Stmt) -> &mut Self {
+        self.stmts.push(s);
+        self
+    }
+
+    /// `let name: ty = init;`
+    pub fn let_(&mut self, name: &str, ty: Ty, init: Expr) -> &mut Self {
+        self.stmt(Stmt::Let { name: name.to_owned(), ty, init })
+    }
+
+    /// `place = value;`
+    pub fn assign(&mut self, place: Expr, value: Expr) -> &mut Self {
+        self.stmt(Stmt::Assign { place, value })
+    }
+
+    /// Expression statement.
+    pub fn expr(&mut self, e: Expr) -> &mut Self {
+        self.stmt(Stmt::Expr(e))
+    }
+
+    /// `print(e);`
+    pub fn print(&mut self, e: Expr) -> &mut Self {
+        self.stmt(Stmt::Print(e))
+    }
+
+    /// `assert(cond, msg);`
+    pub fn assert(&mut self, cond: Expr, msg: &str) -> &mut Self {
+        self.stmt(Stmt::Assert { cond, msg: msg.to_owned() })
+    }
+
+    /// `return e;`
+    pub fn ret(&mut self, e: Expr) -> &mut Self {
+        self.stmt(Stmt::Return(Some(e)))
+    }
+
+    /// `unsafe { ... }`
+    pub fn unsafe_(&mut self, build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut b = BlockBuilder::default();
+        build(&mut b);
+        self.stmt(Stmt::Unsafe(b.finish()))
+    }
+
+    /// `{ ... }` lexical scope.
+    pub fn scope(&mut self, build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut b = BlockBuilder::default();
+        build(&mut b);
+        self.stmt(Stmt::Scope(b.finish()))
+    }
+
+    /// `spawn { ... }`
+    pub fn spawn(&mut self, build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut b = BlockBuilder::default();
+        build(&mut b);
+        self.stmt(Stmt::Spawn(b.finish()))
+    }
+
+    /// `lock(id) { ... }`
+    pub fn lock(&mut self, id: u32, build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut b = BlockBuilder::default();
+        build(&mut b);
+        self.stmt(Stmt::Lock(id, b.finish()))
+    }
+
+    /// `join;`
+    pub fn join(&mut self) -> &mut Self {
+        self.stmt(Stmt::JoinAll)
+    }
+
+    /// `if cond { .. } else { .. }`
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_build: impl FnOnce(&mut BlockBuilder),
+        else_build: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let mut t = BlockBuilder::default();
+        then_build(&mut t);
+        let mut e = BlockBuilder::default();
+        else_build(&mut e);
+        self.stmt(Stmt::If {
+            cond,
+            then_blk: t.finish(),
+            else_blk: Some(e.finish()),
+        })
+    }
+
+    /// `if cond { .. }`
+    pub fn if_(&mut self, cond: Expr, then_build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut t = BlockBuilder::default();
+        then_build(&mut t);
+        self.stmt(Stmt::If { cond, then_blk: t.finish(), else_blk: None })
+    }
+
+    /// `while cond { .. }`
+    pub fn while_(&mut self, cond: Expr, build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let mut b = BlockBuilder::default();
+        build(&mut b);
+        self.stmt(Stmt::While { cond, body: b.finish() })
+    }
+
+    /// `tailcall f(args);`
+    pub fn tailcall(&mut self, name: &str, args: Vec<Expr>) -> &mut Self {
+        self.stmt(Stmt::TailCall(name.to_owned(), args))
+    }
+}
+
+// ---- expression helpers ----------------------------------------------------
+
+/// `&raw const place`.
+#[must_use]
+pub fn raw_const(place: Expr) -> Expr {
+    Expr::RawAddrOf(Mutability::Not, Box::new(place))
+}
+
+/// `&raw mut place`.
+#[must_use]
+pub fn raw_mut(place: Expr) -> Expr {
+    Expr::RawAddrOf(Mutability::Mut, Box::new(place))
+}
+
+/// `&place`.
+#[must_use]
+pub fn addr_of(place: Expr) -> Expr {
+    Expr::AddrOf(Mutability::Not, Box::new(place))
+}
+
+/// `&mut place`.
+#[must_use]
+pub fn addr_of_mut(place: Expr) -> Expr {
+    Expr::AddrOf(Mutability::Mut, Box::new(place))
+}
+
+/// `*e`.
+#[must_use]
+pub fn deref(e: Expr) -> Expr {
+    Expr::Deref(Box::new(e))
+}
+
+/// `e as t`.
+#[must_use]
+pub fn cast(e: Expr, t: Ty) -> Expr {
+    Expr::Cast(Box::new(e), t)
+}
+
+/// Binary operation helper.
+#[must_use]
+pub fn bin(op: crate::ast::BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::Binary(op, Box::new(a), Box::new(b))
+}
+
+/// Builtin-call helper.
+#[must_use]
+pub fn builtin(kind: crate::ast::BuiltinKind, tys: Vec<Ty>, args: Vec<Expr>) -> Expr {
+    Expr::Builtin(kind, tys, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, IntTy};
+    use crate::check::check_program;
+    use crate::parser::parse_program;
+    use crate::printer::print_program;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = ProgramBuilder::new()
+            .func("main", &[], Ty::Unit, false, |f| {
+                f.let_("x", Ty::Int(IntTy::I32), Expr::i32(1));
+                f.print(bin(BinOp::Add, Expr::var("x"), Expr::i32(2)));
+            })
+            .build();
+        let parsed = parse_program("fn main() { let x: i32 = 1; print(x + 2); }").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn built_programs_print_and_reparse() {
+        let built = ProgramBuilder::new()
+            .static_mut("G", Ty::Int(IntTy::I32), Lit::Int(0, IntTy::I32))
+            .func("main", &[], Ty::Unit, false, |f| {
+                f.unsafe_(|u| {
+                    u.assign(Expr::StaticRef("G".into()), Expr::i32(3));
+                    u.print(Expr::StaticRef("G".into()));
+                });
+            })
+            .build();
+        let text = print_program(&built);
+        let reparsed = parse_program(&text).unwrap();
+        assert_eq!(built, reparsed);
+        assert!(check_program(&built).is_empty());
+    }
+
+    #[test]
+    fn control_flow_builders() {
+        let p = ProgramBuilder::new()
+            .func("main", &[], Ty::Unit, false, |f| {
+                f.let_("x", Ty::Int(IntTy::I32), Expr::i32(0));
+                f.if_else(
+                    bin(BinOp::Lt, Expr::var("x"), Expr::i32(5)),
+                    |t| {
+                        t.print(Expr::i32(1));
+                    },
+                    |e| {
+                        e.print(Expr::i32(2));
+                    },
+                );
+                f.while_(bin(BinOp::Lt, Expr::var("x"), Expr::i32(3)), |w| {
+                    w.assign(Expr::var("x"), bin(BinOp::Add, Expr::var("x"), Expr::i32(1)));
+                });
+            })
+            .build();
+        assert!(check_program(&p).is_empty());
+    }
+}

@@ -1,0 +1,911 @@
+//! Static checking: name resolution, lenient type checking and the
+//! `unsafe`-context rule (Rust's E0133). Programs must check cleanly before
+//! the oracle interprets them; repairs that produce ill-formed programs are
+//! counted as failed iterations, exactly as a non-compiling LLM patch would
+//! be in the paper's pipeline.
+
+use crate::ast::{
+    BinOp, Block, BuiltinKind, Expr, Function, IntTy, Lit, Mutability, Program, Stmt, StmtPath, Ty,
+    UnOp,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A static-check diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// Kind of problem.
+    pub kind: CheckErrorKind,
+    /// Statement where the problem was found, when known.
+    pub path: Option<StmtPath>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Kinds of static-check diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckErrorKind {
+    /// Use of an undeclared variable.
+    UndefinedVar,
+    /// Incompatible types.
+    TypeMismatch,
+    /// Assignment target is not a place expression.
+    NotAPlace,
+    /// Operation requires an `unsafe` context (E0133).
+    RequiresUnsafe,
+    /// Call to an unknown function.
+    UnknownFunc,
+    /// Wrong number of call arguments.
+    ArityMismatch,
+    /// Unknown union or union field.
+    UnknownUnionField,
+    /// Program has no `main` function.
+    NoMain,
+    /// Builtin used with wrong type arguments.
+    BadBuiltin,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(p) => write!(f, "{:?} at {p}: {}", self.kind, self.message),
+            None => write!(f, "{:?}: {}", self.kind, self.message),
+        }
+    }
+}
+
+/// Size and alignment of a union: max over fields.
+#[must_use]
+pub fn union_layout(prog: &Program, name: &str) -> Option<(usize, usize)> {
+    let u = prog.union_def(name)?;
+    let mut size = 0usize;
+    let mut align = 1usize;
+    for (_, t) in &u.fields {
+        size = size.max(ty_size(prog, t)?);
+        align = align.max(ty_align(prog, t)?);
+    }
+    Some((size, align))
+}
+
+/// Size of a type, resolving unions through the program.
+#[must_use]
+pub fn ty_size(prog: &Program, t: &Ty) -> Option<usize> {
+    match t {
+        Ty::Union(n) => union_layout(prog, n).map(|(s, _)| s),
+        Ty::Array(inner, n) => ty_size(prog, inner).map(|s| s * n),
+        Ty::Tuple(ts) => ts.iter().map(|t| ty_size(prog, t)).sum(),
+        _ => t.size(),
+    }
+}
+
+/// Alignment of a type, resolving unions through the program.
+#[must_use]
+pub fn ty_align(prog: &Program, t: &Ty) -> Option<usize> {
+    match t {
+        Ty::Union(n) => union_layout(prog, n).map(|(_, a)| a),
+        Ty::Array(inner, _) => ty_align(prog, inner),
+        Ty::Tuple(ts) => ts
+            .iter()
+            .map(|t| ty_align(prog, t))
+            .try_fold(1usize, |a, b| b.map(|b| a.max(b))),
+        _ => t.align(),
+    }
+}
+
+/// Runs all static checks over a program, returning every diagnostic found.
+///
+/// ```
+/// # use rb_lang::{parser::parse_program, check::check_program};
+/// let p = parse_program("fn main() { let x: i32 = 1; print(x); }").unwrap();
+/// assert!(check_program(&p).is_empty());
+/// ```
+#[must_use]
+pub fn check_program(prog: &Program) -> Vec<CheckError> {
+    let mut cx = Checker {
+        prog,
+        errors: Vec::new(),
+        scopes: Vec::new(),
+        in_unsafe: false,
+        fn_sigs: prog
+            .funcs
+            .iter()
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    (
+                        f.params.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>(),
+                        f.ret.clone(),
+                        f.is_unsafe,
+                    ),
+                )
+            })
+            .collect(),
+    };
+    if prog.func("main").is_none() {
+        cx.errors.push(CheckError {
+            kind: CheckErrorKind::NoMain,
+            path: None,
+            message: "program has no `main` function".into(),
+        });
+    }
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        cx.check_fn(f, fi);
+    }
+    cx.errors
+}
+
+/// Returns `true` when the program has no static-check diagnostics.
+#[must_use]
+pub fn is_well_formed(prog: &Program) -> bool {
+    check_program(prog).is_empty()
+}
+
+type FnSig = (Vec<Ty>, Ty, bool);
+
+struct Checker<'p> {
+    prog: &'p Program,
+    errors: Vec<CheckError>,
+    scopes: Vec<HashMap<String, Ty>>,
+    in_unsafe: bool,
+    fn_sigs: HashMap<String, FnSig>,
+}
+
+impl<'p> Checker<'p> {
+    fn err(&mut self, kind: CheckErrorKind, path: &StmtPath, message: impl Into<String>) {
+        self.errors.push(CheckError { kind, path: Some(path.clone()), message: message.into() });
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Ty> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn check_fn(&mut self, f: &Function, fi: usize) {
+        self.scopes.clear();
+        let mut top = HashMap::new();
+        for (n, t) in &f.params {
+            top.insert(n.clone(), t.clone());
+        }
+        self.scopes.push(top);
+        self.in_unsafe = f.is_unsafe;
+        let base = StmtPath { func: fi, steps: Vec::new() };
+        self.check_block(&f.body, &base, false);
+        self.scopes.pop();
+    }
+
+    fn check_block(&mut self, b: &Block, base: &StmtPath, new_scope: bool) {
+        if new_scope {
+            self.scopes.push(HashMap::new());
+        }
+        for (i, s) in b.stmts.iter().enumerate() {
+            let here = base.child(i, 0);
+            self.check_stmt(s, &here);
+        }
+        if new_scope {
+            self.scopes.pop();
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt, path: &StmtPath) {
+        match s {
+            Stmt::Let { name, ty, init } => {
+                if let Some(it) = self.check_expr(init, path) {
+                    if !compatible(ty, &it) {
+                        self.err(
+                            CheckErrorKind::TypeMismatch,
+                            path,
+                            format!(
+                                "let `{name}`: declared {} but initialiser has {}",
+                                crate::printer::print_ty(ty),
+                                crate::printer::print_ty(&it)
+                            ),
+                        );
+                    }
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone(), ty.clone());
+            }
+            Stmt::Assign { place, value } => {
+                if !place.is_place() {
+                    self.err(CheckErrorKind::NotAPlace, path, "assignment target is not a place");
+                }
+                self.check_place_unsafety(place, path);
+                let pt = self.check_expr(place, path);
+                let vt = self.check_expr(value, path);
+                if let (Some(pt), Some(vt)) = (pt, vt) {
+                    if !compatible(&pt, &vt) {
+                        self.err(
+                            CheckErrorKind::TypeMismatch,
+                            path,
+                            format!(
+                                "assignment of {} to place of type {}",
+                                crate::printer::print_ty(&vt),
+                                crate::printer::print_ty(&pt)
+                            ),
+                        );
+                    }
+                }
+            }
+            Stmt::Expr(e) | Stmt::Print(e) => {
+                self.check_expr(e, path);
+            }
+            Stmt::Unsafe(b) => {
+                let saved = self.in_unsafe;
+                self.in_unsafe = true;
+                let mut inner = path.clone();
+                inner.steps.last_mut().map(|s| s.1 = 0);
+                self.check_block(b, &inner, true);
+                self.in_unsafe = saved;
+            }
+            Stmt::Scope(b) | Stmt::Spawn(b) | Stmt::Lock(_, b) => {
+                let mut inner = path.clone();
+                inner.steps.last_mut().map(|s| s.1 = 0);
+                self.check_block(b, &inner, true);
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                self.expect_bool(cond, path);
+                let mut t = path.clone();
+                t.steps.last_mut().map(|s| s.1 = 0);
+                self.check_block(then_blk, &t, true);
+                if let Some(e) = else_blk {
+                    let mut ep = path.clone();
+                    ep.steps.last_mut().map(|s| s.1 = 1);
+                    self.check_block(e, &ep, true);
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.expect_bool(cond, path);
+                let mut inner = path.clone();
+                inner.steps.last_mut().map(|s| s.1 = 0);
+                self.check_block(body, &inner, true);
+            }
+            Stmt::Assert { cond, .. } => {
+                self.expect_bool(cond, path);
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.check_expr(e, path);
+                }
+            }
+            Stmt::TailCall(name, args) => {
+                match self.fn_sigs.get(name).cloned() {
+                    Some((params, _, is_unsafe)) => {
+                        if params.len() != args.len() {
+                            self.err(
+                                CheckErrorKind::ArityMismatch,
+                                path,
+                                format!("tailcall `{name}` expects {} args", params.len()),
+                            );
+                        }
+                        if is_unsafe && !self.in_unsafe {
+                            self.err(
+                                CheckErrorKind::RequiresUnsafe,
+                                path,
+                                format!("tailcall to unsafe fn `{name}` requires unsafe"),
+                            );
+                        }
+                    }
+                    None => {
+                        self.err(CheckErrorKind::UnknownFunc, path, format!("unknown fn `{name}`"));
+                    }
+                }
+                for a in args {
+                    self.check_expr(a, path);
+                }
+            }
+            Stmt::JoinAll | Stmt::Nop => {}
+        }
+    }
+
+    fn expect_bool(&mut self, e: &Expr, path: &StmtPath) {
+        if let Some(t) = self.check_expr(e, path) {
+            if t != Ty::Bool {
+                self.err(
+                    CheckErrorKind::TypeMismatch,
+                    path,
+                    format!("condition has type {}", crate::printer::print_ty(&t)),
+                );
+            }
+        }
+    }
+
+    /// Reports E0133 problems in a place expression used for writing.
+    fn check_place_unsafety(&mut self, place: &Expr, path: &StmtPath) {
+        if self.in_unsafe {
+            return;
+        }
+        crate::visit::walk_expr(place, &mut |e| {
+            let needs = match e {
+                Expr::Deref(inner) => {
+                    matches!(self.infer_quiet(inner), Some(Ty::RawPtr(..)))
+                }
+                Expr::StaticRef(n) => self
+                    .prog
+                    .static_def(n)
+                    .is_some_and(|s| s.mutable),
+                Expr::UnionField(..) => true,
+                _ => false,
+            };
+            if needs {
+                self.errors.push(CheckError {
+                    kind: CheckErrorKind::RequiresUnsafe,
+                    path: Some(path.clone()),
+                    message: "operation requires an unsafe block (E0133)".into(),
+                });
+            }
+        });
+    }
+
+    fn infer_quiet(&self, e: &Expr) -> Option<Ty> {
+        match e {
+            Expr::Var(n) => self.lookup(n).cloned(),
+            Expr::StaticRef(n) => self.prog.static_def(n).map(|s| s.ty.clone()),
+            Expr::Cast(_, t) => Some(t.clone()),
+            Expr::Deref(inner) => {
+                let t = self.infer_quiet(inner)?;
+                t.pointee().cloned()
+            }
+            Expr::Lit(l) => Some(l.ty()),
+            _ => None,
+        }
+    }
+
+    /// Checks an expression, returning its inferred type when determinable.
+    #[allow(clippy::too_many_lines)]
+    fn check_expr(&mut self, e: &Expr, path: &StmtPath) -> Option<Ty> {
+        match e {
+            Expr::Lit(l) => Some(l.ty()),
+            Expr::Var(n) => {
+                if let Some(t) = self.lookup(n) {
+                    Some(t.clone())
+                } else if let Some(f) = self.prog.func(n) {
+                    Some(f.fn_ptr_ty())
+                } else {
+                    self.err(CheckErrorKind::UndefinedVar, path, format!("undefined variable `{n}`"));
+                    None
+                }
+            }
+            Expr::StaticRef(n) => match self.prog.static_def(n) {
+                Some(s) => {
+                    if s.mutable && !self.in_unsafe {
+                        self.err(
+                            CheckErrorKind::RequiresUnsafe,
+                            path,
+                            format!("access to `static mut {n}` requires unsafe (E0133)"),
+                        );
+                    }
+                    Some(s.ty.clone())
+                }
+                None => {
+                    self.err(CheckErrorKind::UndefinedVar, path, format!("unknown static `{n}`"));
+                    None
+                }
+            },
+            Expr::Unary(op, a) => {
+                let t = self.check_expr(a, path)?;
+                match op {
+                    UnOp::Neg => {
+                        if !t.is_int() {
+                            self.err(CheckErrorKind::TypeMismatch, path, "negation of non-integer");
+                        }
+                        Some(t)
+                    }
+                    UnOp::Not => Some(t),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = self.check_expr(a, path);
+                let tb = self.check_expr(b, path);
+                if let (Some(ta), Some(tb)) = (&ta, &tb) {
+                    let arith_ok = ta == tb
+                        || matches!(op, BinOp::Shl | BinOp::Shr)
+                        || ta.is_pointer_like()
+                        || tb.is_pointer_like();
+                    if !arith_ok {
+                        self.err(
+                            CheckErrorKind::TypeMismatch,
+                            path,
+                            format!(
+                                "operands {} and {}",
+                                crate::printer::print_ty(ta),
+                                crate::printer::print_ty(tb)
+                            ),
+                        );
+                    }
+                }
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    Some(Ty::Bool)
+                } else {
+                    ta.or(tb)
+                }
+            }
+            Expr::Cast(a, to) => {
+                self.check_expr(a, path);
+                Some(to.clone())
+            }
+            Expr::AddrOf(m, a) => {
+                let t = self.check_expr(a, path)?;
+                Some(Ty::Ref(Box::new(t), *m))
+            }
+            Expr::RawAddrOf(m, a) => {
+                let t = self.check_expr(a, path)?;
+                Some(Ty::RawPtr(Box::new(t), *m))
+            }
+            Expr::Deref(a) => {
+                let t = self.check_expr(a, path)?;
+                match &t {
+                    Ty::RawPtr(inner, _) => {
+                        if !self.in_unsafe {
+                            self.err(
+                                CheckErrorKind::RequiresUnsafe,
+                                path,
+                                "raw-pointer dereference requires unsafe (E0133)",
+                            );
+                        }
+                        Some((**inner).clone())
+                    }
+                    Ty::Ref(inner, _) | Ty::Boxed(inner) => Some((**inner).clone()),
+                    other => {
+                        self.err(
+                            CheckErrorKind::TypeMismatch,
+                            path,
+                            format!("cannot deref {}", crate::printer::print_ty(other)),
+                        );
+                        None
+                    }
+                }
+            }
+            Expr::Index(a, i) => {
+                let it = self.check_expr(i, path);
+                if let Some(it) = it {
+                    if !it.is_int() {
+                        self.err(CheckErrorKind::TypeMismatch, path, "index is not an integer");
+                    }
+                }
+                let t = self.check_expr(a, path)?;
+                match t {
+                    Ty::Array(inner, _) => Some(*inner),
+                    Ty::Ref(b, _) => match *b {
+                        Ty::Array(inner, _) => Some(*inner),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+            Expr::Field(a, n) => {
+                let t = self.check_expr(a, path)?;
+                match t {
+                    Ty::Tuple(items) => items.get(*n).cloned(),
+                    _ => None,
+                }
+            }
+            Expr::Tuple(xs) => {
+                let ts: Vec<Ty> = xs
+                    .iter()
+                    .map(|x| self.check_expr(x, path).unwrap_or(Ty::Unit))
+                    .collect();
+                Some(Ty::Tuple(ts))
+            }
+            Expr::ArrayLit(xs) => {
+                let mut elem = None;
+                for x in xs {
+                    elem = self.check_expr(x, path).or(elem);
+                }
+                elem.map(|t| Ty::Array(Box::new(t), xs.len()))
+            }
+            Expr::ArrayRepeat(v, n) => {
+                let t = self.check_expr(v, path)?;
+                Some(Ty::Array(Box::new(t), *n))
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.check_expr(a, path);
+                }
+                if let Some((params, ret, is_unsafe)) = self.fn_sigs.get(name).cloned() {
+                    if params.len() != args.len() {
+                        self.err(
+                            CheckErrorKind::ArityMismatch,
+                            path,
+                            format!("`{name}` expects {} args, got {}", params.len(), args.len()),
+                        );
+                    }
+                    if is_unsafe && !self.in_unsafe {
+                        self.err(
+                            CheckErrorKind::RequiresUnsafe,
+                            path,
+                            format!("call to unsafe fn `{name}` requires unsafe (E0133)"),
+                        );
+                    }
+                    Some(ret)
+                } else if let Some(t) = self.lookup(name).cloned() {
+                    // Call through a variable holding a function pointer.
+                    match t {
+                        Ty::FnPtr(_, ret) => Some(*ret),
+                        _ => {
+                            self.err(
+                                CheckErrorKind::UnknownFunc,
+                                path,
+                                format!("`{name}` is not callable"),
+                            );
+                            None
+                        }
+                    }
+                } else {
+                    self.err(CheckErrorKind::UnknownFunc, path, format!("unknown fn `{name}`"));
+                    None
+                }
+            }
+            Expr::CallPtr(c, args) => {
+                let t = self.check_expr(c, path);
+                for a in args {
+                    self.check_expr(a, path);
+                }
+                match t {
+                    Some(Ty::FnPtr(_, ret)) => Some(*ret),
+                    Some(other) => {
+                        self.err(
+                            CheckErrorKind::TypeMismatch,
+                            path,
+                            format!("cannot call value of type {}", crate::printer::print_ty(&other)),
+                        );
+                        None
+                    }
+                    None => None,
+                }
+            }
+            Expr::Builtin(b, tys, args) => self.check_builtin(*b, tys, args, path),
+            Expr::UnionLit(u, f, v) => {
+                self.check_expr(v, path);
+                match self.prog.union_def(u) {
+                    Some(def) => {
+                        if !def.fields.iter().any(|(n, _)| n == f) {
+                            self.err(
+                                CheckErrorKind::UnknownUnionField,
+                                path,
+                                format!("union `{u}` has no field `{f}`"),
+                            );
+                        }
+                        Some(Ty::Union(u.clone()))
+                    }
+                    None => {
+                        self.err(
+                            CheckErrorKind::UnknownUnionField,
+                            path,
+                            format!("unknown union `{u}`"),
+                        );
+                        None
+                    }
+                }
+            }
+            Expr::UnionField(a, f) => {
+                if !self.in_unsafe {
+                    self.err(
+                        CheckErrorKind::RequiresUnsafe,
+                        path,
+                        "union field access requires unsafe (E0133)",
+                    );
+                }
+                let t = self.check_expr(a, path)?;
+                match t {
+                    Ty::Union(u) => {
+                        let def = self.prog.union_def(&u)?;
+                        match def.fields.iter().find(|(n, _)| n == f) {
+                            Some((_, ft)) => Some(ft.clone()),
+                            None => {
+                                self.err(
+                                    CheckErrorKind::UnknownUnionField,
+                                    path,
+                                    format!("union `{u}` has no field `{f}`"),
+                                );
+                                None
+                            }
+                        }
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn check_builtin(
+        &mut self,
+        b: BuiltinKind,
+        tys: &[Ty],
+        args: &[Expr],
+        path: &StmtPath,
+    ) -> Option<Ty> {
+        // Atomic builtins model `AtomicI32`-style statics: touching the
+        // static through them is safe, so the first argument (the static)
+        // is exempt from the static-mut E0133 rule.
+        let skip_static_arg = matches!(b, BuiltinKind::AtomicLoad | BuiltinKind::AtomicStore);
+        for (i, a) in args.iter().enumerate() {
+            if skip_static_arg && i == 0 && matches!(a, Expr::StaticRef(_)) {
+                continue;
+            }
+            self.check_expr(a, path);
+        }
+        if b.is_unsafe() && !self.in_unsafe {
+            self.err(
+                CheckErrorKind::RequiresUnsafe,
+                path,
+                format!("builtin `{}` requires unsafe (E0133)", b.name()),
+            );
+        }
+        let expect_args = |cx: &mut Self, n: usize| {
+            if args.len() != n {
+                cx.err(
+                    CheckErrorKind::ArityMismatch,
+                    path,
+                    format!("builtin `{}` expects {n} args, got {}", b.name(), args.len()),
+                );
+            }
+        };
+        let ty0 = tys.first().cloned();
+        match b {
+            BuiltinKind::Alloc => {
+                expect_args(self, 2);
+                Some(Ty::raw_u8_mut())
+            }
+            BuiltinKind::Dealloc => {
+                expect_args(self, 3);
+                Some(Ty::Unit)
+            }
+            BuiltinKind::PtrRead | BuiltinKind::AssumeInitRead => {
+                expect_args(self, 1);
+                ty0
+            }
+            BuiltinKind::PtrWrite => {
+                expect_args(self, 2);
+                Some(Ty::Unit)
+            }
+            BuiltinKind::PtrOffset => {
+                expect_args(self, 2);
+                ty0.map(|t| Ty::raw(t, Mutability::Mut))
+            }
+            BuiltinKind::Transmute => {
+                expect_args(self, 1);
+                if tys.len() != 2 {
+                    self.err(
+                        CheckErrorKind::BadBuiltin,
+                        path,
+                        "transmute needs two type arguments",
+                    );
+                    return None;
+                }
+                Some(tys[1].clone())
+            }
+            BuiltinKind::BoxNew => {
+                expect_args(self, 1);
+                ty0.map(|t| Ty::Boxed(Box::new(t)))
+            }
+            BuiltinKind::BoxIntoRaw => {
+                expect_args(self, 1);
+                ty0.map(|t| Ty::raw(t, Mutability::Mut))
+            }
+            BuiltinKind::BoxFromRaw => {
+                expect_args(self, 1);
+                ty0.map(|t| Ty::Boxed(Box::new(t)))
+            }
+            BuiltinKind::DropBox => {
+                expect_args(self, 1);
+                Some(Ty::Unit)
+            }
+            BuiltinKind::GetUnchecked => {
+                expect_args(self, 2);
+                ty0
+            }
+            BuiltinKind::UncheckedAdd
+            | BuiltinKind::UncheckedSub
+            | BuiltinKind::UncheckedMul
+            | BuiltinKind::CheckedAdd
+            | BuiltinKind::CheckedSub
+            | BuiltinKind::CheckedMul => {
+                expect_args(self, 2);
+                ty0
+            }
+            BuiltinKind::AtomicLoad => {
+                expect_args(self, 1);
+                match args.first() {
+                    Some(Expr::StaticRef(n)) => self.prog.static_def(n).map(|s| s.ty.clone()),
+                    _ => {
+                        self.err(
+                            CheckErrorKind::BadBuiltin,
+                            path,
+                            "atomic_load takes a static",
+                        );
+                        None
+                    }
+                }
+            }
+            BuiltinKind::AtomicStore => {
+                expect_args(self, 2);
+                if !matches!(args.first(), Some(Expr::StaticRef(_))) {
+                    self.err(
+                        CheckErrorKind::BadBuiltin,
+                        path,
+                        "atomic_store takes a static",
+                    );
+                }
+                Some(Ty::Unit)
+            }
+            BuiltinKind::FromLeBytes => {
+                expect_args(self, 1);
+                ty0
+            }
+            BuiltinKind::ToLeBytes => {
+                expect_args(self, 1);
+                match ty0 {
+                    Some(Ty::Int(t)) => Some(Ty::Array(Box::new(Ty::Int(IntTy::U8)), t.size())),
+                    _ => None,
+                }
+            }
+            BuiltinKind::PtrAddr => {
+                expect_args(self, 1);
+                Some(Ty::Int(IntTy::Usize))
+            }
+            BuiltinKind::CopyNonoverlapping => {
+                expect_args(self, 3);
+                Some(Ty::Unit)
+            }
+            BuiltinKind::Abort => {
+                expect_args(self, 0);
+                Some(Ty::Unit)
+            }
+        }
+    }
+}
+
+/// Loose compatibility: exact equality plus raw-pointer mutability
+/// coercion (`*mut T` usable where `*const T` is expected), mirroring Rust.
+fn compatible(expected: &Ty, actual: &Ty) -> bool {
+    if expected == actual {
+        return true;
+    }
+    match (expected, actual) {
+        (Ty::RawPtr(a, Mutability::Not), Ty::RawPtr(b, _)) => a == b,
+        (Ty::Ref(a, Mutability::Not), Ty::Ref(b, _)) => a == b,
+        _ => false,
+    }
+}
+
+/// Convenience predicate: checks whether a literal is valid for a type.
+#[must_use]
+pub fn lit_fits(l: &Lit, t: &Ty) -> bool {
+    match (l, t) {
+        (Lit::Unit, Ty::Unit) | (Lit::Bool(_), Ty::Bool) => true,
+        (Lit::Int(v, _), Ty::Int(t)) => t.in_range(*v),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn errors_of(src: &str) -> Vec<CheckErrorKind> {
+        check_program(&parse_program(src).unwrap())
+            .into_iter()
+            .map(|e| e.kind)
+            .collect()
+    }
+
+    #[test]
+    fn clean_program_checks() {
+        assert!(errors_of("fn main() { let x: i32 = 1; print(x + 2); }").is_empty());
+    }
+
+    #[test]
+    fn undefined_var() {
+        assert!(errors_of("fn main() { print(y); }").contains(&CheckErrorKind::UndefinedVar));
+    }
+
+    #[test]
+    fn raw_deref_requires_unsafe() {
+        let errs = errors_of(
+            "fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; print(*p); }",
+        );
+        assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
+        let errs = errors_of(
+            "fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; unsafe { print(*p); } }",
+        );
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn static_mut_requires_unsafe() {
+        let errs = errors_of("static mut G: i32 = 0; fn main() { G = 1; }");
+        assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
+        let errs = errors_of("static mut G: i32 = 0; fn main() { unsafe { G = 1; } }");
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn immutable_static_is_safe() {
+        assert!(errors_of("static K: i32 = 7; fn main() { print(K); }").is_empty());
+    }
+
+    #[test]
+    fn union_read_requires_unsafe() {
+        let errs = errors_of(
+            "union B { i: i32, u: u32 } fn main() { let b: B = B { i: 1 }; print(b.u); }",
+        );
+        assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
+    }
+
+    #[test]
+    fn unsafe_fn_call_requires_unsafe() {
+        let errs = errors_of(
+            "unsafe fn danger() { } fn main() { danger(); }",
+        );
+        assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
+        let errs = errors_of("unsafe fn danger() { } fn main() { unsafe { danger(); } }");
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_body_is_unsafe_context() {
+        let errs = errors_of(
+            "unsafe fn f(p: *const i32) -> i32 { return *p; } \
+             fn main() { let x: i32 = 1; unsafe { print(f(&raw const x)); } }",
+        );
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_let() {
+        let errs = errors_of("fn main() { let x: bool = 1; }");
+        assert!(errs.contains(&CheckErrorKind::TypeMismatch));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let errs = errors_of("fn f(x: i32) { print(x); } fn main() { f(1, 2); }");
+        assert!(errs.contains(&CheckErrorKind::ArityMismatch));
+    }
+
+    #[test]
+    fn unknown_function() {
+        assert!(errors_of("fn main() { nope(); }").contains(&CheckErrorKind::UnknownFunc));
+    }
+
+    #[test]
+    fn no_main() {
+        assert!(errors_of("fn f() { }").contains(&CheckErrorKind::NoMain));
+    }
+
+    #[test]
+    fn mut_ptr_coerces_to_const() {
+        let errs = errors_of(
+            "fn main() { let x: i32 = 1; let p: *const i32 = &raw mut x; unsafe { print(*p); } }",
+        );
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn union_layout_max_of_fields() {
+        let p = parse_program("union B { a: u8, b: u64 } fn main() { }").unwrap();
+        assert_eq!(union_layout(&p, "B"), Some((8, 8)));
+    }
+
+    #[test]
+    fn builtin_unsafe_enforced() {
+        let errs = errors_of("fn main() { let p: *mut u8 = alloc(4usize, 4usize); }");
+        assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
+    }
+
+    #[test]
+    fn transmute_needs_two_ty_args() {
+        let errs =
+            errors_of("fn main() { unsafe { let x: u32 = transmute::<u32>(1u32); } }");
+        assert!(errs.contains(&CheckErrorKind::BadBuiltin));
+    }
+
+    #[test]
+    fn scope_shadows_and_expires() {
+        // Inner scope declares y; using it after the scope is an error.
+        let errs = errors_of("fn main() { { let y: i32 = 1; print(y); } print(y); }");
+        assert!(errs.contains(&CheckErrorKind::UndefinedVar));
+    }
+}

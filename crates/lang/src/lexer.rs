@@ -1,0 +1,297 @@
+//! Lexer for the mini unsafe-Rust surface syntax.
+
+use crate::error::{LangError, LangResult};
+use crate::token::{Token, TokenKind};
+
+/// Splits `src` into tokens, terminated by an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unknown characters, malformed integers or
+/// unterminated strings.
+///
+/// ```
+/// # use rb_lang::lexer::lex;
+/// let toks = lex("let x: i32 = 5;").unwrap();
+/// assert_eq!(toks.len(), 8); // includes Eof
+/// ```
+pub fn lex(src: &str) -> LangResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push1(&mut toks, TokenKind::LParen, &mut i, start),
+            ')' => push1(&mut toks, TokenKind::RParen, &mut i, start),
+            '{' => push1(&mut toks, TokenKind::LBrace, &mut i, start),
+            '}' => push1(&mut toks, TokenKind::RBrace, &mut i, start),
+            '[' => push1(&mut toks, TokenKind::LBracket, &mut i, start),
+            ']' => push1(&mut toks, TokenKind::RBracket, &mut i, start),
+            ',' => push1(&mut toks, TokenKind::Comma, &mut i, start),
+            ';' => push1(&mut toks, TokenKind::Semi, &mut i, start),
+            '.' => push1(&mut toks, TokenKind::Dot, &mut i, start),
+            '+' => push1(&mut toks, TokenKind::Plus, &mut i, start),
+            '%' => push1(&mut toks, TokenKind::Percent, &mut i, start),
+            '^' => push1(&mut toks, TokenKind::Caret, &mut i, start),
+            '/' => push1(&mut toks, TokenKind::Slash, &mut i, start),
+            '*' => push1(&mut toks, TokenKind::Star, &mut i, start),
+            ':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    toks.push(Token { kind: TokenKind::ColonColon, offset: start });
+                    i += 2;
+                } else {
+                    push1(&mut toks, TokenKind::Colon, &mut i, start);
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Token { kind: TokenKind::Arrow, offset: start });
+                    i += 2;
+                } else {
+                    push1(&mut toks, TokenKind::Minus, &mut i, start);
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token { kind: TokenKind::EqEq, offset: start });
+                    i += 2;
+                } else {
+                    push1(&mut toks, TokenKind::Eq, &mut i, start);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    push1(&mut toks, TokenKind::Bang, &mut i, start);
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    toks.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                }
+                Some(&b'<') => {
+                    toks.push(Token { kind: TokenKind::Shl, offset: start });
+                    i += 2;
+                }
+                _ => push1(&mut toks, TokenKind::Lt, &mut i, start),
+            },
+            '>' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    toks.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                }
+                // `>>` is never emitted as shift-right here because it would
+                // conflict with closing nested generics like `::<[u8; 2]>>`;
+                // the parser reconstructs shifts from adjacent `>` tokens.
+                _ => push1(&mut toks, TokenKind::Gt, &mut i, start),
+            },
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push(Token { kind: TokenKind::AmpAmp, offset: start });
+                    i += 2;
+                } else {
+                    push1(&mut toks, TokenKind::Amp, &mut i, start);
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push(Token { kind: TokenKind::PipePipe, offset: start });
+                    i += 2;
+                } else {
+                    push1(&mut toks, TokenKind::Pipe, &mut i, start);
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LangError::Lex {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(&b'n') => s.push('\n'),
+                                Some(&b'"') => s.push('"'),
+                                Some(&b'\\') => s.push('\\'),
+                                _ => {
+                                    return Err(LangError::Lex {
+                                        offset: i,
+                                        message: "unknown escape sequence".into(),
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let mut v: i128 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i128::from(bytes[i] - b'0')))
+                        .ok_or_else(|| LangError::Lex {
+                            offset: start,
+                            message: "integer literal too large".into(),
+                        })?;
+                    i += 1;
+                }
+                // Optional type suffix, e.g. `0u8`.
+                let suffix_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let suffix = if i > suffix_start {
+                    Some(src[suffix_start..i].to_owned())
+                } else {
+                    None
+                };
+                toks.push(Token { kind: TokenKind::Int(v, suffix), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LangError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(toks)
+}
+
+fn push1(toks: &mut Vec<Token>, kind: TokenKind, i: &mut usize, start: usize) {
+    toks.push(Token { kind, offset: start });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("let x = 5;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("let".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Int(5, None),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_suffix() {
+        let k = kinds("255u8");
+        assert_eq!(k[0], TokenKind::Int(255, Some("u8".into())));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds(":: -> == != <= >= << && ||");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::ColonColon,
+                TokenKind::Arrow,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn gt_gt_stays_split_for_generics() {
+        let k = kinds(">>");
+        assert_eq!(k, vec![TokenKind::Gt, TokenKind::Gt, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn string_literal_with_escape() {
+        let k = kinds(r#""a\"b\n""#);
+        assert_eq!(k[0], TokenKind::Str("a\"b\n".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("x // comment\n y");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        assert!(lex("let @x").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rb-lang — mini unsafe-Rust intermediate representation
+//!
+//! This crate defines the language substrate of the RustBrain reproduction:
+//! a compact Rust-like IR covering exactly the unsafe surface that matters
+//! for undefined-behaviour repair — raw pointers, references with stacked
+//! borrows, transmutes, unions, mutable statics, heap allocation, threads,
+//! and the `unsafe` marker — together with:
+//!
+//! - a lexer/parser for a Rust-like surface syntax ([`parser`]),
+//! - a pretty-printer that round-trips ([`printer`]),
+//! - a static checker with E0133-style unsafety enforcement ([`check`]),
+//! - path-addressed AST editing primitives ([`visit`]),
+//! - structural metrics ([`metrics`]),
+//! - the paper's Algorithm 1 AST pruning ([`prune`]),
+//! - AST feature-vector embedding for the knowledge base ([`vectorize`]),
+//! - ergonomic program builders ([`builder`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use rb_lang::parser::parse_program;
+//! use rb_lang::printer::print_program;
+//! use rb_lang::check::check_program;
+//!
+//! let src = "fn main() { let x: i32 = 5; print(x); }";
+//! let prog = parse_program(src)?;
+//! assert!(check_program(&prog).is_empty());
+//! assert_eq!(parse_program(&print_program(&prog))?, prog);
+//! # Ok::<(), rb_lang::error::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builder;
+pub mod check;
+pub mod error;
+pub mod lexer;
+pub mod metrics;
+pub mod parser;
+pub mod printer;
+pub mod prune;
+pub mod token;
+pub mod vectorize;
+pub mod visit;
+
+pub use ast::{Block, BuiltinKind, Expr, Function, IntTy, Lit, Mutability, Program, Stmt, StmtPath, Ty};
+pub use error::{LangError, LangResult};

@@ -1,0 +1,545 @@
+//! Pretty-printer emitting the surface syntax accepted by
+//! [`crate::parser::parse_program`]. Printing then parsing yields the same
+//! AST (round-trip property, exercised in the crate's tests).
+
+use crate::ast::{
+    BinOp, Block, Expr, Function, Lit, Program, StaticDef, Stmt, Ty, UnOp, UnionDef,
+};
+use std::fmt::Write as _;
+
+/// Renders a whole program to source text.
+///
+/// ```
+/// # use rb_lang::{parser::parse_program, printer::print_program};
+/// let src = "fn main() {\n    print(1i32);\n}\n";
+/// let p = parse_program(src).unwrap();
+/// assert_eq!(print_program(&p), src);
+/// ```
+#[must_use]
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for u in &p.unions {
+        print_union(&mut out, u);
+    }
+    for s in &p.statics {
+        print_static(&mut out, s);
+    }
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 || !p.unions.is_empty() || !p.statics.is_empty() {
+            out.push('\n');
+        }
+        print_fn(&mut out, f);
+    }
+    out
+}
+
+/// Renders a single expression.
+#[must_use]
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(&mut s, e);
+    s
+}
+
+/// Renders a single type.
+#[must_use]
+pub fn print_ty(t: &Ty) -> String {
+    let mut s = String::new();
+    ty(&mut s, t);
+    s
+}
+
+/// Renders a single statement at the given indent level.
+#[must_use]
+pub fn print_stmt(s: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    stmt(&mut out, s, indent);
+    out
+}
+
+fn print_union(out: &mut String, u: &UnionDef) {
+    let _ = write!(out, "union {} {{ ", u.name);
+    for (i, (n, t)) in u.fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{n}: ");
+        ty(out, t);
+    }
+    out.push_str(" }\n");
+}
+
+fn print_static(out: &mut String, s: &StaticDef) {
+    let _ = write!(out, "static {}{}: ", if s.mutable { "mut " } else { "" }, s.name);
+    ty(out, &s.ty);
+    out.push_str(" = ");
+    lit(out, &s.init);
+    out.push_str(";\n");
+}
+
+fn print_fn(out: &mut String, f: &Function) {
+    if f.is_unsafe {
+        out.push_str("unsafe ");
+    }
+    let _ = write!(out, "fn {}(", f.name);
+    for (i, (n, t)) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{n}: ");
+        ty(out, t);
+    }
+    out.push(')');
+    if f.ret != Ty::Unit {
+        out.push_str(" -> ");
+        ty(out, &f.ret);
+    }
+    out.push(' ');
+    block(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn block(out: &mut String, b: &Block, indent: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(out, s, indent + 1);
+    }
+    pad(out, indent);
+    out.push('}');
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("    ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, indent: usize) {
+    pad(out, indent);
+    match s {
+        Stmt::Let { name, ty: t, init } => {
+            let _ = write!(out, "let {name}: ");
+            ty(out, t);
+            out.push_str(" = ");
+            expr(out, init);
+            out.push_str(";\n");
+        }
+        Stmt::Assign { place, value } => {
+            expr(out, place);
+            out.push_str(" = ");
+            expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::Unsafe(b) => {
+            out.push_str("unsafe ");
+            block(out, b, indent);
+            out.push('\n');
+        }
+        Stmt::Scope(b) => {
+            block(out, b, indent);
+            out.push('\n');
+        }
+        Stmt::If { cond, then_blk, else_blk } => {
+            out.push_str("if ");
+            expr(out, cond);
+            out.push(' ');
+            block(out, then_blk, indent);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                block(out, e, indent);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body } => {
+            out.push_str("while ");
+            expr(out, cond);
+            out.push(' ');
+            block(out, body, indent);
+            out.push('\n');
+        }
+        Stmt::Assert { cond, msg } => {
+            out.push_str("assert(");
+            expr(out, cond);
+            let _ = write!(out, ", \"{}\"", msg.replace('\\', "\\\\").replace('"', "\\\""));
+            out.push_str(");\n");
+        }
+        Stmt::Return(e) => {
+            out.push_str("return");
+            if let Some(e) = e {
+                out.push(' ');
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Spawn(b) => {
+            out.push_str("spawn ");
+            block(out, b, indent);
+            out.push('\n');
+        }
+        Stmt::JoinAll => out.push_str("join;\n"),
+        Stmt::Lock(id, b) => {
+            let _ = write!(out, "lock({id}) ");
+            block(out, b, indent);
+            out.push('\n');
+        }
+        Stmt::Print(e) => {
+            out.push_str("print(");
+            expr(out, e);
+            out.push_str(");\n");
+        }
+        Stmt::TailCall(name, args) => {
+            let _ = write!(out, "tailcall {name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a);
+            }
+            out.push_str(");\n");
+        }
+        Stmt::Nop => out.push_str("nop;\n"),
+    }
+}
+
+fn lit(out: &mut String, l: &Lit) {
+    match l {
+        Lit::Unit => out.push_str("()"),
+        Lit::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Lit::Int(v, t) => {
+            let _ = write!(out, "{v}{t}");
+        }
+    }
+}
+
+fn ty(out: &mut String, t: &Ty) {
+    match t {
+        Ty::Unit => out.push_str("()"),
+        Ty::Bool => out.push_str("bool"),
+        Ty::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Ty::RawPtr(inner, m) => {
+            let _ = write!(out, "*{} ", if m.is_mut() { "mut" } else { "const" });
+            ty(out, inner);
+        }
+        Ty::Ref(inner, m) => {
+            out.push('&');
+            if m.is_mut() {
+                out.push_str("mut ");
+            }
+            ty(out, inner);
+        }
+        Ty::Array(inner, n) => {
+            out.push('[');
+            ty(out, inner);
+            let _ = write!(out, "; {n}]");
+        }
+        Ty::Tuple(items) => {
+            out.push('(');
+            for (i, t) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                ty(out, t);
+            }
+            if items.len() == 1 {
+                out.push(',');
+            }
+            out.push(')');
+        }
+        Ty::FnPtr(params, ret) => {
+            out.push_str("fn(");
+            for (i, t) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                ty(out, t);
+            }
+            out.push(')');
+            if **ret != Ty::Unit {
+                out.push_str(" -> ");
+                ty(out, ret);
+            }
+        }
+        Ty::Union(name) => out.push_str(name),
+        Ty::Boxed(inner) => {
+            out.push_str("Box<");
+            ty(out, inner);
+            out.push('>');
+        }
+    }
+}
+
+/// Binding power of an expression for parenthesisation decisions; mirrors
+/// the parser's table.
+fn bp(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary(op, ..) => match op {
+            BinOp::Or => 1,
+            BinOp::And => 3,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::BitOr => 7,
+            BinOp::BitXor => 9,
+            BinOp::BitAnd => 11,
+            BinOp::Shl | BinOp::Shr => 13,
+            BinOp::Add | BinOp::Sub => 15,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 17,
+        },
+        Expr::Cast(..) => 19,
+        Expr::Unary(..) | Expr::Deref(_) | Expr::AddrOf(..) | Expr::RawAddrOf(..) => 21,
+        _ => 100,
+    }
+}
+
+fn expr(out: &mut String, e: &Expr) {
+    expr_prec(out, e, 0);
+}
+
+fn paren_if(out: &mut String, e: &Expr, min: u8) {
+    if bp(e) < min {
+        out.push('(');
+        expr_prec(out, e, 0);
+        out.push(')');
+    } else {
+        expr_prec(out, e, 0);
+    }
+}
+
+fn expr_prec(out: &mut String, e: &Expr, _min: u8) {
+    match e {
+        Expr::Lit(l) => lit(out, l),
+        Expr::Var(n) | Expr::StaticRef(n) => out.push_str(n),
+        Expr::Unary(op, a) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            paren_if(out, a, 21);
+        }
+        Expr::Binary(op, a, b) => {
+            let my = bp(e);
+            paren_if(out, a, my);
+            let s = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+            };
+            let _ = write!(out, " {s} ");
+            paren_if(out, b, my + 1);
+        }
+        Expr::Cast(a, t) => {
+            paren_if(out, a, 19);
+            out.push_str(" as ");
+            ty(out, t);
+        }
+        Expr::AddrOf(m, a) => {
+            out.push('&');
+            if m.is_mut() {
+                out.push_str("mut ");
+            }
+            paren_if(out, a, 21);
+        }
+        Expr::RawAddrOf(m, a) => {
+            let _ = write!(out, "&raw {} ", if m.is_mut() { "mut" } else { "const" });
+            paren_if(out, a, 21);
+        }
+        Expr::Deref(a) => {
+            out.push('*');
+            paren_if(out, a, 21);
+        }
+        Expr::Index(a, i) => {
+            paren_if(out, a, 22);
+            out.push('[');
+            expr(out, i);
+            out.push(']');
+        }
+        Expr::Field(a, n) => {
+            paren_if(out, a, 22);
+            let _ = write!(out, ".{n}");
+        }
+        Expr::Tuple(items) => {
+            out.push('(');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, it);
+            }
+            if items.len() == 1 {
+                out.push(',');
+            }
+            out.push(')');
+        }
+        Expr::ArrayLit(items) => {
+            out.push('[');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, it);
+            }
+            out.push(']');
+        }
+        Expr::ArrayRepeat(v, n) => {
+            out.push('[');
+            expr(out, v);
+            let _ = write!(out, "; {n}]");
+        }
+        Expr::Call(name, args) => {
+            out.push_str(name);
+            call_args(out, args);
+        }
+        Expr::CallPtr(f, args) => {
+            out.push('(');
+            expr(out, f);
+            out.push(')');
+            call_args(out, args);
+        }
+        Expr::Builtin(b, tys, args) => {
+            out.push_str(b.name());
+            if !tys.is_empty() {
+                out.push_str("::<");
+                for (i, t) in tys.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    ty(out, t);
+                }
+                out.push('>');
+            }
+            call_args(out, args);
+        }
+        Expr::UnionLit(u, f, v) => {
+            let _ = write!(out, "{u} {{ {f}: ");
+            expr(out, v);
+            out.push_str(" }");
+        }
+        Expr::UnionField(a, f) => {
+            paren_if(out, a, 22);
+            let _ = write!(out, ".{f}");
+        }
+    }
+}
+
+fn call_args(out: &mut String, args: &[Expr]) {
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        expr(out, a);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    fn roundtrip(src: &str) {
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for:\n{printed}\nerror: {e}"));
+        assert_eq!(p, reparsed, "round-trip mismatch for:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("fn main() { let x: i32 = 1 + 2 * 3; print(x); }");
+    }
+
+    #[test]
+    fn roundtrip_unsafe_ptr() {
+        roundtrip(
+            "fn main() { let x: i32 = 5; let p: *const i32 = &raw const x; unsafe { print(*p); } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_statics_unions() {
+        roundtrip(
+            "union Bits { i: i32, u: u32 } static mut G: i32 = 0; \
+             fn main() { let b: Bits = Bits { i: -1 }; unsafe { print(b.u); G = 2; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_builtins() {
+        roundtrip(
+            "fn main() { unsafe { let p: *mut u8 = alloc(8usize, 8usize); \
+             ptr_write::<i32>(p as *mut i32, 7i32); \
+             print(ptr_read::<i32>(p as *const i32)); \
+             dealloc(p, 8usize, 8usize); } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_threads() {
+        roundtrip(
+            "static mut G: i32 = 0; fn main() { spawn { lock(1) { unsafe { G = 1; } } } join; }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "fn f(x: i32) -> i32 { if x > 0 { return x; } else { return -x; } } \
+             fn main() { let i: i32 = 0; while i < 3 { print(f(i)); } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_tailcall_fnptr() {
+        roundtrip(
+            "fn g(x: i32) -> i32 { return x; } \
+             fn main() { let f: fn(i32) -> i32 = g; print((f)(3)); tailcall g(1); }",
+        );
+    }
+
+    #[test]
+    fn precedence_parens_emitted() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(print_expr(&e), "(1i32 + 2i32) * 3i32");
+    }
+
+    #[test]
+    fn cast_precedence() {
+        let e = parse_expr("p as usize + 1").unwrap();
+        assert_eq!(print_expr(&e), "p as usize + 1i32");
+        let r = parse_expr(&print_expr(&e)).unwrap();
+        assert_eq!(e, r);
+    }
+
+    #[test]
+    fn ty_printing() {
+        assert_eq!(print_ty(&Ty::raw_u8_mut()), "*mut u8");
+        assert_eq!(
+            print_ty(&Ty::FnPtr(vec![Ty::Int(crate::ast::IntTy::I32)], Box::new(Ty::Unit))),
+            "fn(i32)"
+        );
+        assert_eq!(print_ty(&Ty::Boxed(Box::new(Ty::Bool))), "Box<bool>");
+    }
+}

@@ -1,0 +1,334 @@
+//! Algorithm 1 of the paper: pruning irrelevant nodes from a program's AST.
+//!
+//! The abstract-reasoning agent vectorises *pruned* ASTs so that the
+//! knowledge base keys on safety-relevant structure only. Pruning keeps:
+//!
+//! 1. every statement that performs an unsafe operation (or contains one),
+//! 2. every statement that defines a variable used (transitively) by a kept
+//!    statement — a backward slice over data dependencies,
+//! 3. enclosing control structure of kept statements.
+//!
+//! Everything else is dropped. The result is a valid [`Program`] skeleton
+//! (possibly not executable — pruning is for retrieval, not for running).
+
+use crate::ast::{Block, Expr, Program, Stmt};
+use crate::visit::{for_each_expr_in_stmt, vars_read, walk_expr};
+use std::collections::HashSet;
+
+/// Prunes a program according to Algorithm 1, returning the reduced program
+/// and the number of statements removed.
+///
+/// ```
+/// # use rb_lang::{parser::parse_program, prune::prune_program};
+/// let p = parse_program(
+///     "fn main() { let a: i32 = 1; let b: i32 = 2; print(b); \
+///      let q: *const i32 = &raw const a; unsafe { print(*q); } }").unwrap();
+/// let (pruned, removed) = prune_program(&p);
+/// assert!(removed >= 1); // `let b` / `print(b)` are safety-irrelevant
+/// assert!(pruned.stmt_count() < p.stmt_count());
+/// ```
+#[must_use]
+pub fn prune_program(prog: &Program) -> (Program, usize) {
+    let before = prog.stmt_count();
+    let mut out = prog.clone();
+    for f in &mut out.funcs {
+        let keep_vars = collect_unsafe_deps(&f.body);
+        prune_block(&mut f.body, &keep_vars);
+    }
+    // Drop functions that became empty and are never referenced by kept code,
+    // except `main` which anchors the program.
+    let referenced: HashSet<String> = {
+        let mut set = HashSet::new();
+        for f in &out.funcs {
+            collect_called(&f.body, &mut set);
+        }
+        set
+    };
+    out.funcs.retain(|f| {
+        f.name == "main" || !f.body.stmts.is_empty() || referenced.contains(&f.name)
+    });
+    let after = out.stmt_count();
+    (out, before.saturating_sub(after))
+}
+
+fn collect_called(b: &Block, set: &mut HashSet<String>) {
+    for s in &b.stmts {
+        for_each_expr_in_stmt(s, |top| {
+            walk_expr(top, &mut |e| {
+                if let Expr::Call(n, _) = e {
+                    set.insert(n.clone());
+                }
+                if let Expr::Var(n) = e {
+                    set.insert(n.clone());
+                }
+            });
+        });
+        match s {
+            Stmt::Unsafe(inner)
+            | Stmt::Scope(inner)
+            | Stmt::Spawn(inner)
+            | Stmt::Lock(_, inner) => collect_called(inner, set),
+            Stmt::If { then_blk, else_blk, .. } => {
+                collect_called(then_blk, set);
+                if let Some(e) = else_blk {
+                    collect_called(e, set);
+                }
+            }
+            Stmt::While { body, .. } => collect_called(body, set),
+            Stmt::TailCall(n, _) => {
+                set.insert(n.clone());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Computes the set of variable names that unsafe statements depend on,
+/// iterating the backward slice to a fixed point.
+fn collect_unsafe_deps(body: &Block) -> HashSet<String> {
+    let mut needed: HashSet<String> = HashSet::new();
+    // Seed: variables read inside statements that touch unsafe constructs.
+    seed_block(body, &mut needed);
+    // Fixed point: if `let x = f(y)` and x is needed, y becomes needed.
+    loop {
+        let before = needed.len();
+        expand_block(body, &mut needed);
+        if needed.len() == before {
+            break;
+        }
+    }
+    needed
+}
+
+fn stmt_is_unsafe_relevant(s: &Stmt) -> bool {
+    if matches!(s, Stmt::Unsafe(_)) {
+        return true;
+    }
+    let mut relevant = false;
+    for_each_expr_in_stmt(s, |top| {
+        walk_expr(top, &mut |e| {
+            if matches!(
+                e,
+                Expr::RawAddrOf(..) | Expr::UnionField(..) | Expr::UnionLit(..)
+            ) || matches!(e, Expr::Builtin(b, ..) if b.is_unsafe())
+                || matches!(e, Expr::Cast(_, t) if matches!(t, crate::ast::Ty::RawPtr(..) | crate::ast::Ty::FnPtr(..)))
+            {
+                relevant = true;
+            }
+        });
+    });
+    relevant || match s {
+        Stmt::Spawn(b) | Stmt::Scope(b) | Stmt::Lock(_, b) => {
+            b.stmts.iter().any(stmt_is_unsafe_relevant)
+        }
+        Stmt::If { then_blk, else_blk, .. } => {
+            then_blk.stmts.iter().any(stmt_is_unsafe_relevant)
+                || else_blk
+                    .as_ref()
+                    .is_some_and(|b| b.stmts.iter().any(stmt_is_unsafe_relevant))
+        }
+        Stmt::While { body, .. } => body.stmts.iter().any(stmt_is_unsafe_relevant),
+        _ => false,
+    }
+}
+
+fn seed_block(b: &Block, needed: &mut HashSet<String>) {
+    for s in &b.stmts {
+        if stmt_is_unsafe_relevant(s) {
+            for_each_expr_in_stmt(s, |e| {
+                for v in vars_read(e) {
+                    needed.insert(v);
+                }
+            });
+        }
+        match s {
+            Stmt::Unsafe(inner)
+            | Stmt::Scope(inner)
+            | Stmt::Spawn(inner)
+            | Stmt::Lock(_, inner) => {
+                // Everything inside an unsafe block is kept, so its reads
+                // are needed; scopes/spawns recurse normally.
+                if matches!(s, Stmt::Unsafe(_)) {
+                    collect_all_reads(inner, needed);
+                }
+                seed_block(inner, needed);
+            }
+            Stmt::If { then_blk, else_blk, .. } => {
+                seed_block(then_blk, needed);
+                if let Some(e) = else_blk {
+                    seed_block(e, needed);
+                }
+            }
+            Stmt::While { body, .. } => seed_block(body, needed),
+            _ => {}
+        }
+    }
+}
+
+fn collect_all_reads(b: &Block, needed: &mut HashSet<String>) {
+    for s in &b.stmts {
+        for_each_expr_in_stmt(s, |e| {
+            for v in vars_read(e) {
+                needed.insert(v);
+            }
+        });
+        match s {
+            Stmt::Unsafe(i) | Stmt::Scope(i) | Stmt::Spawn(i) | Stmt::Lock(_, i) => {
+                collect_all_reads(i, needed);
+            }
+            Stmt::If { then_blk, else_blk, .. } => {
+                collect_all_reads(then_blk, needed);
+                if let Some(e) = else_blk {
+                    collect_all_reads(e, needed);
+                }
+            }
+            Stmt::While { body, .. } => collect_all_reads(body, needed),
+            _ => {}
+        }
+    }
+}
+
+fn expand_block(b: &Block, needed: &mut HashSet<String>) {
+    for s in &b.stmts {
+        if let Stmt::Let { name, init, .. } = s {
+            if needed.contains(name) {
+                for v in vars_read(init) {
+                    needed.insert(v);
+                }
+            }
+        }
+        if let Stmt::Assign { place, value } = s {
+            let targets = vars_read(place);
+            if targets.iter().any(|t| needed.contains(t)) {
+                for v in vars_read(value) {
+                    needed.insert(v);
+                }
+            }
+        }
+        match s {
+            Stmt::Unsafe(i) | Stmt::Scope(i) | Stmt::Spawn(i) | Stmt::Lock(_, i) => {
+                expand_block(i, needed);
+            }
+            Stmt::If { then_blk, else_blk, .. } => {
+                expand_block(then_blk, needed);
+                if let Some(e) = else_blk {
+                    expand_block(e, needed);
+                }
+            }
+            Stmt::While { body, .. } => expand_block(body, needed),
+            _ => {}
+        }
+    }
+}
+
+fn stmt_keep(s: &Stmt, needed: &HashSet<String>) -> bool {
+    if stmt_is_unsafe_relevant(s) {
+        return true;
+    }
+    match s {
+        Stmt::Let { name, .. } => needed.contains(name),
+        Stmt::Assign { place, .. } => vars_read(place).iter().any(|v| needed.contains(v)),
+        Stmt::Spawn(_) | Stmt::JoinAll | Stmt::Return(_) | Stmt::TailCall(..) => true,
+        Stmt::Scope(b) | Stmt::Lock(_, b) => b.stmts.iter().any(|s| stmt_keep(s, needed)),
+        Stmt::If { then_blk, else_blk, .. } => {
+            then_blk.stmts.iter().any(|s| stmt_keep(s, needed))
+                || else_blk
+                    .as_ref()
+                    .is_some_and(|b| b.stmts.iter().any(|s| stmt_keep(s, needed)))
+        }
+        Stmt::While { body, .. } => body.stmts.iter().any(|s| stmt_keep(s, needed)),
+        _ => false,
+    }
+}
+
+fn prune_block(b: &mut Block, needed: &HashSet<String>) {
+    b.stmts.retain(|s| stmt_keep(s, needed));
+    for s in &mut b.stmts {
+        match s {
+            Stmt::Scope(i) | Stmt::Lock(_, i) | Stmt::Spawn(i) => prune_block(i, needed),
+            Stmt::If { then_blk, else_blk, .. } => {
+                prune_block(then_blk, needed);
+                if let Some(e) = else_blk {
+                    prune_block(e, needed);
+                }
+            }
+            Stmt::While { body, .. } => prune_block(body, needed),
+            // Unsafe blocks are kept whole: they are the payload.
+            Stmt::Unsafe(_) => {}
+            _ => {}
+        }
+    }
+}
+
+/// Fraction of statements that survive pruning — a measure of how much
+/// noise Algorithm 1 removes for the knowledge base.
+#[must_use]
+pub fn retention_ratio(prog: &Program) -> f64 {
+    let total = prog.stmt_count();
+    if total == 0 {
+        return 1.0;
+    }
+    let (pruned, _) = prune_program(prog);
+    pruned.stmt_count() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::collect_metrics;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn keeps_unsafe_and_deps() {
+        let p = parse_program(
+            "fn main() { let a: i32 = 1; let noise: i32 = 42; print(noise); \
+             let q: *const i32 = &raw const a; unsafe { print(*q); } }",
+        )
+        .unwrap();
+        let (pruned, removed) = prune_program(&p);
+        assert!(removed >= 2, "expected noise removed, got {removed}");
+        let text = crate::printer::print_program(&pruned);
+        assert!(text.contains("unsafe"));
+        assert!(text.contains("let a"));
+        assert!(!text.contains("noise"));
+    }
+
+    #[test]
+    fn transitive_dependencies_kept() {
+        let p = parse_program(
+            "fn main() { let base: i32 = 7; let a: i32 = base + 1; \
+             let q: *const i32 = &raw const a; unsafe { print(*q); } }",
+        )
+        .unwrap();
+        let (pruned, _) = prune_program(&p);
+        let text = crate::printer::print_program(&pruned);
+        assert!(text.contains("let base"));
+    }
+
+    #[test]
+    fn program_without_unsafe_prunes_heavily() {
+        let p = parse_program("fn main() { let x: i32 = 1; print(x); }").unwrap();
+        let (pruned, _) = prune_program(&p);
+        assert_eq!(pruned.funcs[0].body.stmts.len(), 0);
+    }
+
+    #[test]
+    fn pruned_has_no_more_unsafe_than_original() {
+        let p = parse_program(
+            "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); dealloc(p, 4usize, 4usize); } }",
+        )
+        .unwrap();
+        let (pruned, _) = prune_program(&p);
+        let m0 = collect_metrics(&p);
+        let m1 = collect_metrics(&pruned);
+        assert_eq!(m0.unsafe_blocks, m1.unsafe_blocks);
+        assert_eq!(m0.total_unsafe_ops(), m1.total_unsafe_ops());
+    }
+
+    #[test]
+    fn retention_ratio_bounds() {
+        let p = parse_program("fn main() { let x: i32 = 1; print(x); }").unwrap();
+        let r = retention_ratio(&p);
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

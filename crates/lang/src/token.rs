@@ -1,0 +1,103 @@
+//! Tokens produced by the [`crate::lexer`].
+
+use std::fmt;
+
+/// A lexical token with its source offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source.
+    pub offset: usize,
+}
+
+/// Kinds of token. Punctuation/operator variants mirror their glyphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal (always non-negative at the lexical level) with an
+    /// optional type suffix such as `5u8`.
+    Int(i128, Option<String>),
+    /// String literal (used by `assert` messages).
+    Str(String),
+    // Punctuation / operators below; names mirror their glyphs.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    ColonColon,
+    Arrow,
+    Dot,
+    Eq,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Bang,
+    Shl,
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v, _) => write!(f, "integer {v}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::ColonColon => write!(f, "`::`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Shl => write!(f, "`<<`"),
+            TokenKind::Shr => write!(f, "`>>`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic latency model for simulated API calls.
+//!
+//! Latency = base + per-token · tokens, scaled by a seeded jitter in
+//! [0.75, 1.25]. All timing in the reproduction is *simulated* milliseconds
+//! accumulated from this model (Table I compares these against the paper's
+//! human-expert column).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples a call latency in milliseconds.
+#[must_use]
+pub fn sample_latency_ms(
+    rng: &mut ChaCha8Rng,
+    base_ms: f64,
+    per_token_ms: f64,
+    tokens: usize,
+) -> f64 {
+    let jitter = 0.75 + rng.gen::<f64>() * 0.5;
+    (base_ms + per_token_ms * tokens as f64) * jitter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latency_within_jitter_band() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            let l = sample_latency_ms(&mut rng, 1000.0, 10.0, 100);
+            assert!((1500.0..=2500.0).contains(&l), "{l}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(
+            sample_latency_ms(&mut a, 500.0, 5.0, 10),
+            sample_latency_ms(&mut b, 500.0, 5.0, 10)
+        );
+    }
+
+    #[test]
+    fn more_tokens_cost_more() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        let small = sample_latency_ms(&mut a, 500.0, 5.0, 10);
+        let big = sample_latency_ms(&mut b, 500.0, 5.0, 1000);
+        assert!(big > small);
+    }
+}

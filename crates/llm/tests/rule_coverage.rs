@@ -1,0 +1,176 @@
+//! Sweeping coverage: for every dataset template family there must exist a
+//! repair rule whose application produces a program that passes the oracle
+//! *and* reproduces the gold outputs. This is the guarantee that no
+//! figure's bar is structurally capped below 100 % — whatever the models
+//! fail at is then genuinely a model/search limitation, as in the paper.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rb_dataset::{all_templates, UbCase};
+use rb_llm::RepairRule;
+use rb_miri::run_program;
+
+/// The rule a competent developer (and therefore some proposal of the
+/// simulated model) would use for each family.
+fn canonical_rule(template: &str) -> RepairRule {
+    use RepairRule::*;
+    match template {
+        "double_free" => RemoveDoubleFree,
+        "layout_mismatch" => FixDeallocLayout,
+        "leak" => AddDealloc,
+        "scope_escape" => HoistLocalOut,
+        "use_after_free" => ReorderDeallocAfterUse,
+        "oob_offset" => AlignOffsetDown,
+        "read_before_write" => InitializeBeforeRead,
+        "union_tail" => UnionUseLargestField,
+        "int_roundtrip" | "transmute_ref" | "addr_arith" => UseDirectPointer,
+        "odd_offset" => AlignOffsetDown,
+        "array_cast" => AlignOffsetUp,
+        "bool_transmute" | "callee_transmute" => BoolFromComparison,
+        "transmute_size" => TransmuteBytesToFromLe,
+        "int_to_ref" => BorrowLocalInstead,
+        "write_invalidates" | "ref_invalidated" => RetakePointerAfterWrite,
+        "shared_write" => UseRawMutDirect,
+        "two_mut" | "cross_fn" => SingleMutBorrow,
+        "two_writers" | "heap_writers" | "reader_writer" | "helper_writer"
+        | "three_writers" => LockSpawnBodies,
+        "increment" => UseAtomics,
+        "main_read" => MoveReadAfterJoin,
+        "unchecked_add" | "overflow" | "callee_unchecked" => WidenArithmetic,
+        "assume_init" => InitializeBeforeRead,
+        "copy_overlap" => CopyWithoutOverlap,
+        "forged" => DirectFnUse,
+        "wrong_sig" => FixFnPtrSignature,
+        "arity" | "ret_mismatch" => ReplaceTailCallWithReturn,
+        "assert_threshold" => WeakenAssert,
+        "div_zero" => GuardDivision,
+        "index_literal" => FixLiteralIndex,
+        other => panic!("template {other} has no canonical rule"),
+    }
+}
+
+#[test]
+fn every_template_family_has_an_acceptable_fix() {
+    for seed in [0u64, 1, 2, 3, 4] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for t in all_templates() {
+            let s = (t.make)(&mut rng);
+            let case = UbCase::from_sources(
+                format!("{}/{}/cov{seed}", t.class.label(), t.name),
+                t.class,
+                t.name,
+                &s.buggy,
+                &s.gold,
+                &s.description,
+            );
+            case.validate().unwrap_or_else(|e| panic!("{e}"));
+            let report = run_program(&case.buggy);
+            let primary = report.primary().expect("buggy has a diagnostic");
+            let rule = canonical_rule(t.name);
+
+            // The canonical rule must be applicable...
+            let fixed = rule.apply(&case.buggy, primary).unwrap_or_else(|| {
+                panic!(
+                    "{}: canonical rule {} did not apply (error: {primary})",
+                    case.id,
+                    rule.name()
+                )
+            });
+            // ...its kind must be the rule's home turf (specificity map)...
+            assert!(
+                rule.addresses(primary.kind),
+                "{}: rule {} does not address {:?}",
+                case.id,
+                rule.name(),
+                primary.kind
+            );
+            // ...and the result must pass and match the gold outputs.
+            let fixed_report = run_program(&fixed);
+            assert!(
+                fixed_report.passes(),
+                "{}: {} left errors {:?}",
+                case.id,
+                rule.name(),
+                fixed_report.errors
+            );
+            assert_eq!(
+                fixed_report.outputs,
+                case.gold_outputs(),
+                "{}: {} passes but diverges from gold semantics",
+                case.id,
+                rule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_rules_are_in_the_model_candidate_set() {
+    // The model can only propose rules from `candidates`; the canonical
+    // fix must always be in that set, or no model could ever repair the
+    // family.
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    for t in all_templates() {
+        let s = (t.make)(&mut rng);
+        let prog = rb_lang::parser::parse_program(&s.buggy).expect("parses");
+        let report = run_program(&prog);
+        let primary = report.primary().expect("diagnostic");
+        let cands = RepairRule::candidates(&prog, primary);
+        assert!(
+            cands.contains(&canonical_rule(t.name)),
+            "{}: canonical rule {} missing from candidates {:?}",
+            t.name,
+            canonical_rule(t.name).name(),
+            cands
+        );
+    }
+}
+
+#[test]
+fn hallucination_edits_apply_broadly() {
+    // Breaking edits must be applicable to most programs, otherwise the
+    // hallucination model silently no-ops.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut applied = 0usize;
+    let mut total = 0usize;
+    for t in all_templates() {
+        let s = (t.make)(&mut rng);
+        let prog = rb_lang::parser::parse_program(&s.buggy).expect("parses");
+        let report = run_program(&prog);
+        let primary = report.primary().expect("diagnostic");
+        for h in RepairRule::HALLUCINATIONS {
+            total += 1;
+            if h.apply(&prog, primary).is_some() {
+                applied += 1;
+            }
+        }
+    }
+    assert!(
+        applied as f64 / total as f64 > 0.7,
+        "hallucinations applied on only {applied}/{total} attempts"
+    );
+}
+
+#[test]
+fn semantic_drift_changes_observable_outputs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let mut changed = 0usize;
+    let mut total = 0usize;
+    for t in all_templates() {
+        let s = (t.make)(&mut rng);
+        let gold = rb_lang::parser::parse_program(&s.gold).expect("parses");
+        if let Some(drifted) = rb_llm::rules::apply_semantic_drift(&gold) {
+            total += 1;
+            let before = run_program(&gold).outputs;
+            let after = run_program(&drifted).outputs;
+            if before != after {
+                changed += 1;
+            }
+        }
+    }
+    assert!(total > 30, "drift applied to only {total} gold programs");
+    assert!(
+        changed as f64 / total as f64 > 0.6,
+        "drift changed outputs on only {changed}/{total} programs"
+    );
+}

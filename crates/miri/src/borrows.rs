@@ -1,0 +1,311 @@
+//! A simplified stacked-borrows engine.
+//!
+//! Real Miri tracks a borrow stack per byte; we track one per allocation,
+//! which is sufficient for the whole-object borrows our corpus exercises.
+//! The rules implemented:
+//!
+//! - a fresh allocation has a base `Unique` item;
+//! - `&mut place` retags: items above the granting tag are popped, a new
+//!   `Unique` item is pushed;
+//! - `&place` retags: a `SharedRO` item is pushed on top;
+//! - `&raw` retags: a `SharedRW` item is pushed on top;
+//! - writes require `Unique`/`SharedRW` and pop everything above the tag;
+//! - reads pop `Unique` items above the tag (they "disable" exclusive
+//!   reborrows, as in stacked borrows);
+//! - using a tag that is no longer in the stack is UB; if the tag was a
+//!   `&mut` reborrow popped by another `&mut` retag the diagnostic is
+//!   classified as a *both-borrows* conflict, otherwise as a generic
+//!   stacked-borrows violation.
+
+use crate::diagnostics::UbKind;
+use crate::value::BorTag;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Permission granted by a stack item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Perm {
+    /// Exclusive read/write.
+    Unique,
+    /// Shared read-only.
+    SharedRO,
+    /// Shared read/write (raw pointers).
+    SharedRW,
+}
+
+/// How the item was created (used for diagnostic classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Origin {
+    /// Base item of the allocation.
+    Base,
+    /// Created by `&mut` retag.
+    RefMut,
+    /// Created by `&` retag.
+    RefShared,
+    /// Created by `&raw` retag.
+    Raw,
+}
+
+/// One item of a borrow stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BorItem {
+    /// The tag.
+    pub tag: BorTag,
+    /// Granted permission.
+    pub perm: Perm,
+    /// Provenance of the item.
+    pub origin: Origin,
+}
+
+/// Why an item left the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PopReason {
+    /// Popped by a conflicting `&mut` retag.
+    MutRetag,
+    /// Popped by a write through a lower item.
+    WriteAccess,
+    /// Disabled by a read through a lower item.
+    ReadAccess,
+}
+
+/// Record of a popped item, kept for diagnosis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PopInfo {
+    /// The item's origin when it was alive.
+    pub origin: Origin,
+    /// Why it was popped.
+    pub reason: PopReason,
+}
+
+/// Kind of retag being performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetagKind {
+    /// `&mut` — exclusive reborrow.
+    Mut,
+    /// `&` — shared reborrow.
+    Shared,
+    /// `&raw` — raw-pointer escape.
+    Raw,
+}
+
+/// The per-allocation borrow stack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BorrowStack {
+    items: Vec<BorItem>,
+}
+
+impl BorrowStack {
+    /// Fresh stack whose base item carries `base_tag`.
+    #[must_use]
+    pub fn new(base_tag: BorTag) -> BorrowStack {
+        BorrowStack {
+            items: vec![BorItem { tag: base_tag, perm: Perm::Unique, origin: Origin::Base }],
+        }
+    }
+
+    /// Current number of live items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the stack is empty (only after catastrophic pops).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `tag` is live.
+    #[must_use]
+    pub fn grants(&self, tag: BorTag) -> bool {
+        self.items.iter().any(|i| i.tag == tag)
+    }
+
+    fn position(&self, tag: BorTag) -> Option<usize> {
+        self.items.iter().position(|i| i.tag == tag)
+    }
+
+    /// Performs a retag deriving `fresh` from `parent`.
+    ///
+    /// # Errors
+    ///
+    /// The classified UB kind when `parent` is no longer live.
+    pub fn retag(
+        &mut self,
+        parent: BorTag,
+        kind: RetagKind,
+        fresh: BorTag,
+        popped: &mut HashMap<BorTag, PopInfo>,
+    ) -> Result<(), UbKind> {
+        let Some(idx) = self.position(parent) else {
+            return Err(classify_missing(parent, popped));
+        };
+        match kind {
+            RetagKind::Mut => {
+                for it in self.items.drain(idx + 1..) {
+                    popped.insert(it.tag, PopInfo { origin: it.origin, reason: PopReason::MutRetag });
+                }
+                self.items.push(BorItem { tag: fresh, perm: Perm::Unique, origin: Origin::RefMut });
+            }
+            RetagKind::Shared => {
+                self.items.push(BorItem { tag: fresh, perm: Perm::SharedRO, origin: Origin::RefShared });
+            }
+            RetagKind::Raw => {
+                // A raw pointer inherits writability from its parent: raws
+                // derived from shared references stay read-only.
+                let parent_perm = self.items[idx].perm;
+                let perm = if parent_perm == Perm::SharedRO {
+                    Perm::SharedRO
+                } else {
+                    Perm::SharedRW
+                };
+                self.items.push(BorItem { tag: fresh, perm, origin: Origin::Raw });
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs an access through `tag`.
+    ///
+    /// # Errors
+    ///
+    /// The classified UB kind when the access is not permitted.
+    pub fn access(
+        &mut self,
+        tag: BorTag,
+        write: bool,
+        popped: &mut HashMap<BorTag, PopInfo>,
+    ) -> Result<(), UbKind> {
+        let Some(idx) = self.position(tag) else {
+            return Err(classify_missing(tag, popped));
+        };
+        let item = self.items[idx];
+        if write {
+            if item.perm == Perm::SharedRO {
+                return Err(UbKind::WriteThroughShared);
+            }
+            for it in self.items.drain(idx + 1..) {
+                popped.insert(it.tag, PopInfo { origin: it.origin, reason: PopReason::WriteAccess });
+            }
+        } else {
+            // Reads disable Unique items above the granting one.
+            let above: Vec<BorItem> = self.items.drain(idx + 1..).collect();
+            for it in above {
+                if it.perm == Perm::Unique {
+                    popped.insert(it.tag, PopInfo { origin: it.origin, reason: PopReason::ReadAccess });
+                } else {
+                    self.items.push(it);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Classifies the use of a missing tag: if it was a `&mut` reborrow popped
+/// by another `&mut` retag, that is the paper's "both borrows" conflict;
+/// anything else is a generic stacked-borrows violation.
+fn classify_missing(tag: BorTag, popped: &HashMap<BorTag, PopInfo>) -> UbKind {
+    match popped.get(&tag) {
+        Some(PopInfo { origin: Origin::RefMut, reason: PopReason::MutRetag }) => {
+            UbKind::ConflictingMutBorrows
+        }
+        _ => UbKind::StackBorrowViolation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (BorrowStack, HashMap<BorTag, PopInfo>) {
+        (BorrowStack::new(0), HashMap::new())
+    }
+
+    #[test]
+    fn base_access_allowed() {
+        let (mut st, mut popped) = setup();
+        assert!(st.access(0, true, &mut popped).is_ok());
+        assert!(st.access(0, false, &mut popped).is_ok());
+    }
+
+    #[test]
+    fn two_mut_reborrows_conflict() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Mut, 1, &mut popped).unwrap();
+        st.retag(0, RetagKind::Mut, 2, &mut popped).unwrap(); // pops tag 1
+        assert_eq!(
+            st.access(1, true, &mut popped),
+            Err(UbKind::ConflictingMutBorrows)
+        );
+        assert!(st.access(2, true, &mut popped).is_ok());
+    }
+
+    #[test]
+    fn write_through_shared_rejected() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Shared, 1, &mut popped).unwrap();
+        assert_eq!(st.access(1, true, &mut popped), Err(UbKind::WriteThroughShared));
+        assert!(st.access(1, false, &mut popped).is_ok());
+    }
+
+    #[test]
+    fn raw_from_shared_is_read_only() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Shared, 1, &mut popped).unwrap();
+        st.retag(1, RetagKind::Raw, 2, &mut popped).unwrap();
+        assert_eq!(st.access(2, true, &mut popped), Err(UbKind::WriteThroughShared));
+        assert!(st.access(2, false, &mut popped).is_ok());
+    }
+
+    #[test]
+    fn raw_can_write() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Raw, 1, &mut popped).unwrap();
+        assert!(st.access(1, true, &mut popped).is_ok());
+    }
+
+    #[test]
+    fn write_through_base_invalidates_raw() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Raw, 1, &mut popped).unwrap();
+        st.access(0, true, &mut popped).unwrap(); // write through base pops raw
+        assert_eq!(st.access(1, false, &mut popped), Err(UbKind::StackBorrowViolation));
+    }
+
+    #[test]
+    fn read_disables_unique_above() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Mut, 1, &mut popped).unwrap();
+        // Read through base disables the &mut above.
+        st.access(0, false, &mut popped).unwrap();
+        assert_eq!(st.access(1, true, &mut popped), Err(UbKind::StackBorrowViolation));
+    }
+
+    #[test]
+    fn read_keeps_shared_above() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Shared, 1, &mut popped).unwrap();
+        st.access(0, false, &mut popped).unwrap();
+        assert!(st.access(1, false, &mut popped).is_ok());
+    }
+
+    #[test]
+    fn retag_from_dead_parent_fails() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Mut, 1, &mut popped).unwrap();
+        st.access(0, true, &mut popped).unwrap(); // pops 1
+        assert!(st.retag(1, RetagKind::Shared, 2, &mut popped).is_err());
+    }
+
+    #[test]
+    fn grants_reflects_state() {
+        let (mut st, mut popped) = setup();
+        st.retag(0, RetagKind::Raw, 5, &mut popped).unwrap();
+        assert!(st.grants(5));
+        st.access(0, true, &mut popped).unwrap();
+        assert!(!st.grants(5));
+        assert!(!st.is_empty());
+        assert_eq!(st.len(), 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! Diagnostic taxonomy. [`UbKind`] is the precise mechanical failure the
+//! interpreter detected; [`UbClass`] is the coarse category the paper's
+//! figures bucket results by (the Miri test-suite directory names:
+//! `alloc`, `dangling_pointer`, `panic`, `provenance`, `uninit`,
+//! `both_borrows`, `data_race`, `function_calls`, `function_pointers`,
+//! `stacked_borrows`, `validity`, `unaligned_pointers`, `tail_calls`,
+//! `concurrency`).
+
+use rb_lang::StmtPath;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse UB category, matching the paper's evaluation buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum UbClass {
+    /// Allocation API misuse: double free, layout mismatch, leaks.
+    Alloc,
+    /// Use of pointers to freed or expired memory, incl. out-of-bounds.
+    DanglingPointer,
+    /// Runtime panics (asserts, checked overflow, OOB index, div by zero).
+    Panic,
+    /// Pointer provenance violations (int-to-ptr round trips, cross-
+    /// allocation arithmetic).
+    Provenance,
+    /// Reads of uninitialised memory.
+    Uninit,
+    /// Conflicting `&mut` reborrows (Miri's `both_borrows` suite).
+    BothBorrow,
+    /// Unsynchronised conflicting accesses to statics.
+    DataRace,
+    /// Unsafe-function contract violations (`unchecked_*` overflow etc.).
+    FuncCall,
+    /// Invalid or mis-typed function pointers.
+    FuncPointer,
+    /// Stacked-borrows aliasing violations.
+    StackBorrow,
+    /// Invalid values for a type (bad bool, dangling reference, transmute
+    /// size mismatch).
+    Validity,
+    /// Misaligned pointer accesses.
+    Unaligned,
+    /// `become`-style tail calls with mismatched signatures.
+    TailCall,
+    /// Concurrency UB other than static data races (shared-heap races).
+    Concurrency,
+    /// Not UB: the program is ill-formed (fails the static checker). Repair
+    /// iterations that break the program land here, like a non-compiling
+    /// LLM patch.
+    Compile,
+}
+
+impl UbClass {
+    /// The eleven classes shown in the paper's Fig. 8/9 grid.
+    pub const FIG8: [UbClass; 11] = [
+        UbClass::Alloc,
+        UbClass::DanglingPointer,
+        UbClass::Panic,
+        UbClass::Provenance,
+        UbClass::BothBorrow,
+        UbClass::DataRace,
+        UbClass::FuncCall,
+        UbClass::FuncPointer,
+        UbClass::StackBorrow,
+        UbClass::Validity,
+        UbClass::Unaligned,
+    ];
+
+    /// The twelve classes of Fig. 12 (Fig. 8 plus `uninit`).
+    pub const FIG12: [UbClass; 12] = [
+        UbClass::Alloc,
+        UbClass::DanglingPointer,
+        UbClass::Panic,
+        UbClass::Provenance,
+        UbClass::Uninit,
+        UbClass::BothBorrow,
+        UbClass::DataRace,
+        UbClass::FuncCall,
+        UbClass::FuncPointer,
+        UbClass::StackBorrow,
+        UbClass::Validity,
+        UbClass::Unaligned,
+    ];
+
+    /// The subset used for the GPT-O1 comparison (Fig. 10).
+    pub const FIG10: [UbClass; 7] = [
+        UbClass::Alloc,
+        UbClass::TailCall,
+        UbClass::DanglingPointer,
+        UbClass::FuncPointer,
+        UbClass::Panic,
+        UbClass::Unaligned,
+        UbClass::FuncCall,
+    ];
+
+    /// The twelve classes of Table I.
+    pub const TABLE1: [UbClass; 12] = [
+        UbClass::StackBorrow,
+        UbClass::Unaligned,
+        UbClass::Validity,
+        UbClass::Alloc,
+        UbClass::FuncPointer,
+        UbClass::Provenance,
+        UbClass::Panic,
+        UbClass::FuncCall,
+        UbClass::DanglingPointer,
+        UbClass::BothBorrow,
+        UbClass::Concurrency,
+        UbClass::DataRace,
+    ];
+
+    /// Every real UB class (excludes [`UbClass::Compile`]).
+    pub const ALL: [UbClass; 14] = [
+        UbClass::Alloc,
+        UbClass::DanglingPointer,
+        UbClass::Panic,
+        UbClass::Provenance,
+        UbClass::Uninit,
+        UbClass::BothBorrow,
+        UbClass::DataRace,
+        UbClass::FuncCall,
+        UbClass::FuncPointer,
+        UbClass::StackBorrow,
+        UbClass::Validity,
+        UbClass::Unaligned,
+        UbClass::TailCall,
+        UbClass::Concurrency,
+    ];
+
+    /// Display label matching the paper's axis labels.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            UbClass::Alloc => "alloc",
+            UbClass::DanglingPointer => "danglingpointer",
+            UbClass::Panic => "panic",
+            UbClass::Provenance => "provenance",
+            UbClass::Uninit => "uninit",
+            UbClass::BothBorrow => "bothborrow",
+            UbClass::DataRace => "datarace",
+            UbClass::FuncCall => "func.call",
+            UbClass::FuncPointer => "func.pointer",
+            UbClass::StackBorrow => "stackborrow",
+            UbClass::Validity => "validity",
+            UbClass::Unaligned => "unaligned",
+            UbClass::TailCall => "tailcall",
+            UbClass::Concurrency => "concurrency",
+            UbClass::Compile => "compile",
+        }
+    }
+}
+
+impl fmt::Display for UbClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Precise failure detected by the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UbKind {
+    /// Access to a freed heap allocation.
+    UseAfterFree,
+    /// Access to a stack slot whose scope ended.
+    UseAfterScope,
+    /// In-bounds-of-nothing: pointer arithmetic/access outside the
+    /// allocation.
+    OutOfBounds,
+    /// Freeing an allocation twice.
+    DoubleFree,
+    /// `dealloc` with a size/alignment different from the allocation's.
+    BadDealloc,
+    /// Heap memory still reachable-by-nothing at program end.
+    Leak,
+    /// Misaligned memory access.
+    UnalignedAccess,
+    /// A value invalid for its type was produced (bad bool, etc.).
+    InvalidValue,
+    /// A reference that is null, dangling or misaligned was materialised.
+    InvalidRef,
+    /// `transmute` between differently-sized types.
+    TransmuteSize,
+    /// Read of uninitialised bytes.
+    UninitRead,
+    /// Dereference of a pointer without provenance (int-to-ptr).
+    NoProvenance,
+    /// Pointer arithmetic escaping its allocation into another.
+    CrossAllocation,
+    /// Use of a pointer whose stacked-borrows tag was invalidated.
+    StackBorrowViolation,
+    /// Two live `&mut` reborrows of the same allocation conflicting.
+    ConflictingMutBorrows,
+    /// Write through a shared (read-only) borrow.
+    WriteThroughShared,
+    /// Unsynchronised conflicting access to a static.
+    RaceOnStatic,
+    /// Unsynchronised conflicting access to shared heap memory.
+    RaceOnHeap,
+    /// `unchecked_*` arithmetic overflowed.
+    UncheckedOverflow,
+    /// An unsafe builtin's documented precondition was violated.
+    Precondition,
+    /// Call through a forged (non-function) pointer.
+    InvalidFnPtr,
+    /// Call through a function pointer with mismatched signature.
+    FnSigMismatch,
+    /// Tail call with a signature differing from the caller's.
+    TailCallMismatch,
+    /// Assertion failure.
+    PanicAssert,
+    /// Arithmetic overflow in checked (normal) arithmetic.
+    PanicOverflow,
+    /// Division or remainder by zero.
+    PanicDivZero,
+    /// Bounds-checked index out of range.
+    PanicIndex,
+    /// Static checker rejected the program.
+    IllFormed,
+    /// Interpreter budget exceeded (treated as a failed run, not UB).
+    ResourceExhausted,
+}
+
+impl UbKind {
+    /// The coarse class a kind belongs to.
+    #[must_use]
+    pub fn class(self) -> UbClass {
+        match self {
+            UbKind::UseAfterFree | UbKind::UseAfterScope | UbKind::OutOfBounds => {
+                UbClass::DanglingPointer
+            }
+            UbKind::DoubleFree | UbKind::BadDealloc | UbKind::Leak => UbClass::Alloc,
+            UbKind::UnalignedAccess => UbClass::Unaligned,
+            UbKind::InvalidValue | UbKind::InvalidRef | UbKind::TransmuteSize => UbClass::Validity,
+            UbKind::UninitRead => UbClass::Uninit,
+            UbKind::NoProvenance | UbKind::CrossAllocation => UbClass::Provenance,
+            UbKind::StackBorrowViolation | UbKind::WriteThroughShared => UbClass::StackBorrow,
+            UbKind::ConflictingMutBorrows => UbClass::BothBorrow,
+            UbKind::RaceOnStatic => UbClass::DataRace,
+            UbKind::RaceOnHeap => UbClass::Concurrency,
+            UbKind::UncheckedOverflow | UbKind::Precondition => UbClass::FuncCall,
+            UbKind::InvalidFnPtr | UbKind::FnSigMismatch => UbClass::FuncPointer,
+            UbKind::TailCallMismatch => UbClass::TailCall,
+            UbKind::PanicAssert | UbKind::PanicOverflow | UbKind::PanicDivZero
+            | UbKind::PanicIndex => UbClass::Panic,
+            UbKind::IllFormed | UbKind::ResourceExhausted => UbClass::Compile,
+        }
+    }
+
+    /// Whether this kind is genuine UB (as opposed to a panic or a
+    /// compile-stage failure).
+    #[must_use]
+    pub fn is_ub(self) -> bool {
+        !matches!(
+            self,
+            UbKind::PanicAssert
+                | UbKind::PanicOverflow
+                | UbKind::PanicDivZero
+                | UbKind::PanicIndex
+                | UbKind::IllFormed
+                | UbKind::ResourceExhausted
+        )
+    }
+}
+
+/// One diagnostic emitted by the oracle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MiriError {
+    /// Precise failure.
+    pub kind: UbKind,
+    /// Human-readable description (in Miri's phrasing style).
+    pub message: String,
+    /// Statement where the failure occurred, when attributable.
+    pub path: Option<StmtPath>,
+    /// Thread that triggered it (0 = main).
+    pub thread: usize,
+}
+
+impl MiriError {
+    /// Coarse class of this error.
+    #[must_use]
+    pub fn class(&self) -> UbClass {
+        self.kind.class()
+    }
+}
+
+impl fmt::Display for MiriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]: {}", self.class(), self.message)?;
+        if let Some(p) = &self.path {
+            write!(f, " (at {p})")?;
+        }
+        if self.thread != 0 {
+            write!(f, " (thread {})", self.thread)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of running the oracle over a program.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MiriReport {
+    /// All diagnostics, in detection order.
+    pub errors: Vec<MiriError>,
+    /// Observable output (`print` statements), used for semantic checking.
+    pub outputs: Vec<String>,
+    /// Interpreter steps consumed.
+    pub steps: u64,
+    /// Whether execution ran to completion (possibly with recovered errors).
+    pub completed: bool,
+}
+
+impl MiriReport {
+    /// `true` when the program passes Miri: no diagnostics at all.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Number of diagnostics — the `nᵢ` of the paper's rollback analysis.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Classes present in the report, deduplicated, in first-seen order.
+    #[must_use]
+    pub fn classes(&self) -> Vec<UbClass> {
+        let mut seen = Vec::new();
+        for e in &self.errors {
+            let c = e.class();
+            if !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen
+    }
+
+    /// The dominant (first) error, which repair prompts focus on.
+    #[must_use]
+    pub fn primary(&self) -> Option<&MiriError> {
+        self.errors.first()
+    }
+}
+
+impl fmt::Display for MiriReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.errors.is_empty() {
+            writeln!(f, "pass: no undefined behaviour detected")?;
+        } else {
+            for e in &self.errors {
+                writeln!(f, "{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_class() {
+        // Spot-check the mapping used by the figures.
+        assert_eq!(UbKind::UseAfterFree.class(), UbClass::DanglingPointer);
+        assert_eq!(UbKind::DoubleFree.class(), UbClass::Alloc);
+        assert_eq!(UbKind::RaceOnStatic.class(), UbClass::DataRace);
+        assert_eq!(UbKind::RaceOnHeap.class(), UbClass::Concurrency);
+        assert_eq!(UbKind::PanicAssert.class(), UbClass::Panic);
+        assert_eq!(UbKind::TailCallMismatch.class(), UbClass::TailCall);
+    }
+
+    #[test]
+    fn panics_are_not_ub() {
+        assert!(!UbKind::PanicAssert.is_ub());
+        assert!(!UbKind::IllFormed.is_ub());
+        assert!(UbKind::UseAfterFree.is_ub());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(UbClass::FuncCall.label(), "func.call");
+        assert_eq!(UbClass::BothBorrow.label(), "bothborrow");
+        assert_eq!(UbClass::FIG8.len(), 11);
+        assert_eq!(UbClass::FIG12.len(), 12);
+        assert_eq!(UbClass::FIG10.len(), 7);
+        assert_eq!(UbClass::TABLE1.len(), 12);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut r = MiriReport::default();
+        assert!(r.passes());
+        r.errors.push(MiriError {
+            kind: UbKind::UseAfterFree,
+            message: "pointer to dead allocation".into(),
+            path: None,
+            thread: 0,
+        });
+        r.errors.push(MiriError {
+            kind: UbKind::OutOfBounds,
+            message: "oob".into(),
+            path: None,
+            thread: 0,
+        });
+        assert!(!r.passes());
+        assert_eq!(r.error_count(), 2);
+        assert_eq!(r.classes(), vec![UbClass::DanglingPointer]);
+        assert_eq!(r.primary().unwrap().kind, UbKind::UseAfterFree);
+    }
+
+    #[test]
+    fn display_contains_class() {
+        let e = MiriError {
+            kind: UbKind::UnalignedAccess,
+            message: "accessing memory with alignment 1, required 4".into(),
+            path: None,
+            thread: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("unaligned"));
+        assert!(s.contains("thread 1"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the memory model: arbitrary sequences of
+//! allocation/read/write/retag/dealloc operations must never panic, must
+//! preserve written bytes, and must classify failures consistently.
+
+use proptest::prelude::*;
+use rb_miri::memory::{AllocKind, Memory};
+use rb_miri::value::AbByte;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc { size: usize, align_pow: u8 },
+    Write { slot: usize, offset: i64, len: usize },
+    Read { slot: usize, offset: i64, len: usize },
+    Dealloc { slot: usize },
+    RetagRaw { slot: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..64, 0u8..4).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
+        (0usize..8, -4i64..70, 0usize..16)
+            .prop_map(|(slot, offset, len)| Op::Write { slot, offset, len }),
+        (0usize..8, -4i64..70, 0usize..16)
+            .prop_map(|(slot, offset, len)| Op::Read { slot, offset, len }),
+        (0usize..8).prop_map(|slot| Op::Dealloc { slot }),
+        (0usize..8).prop_map(|slot| Op::RetagRaw { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No operation sequence can panic the memory subsystem; every failure
+    /// is a classified error value.
+    #[test]
+    fn memory_never_panics(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut mem = Memory::new();
+        let mut slots: Vec<(rb_miri::AllocId, u64, usize, usize)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { size, align_pow } => {
+                    let align = 1usize << align_pow;
+                    let (id, tag, _) = mem.allocate(AllocKind::Heap, size, align);
+                    slots.push((id, tag, size, align));
+                }
+                Op::Write { slot, offset, len } => {
+                    if let Some((id, tag, ..)) = slots.get(slot).copied() {
+                        let bytes = vec![AbByte::Init(0xAB, None); len];
+                        let _ = mem.write_bytes(id, tag, offset, &bytes, 1);
+                    }
+                }
+                Op::Read { slot, offset, len } => {
+                    if let Some((id, tag, ..)) = slots.get(slot).copied() {
+                        let _ = mem.read_bytes(id, tag, offset, len, 1);
+                    }
+                }
+                Op::Dealloc { slot } => {
+                    if let Some((id, _, size, align)) = slots.get(slot).copied() {
+                        let _ = mem.deallocate(id, size, align);
+                    }
+                }
+                Op::RetagRaw { slot } => {
+                    if let Some((id, tag, ..)) = slots.get(slot).copied() {
+                        let _ = mem.retag(id, tag, rb_miri::borrows::RetagKind::Raw);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes written in bounds through the base tag read back identically.
+    #[test]
+    fn write_read_roundtrip(size in 1usize..64, data in prop::collection::vec(any::<u8>(), 1..32)) {
+        prop_assume!(data.len() <= size);
+        let mut mem = Memory::new();
+        let (id, tag, _) = mem.allocate(AllocKind::Heap, size, 8);
+        let bytes: Vec<AbByte> = data.iter().map(|b| AbByte::Init(*b, None)).collect();
+        mem.write_bytes(id, tag, 0, &bytes, 1).expect("in-bounds write");
+        let back = mem.read_bytes(id, tag, 0, data.len(), 1).expect("in-bounds read");
+        prop_assert_eq!(back, bytes);
+    }
+
+    /// Out-of-bounds accesses always fail, in-bounds base accesses always
+    /// succeed (fresh allocation, base tag).
+    #[test]
+    fn bounds_are_exact(size in 1usize..64, offset in 0usize..128, len in 1usize..32) {
+        let mut mem = Memory::new();
+        let (id, tag, _) = mem.allocate(AllocKind::Heap, size, 1);
+        let r = mem.read_bytes(id, tag, offset as i64, len, 1);
+        if offset + len <= size {
+            prop_assert!(r.is_ok(), "in-bounds read failed: {:?}", r);
+        } else {
+            prop_assert_eq!(r.unwrap_err(), rb_miri::UbKind::OutOfBounds);
+        }
+    }
+
+    /// Double frees are always detected, whatever happened in between.
+    #[test]
+    fn double_free_always_detected(reads in prop::collection::vec((0i64..8, 1usize..4), 0..6)) {
+        let mut mem = Memory::new();
+        let (id, tag, _) = mem.allocate(AllocKind::Heap, 8, 8);
+        for (off, len) in reads {
+            let _ = mem.read_bytes(id, tag, off, len, 1);
+        }
+        mem.deallocate(id, 8, 8).expect("first free succeeds");
+        prop_assert_eq!(mem.deallocate(id, 8, 8).unwrap_err(), rb_miri::UbKind::DoubleFree);
+    }
+
+    /// Allocation base addresses respect the requested alignment and never
+    /// overlap.
+    #[test]
+    fn allocations_aligned_and_disjoint(sizes in prop::collection::vec((1usize..32, 0u8..4), 1..12)) {
+        let mut mem = Memory::new();
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (size, align_pow) in sizes {
+            let align = 1usize << align_pow;
+            let (_, _, base) = mem.allocate(AllocKind::Heap, size, align);
+            prop_assert_eq!(base % align as u64, 0, "misaligned base");
+            for (lo, hi) in &regions {
+                prop_assert!(base + size as u64 <= *lo || base >= *hi, "overlap");
+            }
+            regions.push((base, base + size as u64));
+        }
+    }
+}

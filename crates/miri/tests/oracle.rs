@@ -1,0 +1,483 @@
+//! End-to-end oracle tests: one (or more) programs per UB class, verifying
+//! that the interpreter detects and classifies each kind of undefined
+//! behaviour, plus positive tests that correct programs pass.
+
+use rb_lang::parser::parse_program;
+use rb_miri::interp::{run_with_config, MiriConfig};
+use rb_miri::{run_program, MiriReport, UbClass, UbKind};
+
+fn run(src: &str) -> MiriReport {
+    let prog = parse_program(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    run_program(&prog)
+}
+
+fn assert_class(src: &str, class: UbClass) {
+    let r = run(src);
+    assert!(
+        r.errors.iter().any(|e| e.class() == class),
+        "expected {class}, got {:?}\noutputs={:?}",
+        r.errors,
+        r.outputs
+    );
+}
+
+// ---- passing programs -------------------------------------------------------
+
+#[test]
+fn clean_program_passes() {
+    let r = run("fn main() { let x: i32 = 2; print(x * 21); }");
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["42"]);
+    assert!(r.completed);
+}
+
+#[test]
+fn safe_heap_roundtrip_passes() {
+    let r = run(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         ptr_write::<i32>(p as *mut i32, 7i32); \
+         print(ptr_read::<i32>(p as *const i32)); \
+         dealloc(p, 4usize, 4usize); } }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["7"]);
+}
+
+#[test]
+fn box_lifecycle_passes() {
+    let r = run(
+        "fn main() { let b: Box<i32> = box_new::<i32>(11i32); print(*b); drop_box::<i32>(b); }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["11"]);
+}
+
+#[test]
+fn function_calls_and_control_flow() {
+    let r = run(
+        "fn fib(n: i32) -> i32 { if n < 2 { return n; } \
+         return fib(n - 1) + fib(n - 2); } \
+         fn main() { print(fib(10)); }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["55"]);
+}
+
+#[test]
+fn while_loop_accumulates() {
+    let r = run(
+        "fn main() { let i: i32 = 0; let acc: i32 = 0; \
+         while i < 5 { acc = acc + i; i = i + 1; } print(acc); }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["10"]);
+}
+
+#[test]
+fn synchronised_threads_pass() {
+    let r = run(
+        "static mut G: i32 = 0; fn main() { \
+         spawn { lock(1) { unsafe { G = G + 1; } } } \
+         spawn { lock(1) { unsafe { G = G + 1; } } } \
+         join; unsafe { print(G); } }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["2"]);
+}
+
+#[test]
+fn atomics_pass() {
+    let r = run(
+        "static mut C: i32 = 0; fn main() { \
+         spawn { atomic_store(C, 5i32); } \
+         spawn { print(atomic_load(C)); } \
+         join; }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+}
+
+// ---- dangling pointers ------------------------------------------------------
+
+#[test]
+fn dangling_scope_escape() {
+    assert_class(
+        "fn main() { let q: *const i32 = 0 as *const i32; \
+         { let x: i32 = 5; q = &raw const x; } \
+         unsafe { print(*q); } }",
+        UbClass::DanglingPointer,
+    );
+}
+
+#[test]
+fn use_after_free_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         dealloc(p, 4usize, 4usize); \
+         print(ptr_read::<u8>(p as *const u8)); } }",
+        UbClass::DanglingPointer,
+    );
+}
+
+#[test]
+fn oob_offset_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         let q: *mut u8 = ptr_offset::<u8>(p, 8i32); \
+         print(ptr_read::<u8>(q)); dealloc(p, 4usize, 4usize); } }",
+        UbClass::DanglingPointer,
+    );
+}
+
+// ---- alloc ------------------------------------------------------------------
+
+#[test]
+fn double_free_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         dealloc(p, 4usize, 4usize); dealloc(p, 4usize, 4usize); } }",
+        UbClass::Alloc,
+    );
+}
+
+#[test]
+fn layout_mismatch_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(8usize, 8usize); \
+         dealloc(p, 4usize, 8usize); } }",
+        UbClass::Alloc,
+    );
+}
+
+#[test]
+fn leak_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(16usize, 8usize); print(1i32); } }",
+        UbClass::Alloc,
+    );
+}
+
+// ---- unaligned --------------------------------------------------------------
+
+#[test]
+fn unaligned_read_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(8usize, 8usize); \
+         let q: *mut u8 = ptr_offset::<u8>(p, 1i32); \
+         print(ptr_read::<u32>(q as *const u32)); \
+         dealloc(p, 8usize, 8usize); } }",
+        UbClass::Unaligned,
+    );
+}
+
+// ---- validity ---------------------------------------------------------------
+
+#[test]
+fn invalid_bool_detected() {
+    assert_class(
+        "fn main() { unsafe { let b: bool = transmute::<u8, bool>(2u8); print(b); } }",
+        UbClass::Validity,
+    );
+}
+
+#[test]
+fn transmute_size_mismatch_detected() {
+    assert_class(
+        "fn main() { unsafe { let x: u32 = transmute::<u16, u32>(5u16); print(x); } }",
+        UbClass::Validity,
+    );
+}
+
+#[test]
+fn int_to_ref_invalid() {
+    assert_class(
+        "fn main() { unsafe { let r: &i32 = transmute::<usize, &i32>(64usize); print(*r); } }",
+        UbClass::Validity,
+    );
+}
+
+// ---- uninit -----------------------------------------------------------------
+
+#[test]
+fn uninit_read_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         print(ptr_read::<i32>(p as *const i32)); dealloc(p, 4usize, 4usize); } }",
+        UbClass::Uninit,
+    );
+}
+
+// ---- provenance ---------------------------------------------------------------
+
+#[test]
+fn int_roundtrip_loses_provenance() {
+    assert_class(
+        "fn main() { let x: i32 = 5; \
+         unsafe { let p: *const i32 = &raw const x; \
+         let a: usize = p as usize; \
+         let q: *const i32 = a as *const i32; \
+         print(*q); } }",
+        UbClass::Provenance,
+    );
+}
+
+// ---- stacked borrows / both borrows -----------------------------------------
+
+#[test]
+fn write_invalidates_raw() {
+    assert_class(
+        "fn main() { let x: i32 = 1; \
+         unsafe { let p: *mut i32 = &raw mut x; \
+         x = 2; \
+         print(ptr_read::<i32>(p as *const i32)); } }",
+        UbClass::StackBorrow,
+    );
+}
+
+#[test]
+fn conflicting_mut_borrows() {
+    assert_class(
+        "fn main() { let x: i32 = 1; \
+         unsafe { let a: &mut i32 = &mut x; let b: &mut i32 = &mut x; \
+         *a = 3; print(*a); } }",
+        UbClass::BothBorrow,
+    );
+}
+
+// ---- data race / concurrency --------------------------------------------------
+
+#[test]
+fn static_race_detected() {
+    assert_class(
+        "static mut G: i32 = 0; fn main() { \
+         spawn { unsafe { G = 1; } } \
+         spawn { unsafe { G = 2; } } \
+         join; }",
+        UbClass::DataRace,
+    );
+}
+
+#[test]
+fn heap_race_is_concurrency() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         ptr_write::<i32>(p as *mut i32, 0i32); \
+         spawn { unsafe { ptr_write::<i32>(p as *mut i32, 1i32); } } \
+         spawn { unsafe { ptr_write::<i32>(p as *mut i32, 2i32); } } \
+         join; dealloc(p, 4usize, 4usize); } }",
+        UbClass::Concurrency,
+    );
+}
+
+// ---- func.call ----------------------------------------------------------------
+
+#[test]
+fn unchecked_overflow_detected() {
+    assert_class(
+        "fn main() { unsafe { print(unchecked_add::<i32>(2147483647i32, 1i32)); } }",
+        UbClass::FuncCall,
+    );
+}
+
+#[test]
+fn assume_init_contract_violation() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+         print(assume_init_read::<i32>(p as *const i32)); \
+         dealloc(p, 4usize, 4usize); } }",
+        UbClass::FuncCall,
+    );
+}
+
+// ---- func.pointer ---------------------------------------------------------------
+
+#[test]
+fn forged_fn_ptr_detected() {
+    assert_class(
+        "fn main() { unsafe { \
+         let f: fn(i32) -> i32 = transmute::<usize, fn(i32) -> i32>(4096usize); \
+         print((f)(1)); } }",
+        UbClass::FuncPointer,
+    );
+}
+
+#[test]
+fn wrong_signature_fn_ptr() {
+    assert_class(
+        "fn g(x: i32, y: i32) -> i32 { return x + y; } \
+         fn main() { unsafe { \
+         let f: fn(i32) -> i32 = transmute::<fn(i32, i32) -> i32, fn(i32) -> i32>(g); \
+         print((f)(1)); } }",
+        UbClass::FuncPointer,
+    );
+}
+
+// ---- tail calls -----------------------------------------------------------------
+
+#[test]
+fn tail_call_mismatch() {
+    assert_class(
+        "fn helper(x: i32, y: i32) -> i32 { return x + y; } \
+         fn run(x: i32) -> i32 { tailcall helper(x, 1); } \
+         fn main() { print(run(1)); }",
+        UbClass::TailCall,
+    );
+}
+
+#[test]
+fn tail_call_matching_passes() {
+    let r = run(
+        "fn helper(x: i32) -> i32 { return x + 1; } \
+         fn run(x: i32) -> i32 { tailcall helper(x); } \
+         fn main() { print(run(1)); }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["2"]);
+}
+
+// ---- panic ----------------------------------------------------------------------
+
+#[test]
+fn assert_failure_is_panic() {
+    assert_class(
+        "fn main() { let x: i32 = 3; assert(x > 5, \"x too small\"); print(x); }",
+        UbClass::Panic,
+    );
+}
+
+#[test]
+fn division_by_zero_is_panic() {
+    assert_class("fn main() { let z: i32 = 0; print(5 / z); }", UbClass::Panic);
+}
+
+#[test]
+fn index_oob_is_panic() {
+    assert_class(
+        "fn main() { let a: [i32; 3] = [1, 2, 3]; let i: i32 = 5; print(a[i]); }",
+        UbClass::Panic,
+    );
+}
+
+#[test]
+fn overflow_is_panic() {
+    assert_class(
+        "fn main() { let x: i32 = 2147483647; print(x + 1); }",
+        UbClass::Panic,
+    );
+}
+
+// ---- unions ----------------------------------------------------------------------
+
+#[test]
+fn union_type_pun_works() {
+    let r = run(
+        "union Bits { i: i32, u: u32 } \
+         fn main() { let b: Bits = Bits { i: -1 }; unsafe { print(b.u); } }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["4294967295"]);
+}
+
+#[test]
+fn union_uninit_tail_read() {
+    // Writing the small field then reading the large one hits uninit bytes.
+    assert_class(
+        "union Mix { small: u8, big: u32 } \
+         fn main() { let m: Mix = Mix { small: 1u8 }; unsafe { print(m.big); } }",
+        UbClass::Uninit,
+    );
+}
+
+// ---- compile-stage gating ----------------------------------------------------------
+
+#[test]
+fn ill_formed_program_reports_compile() {
+    let prog = parse_program("fn main() { print(*undefined_ptr); }").unwrap();
+    let r = run_program(&prog);
+    assert!(r.errors.iter().all(|e| e.kind == UbKind::IllFormed));
+    assert_eq!(r.errors[0].class(), UbClass::Compile);
+}
+
+#[test]
+fn missing_unsafe_reports_compile() {
+    let prog = parse_program(
+        "fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; print(*p); }",
+    )
+    .unwrap();
+    let r = run_program(&prog);
+    assert!(!r.passes());
+    assert_eq!(r.errors[0].kind, UbKind::IllFormed);
+}
+
+// ---- machine behaviour ---------------------------------------------------------------
+
+#[test]
+fn multiple_errors_recovered() {
+    // Two independent UB statements at main's top level -> two diagnostics.
+    let r = run(
+        "fn main() { unsafe { print(unchecked_add::<i32>(2147483647i32, 1i32)); } \
+         unsafe { print(unchecked_mul::<i32>(2000000000i32, 4i32)); } \
+         print(9i32); }",
+    );
+    assert_eq!(r.error_count(), 2, "{:?}", r.errors);
+    // Execution continued to the final print.
+    assert_eq!(r.outputs, vec!["9"]);
+}
+
+#[test]
+fn infinite_loop_hits_budget() {
+    let prog = parse_program("fn main() { while true { print(1i32); } }").unwrap();
+    let cfg = MiriConfig { step_budget: 5_000, ..MiriConfig::default() };
+    let r = run_with_config(&prog, &cfg);
+    assert!(r.errors.iter().any(|e| e.kind == UbKind::ResourceExhausted));
+}
+
+#[test]
+fn leak_detection_can_be_disabled() {
+    let prog = parse_program(
+        "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); print(1i32); } }",
+    )
+    .unwrap();
+    let cfg = MiriConfig { detect_leaks: false, ..MiriConfig::default() };
+    assert!(run_with_config(&prog, &cfg).passes());
+}
+
+#[test]
+fn outputs_deterministic_across_runs() {
+    let src = "fn main() { let i: i32 = 0; while i < 3 { print(i); i = i + 1; } }";
+    let a = run(src);
+    let b = run(src);
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.steps, b.steps);
+}
+
+#[test]
+fn copy_nonoverlapping_overlap_detected() {
+    assert_class(
+        "fn main() { unsafe { let p: *mut u8 = alloc(8usize, 8usize); \
+         let q: *mut u8 = ptr_offset::<u8>(p, 2i32); \
+         copy_nonoverlapping::<u8>(p, q, 4usize); \
+         dealloc(p, 8usize, 8usize); } }",
+        UbClass::FuncCall,
+    );
+}
+
+#[test]
+fn abort_stops_cleanly() {
+    let r = run("fn main() { print(1i32); abort(); print(2i32); }");
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["1"]);
+}
+
+#[test]
+fn gold_style_repairs_pass() {
+    // The paper's Fig. 3 examples, repaired: as-cast instead of transmute,
+    // from_le_bytes instead of transmute.
+    let r = run(
+        "fn main() { let v: i32 = 0; let p: *const i32 = &raw const v; \
+         let a: usize = p as usize; print(a > 0usize); \
+         let n1: [u8; 4] = [23u8, 7u8, 0u8, 0u8]; \
+         let n2: u32 = from_le_bytes::<u32>(n1); print(n2); }",
+    );
+    assert!(r.passes(), "{:?}", r.errors);
+    assert_eq!(r.outputs, vec!["true", "1815"]);
+}

@@ -1,0 +1,72 @@
+//! Self-learning demonstration (the red sections of the paper's Table I):
+//! when a stream of *similar* UBs arrives, the feedback mechanism and the
+//! knowledge base make later repairs faster and less dependent on search.
+//!
+//! ```sh
+//! cargo run --release --example knowledge_reuse
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rb_dataset::{templates_for, UbCase};
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::{RustBrain, RustBrainConfig};
+
+fn main() {
+    // Ten instances of the same defect family with varying identifiers and
+    // constants — the "similar UBs" stream of the paper's discussion.
+    let template = templates_for(UbClass::DanglingPointer)
+        .into_iter()
+        .find(|t| t.name == "scope_escape")
+        .expect("template exists");
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let cases: Vec<UbCase> = (0..10)
+        .map(|i| {
+            let s = (template.make)(&mut rng);
+            UbCase::from_sources(
+                format!("stream/scope_escape/{i}"),
+                UbClass::DanglingPointer,
+                template.name,
+                &s.buggy,
+                &s.gold,
+                &s.description,
+            )
+        })
+        .collect();
+
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 3));
+    println!(
+        "{:<26}{:>7}{:>9}{:>11}{:>12}{:>10}",
+        "case", "pass", "accept", "time (s)", "solutions", "KB size"
+    );
+    let mut times = Vec::new();
+    for case in &cases {
+        let outcome = brain.repair(&case.buggy, &case.gold_outputs());
+        times.push(outcome.overhead_ms / 1000.0);
+        println!(
+            "{:<26}{:>7}{:>9}{:>10.1}{:>12}{:>10}",
+            case.id,
+            outcome.passed,
+            outcome.acceptable,
+            outcome.overhead_ms / 1000.0,
+            outcome.solutions_tried,
+            brain.knowledge().len()
+        );
+    }
+    let first = times.first().copied().unwrap_or(0.0);
+    let later: f64 = times[times.len() / 2..].iter().sum::<f64>()
+        / (times.len() - times.len() / 2) as f64;
+    println!(
+        "\nfirst repair: {first:.1}s; mean of later half: {later:.1}s \
+         (self-learning should not make repeats slower)"
+    );
+    println!(
+        "priors updated {} times; remembered best solution for the class: {}",
+        brain.priors().updates(),
+        brain
+            .priors()
+            .best_solution(UbClass::DanglingPointer)
+            .map_or("none".to_owned(), |s| rustbrain::Solution::new(s.to_vec()).describe())
+    );
+}

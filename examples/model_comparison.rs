@@ -1,0 +1,57 @@
+//! Model comparison: every simulated model with and without RustBrain on
+//! the same corpus — a miniature of the paper's Figs. 8/9.
+//!
+//! ```sh
+//! cargo run --release --example model_comparison
+//! ```
+
+use rb_baselines::LlmOnly;
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::{RustBrain, RustBrainConfig};
+
+fn main() {
+    let corpus = Corpus::generate(7, 4, &UbClass::FIG8);
+    println!("corpus: {} cases over {} classes\n", corpus.len(), UbClass::FIG8.len());
+    println!(
+        "{:<26}{:>8}{:>8}{:>12}",
+        "configuration", "pass", "exec", "mean time"
+    );
+
+    for model in ModelId::ALL {
+        let mut alone = LlmOnly::new(model, 0.5, 1);
+        let (mut pass, mut exec, mut time) = (0usize, 0usize, 0.0f64);
+        for case in &corpus.cases {
+            let o = alone.repair(&case.buggy, &case.gold_outputs());
+            pass += usize::from(o.passed);
+            exec += usize::from(o.acceptable);
+            time += o.overhead_ms;
+        }
+        println!(
+            "{:<26}{:>7.1}%{:>7.1}%{:>11.1}s",
+            format!("{} (alone)", model.label()),
+            100.0 * pass as f64 / corpus.len() as f64,
+            100.0 * exec as f64 / corpus.len() as f64,
+            time / 1000.0 / corpus.len() as f64
+        );
+    }
+    println!();
+    for model in ModelId::ALL {
+        let mut brain = RustBrain::new(RustBrainConfig::for_model(model, 1));
+        let (mut pass, mut exec, mut time) = (0usize, 0usize, 0.0f64);
+        for case in &corpus.cases {
+            let o = brain.repair(&case.buggy, &case.gold_outputs());
+            pass += usize::from(o.passed);
+            exec += usize::from(o.acceptable);
+            time += o.overhead_ms;
+        }
+        println!(
+            "{:<26}{:>7.1}%{:>7.1}%{:>11.1}s",
+            format!("{} + RustBrain", model.label()),
+            100.0 * pass as f64 / corpus.len() as f64,
+            100.0 * exec as f64 / corpus.len() as f64,
+            time / 1000.0 / corpus.len() as f64
+        );
+    }
+}

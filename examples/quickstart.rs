@@ -1,0 +1,47 @@
+//! Quickstart: detect undefined behaviour in an unsafe-Rust program with
+//! the oracle, then let RustBrain repair it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rb_lang::parser::parse_program;
+use rb_lang::printer::print_program;
+use rb_llm::ModelId;
+use rb_miri::run_program;
+use rustbrain::{RustBrain, RustBrainConfig};
+
+fn main() {
+    // A classic dangling pointer: the address of `x` escapes its scope.
+    let source = "fn main() {
+    let q: *const i32 = 0 as *const i32;
+    { let x: i32 = 5; q = &raw const x; }
+    unsafe { print(*q); }
+}";
+    let buggy = parse_program(source).expect("program parses");
+
+    println!("== input program ==\n{}", print_program(&buggy));
+
+    // Step 1: the oracle (our Miri substitute) detects the UB.
+    let report = run_program(&buggy);
+    println!("== oracle report ==\n{report}");
+    assert!(!report.passes(), "the input must exhibit UB");
+
+    // Step 2: RustBrain repairs it. The reference output is what the
+    // developer-intended program prints (used for semantic judgement).
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 42));
+    let outcome = brain.repair(&buggy, &["5".to_owned()]);
+
+    println!("== repaired program ==\n{}", print_program(&outcome.final_program));
+    println!(
+        "passed: {} | semantically acceptable: {} | simulated time: {:.1}s | \
+         solutions tried: {} | oracle runs: {}",
+        outcome.passed,
+        outcome.acceptable,
+        outcome.overhead_ms / 1000.0,
+        outcome.solutions_tried,
+        outcome.oracle_runs
+    );
+    println!("error-count trace (the paper's N sequence): {:?}", outcome.error_history);
+    assert!(outcome.passed, "RustBrain should repair the quickstart case");
+}

@@ -1,0 +1,70 @@
+//! Repair campaign: the scenario from the paper's introduction — a project
+//! full of unsafe code whose Miri findings need triaging. We generate a
+//! corpus covering every UB class, point RustBrain at it, and print a
+//! per-class triage summary.
+//!
+//! ```sh
+//! cargo run --release --example repair_campaign
+//! ```
+
+use rb_dataset::Corpus;
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::{RustBrain, RustBrainConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let corpus = Corpus::generate_full(2026, 3);
+    println!(
+        "campaign corpus: {} UB findings across {} classes (mean {:.1} stmts/program)\n",
+        corpus.len(),
+        corpus.stats().len(),
+        corpus.mean_stmts()
+    );
+
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 7));
+    let mut per_class: BTreeMap<UbClass, (usize, usize, usize, f64)> = BTreeMap::new();
+
+    for case in &corpus.cases {
+        let outcome = brain.repair(&case.buggy, &case.gold_outputs());
+        let entry = per_class.entry(case.class).or_insert((0, 0, 0, 0.0));
+        entry.0 += 1;
+        if outcome.passed {
+            entry.1 += 1;
+        }
+        if outcome.acceptable {
+            entry.2 += 1;
+        }
+        entry.3 += outcome.overhead_ms / 1000.0;
+    }
+
+    println!(
+        "{:<18}{:>7}{:>8}{:>8}{:>12}",
+        "class", "cases", "passed", "accept", "mean time"
+    );
+    let (mut total, mut passed, mut accepted) = (0, 0, 0);
+    for (class, (n, p, a, t)) in &per_class {
+        println!(
+            "{:<18}{:>7}{:>8}{:>8}{:>11.1}s",
+            class.label(),
+            n,
+            p,
+            a,
+            t / *n as f64
+        );
+        total += n;
+        passed += p;
+        accepted += a;
+    }
+    println!(
+        "\ncampaign result: {passed}/{total} pass Miri ({:.1}%), {accepted}/{total} \
+         semantically acceptable ({:.1}%)",
+        100.0 * passed as f64 / total as f64,
+        100.0 * accepted as f64 / total as f64
+    );
+    println!(
+        "knowledge base now holds {} solved cases; feedback updated priors {} times",
+        brain.knowledge().len(),
+        brain.priors().updates()
+    );
+}

@@ -1,0 +1,107 @@
+//! UB explorer: the oracle as a standalone analysis tool. Feeds a gallery
+//! of classic unsafe-Rust defects through the Miri-style oracle and prints
+//! each classified diagnostic — a tour of the fourteen UB classes the
+//! paper's evaluation covers.
+//!
+//! ```sh
+//! cargo run --release --example ub_explorer
+//! ```
+
+use rb_lang::parser::parse_program;
+use rb_miri::run_program;
+
+fn main() {
+    let gallery: Vec<(&str, &str)> = vec![
+        (
+            "dangling pointer (scope escape)",
+            "fn main() { let q: *const i32 = 0 as *const i32; \
+             { let x: i32 = 5; q = &raw const x; } unsafe { print(*q); } }",
+        ),
+        (
+            "double free",
+            "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+             dealloc(p, 4usize, 4usize); dealloc(p, 4usize, 4usize); } }",
+        ),
+        (
+            "uninitialised read",
+            "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); \
+             print(ptr_read::<i32>(p as *const i32)); dealloc(p, 4usize, 4usize); } }",
+        ),
+        (
+            "provenance laundering",
+            "fn main() { let x: i32 = 7; let p: *const i32 = &raw const x; \
+             let a: usize = p as usize; let q: *const i32 = a as *const i32; \
+             unsafe { print(*q); } }",
+        ),
+        (
+            "misaligned access",
+            "fn main() { unsafe { let p: *mut u8 = alloc(8usize, 8usize); \
+             print(ptr_read::<u32>(ptr_offset::<u8>(p, 1i32) as *const u32)); \
+             dealloc(p, 8usize, 8usize); } }",
+        ),
+        (
+            "invalid bool (validity)",
+            "fn main() { unsafe { print(transmute::<u8, bool>(3u8)); } }",
+        ),
+        (
+            "stacked-borrows violation",
+            "fn main() { let x: i32 = 1; unsafe { let p: *const i32 = &raw const x; \
+             x = 2; print(ptr_read::<i32>(p)); } }",
+        ),
+        (
+            "conflicting &mut (both borrows)",
+            "fn main() { let x: i32 = 1; unsafe { let a: &mut i32 = &mut x; \
+             let b: &mut i32 = &mut x; *b = 2; print(*a); } }",
+        ),
+        (
+            "data race on a static",
+            "static mut G: i32 = 0; fn main() { spawn { unsafe { G = 1; } } \
+             spawn { unsafe { G = 2; } } join; }",
+        ),
+        (
+            "unchecked arithmetic contract (func.call)",
+            "fn main() { unsafe { print(unchecked_add::<i32>(2147483647i32, 1i32)); } }",
+        ),
+        (
+            "forged function pointer",
+            "fn main() { unsafe { \
+             let f: fn(i32) -> i32 = transmute::<usize, fn(i32) -> i32>(4096usize); \
+             print((f)(1)); } }",
+        ),
+        (
+            "tail-call signature mismatch",
+            "fn helper(x: i32, y: i32) -> i32 { return x + y; } \
+             fn runner(x: i32) -> i32 { tailcall helper(x, 1); } \
+             fn main() { print(runner(1)); }",
+        ),
+        (
+            "panic (assert)",
+            "fn main() { let v: i32 = 3; assert(v > 100, \"too small\"); print(v); }",
+        ),
+        (
+            "heap race (concurrency)",
+            "fn main() { let p: *mut u8 = 0 as *mut u8; \
+             unsafe { p = alloc(4usize, 4usize); ptr_write::<i32>(p as *mut i32, 0i32); } \
+             spawn { unsafe { ptr_write::<i32>(p as *mut i32, 1i32); } } \
+             spawn { unsafe { ptr_write::<i32>(p as *mut i32, 2i32); } } \
+             join; unsafe { dealloc(p, 4usize, 4usize); } }",
+        ),
+    ];
+
+    println!("UB explorer — {} classic defects through the oracle\n", gallery.len());
+    for (name, src) in gallery {
+        let program = parse_program(src).expect("gallery programs parse");
+        let report = run_program(&program);
+        println!("--- {name} ---");
+        if report.passes() {
+            println!("unexpectedly clean!");
+        }
+        for err in &report.errors {
+            println!("  {err}");
+        }
+        if !report.outputs.is_empty() {
+            println!("  (partial output before/around the error: {:?})", report.outputs);
+        }
+        println!();
+    }
+}

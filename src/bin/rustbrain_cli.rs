@@ -1,0 +1,308 @@
+//! `rustbrain` — command-line UB detection and repair.
+//!
+//! ```text
+//! USAGE:
+//!   rustbrain check  <file.mrs>                 run the UB oracle only
+//!   rustbrain repair <file.mrs> [options]       detect and repair
+//!   rustbrain demo                              repair a built-in example
+//!   rustbrain corpus <dir> [--seed N]           export the benchmark corpus
+//!
+//! OPTIONS:
+//!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
+//!   --temperature <0.0..1.0>                    sampling temp   [0.5]
+//!   --seed <u64>                                RNG seed        [42]
+//!   --no-knowledge                              disable the knowledge base
+//!   --reference <out1,out2,...>                 expected outputs for the
+//!                                               acceptability judgement
+//! ```
+//!
+//! `.mrs` files contain mini-Rust source (see `rb-lang`'s grammar); the
+//! `demo` subcommand needs no file.
+
+use rb_lang::parser::parse_program;
+use rb_lang::printer::print_program;
+use rb_llm::ModelId;
+use rb_miri::run_program;
+use rustbrain::{RustBrain, RustBrainConfig};
+use std::process::ExitCode;
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+struct Cli {
+    command: Command,
+    model: ModelId,
+    temperature: f64,
+    seed: u64,
+    use_knowledge: bool,
+    reference: Vec<String>,
+}
+
+#[derive(Debug, PartialEq)]
+enum Command {
+    Check(String),
+    Repair(String),
+    Demo,
+    Corpus(String),
+    Help,
+}
+
+fn parse_model(s: &str) -> Result<ModelId, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "gpt-3.5" | "gpt35" => Ok(ModelId::Gpt35),
+        "gpt-4" | "gpt4" => Ok(ModelId::Gpt4),
+        "gpt-o1" | "o1" => Ok(ModelId::GptO1),
+        "claude-3.5" | "claude" => Ok(ModelId::Claude35),
+        other => Err(format!("unknown model `{other}`")),
+    }
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        command: Command::Help,
+        model: ModelId::Gpt4,
+        temperature: 0.5,
+        seed: 42,
+        use_knowledge: true,
+        reference: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    match it.next().map(String::as_str) {
+        Some("check") => {
+            let file = it.next().ok_or("`check` needs a file argument")?;
+            cli.command = Command::Check(file.clone());
+        }
+        Some("repair") => {
+            let file = it.next().ok_or("`repair` needs a file argument")?;
+            cli.command = Command::Repair(file.clone());
+        }
+        Some("demo") => cli.command = Command::Demo,
+        Some("corpus") => {
+            let dir = it.next().ok_or("`corpus` needs a directory argument")?;
+            cli.command = Command::Corpus(dir.clone());
+        }
+        Some("help" | "--help" | "-h") | None => cli.command = Command::Help,
+        Some(other) => return Err(format!("unknown command `{other}`")),
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--model" => {
+                let v = it.next().ok_or("--model needs a value")?;
+                cli.model = parse_model(v)?;
+            }
+            "--temperature" => {
+                let v = it.next().ok_or("--temperature needs a value")?;
+                cli.temperature = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad temperature `{v}`"))?;
+                if !(0.0..=1.0).contains(&cli.temperature) {
+                    return Err("temperature must be in [0, 1]".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse::<u64>().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--no-knowledge" => cli.use_knowledge = false,
+            "--reference" => {
+                let v = it.next().ok_or("--reference needs a value")?;
+                cli.reference = v.split(',').map(str::to_owned).collect();
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+const DEMO: &str = "fn main() {
+    let q: *const i32 = 0 as *const i32;
+    { let x: i32 = 5; q = &raw const x; }
+    unsafe { print(*q); }
+}";
+
+fn usage() -> &'static str {
+    "rustbrain — LLM-driven undefined-behaviour repair (DAC'25 reproduction)
+
+USAGE:
+  rustbrain check  <file.mrs>               run the UB oracle only
+  rustbrain repair <file.mrs> [options]     detect and repair
+  rustbrain demo                            repair a built-in example
+  rustbrain corpus <dir> [--seed N]         export the benchmark corpus
+
+OPTIONS:
+  --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
+  --temperature <0.0..1.0>                   sampling temp   [0.5]
+  --seed <u64>                               RNG seed        [42]
+  --no-knowledge                             disable the knowledge base
+  --reference <out1,out2,...>                expected outputs"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match cli.command {
+        Command::Help => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Command::Check(ref file) => match std::fs::read_to_string(file) {
+            Ok(src) => check(&src),
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Command::Repair(ref file) => match std::fs::read_to_string(file) {
+            Ok(src) => repair(&src, &cli),
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Command::Corpus(ref dir) => export_corpus(dir, cli.seed),
+        Command::Demo => {
+            println!("repairing the built-in dangling-pointer demo:\n\n{DEMO}\n");
+            let mut demo_cli = cli;
+            demo_cli.reference = vec!["5".to_owned()];
+            repair(DEMO, &demo_cli)
+        }
+    }
+}
+
+fn export_corpus(dir: &str, seed: u64) -> ExitCode {
+    let corpus = rb_dataset::Corpus::generate_full(seed, 2);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {dir}: {e}");
+        return ExitCode::from(2);
+    }
+    let mut written = 0usize;
+    for case in &corpus.cases {
+        let stem = case.id.replace('/', "_").replace('.', "_");
+        let buggy_path = format!("{dir}/{stem}.buggy.mrs");
+        let gold_path = format!("{dir}/{stem}.gold.mrs");
+        let ok = std::fs::write(&buggy_path, print_program(&case.buggy)).is_ok()
+            && std::fs::write(&gold_path, print_program(&case.gold)).is_ok();
+        if ok {
+            written += 2;
+        } else {
+            eprintln!("error: failed writing {stem}");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "wrote {written} files ({} cases across {} classes) to {dir}",
+        corpus.len(),
+        corpus.stats().len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn check(src: &str) -> ExitCode {
+    let program = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_program(&program);
+    print!("{report}");
+    if report.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn repair(src: &str, cli: &Cli) -> ExitCode {
+    let program = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_program(&program);
+    if report.passes() {
+        println!("program already passes the oracle; nothing to repair");
+        return ExitCode::SUCCESS;
+    }
+    print!("{report}");
+    let mut config = RustBrainConfig::for_model(cli.model, cli.seed);
+    config.temperature = cli.temperature;
+    config.use_knowledge = cli.use_knowledge;
+    let mut brain = RustBrain::new(config);
+    let outcome = brain.repair(&program, &cli.reference);
+    println!("\n== repaired program ==\n{}", print_program(&outcome.final_program));
+    println!(
+        "passed: {} | acceptable: {}{} | simulated time: {:.1}s | solutions: {} | oracle runs: {}",
+        outcome.passed,
+        outcome.acceptable,
+        if cli.reference.is_empty() { " (no --reference given)" } else { "" },
+        outcome.overhead_ms / 1000.0,
+        outcome.solutions_tried,
+        outcome.oracle_runs
+    );
+    if outcome.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_repair_with_flags() {
+        let cli = parse_cli(&argv(
+            "repair prog.mrs --model gpt-o1 --temperature 0.3 --seed 7 --no-knowledge --reference 5,true",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Repair("prog.mrs".into()));
+        assert_eq!(cli.model, ModelId::GptO1);
+        assert_eq!(cli.temperature, 0.3);
+        assert_eq!(cli.seed, 7);
+        assert!(!cli.use_knowledge);
+        assert_eq!(cli.reference, vec!["5".to_owned(), "true".to_owned()]);
+    }
+
+    #[test]
+    fn defaults_are_papers() {
+        let cli = parse_cli(&argv("demo")).unwrap();
+        assert_eq!(cli.model, ModelId::Gpt4);
+        assert_eq!(cli.temperature, 0.5);
+        assert!(cli.use_knowledge);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_cli(&argv("repair")).is_err());
+        assert!(parse_cli(&argv("check a --model gpt-9")).is_err());
+        assert!(parse_cli(&argv("repair a --temperature 3")).is_err());
+        assert!(parse_cli(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_corpus_command() {
+        let cli = parse_cli(&argv("corpus /tmp/out --seed 9")).unwrap();
+        assert_eq!(cli.command, Command::Corpus("/tmp/out".into()));
+        assert_eq!(cli.seed, 9);
+        assert!(parse_cli(&argv("corpus")).is_err());
+    }
+
+    #[test]
+    fn help_is_default() {
+        assert_eq!(parse_cli(&[]).unwrap().command, Command::Help);
+    }
+}

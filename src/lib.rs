@@ -1,0 +1,21 @@
+//! Umbrella crate of the RustBrain reproduction: re-exports the whole
+//! stack so the examples and integration tests have one import surface.
+//! See the individual crates for the real APIs:
+//!
+//! - [`rb_lang`] — the mini unsafe-Rust IR,
+//! - [`rb_miri`] — the Miri-style UB oracle,
+//! - [`rb_dataset`] — the benchmark corpus,
+//! - [`rb_llm`] — simulated language models,
+//! - [`rustbrain`] — the fast/slow-thinking repair framework,
+//! - [`rb_baselines`] — comparison systems,
+//! - [`rb_bench`] — the experiment harness.
+
+#![warn(missing_docs)]
+
+pub use rb_baselines;
+pub use rb_bench;
+pub use rb_dataset;
+pub use rb_lang;
+pub use rb_llm;
+pub use rb_miri;
+pub use rustbrain;

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: corpus → oracle → RustBrain → evaluation,
+//! exercising the whole stack the way the experiment harness does.
+
+use rb_dataset::{semantically_acceptable, Corpus};
+use rb_llm::ModelId;
+use rb_miri::{run_program, UbClass};
+use rustbrain::{RollbackPolicy, RustBrain, RustBrainConfig};
+
+#[test]
+fn every_class_is_repairable_by_a_strong_model() {
+    // For each UB class there must exist a case the framework repairs —
+    // otherwise a figure's bar could silently be structural zero.
+    let corpus = Corpus::generate_full(808, 3);
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::GptO1, 5));
+    for class in UbClass::ALL {
+        let repaired = corpus
+            .of_class(class)
+            .iter()
+            .any(|case| brain.repair(&case.buggy, &case.gold_outputs()).passed);
+        assert!(repaired, "no repairable case for class {class}");
+    }
+}
+
+#[test]
+fn repaired_programs_actually_pass_the_oracle() {
+    let corpus = Corpus::generate(4, 2, &[UbClass::Alloc, UbClass::Validity, UbClass::Panic]);
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 9));
+    for case in &corpus.cases {
+        let outcome = brain.repair(&case.buggy, &case.gold_outputs());
+        if outcome.passed {
+            // The outcome's claim must be backed by a fresh oracle run.
+            let report = run_program(&outcome.final_program);
+            assert!(report.passes(), "{}: claimed pass but oracle disagrees", case.id);
+            if outcome.acceptable {
+                assert!(
+                    semantically_acceptable(case, &outcome.final_program),
+                    "{}: claimed acceptable but outputs differ",
+                    case.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rustbrain_beats_standalone_on_the_same_corpus() {
+    let corpus = Corpus::generate(6, 3, &UbClass::FIG8);
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt35, 2));
+    let mut alone = rb_baselines::LlmOnly::new(ModelId::Gpt35, 0.5, 2);
+    let mut brain_pass = 0;
+    let mut alone_pass = 0;
+    for case in &corpus.cases {
+        let gold = case.gold_outputs();
+        brain_pass += usize::from(brain.repair(&case.buggy, &gold).passed);
+        alone_pass += usize::from(alone.repair(&case.buggy, &gold).passed);
+    }
+    assert!(
+        brain_pass > alone_pass,
+        "RustBrain {brain_pass} vs standalone {alone_pass} on {} cases",
+        corpus.len()
+    );
+}
+
+#[test]
+fn adaptive_rollback_bounds_error_growth() {
+    // Under the no-rollback policy error counts may grow; adaptive rollback
+    // guarantees the best state never regresses across a repair.
+    let corpus = Corpus::generate(17, 2, &[UbClass::StackBorrow, UbClass::DataRace]);
+    for policy in [RollbackPolicy::Adaptive, RollbackPolicy::None] {
+        let mut cfg = RustBrainConfig::for_model(ModelId::Gpt35, 3);
+        cfg.rollback = policy;
+        let mut brain = RustBrain::new(cfg);
+        for case in &corpus.cases {
+            let outcome = brain.repair(&case.buggy, &case.gold_outputs());
+            let initial = outcome.error_history[0];
+            let final_best = outcome.error_history.iter().min().copied().unwrap_or(initial);
+            if policy == RollbackPolicy::Adaptive {
+                assert!(
+                    final_best <= initial,
+                    "{}: adaptive rollback ended worse than it started",
+                    case.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn knowledge_base_grows_only_on_success() {
+    let corpus = Corpus::generate(23, 2, &[UbClass::Validity]);
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::GptO1, 4));
+    let mut successes = 0;
+    for case in &corpus.cases {
+        let before = brain.knowledge().len();
+        let outcome = brain.repair(&case.buggy, &case.gold_outputs());
+        let after = brain.knowledge().len();
+        if outcome.passed && outcome.rules_applied.iter().any(|_| true) {
+            successes += 1;
+        }
+        assert!(after >= before);
+        assert!(after <= before + 1, "at most one KB entry per repair");
+    }
+    assert!(successes > 0);
+}
+
+#[test]
+fn overhead_accounting_is_consistent() {
+    let corpus = Corpus::generate(29, 1, &[UbClass::DanglingPointer]);
+    let case = &corpus.cases[0];
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 11));
+    let outcome = brain.repair(&case.buggy, &case.gold_outputs());
+    // Overhead must cover at least the model latency actually spent.
+    assert!(outcome.overhead_ms >= brain.model_stats().total_latency_ms * 0.5);
+    assert!(outcome.overhead_ms < 3_600_000.0, "bounded by an hour of simulated time");
+}
+
+#[test]
+fn full_stack_determinism() {
+    let run_once = || {
+        let corpus = Corpus::generate(31, 1, &UbClass::FIG10);
+        let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Claude35, 13));
+        corpus
+            .cases
+            .iter()
+            .map(|c| {
+                let o = brain.repair(&c.buggy, &c.gold_outputs());
+                (o.passed, o.acceptable, o.oracle_runs, o.overhead_ms.to_bits())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run_once(), run_once(), "whole-stack runs must be bit-identical");
+}
