@@ -3,8 +3,8 @@
 //! near-certain success rate. Experts are slow but reliable.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rb_miri::UbClass;
 use serde::{Deserialize, Serialize};
 
@@ -69,7 +69,11 @@ impl HumanExpert {
         let time_s = base * (0.7 + self.rng.gen::<f64>() * 0.6);
         let passed = self.rng.gen::<f64>() < self.pass_rate;
         let acceptable = passed && self.rng.gen::<f64>() < self.exec_given_pass;
-        HumanOutcome { passed, acceptable, time_s }
+        HumanOutcome {
+            passed,
+            acceptable,
+            time_s,
+        }
     }
 
     /// Mean repair time over `n` simulated repairs of a class.
@@ -101,7 +105,9 @@ mod tests {
     #[test]
     fn experts_almost_always_succeed() {
         let mut h = HumanExpert::new(5);
-        let ok = (0..500).filter(|_| h.repair(UbClass::Validity).passed).count();
+        let ok = (0..500)
+            .filter(|_| h.repair(UbClass::Validity).passed)
+            .count();
         assert!(ok > 460);
     }
 

@@ -41,7 +41,9 @@ impl LlmOnly {
         let mut iterations = 0usize;
 
         while !report.passes() && iterations < self.max_iterations {
-            let Some(primary) = report.primary().cloned() else { break };
+            let Some(primary) = report.primary().cloned() else {
+                break;
+            };
             let ctx = RepairContext::new(&current, &primary, PromptStrategy::Freeform);
             let resp = self.model.propose(&ctx);
             overhead += resp.latency_ms;

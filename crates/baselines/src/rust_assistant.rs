@@ -52,7 +52,9 @@ impl RustAssistant {
         let mut iterations = 0usize;
 
         while !report.passes() && iterations < self.max_iterations {
-            let Some(primary) = report.primary().cloned() else { break };
+            let Some(primary) = report.primary().cloned() else {
+                break;
+            };
             let ctx = RepairContext::new(&current, &primary, Self::strategy_for(iterations));
             let resp = self.model.propose(&ctx);
             overhead += resp.latency_ms + GENERIC_STEP_MS;

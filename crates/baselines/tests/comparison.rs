@@ -69,8 +69,15 @@ fn baseline_outcomes_are_internally_consistent() {
     let mut alone = LlmOnly::new(ModelId::Claude35, 0.5, 2);
     for case in &c.cases {
         let gold = case.gold_outputs();
-        for o in [ra.repair(&case.buggy, &gold), alone.repair(&case.buggy, &gold)] {
-            assert!(!o.acceptable || o.passed, "{}: acceptable without pass", case.id);
+        for o in [
+            ra.repair(&case.buggy, &gold),
+            alone.repair(&case.buggy, &gold),
+        ] {
+            assert!(
+                !o.acceptable || o.passed,
+                "{}: acceptable without pass",
+                case.id
+            );
             if o.passed {
                 assert!(
                     rb_miri::run_program(&o.final_program).passes(),

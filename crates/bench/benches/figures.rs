@@ -13,13 +13,21 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig7_flexibility", |b| b.iter(|| black_box(fig7::run(1))));
     g.bench_function("fig8_fig9_grid", |b| b.iter(|| black_box(rq2::run(1, 1))));
     g.bench_function("fig10_o1", |b| b.iter(|| black_box(fig10::run(1, 1))));
-    g.bench_function("fig11_temperature", |b| b.iter(|| black_box(fig11::run(1, 1, 1))));
-    g.bench_function("fig12_rustassistant", |b| b.iter(|| black_box(fig12::run(1, 1))));
-    g.bench_function("table1_speedup", |b| b.iter(|| black_box(table1::run(1, 1))));
+    g.bench_function("fig11_temperature", |b| {
+        b.iter(|| black_box(fig11::run(1, 1, 1)))
+    });
+    g.bench_function("fig12_rustassistant", |b| {
+        b.iter(|| black_box(fig12::run(1, 1)))
+    });
+    g.bench_function("table1_speedup", |b| {
+        b.iter(|| black_box(table1::run(1, 1)))
+    });
     g.bench_function("ablation_rollback", |b| {
         b.iter(|| black_box(ablation_rollback::run(1, 1)))
     });
-    g.bench_function("ablation_prune", |b| b.iter(|| black_box(ablation_prune::run(1))));
+    g.bench_function("ablation_prune", |b| {
+        b.iter(|| black_box(ablation_prune::run(1)))
+    });
     g.finish();
 }
 

@@ -10,7 +10,11 @@ use rb_lang::vectorize::AstVector;
 
 fn bench_lang(c: &mut Criterion) {
     let corpus = Corpus::generate_full(11, 1);
-    let sources: Vec<String> = corpus.cases.iter().map(|x| print_program(&x.buggy)).collect();
+    let sources: Vec<String> = corpus
+        .cases
+        .iter()
+        .map(|x| print_program(&x.buggy))
+        .collect();
 
     c.bench_function("lang/parse_corpus", |b| {
         b.iter(|| {

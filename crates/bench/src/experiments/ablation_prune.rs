@@ -192,7 +192,11 @@ mod tests {
             a.pruned_accuracy,
             a.unpruned_accuracy
         );
-        assert!(a.pruned_accuracy > 0.6, "retrieval accuracy {}", a.pruned_accuracy);
+        assert!(
+            a.pruned_accuracy > 0.6,
+            "retrieval accuracy {}",
+            a.pruned_accuracy
+        );
     }
 
     #[test]
@@ -206,7 +210,11 @@ mod tests {
             a.pruned_noisy_accuracy,
             a.unpruned_noisy_accuracy
         );
-        assert!(a.mean_removed >= 3.0, "noise was not pruned: {}", a.mean_removed);
+        assert!(
+            a.mean_removed >= 3.0,
+            "noise was not pruned: {}",
+            a.mean_removed
+        );
     }
 
     #[test]

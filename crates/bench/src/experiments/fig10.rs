@@ -27,9 +27,8 @@ impl Fig10Result {
     /// Renders the comparison table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fig. 10: RustBrain with GPT-4 vs GPT-O1 on UB repair (subset, %)\n",
-        );
+        let mut out =
+            String::from("Fig. 10: RustBrain with GPT-4 vs GPT-O1 on UB repair (subset, %)\n");
         out.push_str(&format!(
             "{:<18}{:>14}{:>14}{:>14}{:>14}\n",
             "class", "GPT4+RB pass", "O1+RB pass", "GPT4+RB exec", "O1+RB exec"

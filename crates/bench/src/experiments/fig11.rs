@@ -47,9 +47,8 @@ impl Fig11Result {
     /// Renders the sweep as a table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fig. 11: temperature sensitivity of GPT-4+RustBrain (95% CI)\n",
-        );
+        let mut out =
+            String::from("Fig. 11: temperature sensitivity of GPT-4+RustBrain (95% CI)\n");
         out.push_str(&format!(
             "{:<6}{:>8}{:>19}{:>8}{:>19}\n",
             "temp", "pass", "pass CI", "exec", "exec CI"
@@ -98,7 +97,8 @@ pub fn run(seed: u64, per_class: usize, reps: usize) -> Fig11Result {
         for rep in 0..reps {
             let corpus_seed = seed.wrapping_add(rep as u64 * 101);
             let corpus = Corpus::generate(corpus_seed, per_class, &classes);
-            let mut cfg = RustBrainConfig::for_model(ModelId::Gpt4, seed + ti as u64 + rep as u64 * 7);
+            let mut cfg =
+                RustBrainConfig::for_model(ModelId::Gpt4, seed + ti as u64 + rep as u64 * 7);
             cfg.temperature = temperature;
             let mut system = System::brain(cfg);
             let results = system.run_corpus(&corpus.cases);
@@ -108,7 +108,11 @@ pub fn run(seed: u64, per_class: usize, reps: usize) -> Fig11Result {
             exec.hits += e.hits;
             exec.n += e.n;
         }
-        points.push(TempPoint { temperature, pass, exec });
+        points.push(TempPoint {
+            temperature,
+            pass,
+            exec,
+        });
     }
     Fig11Result { points }
 }

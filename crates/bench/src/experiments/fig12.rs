@@ -49,9 +49,7 @@ impl Fig12Result {
     /// Renders the comparison table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Fig. 12: RustBrain vs RustAssistant on UB repair (%)\n",
-        );
+        let mut out = String::from("Fig. 12: RustBrain vs RustAssistant on UB repair (%)\n");
         out.push_str(&format!(
             "{:<18}{:>10}{:>10}{:>10}{:>10}{:>14}\n",
             "class", "RB pass", "RA pass", "RB exec", "RA exec", "RB noKB exec"

@@ -4,11 +4,11 @@
 //! whether the result passes Miri, whether it is semantically acceptable,
 //! and the simulated overhead — the paper's enable/disable agent matrix.
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rb_dataset::{templates_for, UbCase};
 use rb_llm::ModelId;
 use rb_miri::{run_program, UbClass};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use rustbrain::{AgentKind, RustBrain, RustBrainConfig};
 use serde::{Deserialize, Serialize};
 
@@ -98,7 +98,11 @@ pub fn run(seed: u64) -> Fig7Result {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let sources = (template.make)(&mut rng);
     let case = UbCase::from_sources(
-        format!("{}/{}/fig7", UbClass::DanglingPointer.label(), template.name),
+        format!(
+            "{}/{}/fig7",
+            UbClass::DanglingPointer.label(),
+            template.name
+        ),
         UbClass::DanglingPointer,
         template.name,
         &sources.buggy,
@@ -131,7 +135,10 @@ pub fn run(seed: u64) -> Fig7Result {
             overhead_s: outcome.overhead_ms / 1000.0,
         });
     }
-    Fig7Result { case_id: case.id, rows }
+    Fig7Result {
+        case_id: case.id,
+        rows,
+    }
 }
 
 #[cfg(test)]

@@ -22,13 +22,16 @@ pub const CONFIG_LABELS: [&str; 7] = [
     "GPT-4+RustBrain",
 ];
 
+/// One grid row's cells: per class, its (pass, exec) rates.
+pub type ClassRates = Vec<(UbClass, Rate, Rate)>;
+
 /// Result grid: per configuration, per class, (pass, exec) rates.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Rq2Grid {
     /// Classes in display order.
     pub classes: Vec<UbClass>,
     /// Rows: `(config label, per-class (class, pass, exec))`.
-    pub rows: Vec<(String, Vec<(UbClass, Rate, Rate)>)>,
+    pub rows: Vec<(String, ClassRates)>,
 }
 
 impl Rq2Grid {
@@ -137,10 +140,16 @@ mod tests {
         // RustBrain lifts every base model substantially,
         let g4 = grid.overall_pass("GPT-4");
         let g4_rb = grid.overall_pass("GPT-4+RustBrain");
-        assert!(g4_rb >= g4 + 15.0, "RustBrain lift too small: {g4} -> {g4_rb}");
+        assert!(
+            g4_rb >= g4 + 15.0,
+            "RustBrain lift too small: {g4} -> {g4_rb}"
+        );
         // the knowledge base does not hurt pass rate,
         let no_kb = grid.overall_pass("GPT-4+RustBrain(non knowledge)");
-        assert!(g4_rb + 10.0 >= no_kb, "KB config collapsed: {g4_rb} vs {no_kb}");
+        assert!(
+            g4_rb + 10.0 >= no_kb,
+            "KB config collapsed: {g4_rb} vs {no_kb}"
+        );
         // GPT-3.5+RustBrain reaches at least standalone GPT-4 level,
         let g35_rb = grid.overall_pass("GPT-3.5+RustBrain");
         assert!(g35_rb >= g4, "GPT-3.5+RB ({g35_rb}) < GPT-4 alone ({g4})");

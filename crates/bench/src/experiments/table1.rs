@@ -39,7 +39,13 @@ impl Table1Result {
     /// Average row (the paper's last line).
     #[must_use]
     pub fn averages(&self) -> (f64, f64, f64, f64) {
-        let nk = mean(&self.rows.iter().map(|r| r.no_knowledge_s).collect::<Vec<_>>());
+        let nk = mean(
+            &self
+                .rows
+                .iter()
+                .map(|r| r.no_knowledge_s)
+                .collect::<Vec<_>>(),
+        );
         let k = mean(&self.rows.iter().map(|r| r.knowledge_s).collect::<Vec<_>>());
         let h = mean(&self.rows.iter().map(|r| r.human_s).collect::<Vec<_>>());
         (nk, k, h, h / nk.max(1e-9))
@@ -48,9 +54,8 @@ impl Table1Result {
     /// Renders the table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table I: Execution time of RustBrain (GPT-4) against human experts\n",
-        );
+        let mut out =
+            String::from("Table I: Execution time of RustBrain (GPT-4) against human experts\n");
         out.push_str(&format!(
             "{:<18}{:>14}{:>14}{:>10}{:>10}\n",
             "type", "no knowl. (s)", "knowledge (s)", "human (s)", "speedup"
@@ -126,7 +131,10 @@ mod tests {
         assert!(speedup > 3.0, "mean speedup only {speedup:.2}x");
         assert!(h > nk, "humans should be slower on average");
         // Knowledge adds retrieval overhead on average.
-        assert!(k > nk * 0.9, "knowledge config unexpectedly cheap: {k} vs {nk}");
+        assert!(
+            k > nk * 0.9,
+            "knowledge config unexpectedly cheap: {k} vs {nk}"
+        );
     }
 
     #[test]

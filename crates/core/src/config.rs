@@ -64,14 +64,23 @@ impl RustBrainConfig {
     /// The paper's primary configuration for a given model and seed.
     #[must_use]
     pub fn for_model(model: ModelId, seed: u64) -> RustBrainConfig {
-        RustBrainConfig { model, seed, ..RustBrainConfig::default() }
+        RustBrainConfig {
+            model,
+            seed,
+            ..RustBrainConfig::default()
+        }
     }
 
     /// GPT-4 + RustBrain without the knowledge base (the "non knowledge"
     /// series in Figs. 8/9/12 and Table I).
     #[must_use]
     pub fn without_knowledge(model: ModelId, seed: u64) -> RustBrainConfig {
-        RustBrainConfig { model, seed, use_knowledge: false, ..RustBrainConfig::default() }
+        RustBrainConfig {
+            model,
+            seed,
+            use_knowledge: false,
+            ..RustBrainConfig::default()
+        }
     }
 }
 

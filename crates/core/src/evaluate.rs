@@ -35,7 +35,11 @@ impl EvalTriplet {
 
 /// Evaluates a candidate repair against reference outputs.
 #[must_use]
-pub fn evaluate(candidate: &Program, reference_outputs: &[String], overhead_ms: f64) -> EvalTriplet {
+pub fn evaluate(
+    candidate: &Program,
+    reference_outputs: &[String],
+    overhead_ms: f64,
+) -> EvalTriplet {
     let report = run_program(candidate);
     evaluate_with_report(&report, reference_outputs, overhead_ms)
 }
@@ -62,17 +66,37 @@ mod tests {
 
     #[test]
     fn acceptable_beats_passing_beats_failing() {
-        let acceptable = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 50_000.0 };
-        let passing = EvalTriplet { accuracy: true, acceptability: false, overhead_ms: 1_000.0 };
-        let failing = EvalTriplet { accuracy: false, acceptability: false, overhead_ms: 0.0 };
+        let acceptable = EvalTriplet {
+            accuracy: true,
+            acceptability: true,
+            overhead_ms: 50_000.0,
+        };
+        let passing = EvalTriplet {
+            accuracy: true,
+            acceptability: false,
+            overhead_ms: 1_000.0,
+        };
+        let failing = EvalTriplet {
+            accuracy: false,
+            acceptability: false,
+            overhead_ms: 0.0,
+        };
         assert!(acceptable.score() > passing.score());
         assert!(passing.score() > failing.score());
     }
 
     #[test]
     fn faster_same_quality_scores_higher() {
-        let fast = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 10_000.0 };
-        let slow = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 300_000.0 };
+        let fast = EvalTriplet {
+            accuracy: true,
+            acceptability: true,
+            overhead_ms: 10_000.0,
+        };
+        let slow = EvalTriplet {
+            accuracy: true,
+            acceptability: true,
+            overhead_ms: 300_000.0,
+        };
         assert!(fast.score() > slow.score());
     }
 

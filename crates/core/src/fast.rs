@@ -60,9 +60,10 @@ impl FastThinking {
         // caller still receives k entries (duplicates model wasted samples).
         while out.len() < k {
             let idx = out.len() % out.len().max(1);
-            let clone = out.get(idx).cloned().unwrap_or_else(|| {
-                Solution::new(vec![AgentKind::Modify])
-            });
+            let clone = out
+                .get(idx)
+                .cloned()
+                .unwrap_or_else(|| Solution::new(vec![AgentKind::Modify]));
             out.push(clone);
         }
         out.truncate(k);
@@ -134,7 +135,9 @@ mod tests {
     fn generates_requested_count() {
         let sols = gen(1, 0.5, &Priors::new(), true);
         assert_eq!(sols.len(), 10);
-        assert!(sols.iter().all(|s| !s.steps.is_empty() && s.steps.len() <= 3));
+        assert!(sols
+            .iter()
+            .all(|s| !s.steps.is_empty() && s.steps.len() <= 3));
     }
 
     #[test]
@@ -152,7 +155,11 @@ mod tests {
     #[test]
     fn feedback_replays_best_solution_first() {
         let mut priors = Priors::new();
-        let good = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 1000.0 };
+        let good = EvalTriplet {
+            accuracy: true,
+            acceptability: true,
+            overhead_ms: 1000.0,
+        };
         priors.update(
             rb_miri::UbClass::Panic,
             &[AgentKind::Modify, AgentKind::Assert],
@@ -165,7 +172,11 @@ mod tests {
     #[test]
     fn learned_priors_shift_distribution() {
         let mut priors = Priors::new();
-        let good = EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 1000.0 };
+        let good = EvalTriplet {
+            accuracy: true,
+            acceptability: true,
+            overhead_ms: 1000.0,
+        };
         for _ in 0..8 {
             priors.update(rb_miri::UbClass::Panic, &[AgentKind::SafeReplace], &good);
         }

@@ -69,11 +69,19 @@ mod tests {
     use super::*;
 
     fn good() -> EvalTriplet {
-        EvalTriplet { accuracy: true, acceptability: true, overhead_ms: 5_000.0 }
+        EvalTriplet {
+            accuracy: true,
+            acceptability: true,
+            overhead_ms: 5_000.0,
+        }
     }
 
     fn bad() -> EvalTriplet {
-        EvalTriplet { accuracy: false, acceptability: false, overhead_ms: 60_000.0 }
+        EvalTriplet {
+            accuracy: false,
+            acceptability: false,
+            overhead_ms: 60_000.0,
+        }
     }
 
     #[test]
@@ -91,7 +99,11 @@ mod tests {
         let mut p = Priors::new();
         p.update(UbClass::Panic, &[AgentKind::Assert], &bad());
         assert!(p.best_solution(UbClass::Panic).is_none());
-        p.update(UbClass::Panic, &[AgentKind::Modify, AgentKind::Assert], &good());
+        p.update(
+            UbClass::Panic,
+            &[AgentKind::Modify, AgentKind::Assert],
+            &good(),
+        );
         assert_eq!(
             p.best_solution(UbClass::Panic),
             Some(&[AgentKind::Modify, AgentKind::Assert][..])

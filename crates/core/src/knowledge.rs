@@ -45,7 +45,10 @@ impl KnowledgeBase {
     /// base of a given size for the ablation benchmarks).
     #[must_use]
     pub fn with_entries(entries: Vec<KbEntry>) -> KnowledgeBase {
-        KnowledgeBase { entries, ..KnowledgeBase::default() }
+        KnowledgeBase {
+            entries,
+            ..KnowledgeBase::default()
+        }
     }
 
     /// Number of stored cases.
@@ -62,7 +65,11 @@ impl KnowledgeBase {
 
     /// Stores a solved case.
     pub fn insert(&mut self, vector: AstVector, class: UbClass, rule: RepairRule) {
-        self.entries.push(KbEntry { vector, class, rule });
+        self.entries.push(KbEntry {
+            vector,
+            class,
+            rule,
+        });
     }
 
     /// Retrieves up to `k` few-shots for a query vector, preferring
@@ -88,7 +95,10 @@ impl KnowledgeBase {
         scored
             .into_iter()
             .take(k)
-            .map(|(sim, e)| FewShot { rule: e.rule, similarity: sim.min(1.0) })
+            .map(|(sim, e)| FewShot {
+                rule: e.rule,
+                similarity: sim.min(1.0),
+            })
             .collect()
     }
 
@@ -123,7 +133,11 @@ mod tests {
             "static mut G: i32 = 0; fn main() { \
              spawn { unsafe { G = 1; } } spawn { unsafe { G = 2; } } join; }",
         );
-        kb.insert(dangling.clone(), UbClass::DanglingPointer, RepairRule::HoistLocalOut);
+        kb.insert(
+            dangling.clone(),
+            UbClass::DanglingPointer,
+            RepairRule::HoistLocalOut,
+        );
         kb.insert(race, UbClass::DataRace, RepairRule::LockSpawnBodies);
 
         let query = vec_of(

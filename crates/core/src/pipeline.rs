@@ -3,7 +3,7 @@
 //! evaluation triplet → feedback into priors and knowledge base.
 
 use crate::config::RustBrainConfig;
-use crate::evaluate::{EvalTriplet, evaluate_with_report};
+use crate::evaluate::{evaluate_with_report, EvalTriplet};
 use crate::fast::FastThinking;
 use crate::features::extract_features;
 use crate::feedback::Priors;
@@ -130,10 +130,7 @@ impl RustBrain {
         reference: &[String],
         budget: usize,
     ) -> SolutionOutcome {
-        let kb = self
-            .config
-            .use_knowledge
-            .then_some(&mut self.knowledge);
+        let kb = self.config.use_knowledge.then_some(&mut self.knowledge);
         execute_solution(
             &mut self.model,
             kb,
@@ -172,7 +169,8 @@ impl RustBrain {
         // solution generation); charge their latency.
         let profile = self.model.profile().clone();
         let fast_tokens = rb_llm::tokens::count_tokens(&rb_lang::printer::print_program(program));
-        let fast_cost = 2.0 * (profile.latency_base_ms + profile.latency_per_token_ms * fast_tokens as f64);
+        let fast_cost =
+            2.0 * (profile.latency_base_ms + profile.latency_per_token_ms * fast_tokens as f64);
         let solutions = self.generate_solutions(program, &report);
         let mut best: Option<SolutionOutcome> = None;
         let mut total_overhead = fast_cost;
@@ -221,7 +219,10 @@ impl RustBrain {
                     if outcome.eval.accuracy {
                         (program.clone(), report.clone())
                     } else {
-                        (outcome.final_program.clone(), run_program(&outcome.final_program))
+                        (
+                            outcome.final_program.clone(),
+                            run_program(&outcome.final_program),
+                        )
                     }
                 }
                 crate::config::RollbackPolicy::None => {

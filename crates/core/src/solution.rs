@@ -99,8 +99,14 @@ mod tests {
 
     #[test]
     fn strategies_align() {
-        assert_eq!(AgentKind::SafeReplace.strategy(), PromptStrategy::SafeReplace);
-        assert_eq!(AgentKind::AbstractReasoning.strategy(), PromptStrategy::Freeform);
+        assert_eq!(
+            AgentKind::SafeReplace.strategy(),
+            PromptStrategy::SafeReplace
+        );
+        assert_eq!(
+            AgentKind::AbstractReasoning.strategy(),
+            PromptStrategy::Freeform
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ fn config_matrix_all_variants_run() {
     let corpus = Corpus::generate(3, 1, &[UbClass::Validity, UbClass::Alloc]);
     for model in ModelId::ALL {
         for use_knowledge in [false, true] {
-            for rollback in [RollbackPolicy::Adaptive, RollbackPolicy::ToInitial, RollbackPolicy::None] {
+            for rollback in [
+                RollbackPolicy::Adaptive,
+                RollbackPolicy::ToInitial,
+                RollbackPolicy::None,
+            ] {
                 let mut cfg = RustBrainConfig::for_model(model, 1);
                 cfg.use_knowledge = use_knowledge;
                 cfg.rollback = rollback;
@@ -104,7 +108,11 @@ fn seeded_knowledge_accelerates_hard_class() {
         let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt35, 13));
         if seed_kb {
             for case in &cases {
-                brain.seed_knowledge(&case.buggy, UbClass::StackBorrow, RepairRule::RetakePointerAfterWrite);
+                brain.seed_knowledge(
+                    &case.buggy,
+                    UbClass::StackBorrow,
+                    RepairRule::RetakePointerAfterWrite,
+                );
             }
         }
         cases
@@ -168,5 +176,9 @@ fn budget_caps_are_respected() {
     // Budget is checked between solutions; one solution may run a few calls
     // past the cap, but not a multiple of it.
     assert!(spent <= 3 + 9, "model calls {spent} blew the cap");
-    assert!(out.oracle_runs <= 4 + 9, "oracle runs {} blew the cap", out.oracle_runs);
+    assert!(
+        out.oracle_runs <= 4 + 9,
+        "oracle runs {} blew the cap",
+        out.oracle_runs
+    );
 }

@@ -78,7 +78,6 @@ impl UbCase {
 
     /// Validates the case invariants: the buggy program fails the oracle
     /// with the advertised class, and the gold program passes.
-    #[must_use]
     pub fn validate(&self) -> Result<(), String> {
         let b = self.run_buggy();
         if b.passes() {

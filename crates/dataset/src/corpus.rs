@@ -39,7 +39,11 @@ impl Corpus {
             while produced < per_class && attempt < per_class * 4 {
                 let t = templates[attempt % templates.len()];
                 attempt += 1;
-                let CaseSources { buggy, gold, description } = (t.make)(&mut rng);
+                let CaseSources {
+                    buggy,
+                    gold,
+                    description,
+                } = (t.make)(&mut rng);
                 let case = UbCase::from_sources(
                     format!("{}/{}/{}", class.label(), t.name, produced),
                     class,
@@ -109,7 +113,11 @@ pub fn validate_all_templates(seed: u64) -> Vec<String> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut failures = Vec::new();
     for t in all_templates() {
-        let CaseSources { buggy, gold, description } = (t.make)(&mut rng);
+        let CaseSources {
+            buggy,
+            gold,
+            description,
+        } = (t.make)(&mut rng);
         let case = UbCase::from_sources(
             format!("{}/{}/probe", t.class.label(), t.name),
             t.class,

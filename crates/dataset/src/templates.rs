@@ -39,7 +39,9 @@ impl std::fmt::Debug for Template {
     }
 }
 
-const NAMES: [&str; 8] = ["val", "data", "item", "num", "count", "total", "entry", "elem"];
+const NAMES: [&str; 8] = [
+    "val", "data", "item", "num", "count", "total", "entry", "elem",
+];
 const PTRS: [&str; 6] = ["p", "ptr", "q", "cursor", "handle", "slot"];
 
 fn name(rng: &mut ChaCha8Rng) -> &'static str {
@@ -1016,55 +1018,222 @@ fn validity_callee_transmute(rng: &mut ChaCha8Rng) -> CaseSources {
 #[must_use]
 pub fn all_templates() -> Vec<Template> {
     vec![
-        Template { name: "double_free", class: UbClass::Alloc, make: alloc_double_free },
-        Template { name: "layout_mismatch", class: UbClass::Alloc, make: alloc_layout_mismatch },
-        Template { name: "leak", class: UbClass::Alloc, make: alloc_leak },
-        Template { name: "scope_escape", class: UbClass::DanglingPointer, make: dangling_scope_escape },
-        Template { name: "use_after_free", class: UbClass::DanglingPointer, make: dangling_use_after_free },
-        Template { name: "oob_offset", class: UbClass::DanglingPointer, make: dangling_oob_offset },
-        Template { name: "read_before_write", class: UbClass::Uninit, make: uninit_read_before_write },
-        Template { name: "union_tail", class: UbClass::Uninit, make: uninit_union_tail },
-        Template { name: "int_roundtrip", class: UbClass::Provenance, make: provenance_int_roundtrip },
-        Template { name: "transmute_ref", class: UbClass::Provenance, make: provenance_transmute_ref },
-        Template { name: "addr_arith", class: UbClass::Provenance, make: provenance_addr_arith },
-        Template { name: "odd_offset", class: UbClass::Unaligned, make: unaligned_odd_offset },
-        Template { name: "array_cast", class: UbClass::Unaligned, make: unaligned_array_cast },
-        Template { name: "bool_transmute", class: UbClass::Validity, make: validity_bool_transmute },
-        Template { name: "transmute_size", class: UbClass::Validity, make: validity_transmute_size },
-        Template { name: "int_to_ref", class: UbClass::Validity, make: validity_int_to_ref },
-        Template { name: "write_invalidates", class: UbClass::StackBorrow, make: stackborrow_write_invalidates },
-        Template { name: "shared_write", class: UbClass::StackBorrow, make: stackborrow_shared_write },
-        Template { name: "two_mut", class: UbClass::BothBorrow, make: bothborrow_two_mut },
-        Template { name: "cross_fn", class: UbClass::BothBorrow, make: bothborrow_cross_fn },
-        Template { name: "two_writers", class: UbClass::DataRace, make: datarace_two_writers },
-        Template { name: "increment", class: UbClass::DataRace, make: datarace_increment },
-        Template { name: "main_read", class: UbClass::DataRace, make: datarace_main_read },
-        Template { name: "heap_writers", class: UbClass::Concurrency, make: concurrency_heap_writers },
-        Template { name: "reader_writer", class: UbClass::Concurrency, make: concurrency_reader_writer },
-        Template { name: "unchecked_add", class: UbClass::FuncCall, make: funccall_unchecked_add },
-        Template { name: "assume_init", class: UbClass::FuncCall, make: funccall_assume_init },
-        Template { name: "copy_overlap", class: UbClass::FuncCall, make: funccall_copy_overlap },
-        Template { name: "forged", class: UbClass::FuncPointer, make: funcpointer_forged },
-        Template { name: "wrong_sig", class: UbClass::FuncPointer, make: funcpointer_wrong_sig },
-        Template { name: "arity", class: UbClass::TailCall, make: tailcall_arity },
-        Template { name: "ret_mismatch", class: UbClass::TailCall, make: tailcall_ret_mismatch },
-        Template { name: "assert_threshold", class: UbClass::Panic, make: panic_assert_threshold },
-        Template { name: "div_zero", class: UbClass::Panic, make: panic_div_zero },
-        Template { name: "index_literal", class: UbClass::Panic, make: panic_index_literal },
-        Template { name: "overflow", class: UbClass::Panic, make: panic_overflow },
-        Template { name: "ref_invalidated", class: UbClass::StackBorrow, make: stackborrow_ref_invalidated },
-        Template { name: "three_writers", class: UbClass::Concurrency, make: concurrency_three_writers },
+        Template {
+            name: "double_free",
+            class: UbClass::Alloc,
+            make: alloc_double_free,
+        },
+        Template {
+            name: "layout_mismatch",
+            class: UbClass::Alloc,
+            make: alloc_layout_mismatch,
+        },
+        Template {
+            name: "leak",
+            class: UbClass::Alloc,
+            make: alloc_leak,
+        },
+        Template {
+            name: "scope_escape",
+            class: UbClass::DanglingPointer,
+            make: dangling_scope_escape,
+        },
+        Template {
+            name: "use_after_free",
+            class: UbClass::DanglingPointer,
+            make: dangling_use_after_free,
+        },
+        Template {
+            name: "oob_offset",
+            class: UbClass::DanglingPointer,
+            make: dangling_oob_offset,
+        },
+        Template {
+            name: "read_before_write",
+            class: UbClass::Uninit,
+            make: uninit_read_before_write,
+        },
+        Template {
+            name: "union_tail",
+            class: UbClass::Uninit,
+            make: uninit_union_tail,
+        },
+        Template {
+            name: "int_roundtrip",
+            class: UbClass::Provenance,
+            make: provenance_int_roundtrip,
+        },
+        Template {
+            name: "transmute_ref",
+            class: UbClass::Provenance,
+            make: provenance_transmute_ref,
+        },
+        Template {
+            name: "addr_arith",
+            class: UbClass::Provenance,
+            make: provenance_addr_arith,
+        },
+        Template {
+            name: "odd_offset",
+            class: UbClass::Unaligned,
+            make: unaligned_odd_offset,
+        },
+        Template {
+            name: "array_cast",
+            class: UbClass::Unaligned,
+            make: unaligned_array_cast,
+        },
+        Template {
+            name: "bool_transmute",
+            class: UbClass::Validity,
+            make: validity_bool_transmute,
+        },
+        Template {
+            name: "transmute_size",
+            class: UbClass::Validity,
+            make: validity_transmute_size,
+        },
+        Template {
+            name: "int_to_ref",
+            class: UbClass::Validity,
+            make: validity_int_to_ref,
+        },
+        Template {
+            name: "write_invalidates",
+            class: UbClass::StackBorrow,
+            make: stackborrow_write_invalidates,
+        },
+        Template {
+            name: "shared_write",
+            class: UbClass::StackBorrow,
+            make: stackborrow_shared_write,
+        },
+        Template {
+            name: "two_mut",
+            class: UbClass::BothBorrow,
+            make: bothborrow_two_mut,
+        },
+        Template {
+            name: "cross_fn",
+            class: UbClass::BothBorrow,
+            make: bothborrow_cross_fn,
+        },
+        Template {
+            name: "two_writers",
+            class: UbClass::DataRace,
+            make: datarace_two_writers,
+        },
+        Template {
+            name: "increment",
+            class: UbClass::DataRace,
+            make: datarace_increment,
+        },
+        Template {
+            name: "main_read",
+            class: UbClass::DataRace,
+            make: datarace_main_read,
+        },
+        Template {
+            name: "heap_writers",
+            class: UbClass::Concurrency,
+            make: concurrency_heap_writers,
+        },
+        Template {
+            name: "reader_writer",
+            class: UbClass::Concurrency,
+            make: concurrency_reader_writer,
+        },
+        Template {
+            name: "unchecked_add",
+            class: UbClass::FuncCall,
+            make: funccall_unchecked_add,
+        },
+        Template {
+            name: "assume_init",
+            class: UbClass::FuncCall,
+            make: funccall_assume_init,
+        },
+        Template {
+            name: "copy_overlap",
+            class: UbClass::FuncCall,
+            make: funccall_copy_overlap,
+        },
+        Template {
+            name: "forged",
+            class: UbClass::FuncPointer,
+            make: funcpointer_forged,
+        },
+        Template {
+            name: "wrong_sig",
+            class: UbClass::FuncPointer,
+            make: funcpointer_wrong_sig,
+        },
+        Template {
+            name: "arity",
+            class: UbClass::TailCall,
+            make: tailcall_arity,
+        },
+        Template {
+            name: "ret_mismatch",
+            class: UbClass::TailCall,
+            make: tailcall_ret_mismatch,
+        },
+        Template {
+            name: "assert_threshold",
+            class: UbClass::Panic,
+            make: panic_assert_threshold,
+        },
+        Template {
+            name: "div_zero",
+            class: UbClass::Panic,
+            make: panic_div_zero,
+        },
+        Template {
+            name: "index_literal",
+            class: UbClass::Panic,
+            make: panic_index_literal,
+        },
+        Template {
+            name: "overflow",
+            class: UbClass::Panic,
+            make: panic_overflow,
+        },
+        Template {
+            name: "ref_invalidated",
+            class: UbClass::StackBorrow,
+            make: stackborrow_ref_invalidated,
+        },
+        Template {
+            name: "three_writers",
+            class: UbClass::Concurrency,
+            make: concurrency_three_writers,
+        },
         // Multi-function families (the paper's future-work direction).
-        Template { name: "callee_unchecked", class: UbClass::FuncCall, make: funccall_callee_unchecked },
-        Template { name: "helper_writer", class: UbClass::DataRace, make: datarace_helper_writer },
-        Template { name: "callee_transmute", class: UbClass::Validity, make: validity_callee_transmute },
+        Template {
+            name: "callee_unchecked",
+            class: UbClass::FuncCall,
+            make: funccall_callee_unchecked,
+        },
+        Template {
+            name: "helper_writer",
+            class: UbClass::DataRace,
+            make: datarace_helper_writer,
+        },
+        Template {
+            name: "callee_transmute",
+            class: UbClass::Validity,
+            make: validity_callee_transmute,
+        },
     ]
 }
 
 /// Templates belonging to one class.
 #[must_use]
 pub fn templates_for(class: UbClass) -> Vec<Template> {
-    all_templates().into_iter().filter(|t| t.class == class).collect()
+    all_templates()
+        .into_iter()
+        .filter(|t| t.class == class)
+        .collect()
 }
 
 #[cfg(test)]
@@ -1075,10 +1244,7 @@ mod tests {
     #[test]
     fn every_class_has_templates() {
         for class in UbClass::ALL {
-            assert!(
-                !templates_for(class).is_empty(),
-                "no templates for {class}"
-            );
+            assert!(!templates_for(class).is_empty(), "no templates for {class}");
         }
     }
 

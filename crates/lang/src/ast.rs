@@ -107,7 +107,11 @@ impl IntTy {
     #[must_use]
     pub fn wrap(self, v: i128) -> i128 {
         let bits = (self.size() * 8) as u32;
-        let mask: u128 = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        let mask: u128 = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
         let raw = (v as u128) & mask;
         if self.signed() && bits < 128 && (raw >> (bits - 1)) & 1 == 1 {
             (raw as i128) - (1i128 << bits)
@@ -223,7 +227,10 @@ impl Ty {
             Ty::Int(t) => Some(t.align()),
             Ty::RawPtr(..) | Ty::Ref(..) | Ty::FnPtr(..) | Ty::Boxed(_) => Some(8),
             Ty::Array(t, _) => t.align(),
-            Ty::Tuple(ts) => ts.iter().map(Ty::align).try_fold(1usize, |a, b| b.map(|b| a.max(b))),
+            Ty::Tuple(ts) => ts
+                .iter()
+                .map(Ty::align)
+                .try_fold(1usize, |a, b| b.map(|b| a.max(b))),
             Ty::Union(_) => None,
         }
     }
@@ -231,7 +238,10 @@ impl Ty {
     /// Whether the type is any kind of pointer (raw, ref, fn or box).
     #[must_use]
     pub fn is_pointer_like(&self) -> bool {
-        matches!(self, Ty::RawPtr(..) | Ty::Ref(..) | Ty::FnPtr(..) | Ty::Boxed(_))
+        matches!(
+            self,
+            Ty::RawPtr(..) | Ty::Ref(..) | Ty::FnPtr(..) | Ty::Boxed(_)
+        )
     }
 
     /// Whether this is an integer type.
@@ -811,7 +821,10 @@ impl StmtPath {
     pub fn child(&self, idx: usize, branch: u8) -> StmtPath {
         let mut steps = self.steps.clone();
         steps.push((idx, branch));
-        StmtPath { func: self.func, steps }
+        StmtPath {
+            func: self.func,
+            steps,
+        }
     }
 
     /// The index of this statement within its innermost block.

@@ -2,9 +2,7 @@
 //! the dataset templates. The builder produces exactly the same [`Program`]
 //! values the parser would.
 
-use crate::ast::{
-    Block, Expr, Function, Lit, Mutability, Program, StaticDef, Stmt, Ty, UnionDef,
-};
+use crate::ast::{Block, Expr, Function, Lit, Mutability, Program, StaticDef, Stmt, Ty, UnionDef};
 
 /// Builds a [`Program`] item by item.
 ///
@@ -36,7 +34,10 @@ impl ProgramBuilder {
     pub fn union(mut self, name: &str, fields: &[(&str, Ty)]) -> Self {
         self.prog.unions.push(UnionDef {
             name: name.to_owned(),
-            fields: fields.iter().map(|(n, t)| ((*n).to_owned(), t.clone())).collect(),
+            fields: fields
+                .iter()
+                .map(|(n, t)| ((*n).to_owned(), t.clone()))
+                .collect(),
         });
         self
     }
@@ -44,14 +45,24 @@ impl ProgramBuilder {
     /// Adds an immutable static.
     #[must_use]
     pub fn static_item(mut self, name: &str, ty: Ty, init: Lit) -> Self {
-        self.prog.statics.push(StaticDef { name: name.to_owned(), ty, init, mutable: false });
+        self.prog.statics.push(StaticDef {
+            name: name.to_owned(),
+            ty,
+            init,
+            mutable: false,
+        });
         self
     }
 
     /// Adds a `static mut`.
     #[must_use]
     pub fn static_mut(mut self, name: &str, ty: Ty, init: Lit) -> Self {
-        self.prog.statics.push(StaticDef { name: name.to_owned(), ty, init, mutable: true });
+        self.prog.statics.push(StaticDef {
+            name: name.to_owned(),
+            ty,
+            init,
+            mutable: true,
+        });
         self
     }
 
@@ -69,7 +80,10 @@ impl ProgramBuilder {
         build(&mut b);
         self.prog.funcs.push(Function {
             name: name.to_owned(),
-            params: params.iter().map(|(n, t)| ((*n).to_owned(), t.clone())).collect(),
+            params: params
+                .iter()
+                .map(|(n, t)| ((*n).to_owned(), t.clone()))
+                .collect(),
             ret,
             is_unsafe,
             body: b.finish(),
@@ -105,7 +119,11 @@ impl BlockBuilder {
 
     /// `let name: ty = init;`
     pub fn let_(&mut self, name: &str, ty: Ty, init: Expr) -> &mut Self {
-        self.stmt(Stmt::Let { name: name.to_owned(), ty, init })
+        self.stmt(Stmt::Let {
+            name: name.to_owned(),
+            ty,
+            init,
+        })
     }
 
     /// `place = value;`
@@ -125,7 +143,10 @@ impl BlockBuilder {
 
     /// `assert(cond, msg);`
     pub fn assert(&mut self, cond: Expr, msg: &str) -> &mut Self {
-        self.stmt(Stmt::Assert { cond, msg: msg.to_owned() })
+        self.stmt(Stmt::Assert {
+            cond,
+            msg: msg.to_owned(),
+        })
     }
 
     /// `return e;`
@@ -188,14 +209,21 @@ impl BlockBuilder {
     pub fn if_(&mut self, cond: Expr, then_build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
         let mut t = BlockBuilder::default();
         then_build(&mut t);
-        self.stmt(Stmt::If { cond, then_blk: t.finish(), else_blk: None })
+        self.stmt(Stmt::If {
+            cond,
+            then_blk: t.finish(),
+            else_blk: None,
+        })
     }
 
     /// `while cond { .. }`
     pub fn while_(&mut self, cond: Expr, build: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
         let mut b = BlockBuilder::default();
         build(&mut b);
-        self.stmt(Stmt::While { cond, body: b.finish() })
+        self.stmt(Stmt::While {
+            cond,
+            body: b.finish(),
+        })
     }
 
     /// `tailcall f(args);`
@@ -306,7 +334,10 @@ mod tests {
                     },
                 );
                 f.while_(bin(BinOp::Lt, Expr::var("x"), Expr::i32(3)), |w| {
-                    w.assign(Expr::var("x"), bin(BinOp::Add, Expr::var("x"), Expr::i32(1)));
+                    w.assign(
+                        Expr::var("x"),
+                        bin(BinOp::Add, Expr::var("x"), Expr::i32(1)),
+                    );
                 });
             })
             .build();

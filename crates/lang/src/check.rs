@@ -152,7 +152,11 @@ struct Checker<'p> {
 
 impl<'p> Checker<'p> {
     fn err(&mut self, kind: CheckErrorKind, path: &StmtPath, message: impl Into<String>) {
-        self.errors.push(CheckError { kind, path: Some(path.clone()), message: message.into() });
+        self.errors.push(CheckError {
+            kind,
+            path: Some(path.clone()),
+            message: message.into(),
+        });
     }
 
     fn lookup(&self, name: &str) -> Option<&Ty> {
@@ -167,7 +171,10 @@ impl<'p> Checker<'p> {
         }
         self.scopes.push(top);
         self.in_unsafe = f.is_unsafe;
-        let base = StmtPath { func: fi, steps: Vec::new() };
+        let base = StmtPath {
+            func: fi,
+            steps: Vec::new(),
+        };
         self.check_block(&f.body, &base, false);
         self.scopes.pop();
     }
@@ -208,7 +215,11 @@ impl<'p> Checker<'p> {
             }
             Stmt::Assign { place, value } => {
                 if !place.is_place() {
-                    self.err(CheckErrorKind::NotAPlace, path, "assignment target is not a place");
+                    self.err(
+                        CheckErrorKind::NotAPlace,
+                        path,
+                        "assignment target is not a place",
+                    );
                 }
                 self.check_place_unsafety(place, path);
                 let pt = self.check_expr(place, path);
@@ -234,30 +245,44 @@ impl<'p> Checker<'p> {
                 let saved = self.in_unsafe;
                 self.in_unsafe = true;
                 let mut inner = path.clone();
-                inner.steps.last_mut().map(|s| s.1 = 0);
+                if let Some(s) = inner.steps.last_mut() {
+                    s.1 = 0;
+                }
                 self.check_block(b, &inner, true);
                 self.in_unsafe = saved;
             }
             Stmt::Scope(b) | Stmt::Spawn(b) | Stmt::Lock(_, b) => {
                 let mut inner = path.clone();
-                inner.steps.last_mut().map(|s| s.1 = 0);
+                if let Some(s) = inner.steps.last_mut() {
+                    s.1 = 0;
+                }
                 self.check_block(b, &inner, true);
             }
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.expect_bool(cond, path);
                 let mut t = path.clone();
-                t.steps.last_mut().map(|s| s.1 = 0);
+                if let Some(s) = t.steps.last_mut() {
+                    s.1 = 0;
+                }
                 self.check_block(then_blk, &t, true);
                 if let Some(e) = else_blk {
                     let mut ep = path.clone();
-                    ep.steps.last_mut().map(|s| s.1 = 1);
+                    if let Some(s) = ep.steps.last_mut() {
+                        s.1 = 1;
+                    }
                     self.check_block(e, &ep, true);
                 }
             }
             Stmt::While { cond, body } => {
                 self.expect_bool(cond, path);
                 let mut inner = path.clone();
-                inner.steps.last_mut().map(|s| s.1 = 0);
+                if let Some(s) = inner.steps.last_mut() {
+                    s.1 = 0;
+                }
                 self.check_block(body, &inner, true);
             }
             Stmt::Assert { cond, .. } => {
@@ -287,7 +312,11 @@ impl<'p> Checker<'p> {
                         }
                     }
                     None => {
-                        self.err(CheckErrorKind::UnknownFunc, path, format!("unknown fn `{name}`"));
+                        self.err(
+                            CheckErrorKind::UnknownFunc,
+                            path,
+                            format!("unknown fn `{name}`"),
+                        );
                     }
                 }
                 for a in args {
@@ -320,10 +349,7 @@ impl<'p> Checker<'p> {
                 Expr::Deref(inner) => {
                     matches!(self.infer_quiet(inner), Some(Ty::RawPtr(..)))
                 }
-                Expr::StaticRef(n) => self
-                    .prog
-                    .static_def(n)
-                    .is_some_and(|s| s.mutable),
+                Expr::StaticRef(n) => self.prog.static_def(n).is_some_and(|s| s.mutable),
                 Expr::UnionField(..) => true,
                 _ => false,
             };
@@ -362,7 +388,11 @@ impl<'p> Checker<'p> {
                 } else if let Some(f) = self.prog.func(n) {
                     Some(f.fn_ptr_ty())
                 } else {
-                    self.err(CheckErrorKind::UndefinedVar, path, format!("undefined variable `{n}`"));
+                    self.err(
+                        CheckErrorKind::UndefinedVar,
+                        path,
+                        format!("undefined variable `{n}`"),
+                    );
                     None
                 }
             }
@@ -378,7 +408,11 @@ impl<'p> Checker<'p> {
                     Some(s.ty.clone())
                 }
                 None => {
-                    self.err(CheckErrorKind::UndefinedVar, path, format!("unknown static `{n}`"));
+                    self.err(
+                        CheckErrorKind::UndefinedVar,
+                        path,
+                        format!("unknown static `{n}`"),
+                    );
                     None
                 }
             },
@@ -387,7 +421,11 @@ impl<'p> Checker<'p> {
                 match op {
                     UnOp::Neg => {
                         if !t.is_int() {
-                            self.err(CheckErrorKind::TypeMismatch, path, "negation of non-integer");
+                            self.err(
+                                CheckErrorKind::TypeMismatch,
+                                path,
+                                "negation of non-integer",
+                            );
                         }
                         Some(t)
                     }
@@ -460,7 +498,11 @@ impl<'p> Checker<'p> {
                 let it = self.check_expr(i, path);
                 if let Some(it) = it {
                     if !it.is_int() {
-                        self.err(CheckErrorKind::TypeMismatch, path, "index is not an integer");
+                        self.err(
+                            CheckErrorKind::TypeMismatch,
+                            path,
+                            "index is not an integer",
+                        );
                     }
                 }
                 let t = self.check_expr(a, path)?;
@@ -532,7 +574,11 @@ impl<'p> Checker<'p> {
                         }
                     }
                 } else {
-                    self.err(CheckErrorKind::UnknownFunc, path, format!("unknown fn `{name}`"));
+                    self.err(
+                        CheckErrorKind::UnknownFunc,
+                        path,
+                        format!("unknown fn `{name}`"),
+                    );
                     None
                 }
             }
@@ -547,7 +593,10 @@ impl<'p> Checker<'p> {
                         self.err(
                             CheckErrorKind::TypeMismatch,
                             path,
-                            format!("cannot call value of type {}", crate::printer::print_ty(&other)),
+                            format!(
+                                "cannot call value of type {}",
+                                crate::printer::print_ty(&other)
+                            ),
                         );
                         None
                     }
@@ -637,7 +686,11 @@ impl<'p> Checker<'p> {
                 cx.err(
                     CheckErrorKind::ArityMismatch,
                     path,
-                    format!("builtin `{}` expects {n} args, got {}", b.name(), args.len()),
+                    format!(
+                        "builtin `{}` expects {n} args, got {}",
+                        b.name(),
+                        args.len()
+                    ),
                 );
             }
         };
@@ -803,9 +856,8 @@ mod tests {
 
     #[test]
     fn raw_deref_requires_unsafe() {
-        let errs = errors_of(
-            "fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; print(*p); }",
-        );
+        let errs =
+            errors_of("fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; print(*p); }");
         assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
         let errs = errors_of(
             "fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; unsafe { print(*p); } }",
@@ -836,9 +888,7 @@ mod tests {
 
     #[test]
     fn unsafe_fn_call_requires_unsafe() {
-        let errs = errors_of(
-            "unsafe fn danger() { } fn main() { danger(); }",
-        );
+        let errs = errors_of("unsafe fn danger() { } fn main() { danger(); }");
         assert!(errs.contains(&CheckErrorKind::RequiresUnsafe));
         let errs = errors_of("unsafe fn danger() { } fn main() { unsafe { danger(); } }");
         assert!(errs.is_empty());
@@ -897,8 +947,7 @@ mod tests {
 
     #[test]
     fn transmute_needs_two_ty_args() {
-        let errs =
-            errors_of("fn main() { unsafe { let x: u32 = transmute::<u32>(1u32); } }");
+        let errs = errors_of("fn main() { unsafe { let x: u32 = transmute::<u32>(1u32); } }");
         assert!(errs.contains(&CheckErrorKind::BadBuiltin));
     }
 

@@ -46,9 +46,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = LangError::Lex { offset: 3, message: "bad".into() };
+        let e = LangError::Lex {
+            offset: 3,
+            message: "bad".into(),
+        };
         assert_eq!(e.to_string(), "lex error at byte 3: bad");
-        let e = LangError::Parse { offset: 9, message: "worse".into() };
+        let e = LangError::Parse {
+            offset: 9,
+            message: "worse".into(),
+        };
         assert_eq!(e.to_string(), "parse error at byte 9: worse");
     }
 }

@@ -47,7 +47,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             '*' => push1(&mut toks, TokenKind::Star, &mut i, start),
             ':' => {
                 if bytes.get(i + 1) == Some(&b':') {
-                    toks.push(Token { kind: TokenKind::ColonColon, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::ColonColon,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push1(&mut toks, TokenKind::Colon, &mut i, start);
@@ -55,7 +58,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    toks.push(Token { kind: TokenKind::Arrow, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push1(&mut toks, TokenKind::Minus, &mut i, start);
@@ -63,7 +69,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Token { kind: TokenKind::EqEq, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::EqEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push1(&mut toks, TokenKind::Eq, &mut i, start);
@@ -71,7 +80,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Token { kind: TokenKind::Ne, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push1(&mut toks, TokenKind::Bang, &mut i, start);
@@ -79,18 +91,27 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    toks.push(Token { kind: TokenKind::Le, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(&b'<') => {
-                    toks.push(Token { kind: TokenKind::Shl, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::Shl,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => push1(&mut toks, TokenKind::Lt, &mut i, start),
             },
             '>' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    toks.push(Token { kind: TokenKind::Ge, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 // `>>` is never emitted as shift-right here because it would
@@ -100,7 +121,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             },
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    toks.push(Token { kind: TokenKind::AmpAmp, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::AmpAmp,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push1(&mut toks, TokenKind::Amp, &mut i, start);
@@ -108,7 +132,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    toks.push(Token { kind: TokenKind::PipePipe, offset: start });
+                    toks.push(Token {
+                        kind: TokenKind::PipePipe,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push1(&mut toks, TokenKind::Pipe, &mut i, start);
@@ -149,7 +176,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
                         }
                     }
                 }
-                toks.push(Token { kind: TokenKind::Str(s), offset: start });
+                toks.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let mut v: i128 = 0;
@@ -173,7 +203,10 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
                 } else {
                     None
                 };
-                toks.push(Token { kind: TokenKind::Int(v, suffix), offset: start });
+                toks.push(Token {
+                    kind: TokenKind::Int(v, suffix),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 while i < bytes.len()
@@ -194,12 +227,18 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
             }
         }
     }
-    toks.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(toks)
 }
 
 fn push1(toks: &mut Vec<Token>, kind: TokenKind, i: &mut usize, start: usize) {
-    toks.push(Token { kind, offset: start });
+    toks.push(Token {
+        kind,
+        offset: start,
+    });
     *i += 1;
 }
 

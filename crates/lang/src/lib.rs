@@ -44,5 +44,7 @@ pub mod token;
 pub mod vectorize;
 pub mod visit;
 
-pub use ast::{Block, BuiltinKind, Expr, Function, IntTy, Lit, Mutability, Program, Stmt, StmtPath, Ty};
+pub use ast::{
+    Block, BuiltinKind, Expr, Function, IntTy, Lit, Mutability, Program, Stmt, StmtPath, Ty,
+};
 pub use error::{LangError, LangResult};

@@ -106,7 +106,9 @@ fn visit_block(b: &Block, depth: usize, in_unsafe: bool, prog: &Program, m: &mut
             Stmt::Scope(inner) | Stmt::Spawn(inner) | Stmt::Lock(_, inner) => {
                 visit_block(inner, depth + 1, in_unsafe, prog, m);
             }
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 visit_block(then_blk, depth + 1, in_unsafe, prog, m);
                 if let Some(e) = else_blk {
                     visit_block(e, depth + 1, in_unsafe, prog, m);
@@ -121,14 +123,13 @@ fn visit_block(b: &Block, depth: usize, in_unsafe: bool, prog: &Program, m: &mut
 fn count_expr(e: &Expr, prog: &Program, m: &mut ProgramMetrics) {
     m.exprs += 1;
     match e {
-        Expr::Deref(inner) => {
+        Expr::Deref(inner)
             // A heuristic: deref of anything cast from/declared as raw.
-            if matches!(**inner, Expr::Cast(..) | Expr::RawAddrOf(..))
-                || matches!(**inner, Expr::Var(_))
-            {
+            if (matches!(**inner, Expr::Cast(..) | Expr::RawAddrOf(..))
+                || matches!(**inner, Expr::Var(_)))
+            => {
                 m.unsafe_ops[UnsafeOpKind::RawDeref as usize] += 1;
             }
-        }
         Expr::Builtin(b, ..) => {
             if let Some(pos) = BuiltinKind::ALL.iter().position(|x| x == b) {
                 m.builtin_uses[pos] += 1;
@@ -142,16 +143,14 @@ fn count_expr(e: &Expr, prog: &Program, m: &mut ProgramMetrics) {
                 m.unsafe_ops[k as usize] += 1;
             }
         }
-        Expr::Call(name, _) => {
-            if prog.func(name).is_some_and(|f| f.is_unsafe) {
+        Expr::Call(name, _)
+            if prog.func(name).is_some_and(|f| f.is_unsafe) => {
                 m.unsafe_ops[UnsafeOpKind::UnsafeCall as usize] += 1;
             }
-        }
-        Expr::StaticRef(n) => {
-            if prog.static_def(n).is_some_and(|s| s.mutable) {
+        Expr::StaticRef(n)
+            if prog.static_def(n).is_some_and(|s| s.mutable) => {
                 m.unsafe_ops[UnsafeOpKind::StaticMutAccess as usize] += 1;
             }
-        }
         Expr::UnionField(..) => {
             m.unsafe_ops[UnsafeOpKind::UnionFieldAccess as usize] += 1;
         }

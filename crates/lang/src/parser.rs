@@ -165,7 +165,12 @@ impl Parser {
         self.expect(&TokenKind::Eq)?;
         let init = self.parse_lit()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(StaticDef { name, ty, init, mutable })
+        Ok(StaticDef {
+            name,
+            ty,
+            init,
+            mutable,
+        })
     }
 
     fn parse_fn(&mut self) -> LangResult<Function> {
@@ -191,7 +196,13 @@ impl Parser {
             Ty::Unit
         };
         let body = self.parse_block()?;
-        Ok(Function { name, params, ret, is_unsafe, body })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            is_unsafe,
+            body,
+        })
     }
 
     // ---- types -----------------------------------------------------------
@@ -387,7 +398,11 @@ impl Parser {
                     } else {
                         None
                     };
-                    Ok(Stmt::If { cond, then_blk, else_blk })
+                    Ok(Stmt::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    })
                 }
                 "while" => {
                     self.bump();
@@ -513,11 +528,7 @@ impl Parser {
             let ty = self.parse_ty()?;
             lhs = Expr::Cast(Box::new(lhs), ty);
         }
-        loop {
-            let (op, l_bp, r_bp) = match self.binop_at() {
-                Some(t) => t,
-                None => break,
-            };
+        while let Some((op, l_bp, r_bp)) = self.binop_at() {
             if l_bp < min_bp {
                 break;
             }
@@ -595,7 +606,10 @@ impl Parser {
             }
             TokenKind::Bang => {
                 self.bump();
-                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary(allow_struct)?)))
+                Ok(Expr::Unary(
+                    UnOp::Not,
+                    Box::new(self.parse_unary(allow_struct)?),
+                ))
             }
             TokenKind::Star => {
                 self.bump();
@@ -610,7 +624,10 @@ impl Parser {
                         self.expect_ident_kw("const")?;
                         Mutability::Not
                     };
-                    Ok(Expr::RawAddrOf(m, Box::new(self.parse_unary(allow_struct)?)))
+                    Ok(Expr::RawAddrOf(
+                        m,
+                        Box::new(self.parse_unary(allow_struct)?),
+                    ))
                 } else {
                     let m = if self.eat_ident("mut") {
                         Mutability::Mut
@@ -822,7 +839,11 @@ fn resolve_stmt(s: &mut Stmt, names: &[String]) {
         Stmt::Unsafe(b) | Stmt::Scope(b) | Stmt::Spawn(b) | Stmt::Lock(_, b) => {
             resolve_block(b, names);
         }
-        Stmt::If { cond, then_blk, else_blk } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             resolve_expr(cond, names);
             resolve_block(then_blk, names);
             if let Some(e) = else_blk {
@@ -851,9 +872,15 @@ fn resolve_expr(e: &mut Expr, names: &[String]) {
                 *e = Expr::StaticRef(n.clone());
             }
         }
-        Expr::Unary(_, a) | Expr::Cast(a, _) | Expr::AddrOf(_, a) | Expr::RawAddrOf(_, a)
-        | Expr::Deref(a) | Expr::Field(a, _) | Expr::ArrayRepeat(a, _)
-        | Expr::UnionLit(_, _, a) | Expr::UnionField(a, _) => resolve_expr(a, names),
+        Expr::Unary(_, a)
+        | Expr::Cast(a, _)
+        | Expr::AddrOf(_, a)
+        | Expr::RawAddrOf(_, a)
+        | Expr::Deref(a)
+        | Expr::Field(a, _)
+        | Expr::ArrayRepeat(a, _)
+        | Expr::UnionLit(_, _, a)
+        | Expr::UnionField(a, _) => resolve_expr(a, names),
         Expr::Binary(_, a, b) | Expr::Index(a, b) => {
             resolve_expr(a, names);
             resolve_expr(b, names);
@@ -943,7 +970,9 @@ mod tests {
             panic!()
         };
         assert_eq!(*place, Expr::StaticRef("COUNTER".into()));
-        assert!(matches!(value, Expr::Binary(BinOp::Add, a, _) if **a == Expr::StaticRef("COUNTER".into())));
+        assert!(
+            matches!(value, Expr::Binary(BinOp::Add, a, _) if **a == Expr::StaticRef("COUNTER".into()))
+        );
     }
 
     #[test]
@@ -968,7 +997,9 @@ mod tests {
     #[test]
     fn parse_tailcall() {
         let p = parse_program("fn f(x: i32) { print(x); } fn main() { tailcall f(1); }").unwrap();
-        assert!(matches!(&p.funcs[1].body.stmts[0], Stmt::TailCall(n, a) if n == "f" && a.len() == 1));
+        assert!(
+            matches!(&p.funcs[1].body.stmts[0], Stmt::TailCall(n, a) if n == "f" && a.len() == 1)
+        );
     }
 
     #[test]
@@ -994,7 +1025,9 @@ mod tests {
     #[test]
     fn parse_cast_chain() {
         let e = parse_expr("p as *const i32 as usize").unwrap();
-        assert!(matches!(e, Expr::Cast(inner, Ty::Int(IntTy::Usize)) if matches!(*inner, Expr::Cast(..))));
+        assert!(
+            matches!(e, Expr::Cast(inner, Ty::Int(IntTy::Usize)) if matches!(*inner, Expr::Cast(..)))
+        );
     }
 
     #[test]

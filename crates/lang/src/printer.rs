@@ -2,9 +2,7 @@
 //! [`crate::parser::parse_program`]. Printing then parsing yields the same
 //! AST (round-trip property, exercised in the crate's tests).
 
-use crate::ast::{
-    BinOp, Block, Expr, Function, Lit, Program, StaticDef, Stmt, Ty, UnOp, UnionDef,
-};
+use crate::ast::{BinOp, Block, Expr, Function, Lit, Program, StaticDef, Stmt, Ty, UnOp, UnionDef};
 use std::fmt::Write as _;
 
 /// Renders a whole program to source text.
@@ -70,7 +68,12 @@ fn print_union(out: &mut String, u: &UnionDef) {
 }
 
 fn print_static(out: &mut String, s: &StaticDef) {
-    let _ = write!(out, "static {}{}: ", if s.mutable { "mut " } else { "" }, s.name);
+    let _ = write!(
+        out,
+        "static {}{}: ",
+        if s.mutable { "mut " } else { "" },
+        s.name
+    );
     ty(out, &s.ty);
     out.push_str(" = ");
     lit(out, &s.init);
@@ -143,7 +146,11 @@ fn stmt(out: &mut String, s: &Stmt, indent: usize) {
             block(out, b, indent);
             out.push('\n');
         }
-        Stmt::If { cond, then_blk, else_blk } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             out.push_str("if ");
             expr(out, cond);
             out.push(' ');
@@ -164,7 +171,11 @@ fn stmt(out: &mut String, s: &Stmt, indent: usize) {
         Stmt::Assert { cond, msg } => {
             out.push_str("assert(");
             expr(out, cond);
-            let _ = write!(out, ", \"{}\"", msg.replace('\\', "\\\\").replace('"', "\\\""));
+            let _ = write!(
+                out,
+                ", \"{}\"",
+                msg.replace('\\', "\\\\").replace('"', "\\\"")
+            );
             out.push_str(");\n");
         }
         Stmt::Return(e) => {
@@ -537,7 +548,10 @@ mod tests {
     fn ty_printing() {
         assert_eq!(print_ty(&Ty::raw_u8_mut()), "*mut u8");
         assert_eq!(
-            print_ty(&Ty::FnPtr(vec![Ty::Int(crate::ast::IntTy::I32)], Box::new(Ty::Unit))),
+            print_ty(&Ty::FnPtr(
+                vec![Ty::Int(crate::ast::IntTy::I32)],
+                Box::new(Ty::Unit)
+            )),
             "fn(i32)"
         );
         assert_eq!(print_ty(&Ty::Boxed(Box::new(Ty::Bool))), "Box<bool>");

@@ -44,9 +44,8 @@ pub fn prune_program(prog: &Program) -> (Program, usize) {
         }
         set
     };
-    out.funcs.retain(|f| {
-        f.name == "main" || !f.body.stmts.is_empty() || referenced.contains(&f.name)
-    });
+    out.funcs
+        .retain(|f| f.name == "main" || !f.body.stmts.is_empty() || referenced.contains(&f.name));
     let after = out.stmt_count();
     (out, before.saturating_sub(after))
 }
@@ -68,7 +67,9 @@ fn collect_called(b: &Block, set: &mut HashSet<String>) {
             | Stmt::Scope(inner)
             | Stmt::Spawn(inner)
             | Stmt::Lock(_, inner) => collect_called(inner, set),
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 collect_called(then_blk, set);
                 if let Some(e) = else_blk {
                     collect_called(e, set);
@@ -117,19 +118,22 @@ fn stmt_is_unsafe_relevant(s: &Stmt) -> bool {
             }
         });
     });
-    relevant || match s {
-        Stmt::Spawn(b) | Stmt::Scope(b) | Stmt::Lock(_, b) => {
-            b.stmts.iter().any(stmt_is_unsafe_relevant)
+    relevant
+        || match s {
+            Stmt::Spawn(b) | Stmt::Scope(b) | Stmt::Lock(_, b) => {
+                b.stmts.iter().any(stmt_is_unsafe_relevant)
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                then_blk.stmts.iter().any(stmt_is_unsafe_relevant)
+                    || else_blk
+                        .as_ref()
+                        .is_some_and(|b| b.stmts.iter().any(stmt_is_unsafe_relevant))
+            }
+            Stmt::While { body, .. } => body.stmts.iter().any(stmt_is_unsafe_relevant),
+            _ => false,
         }
-        Stmt::If { then_blk, else_blk, .. } => {
-            then_blk.stmts.iter().any(stmt_is_unsafe_relevant)
-                || else_blk
-                    .as_ref()
-                    .is_some_and(|b| b.stmts.iter().any(stmt_is_unsafe_relevant))
-        }
-        Stmt::While { body, .. } => body.stmts.iter().any(stmt_is_unsafe_relevant),
-        _ => false,
-    }
 }
 
 fn seed_block(b: &Block, needed: &mut HashSet<String>) {
@@ -153,7 +157,9 @@ fn seed_block(b: &Block, needed: &mut HashSet<String>) {
                 }
                 seed_block(inner, needed);
             }
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 seed_block(then_blk, needed);
                 if let Some(e) = else_blk {
                     seed_block(e, needed);
@@ -176,7 +182,9 @@ fn collect_all_reads(b: &Block, needed: &mut HashSet<String>) {
             Stmt::Unsafe(i) | Stmt::Scope(i) | Stmt::Spawn(i) | Stmt::Lock(_, i) => {
                 collect_all_reads(i, needed);
             }
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 collect_all_reads(then_blk, needed);
                 if let Some(e) = else_blk {
                     collect_all_reads(e, needed);
@@ -209,7 +217,9 @@ fn expand_block(b: &Block, needed: &mut HashSet<String>) {
             Stmt::Unsafe(i) | Stmt::Scope(i) | Stmt::Spawn(i) | Stmt::Lock(_, i) => {
                 expand_block(i, needed);
             }
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 expand_block(then_blk, needed);
                 if let Some(e) = else_blk {
                     expand_block(e, needed);
@@ -230,7 +240,9 @@ fn stmt_keep(s: &Stmt, needed: &HashSet<String>) -> bool {
         Stmt::Assign { place, .. } => vars_read(place).iter().any(|v| needed.contains(v)),
         Stmt::Spawn(_) | Stmt::JoinAll | Stmt::Return(_) | Stmt::TailCall(..) => true,
         Stmt::Scope(b) | Stmt::Lock(_, b) => b.stmts.iter().any(|s| stmt_keep(s, needed)),
-        Stmt::If { then_blk, else_blk, .. } => {
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
             then_blk.stmts.iter().any(|s| stmt_keep(s, needed))
                 || else_blk
                     .as_ref()
@@ -246,7 +258,9 @@ fn prune_block(b: &mut Block, needed: &HashSet<String>) {
     for s in &mut b.stmts {
         match s {
             Stmt::Scope(i) | Stmt::Lock(_, i) | Stmt::Spawn(i) => prune_block(i, needed),
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 prune_block(then_blk, needed);
                 if let Some(e) = else_blk {
                     prune_block(e, needed);

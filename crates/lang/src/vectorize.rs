@@ -140,7 +140,9 @@ mod tests {
 
     #[test]
     fn empty_program_zero_safe() {
-        let v = AstVector { components: vec![0.0; VECTOR_DIM] };
+        let v = AstVector {
+            components: vec![0.0; VECTOR_DIM],
+        };
         let w = embed("fn main() { let x: i32 = 1; }");
         assert_eq!(v.cosine(&w), 0.0);
     }

@@ -32,7 +32,9 @@ pub fn child_block_mut(stmt: &mut Stmt, branch: u8) -> Option<&mut Block> {
 #[must_use]
 pub fn child_branches(stmt: &Stmt) -> u8 {
     match stmt {
-        Stmt::Unsafe(_) | Stmt::Scope(_) | Stmt::Spawn(_) | Stmt::Lock(..) | Stmt::While { .. } => 1,
+        Stmt::Unsafe(_) | Stmt::Scope(_) | Stmt::Spawn(_) | Stmt::Lock(..) | Stmt::While { .. } => {
+            1
+        }
         Stmt::If { else_blk, .. } => 1 + u8::from(else_blk.is_some()),
         _ => 0,
     }
@@ -41,7 +43,10 @@ pub fn child_branches(stmt: &Stmt) -> u8 {
 /// Visits every statement of the program in pre-order, passing its path.
 pub fn for_each_stmt<F: FnMut(&Stmt, &StmtPath)>(prog: &Program, mut f: F) {
     for (fi, func) in prog.funcs.iter().enumerate() {
-        let base = StmtPath { func: fi, steps: Vec::new() };
+        let base = StmtPath {
+            func: fi,
+            steps: Vec::new(),
+        };
         walk_block(&func.body, &base, &mut f);
     }
 }
@@ -217,7 +222,11 @@ pub fn map_exprs_in_stmt<F: FnMut(&mut Expr)>(stmt: &mut Stmt, f: &mut F) {
                 map_exprs_in_stmt(s, f);
             }
         }
-        Stmt::If { cond, then_blk, else_blk } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             map_expr(cond, f);
             for s in &mut then_blk.stmts {
                 map_exprs_in_stmt(s, f);
@@ -337,7 +346,10 @@ mod tests {
     fn else_branch_navigation() {
         let p = sample();
         // fn#0.1 (if) -> else branch -> stmt 0 (unsafe) -> stmt 0 (print)
-        let path = StmtPath { func: 0, steps: vec![(1, 1), (0, 0), (0, 0)] };
+        let path = StmtPath {
+            func: 0,
+            steps: vec![(1, 1), (0, 0), (0, 0)],
+        };
         let s = get_stmt(&p, &path).unwrap();
         assert!(matches!(s, Stmt::Print(_)));
     }

@@ -34,7 +34,11 @@ impl Hasher for Fnv1a {
         self.0
     }
     fn write(&mut self, bytes: &[u8]) {
-        let mut state = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        let mut state = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
         for b in bytes {
             state ^= u64::from(*b);
             state = state.wrapping_mul(0x0000_0100_0000_01B3);
@@ -181,9 +185,12 @@ impl LanguageModel for SimulatedModel {
         // and the knowledge base attack exactly these two gates.
         let problem_skill = ((class_skill * 1.25).min(0.97) + 0.35 * best_shot).min(0.985);
         let u_problem = hash01(&format!("{src}|{:?}|problem", self.profile.id));
-        let targeted_bonus = if ctx.strategy.target_kind().is_some() { 0.10 } else { 0.0 };
-        let prompt_skill =
-            0.75 + targeted_bonus + (self.rng.gen::<f64>() - 0.5) * 0.12;
+        let targeted_bonus = if ctx.strategy.target_kind().is_some() {
+            0.10
+        } else {
+            0.0
+        };
+        let prompt_skill = 0.75 + targeted_bonus + (self.rng.gen::<f64>() - 0.5) * 0.12;
         let u_prompt = hash01(&prompt);
         let understands = u_problem <= problem_skill && u_prompt <= prompt_skill;
         let candidates = RepairRule::candidates(ctx.program, ctx.error);
@@ -231,7 +238,10 @@ impl LanguageModel for SimulatedModel {
                     RepairRule::DisableStatement
                 };
                 proposals = if lazy.apply(ctx.program, ctx.error).is_some() {
-                    vec![Proposal { rule: lazy, score: 1.0 }]
+                    vec![Proposal {
+                        rule: lazy,
+                        score: 1.0,
+                    }]
                 } else {
                     Vec::new()
                 };
@@ -247,8 +257,8 @@ impl LanguageModel for SimulatedModel {
             .profile
             .effective_hallucination(self.temperature, ctx.shots.len());
         if self.rng.gen::<f64>() < h {
-            let pick = RepairRule::HALLUCINATIONS
-                [self.rng.gen_range(0..RepairRule::HALLUCINATIONS.len())];
+            let pick =
+                RepairRule::HALLUCINATIONS[self.rng.gen_range(0..RepairRule::HALLUCINATIONS.len())];
             if pick.apply(ctx.program, ctx.error).is_some() {
                 let top = proposals
                     .iter()
@@ -261,7 +271,11 @@ impl LanguageModel for SimulatedModel {
             }
         }
 
-        proposals.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        proposals.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         // A real model emits one patch, occasionally an alternative.
         proposals.truncate(2);
         // Semantic drift: even a correct-looking patch may slightly change
@@ -269,10 +283,16 @@ impl LanguageModel for SimulatedModel {
         // misreads the same constant every time); retrieved shots ground
         // the model and damp it.
         let weakness = (1.0 / self.profile.class_multiplier(class)).clamp(1.0, 3.0);
-        let drift_p = (1.0 - self.profile.semantic_skill) * 0.6 * weakness
-            / (1.0 + ctx.shots.len() as f64);
+        let drift_p =
+            (1.0 - self.profile.semantic_skill) * 0.6 * weakness / (1.0 + ctx.shots.len() as f64);
         let drift = hash01(&format!("{src}|{:?}|drift", self.profile.id)) < drift_p;
-        ModelResponse { proposals, truncated, latency_ms: latency, tokens, drift }
+        ModelResponse {
+            proposals,
+            truncated,
+            latency_ms: latency,
+            tokens,
+            drift,
+        }
     }
 
     fn stats(&self) -> &ModelCallStats {
@@ -359,7 +379,10 @@ mod tests {
 
     #[test]
     fn shots_bias_toward_known_rule() {
-        let shot = FewShot { rule: RepairRule::RemoveDoubleFree, similarity: 0.95 };
+        let shot = FewShot {
+            rule: RepairRule::RemoveDoubleFree,
+            similarity: 0.95,
+        };
         let with = hit_rate(ModelId::Gpt35, PromptStrategy::Freeform, Some(shot));
         let without = hit_rate(ModelId::Gpt35, PromptStrategy::Freeform, None);
         assert!(

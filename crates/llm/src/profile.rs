@@ -25,7 +25,12 @@ pub enum ModelId {
 
 impl ModelId {
     /// All models.
-    pub const ALL: [ModelId; 4] = [ModelId::Gpt35, ModelId::Gpt4, ModelId::GptO1, ModelId::Claude35];
+    pub const ALL: [ModelId; 4] = [
+        ModelId::Gpt35,
+        ModelId::Gpt4,
+        ModelId::GptO1,
+        ModelId::Claude35,
+    ];
 
     /// Display label as used in the paper's figures.
     #[must_use]
@@ -127,7 +132,8 @@ impl ModelProfile {
             UbClass::StackBorrow | UbClass::BothBorrow | UbClass::Provenance | UbClass::TailCall
         );
         let concurrency = matches!(class, UbClass::DataRace | UbClass::Concurrency);
-        let base = match self.id {
+
+        match self.id {
             ModelId::Gpt35 => {
                 if rust_specific {
                     0.62
@@ -158,8 +164,7 @@ impl ModelProfile {
                     1.0
                 }
             }
-        };
-        base
+        }
     }
 
     /// How much the model intrinsically favours a repair family; weak

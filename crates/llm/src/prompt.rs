@@ -77,7 +77,12 @@ impl<'p> RepairContext<'p> {
     /// Builds a context with no shots.
     #[must_use]
     pub fn new(program: &'p Program, error: &'p MiriError, strategy: PromptStrategy) -> Self {
-        RepairContext { program, error, strategy, shots: Vec::new() }
+        RepairContext {
+            program,
+            error,
+            strategy,
+            shots: Vec::new(),
+        }
     }
 
     /// Renders the textual prompt (what a real API call would send); used
@@ -113,7 +118,10 @@ mod tests {
 
     #[test]
     fn strategies_map_to_kinds() {
-        assert_eq!(PromptStrategy::SafeReplace.target_kind(), Some(RuleKind::SafeReplace));
+        assert_eq!(
+            PromptStrategy::SafeReplace.target_kind(),
+            Some(RuleKind::SafeReplace)
+        );
         assert_eq!(PromptStrategy::Assert.target_kind(), Some(RuleKind::Assert));
         assert_eq!(PromptStrategy::Modify.target_kind(), Some(RuleKind::Modify));
         assert_eq!(PromptStrategy::Freeform.target_kind(), None);
@@ -137,7 +145,10 @@ mod tests {
         let r = run_program(&p);
         let err = r.errors.first().unwrap();
         let mut ctx = RepairContext::new(&p, err, PromptStrategy::Freeform);
-        ctx.shots.push(FewShot { rule: RepairRule::GuardDivision, similarity: 0.93 });
+        ctx.shots.push(FewShot {
+            rule: RepairRule::GuardDivision,
+            similarity: 0.93,
+        });
         assert!(ctx.render().contains("guard-division"));
     }
 }

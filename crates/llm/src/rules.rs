@@ -120,7 +120,6 @@ pub enum RepairRule {
 impl RepairRule {
     /// Every rule, in a stable order.
     pub const ALL: [RepairRule; 31] = [
-
         RepairRule::UseDirectPointer,
         RepairRule::BoolFromComparison,
         RepairRule::TransmuteBytesToFromLe,
@@ -175,17 +174,33 @@ impl RepairRule {
     pub fn kind(self) -> RuleKind {
         use RepairRule::*;
         match self {
-            UseDirectPointer | BoolFromComparison | TransmuteBytesToFromLe
-            | BorrowLocalInstead | DirectFnUse | FixFnPtrSignature | UseAtomics
-            | WidenArithmetic | UseRawMutDirect => RuleKind::SafeReplace,
+            UseDirectPointer
+            | BoolFromComparison
+            | TransmuteBytesToFromLe
+            | BorrowLocalInstead
+            | DirectFnUse
+            | FixFnPtrSignature
+            | UseAtomics
+            | WidenArithmetic
+            | UseRawMutDirect => RuleKind::SafeReplace,
             GuardDivision | GuardIndex | WeakenAssert | AssertNonNull | LockSpawnBodies => {
                 RuleKind::Assert
             }
-            RemoveDoubleFree | FixDeallocLayout | AddDealloc | HoistLocalOut
-            | ReorderDeallocAfterUse | AlignOffsetDown | AlignOffsetUp
-            | InitializeBeforeRead | UnionUseLargestField | RetakePointerAfterWrite
-            | SingleMutBorrow | MoveReadAfterJoin | ReplaceTailCallWithReturn
-            | FixLiteralIndex | CopyWithoutOverlap => RuleKind::Modify,
+            RemoveDoubleFree
+            | FixDeallocLayout
+            | AddDealloc
+            | HoistLocalOut
+            | ReorderDeallocAfterUse
+            | AlignOffsetDown
+            | AlignOffsetUp
+            | InitializeBeforeRead
+            | UnionUseLargestField
+            | RetakePointerAfterWrite
+            | SingleMutBorrow
+            | MoveReadAfterJoin
+            | ReplaceTailCallWithReturn
+            | FixLiteralIndex
+            | CopyWithoutOverlap => RuleKind::Modify,
             DeleteStatement | DuplicateStatement | PerturbLiteral | DisableStatement
             | StripUnsafe | BreakBinding | BreakTypes => RuleKind::Hallucination,
         }
@@ -380,7 +395,11 @@ pub fn apply_semantic_drift(prog: &Program) -> Option<Program> {
                 }
                 match s {
                     Stmt::Print(e) => map_expr(e, &mut |x| bump(x)),
-                    Stmt::Let { init, ty: Ty::Int(_) | Ty::Bool, .. } => bump(init),
+                    Stmt::Let {
+                        init,
+                        ty: Ty::Int(_) | Ty::Bool,
+                        ..
+                    } => bump(init),
                     Stmt::Assign { value, .. } => bump(value),
                     _ => {}
                 }
@@ -393,10 +412,13 @@ pub fn apply_semantic_drift(prog: &Program) -> Option<Program> {
 // ---- shared helpers ---------------------------------------------------------
 
 fn main_body(prog: &mut Program) -> Option<&mut Block> {
-    prog.funcs.iter_mut().find(|f| f.name == "main").map(|f| &mut f.body)
+    prog.funcs
+        .iter_mut()
+        .find(|f| f.name == "main")
+        .map(|f| &mut f.body)
 }
 
-fn err_path<'e>(err: &'e MiriError) -> Option<&'e StmtPath> {
+fn err_path(err: &MiriError) -> Option<&StmtPath> {
     err.path.as_ref()
 }
 
@@ -423,7 +445,9 @@ fn deep_exprs(s: &Stmt, f: &mut dyn FnMut(&Expr)) {
                 deep_exprs(inner, f);
             }
         }
-        Stmt::If { then_blk, else_blk, .. } => {
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
             for inner in &then_blk.stmts {
                 deep_exprs(inner, f);
             }
@@ -474,19 +498,24 @@ fn scan_block_for_alloc(b: &Block, found: &mut Option<(String, Expr, Expr)>) {
             return;
         }
         match s {
-            Stmt::Let { name, init, .. } => {
-                if let Expr::Builtin(BuiltinKind::Alloc, _, args) = init {
-                    *found = Some((name.clone(), args[0].clone(), args[1].clone()));
-                }
+            Stmt::Let {
+                name,
+                init: Expr::Builtin(BuiltinKind::Alloc, _, args),
+                ..
             }
-            Stmt::Assign { place: Expr::Var(name), value } => {
-                if let Expr::Builtin(BuiltinKind::Alloc, _, args) = value {
-                    *found = Some((name.clone(), args[0].clone(), args[1].clone()));
-                }
+            | Stmt::Assign {
+                place: Expr::Var(name),
+                value: Expr::Builtin(BuiltinKind::Alloc, _, args),
+            } => {
+                *found = Some((name.clone(), args[0].clone(), args[1].clone()));
             }
-            Stmt::Unsafe(inner) | Stmt::Scope(inner) | Stmt::Spawn(inner)
+            Stmt::Unsafe(inner)
+            | Stmt::Scope(inner)
+            | Stmt::Spawn(inner)
             | Stmt::Lock(_, inner) => scan_block_for_alloc(inner, found),
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 scan_block_for_alloc(then_blk, found);
                 if let Some(e) = else_blk {
                     scan_block_for_alloc(e, found);
@@ -538,7 +567,7 @@ fn use_direct_pointer(prog: &mut Program, err: &MiriError) -> Option<()> {
     rb_lang::visit::map_exprs(prog, &mut |e| {
         if let Expr::Cast(inner, Ty::RawPtr(..)) = e {
             if matches!(&**inner, Expr::Var(n) if *n == addr_var) {
-                *inner = Box::new(orig.clone());
+                **inner = orig.clone();
                 changed = true;
             }
         }
@@ -604,9 +633,7 @@ fn bytes_to_from_le(prog: &mut Program) -> Option<()> {
 fn borrow_local_instead(prog: &mut Program) -> Option<()> {
     // Find a local of the target type declared in main before the transmute.
     let mut target: Option<(Ty, String)> = None;
-    let Some(main) = prog.funcs.iter().find(|f| f.name == "main") else {
-        return None;
-    };
+    let main = prog.funcs.iter().find(|f| f.name == "main")?;
     let mut locals: Vec<(String, Ty)> = Vec::new();
     fn scan(b: &Block, locals: &mut Vec<(String, Ty)>, target: &mut Option<(Ty, String)>) {
         for s in &b.stmts {
@@ -641,7 +668,7 @@ fn borrow_local_instead(prog: &mut Program) -> Option<()> {
         }
     }
     scan(&main.body, &mut locals, &mut target);
-    let Some((_, local)) = target else { return None };
+    let (_, local) = target?;
     let mut changed = false;
     rb_lang::visit::map_exprs(prog, &mut |e| {
         if let Expr::Builtin(BuiltinKind::Transmute, tys, _) = e {
@@ -710,19 +737,22 @@ fn fix_fnptr_signature(prog: &mut Program) -> Option<()> {
         if hit.is_some() {
             return;
         }
-        if let Stmt::Let { name, init, .. } = s {
-            if let Expr::Builtin(BuiltinKind::Transmute, tys, args) = init {
-                if let (Some(src @ Ty::FnPtr(sp, _)), Some(Ty::FnPtr(dp, _))) =
-                    (tys.first(), tys.get(1))
-                {
-                    hit = Some((
-                        name.clone(),
-                        src.clone(),
-                        args[0].clone(),
-                        sp.len(),
-                        dp.len(),
-                    ));
-                }
+        if let Stmt::Let {
+            name,
+            init: Expr::Builtin(BuiltinKind::Transmute, tys, args),
+            ..
+        } = s
+        {
+            if let (Some(src @ Ty::FnPtr(sp, _)), Some(Ty::FnPtr(dp, _))) =
+                (tys.first(), tys.get(1))
+            {
+                hit = Some((
+                    name.clone(),
+                    src.clone(),
+                    args[0].clone(),
+                    sp.len(),
+                    dp.len(),
+                ));
             }
         }
     });
@@ -762,7 +792,9 @@ fn fix_binding(s: &mut Stmt, fname: &str, src_ty: &Ty, fn_expr: &Expr, changed: 
                 fix_binding(inner, fname, src_ty, fn_expr, changed);
             }
         }
-        Stmt::If { then_blk, else_blk, .. } => {
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
             for inner in &mut then_blk.stmts {
                 fix_binding(inner, fname, src_ty, fn_expr, changed);
             }
@@ -789,7 +821,7 @@ fn use_atomics(prog: &mut Program) -> Option<()> {
         return None;
     }
     let mut changed = false;
-    let Some(main) = main_body(prog) else { return None };
+    let main = main_body(prog)?;
     for s in &mut main.stmts {
         if let Stmt::Spawn(body) = s {
             atomicise_block(body, &statics, &mut changed);
@@ -802,7 +834,10 @@ fn atomicise_block(b: &mut Block, statics: &[String], changed: &mut bool) {
     let mut new_stmts = Vec::with_capacity(b.stmts.len());
     for mut s in std::mem::take(&mut b.stmts) {
         match s {
-            Stmt::Assign { place: Expr::StaticRef(g), mut value } if statics.contains(&g) => {
+            Stmt::Assign {
+                place: Expr::StaticRef(g),
+                mut value,
+            } if statics.contains(&g) => {
                 map_expr(&mut value, &mut |e| {
                     if matches!(e, Expr::StaticRef(n) if *n == g) {
                         *e = Expr::Builtin(
@@ -851,7 +886,10 @@ fn atomicise_block(b: &mut Block, statics: &[String], changed: &mut bool) {
 fn widen_arithmetic(prog: &mut Program, err: &MiriError) -> Option<()> {
     if !matches!(
         err.kind,
-        UbKind::UncheckedOverflow | UbKind::PanicOverflow | UbKind::PanicAssert | UbKind::PanicDivZero
+        UbKind::UncheckedOverflow
+            | UbKind::PanicOverflow
+            | UbKind::PanicAssert
+            | UbKind::PanicDivZero
     ) {
         return None;
     }
@@ -873,14 +911,14 @@ fn widen_arithmetic(prog: &mut Program, err: &MiriError) -> Option<()> {
                 Box::new(Expr::Cast(Box::new(args[1].clone()), Ty::Int(IntTy::I64))),
             );
         }
-        Expr::Binary(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul), a, b) => {
-            if !matches!(**a, Expr::Cast(..)) {
-                *e = Expr::Binary(
-                    *op,
-                    Box::new(Expr::Cast(a.clone(), Ty::Int(IntTy::I64))),
-                    Box::new(Expr::Cast(b.clone(), Ty::Int(IntTy::I64))),
-                );
-            }
+        Expr::Binary(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul), a, b)
+            if !matches!(**a, Expr::Cast(..)) =>
+        {
+            *e = Expr::Binary(
+                *op,
+                Box::new(Expr::Cast(a.clone(), Ty::Int(IntTy::I64))),
+                Box::new(Expr::Cast(b.clone(), Ty::Int(IntTy::I64))),
+            );
         }
         _ => {}
     });
@@ -895,10 +933,13 @@ fn use_raw_mut_direct(prog: &mut Program) -> Option<()> {
         if ref_bind.is_some() {
             return;
         }
-        if let Stmt::Let { name, ty: Ty::Ref(_, Mutability::Not), init } = s {
-            if let Expr::AddrOf(Mutability::Not, target) = init {
-                ref_bind = Some((name.clone(), (**target).clone()));
-            }
+        if let Stmt::Let {
+            name,
+            ty: Ty::Ref(_, Mutability::Not),
+            init: Expr::AddrOf(Mutability::Not, target),
+        } = s
+        {
+            ref_bind = Some((name.clone(), (**target).clone()));
         }
     });
     let (rname, target) = ref_bind?;
@@ -906,7 +947,7 @@ fn use_raw_mut_direct(prog: &mut Program) -> Option<()> {
     rb_lang::visit::map_exprs(prog, &mut |e| {
         if let Expr::Cast(inner, Ty::RawPtr(_, Mutability::Mut)) = e {
             if matches!(&**inner, Expr::Var(n) if *n == rname) {
-                *inner = Box::new(Expr::RawAddrOf(Mutability::Mut, Box::new(target.clone())));
+                **inner = Expr::RawAddrOf(Mutability::Mut, Box::new(target.clone()));
                 // Simplify `&raw mut x as *mut T` to just the raw addr-of.
                 let Expr::Cast(inner2, _) = e else { return };
                 *e = (**inner2).clone();
@@ -925,7 +966,7 @@ fn guard_division(prog: &mut Program, err: &MiriError) -> Option<()> {
         return None;
     }
     let path = err_path(err)?.clone();
-    let Some(stmt) = get_stmt(prog, &path).cloned() else { return None };
+    let stmt = get_stmt(prog, &path).cloned()?;
     let mut divisor: Option<Expr> = None;
     let mut scan = stmt.clone();
     map_exprs_in_stmt(&mut scan, &mut |e| {
@@ -949,7 +990,7 @@ fn guard_index(prog: &mut Program, err: &MiriError) -> Option<()> {
         return None;
     }
     let path = err_path(err)?.clone();
-    let Some(stmt) = get_stmt(prog, &path).cloned() else { return None };
+    let stmt = get_stmt(prog, &path).cloned()?;
     let mut index_info: Option<(Expr, usize)> = None;
     let mut scan = stmt.clone();
     map_exprs_in_stmt(&mut scan, &mut |e| {
@@ -966,7 +1007,11 @@ fn guard_index(prog: &mut Program, err: &MiriError) -> Option<()> {
     // Find the array length from a `let arr: [T; N]` in the same function.
     let mut len: usize = 0;
     for_each_stmt(prog, |s, _| {
-        if let Stmt::Let { ty: Ty::Array(_, n), .. } = s {
+        if let Stmt::Let {
+            ty: Ty::Array(_, n),
+            ..
+        } = s
+        {
             len = *n;
         }
     });
@@ -974,11 +1019,7 @@ fn guard_index(prog: &mut Program, err: &MiriError) -> Option<()> {
         return None;
     }
     let guarded = Stmt::If {
-        cond: Expr::Binary(
-            BinOp::Lt,
-            Box::new(idx),
-            Box::new(Expr::i32(len as i32)),
-        ),
+        cond: Expr::Binary(BinOp::Lt, Box::new(idx), Box::new(Expr::i32(len as i32))),
         then_blk: Block::new(vec![stmt]),
         else_blk: Some(Block::new(vec![Stmt::Print(Expr::i32(0))])),
     };
@@ -991,7 +1032,7 @@ fn weaken_assert(prog: &mut Program, err: &MiriError) -> Option<()> {
         return None;
     }
     let path = err_path(err)?.clone();
-    let Some(stmt) = rb_lang::visit::get_stmt_mut(prog, &path) else { return None };
+    let stmt = rb_lang::visit::get_stmt_mut(prog, &path)?;
     if let Stmt::Assert { cond, msg } = stmt {
         if let Expr::Binary(_, lhs, _) = cond {
             *cond = Expr::Binary(BinOp::Ge, lhs.clone(), Box::new(Expr::i32(0)));
@@ -1007,7 +1048,7 @@ fn weaken_assert(prog: &mut Program, err: &MiriError) -> Option<()> {
 /// propose it constantly).
 fn assert_non_null(prog: &mut Program, err: &MiriError) -> Option<()> {
     let path = err_path(err)?.clone();
-    let Some(stmt) = get_stmt(prog, &path) else { return None };
+    let stmt = get_stmt(prog, &path)?;
     // Find a pointer variable used in the statement.
     let mut pvar: Option<String> = None;
     deep_exprs(stmt, &mut |top| {
@@ -1043,7 +1084,7 @@ fn assert_non_null(prog: &mut Program, err: &MiriError) -> Option<()> {
 /// Wrap every spawned body in `lock(1) { .. }`.
 fn lock_spawn_bodies(prog: &mut Program) -> Option<()> {
     let mut changed = false;
-    let Some(main) = main_body(prog) else { return None };
+    let main = main_body(prog)?;
     for s in &mut main.stmts {
         if let Stmt::Spawn(body) = s {
             if body.stmts.len() == 1 && matches!(body.stmts[0], Stmt::Lock(..)) {
@@ -1080,7 +1121,7 @@ fn remove_double_free(prog: &mut Program, err: &MiriError) -> Option<()> {
         return None;
     }
     let path = err_path(err)?.clone();
-    let Some(stmt) = get_stmt(prog, &path) else { return None };
+    let stmt = get_stmt(prog, &path)?;
     let mut var = None;
     if !stmt_deallocs_var(stmt, &mut var) {
         return None;
@@ -1106,10 +1147,7 @@ fn fix_dealloc_layout(prog: &mut Program, err: &MiriError) -> Option<()> {
 
 /// Append `unsafe { dealloc(p, size, align); }` at the end of `main`.
 fn add_dealloc(prog: &mut Program) -> Option<()> {
-    let (var, size, align) = match find_alloc(prog) {
-        Some(t) => t,
-        None => return None,
-    };
+    let (var, size, align) = find_alloc(prog)?;
     // Refuse when a dealloc already exists somewhere.
     let mut already = false;
     for_each_stmt(prog, |s, _| {
@@ -1121,24 +1159,26 @@ fn add_dealloc(prog: &mut Program) -> Option<()> {
     if already {
         return None;
     }
-    let Some(main) = main_body(prog) else { return None };
-    main.stmts.push(Stmt::Unsafe(Block::new(vec![Stmt::Expr(Expr::Builtin(
-        BuiltinKind::Dealloc,
-        Vec::new(),
-        vec![Expr::Var(var), size, align],
-    ))])));
+    let main = main_body(prog)?;
+    main.stmts
+        .push(Stmt::Unsafe(Block::new(vec![Stmt::Expr(Expr::Builtin(
+            BuiltinKind::Dealloc,
+            Vec::new(),
+            vec![Expr::Var(var), size, align],
+        ))])));
     Some(())
 }
 
 /// Splice the first scope containing a raw-pointer escape into its parent.
 fn hoist_local_out(prog: &mut Program) -> Option<()> {
-    let Some(main) = main_body(prog) else { return None };
+    let main = main_body(prog)?;
     let mut idx = None;
     for (i, s) in main.stmts.iter().enumerate() {
         if let Stmt::Scope(body) = s {
-            let escapes = body.stmts.iter().any(|inner| {
-                stmt_contains(inner, &mut |e| matches!(e, Expr::RawAddrOf(..)))
-            });
+            let escapes = body
+                .stmts
+                .iter()
+                .any(|inner| stmt_contains(inner, &mut |e| matches!(e, Expr::RawAddrOf(..))));
             if escapes {
                 idx = Some(i);
                 break;
@@ -1146,7 +1186,9 @@ fn hoist_local_out(prog: &mut Program) -> Option<()> {
         }
     }
     let i = idx?;
-    let Stmt::Scope(body) = main.stmts.remove(i) else { return None };
+    let Stmt::Scope(body) = main.stmts.remove(i) else {
+        return None;
+    };
     for (k, inner) in body.stmts.into_iter().enumerate() {
         main.stmts.insert(i + k, inner);
     }
@@ -1160,7 +1202,7 @@ fn reorder_dealloc(prog: &mut Program, err: &MiriError) -> Option<()> {
     if !err.kind.is_ub() {
         return None;
     }
-    let Some(main) = main_body(prog) else { return None };
+    let main = main_body(prog)?;
     let mut idx = None;
     for (i, s) in main.stmts.iter().enumerate() {
         let mut v = None;
@@ -1196,7 +1238,11 @@ fn align_offset(prog: &mut Program, err: &MiriError, up: bool) -> Option<()> {
     rewrite_stmt_at(prog, &path, &mut |e| {
         if let Expr::Builtin(BuiltinKind::PtrOffset, _, args) = e {
             if let Expr::Lit(Lit::Int(v, t)) = &args[1] {
-                let new = if up { ((*v as i64 + 3) / 4 * 4).max(4) } else { 0 };
+                let new = if up {
+                    ((*v as i64 + 3) / 4 * 4).max(4)
+                } else {
+                    0
+                };
                 if new != *v as i64 {
                     args[1] = int_lit(new, *t);
                     changed = true;
@@ -1220,7 +1266,7 @@ fn initialize_before_read(prog: &mut Program, err: &MiriError) -> Option<()> {
         return None;
     }
     let read_idx = err_path(err)?.steps.first()?.0;
-    let Some(main) = main_body(prog) else { return None };
+    let main = main_body(prog)?;
     // Find a later statement containing ptr_write to move before the read.
     let mut write_idx = None;
     for (i, s) in main.stmts.iter().enumerate().skip(read_idx + 1) {
@@ -1263,7 +1309,8 @@ fn initialize_before_read(prog: &mut Program, err: &MiriError) -> Option<()> {
             if !rest.is_empty() {
                 main.stmts.insert(wi, Stmt::Unsafe(Block::new(rest)));
             }
-            main.stmts.insert(read_idx, Stmt::Unsafe(Block::new(writes)));
+            main.stmts
+                .insert(read_idx, Stmt::Unsafe(Block::new(writes)));
             Some(())
         }
         other => {
@@ -1325,7 +1372,11 @@ fn retake_pointer(prog: &mut Program, err: &MiriError) -> Option<()> {
     // pointer/reference is taken *after* the conflicting write.
     let mut let_idx = None;
     for (i, s) in body.stmts.iter().enumerate() {
-        if let Stmt::Let { init: Expr::RawAddrOf(..) | Expr::AddrOf(..), .. } = s {
+        if let Stmt::Let {
+            init: Expr::RawAddrOf(..) | Expr::AddrOf(..),
+            ..
+        } = s
+        {
             if matches!(body.stmts.get(i + 1), Some(Stmt::Assign { .. })) {
                 let_idx = Some(i);
                 break;
@@ -1343,7 +1394,12 @@ fn single_mut_borrow(prog: &mut Program) -> Option<()> {
     let mut first: Option<(String, String)> = None; // (name, target)
     let mut second: Option<(String, StmtPath)> = None;
     for_each_stmt(prog, |s, p| {
-        if let Stmt::Let { name, init: Expr::AddrOf(Mutability::Mut, t), .. } = s {
+        if let Stmt::Let {
+            name,
+            init: Expr::AddrOf(Mutability::Mut, t),
+            ..
+        } = s
+        {
             if let Expr::Var(target) = &**t {
                 match &first {
                     None => first = Some((name.clone(), target.clone())),
@@ -1357,9 +1413,7 @@ fn single_mut_borrow(prog: &mut Program) -> Option<()> {
     });
     let (first_name, _) = first?;
     let (second_name, second_path) = second?;
-    if rb_lang::visit::remove_stmt(prog, &second_path).is_none() {
-        return None;
-    }
+    rb_lang::visit::remove_stmt(prog, &second_path)?;
     rb_lang::visit::map_exprs(prog, &mut |e| {
         if matches!(e, Expr::Var(n) if *n == second_name) {
             *e = Expr::Var(first_name.clone());
@@ -1371,12 +1425,21 @@ fn single_mut_borrow(prog: &mut Program) -> Option<()> {
 /// Move a main-thread statement that races with spawned threads after the
 /// `join`.
 fn move_read_after_join(prog: &mut Program) -> Option<()> {
-    let Some(main) = main_body(prog) else { return None };
+    let main = main_body(prog)?;
     let join_idx = main.stmts.iter().position(|s| matches!(s, Stmt::JoinAll))?;
     // A statement between the first spawn and the join that touches a static.
-    let spawn_idx = main.stmts.iter().position(|s| matches!(s, Stmt::Spawn(_)))?;
+    let spawn_idx = main
+        .stmts
+        .iter()
+        .position(|s| matches!(s, Stmt::Spawn(_)))?;
     let mut victim = None;
-    for (i, s) in main.stmts.iter().enumerate().take(join_idx).skip(spawn_idx + 1) {
+    for (i, s) in main
+        .stmts
+        .iter()
+        .enumerate()
+        .take(join_idx)
+        .skip(spawn_idx + 1)
+    {
         if matches!(s, Stmt::Spawn(_)) {
             continue;
         }
@@ -1438,7 +1501,11 @@ fn fix_literal_index(prog: &mut Program, err: &MiriError) -> Option<()> {
     // Array length from any `let arr: [T; N]`.
     let mut len = 0usize;
     for_each_stmt(prog, |s, _| {
-        if let Stmt::Let { ty: Ty::Array(_, n), .. } = s {
+        if let Stmt::Let {
+            ty: Ty::Array(_, n),
+            ..
+        } = s
+        {
             len = *n;
         }
     });
@@ -1450,16 +1517,19 @@ fn fix_literal_index(prog: &mut Program, err: &MiriError) -> Option<()> {
     rb_lang::visit::map_exprs(prog, &mut |_| {});
     for f in &mut prog.funcs {
         for s in &mut f.body.stmts {
-            if let Stmt::Let { name, init: Expr::Lit(Lit::Int(v, t)), .. } = s {
-                if name.contains("idx") || name.contains("i") {
-                    if *v >= len as i128 {
-                        *s = Stmt::Let {
-                            name: name.clone(),
-                            ty: Ty::Int(*t),
-                            init: int_lit(len as i64 - 1, *t),
-                        };
-                        changed = true;
-                    }
+            if let Stmt::Let {
+                name,
+                init: Expr::Lit(Lit::Int(v, t)),
+                ..
+            } = s
+            {
+                if (name.contains("idx") || name.contains("i")) && *v >= len as i128 {
+                    *s = Stmt::Let {
+                        name: name.clone(),
+                        ty: Ty::Int(*t),
+                        init: int_lit(len as i64 - 1, *t),
+                    };
+                    changed = true;
                 }
             }
         }
@@ -1498,7 +1568,7 @@ fn delete_statement(prog: &mut Program, err: &MiriError) -> Option<()> {
 
 fn duplicate_statement(prog: &mut Program, err: &MiriError) -> Option<()> {
     let path = err_path(err)?.clone();
-    let Some(stmt) = get_stmt(prog, &path).cloned() else { return None };
+    let stmt = get_stmt(prog, &path).cloned()?;
     rb_lang::visit::insert_after(prog, &path, stmt).then_some(())
 }
 
@@ -1521,8 +1591,13 @@ fn perturb_literal(prog: &mut Program, err: &MiriError) -> Option<()> {
 /// in a safe context — the classic non-compiling LLM patch.
 fn strip_unsafe(prog: &mut Program) -> Option<()> {
     let main = main_body(prog)?;
-    let idx = main.stmts.iter().position(|s| matches!(s, Stmt::Unsafe(_)))?;
-    let Stmt::Unsafe(body) = main.stmts.remove(idx) else { return None };
+    let idx = main
+        .stmts
+        .iter()
+        .position(|s| matches!(s, Stmt::Unsafe(_)))?;
+    let Stmt::Unsafe(body) = main.stmts.remove(idx) else {
+        return None;
+    };
     if body.stmts.is_empty() {
         return None;
     }
@@ -1561,7 +1636,7 @@ fn break_types(prog: &mut Program) -> Option<()> {
 
 fn disable_statement(prog: &mut Program, err: &MiriError) -> Option<()> {
     let path = err_path(err)?.clone();
-    let Some(stmt) = get_stmt(prog, &path).cloned() else { return None };
+    let stmt = get_stmt(prog, &path).cloned()?;
     let disabled = Stmt::If {
         cond: Expr::Lit(Lit::Bool(false)),
         then_blk: Block::new(vec![stmt]),
@@ -1583,7 +1658,11 @@ mod tests {
     use rb_miri::run_program;
 
     fn first_error(prog: &Program) -> MiriError {
-        run_program(prog).errors.first().cloned().expect("buggy program must fail")
+        run_program(prog)
+            .errors
+            .first()
+            .cloned()
+            .expect("buggy program must fail")
     }
 
     fn parse(src: &str) -> Program {
@@ -1612,8 +1691,14 @@ mod tests {
         );
         let err = first_error(&p);
         assert_eq!(err.kind, UbKind::DoubleFree);
-        let fixed = RepairRule::RemoveDoubleFree.apply(&p, &err).expect("applies");
-        assert!(run_program(&fixed).passes(), "{:?}", run_program(&fixed).errors);
+        let fixed = RepairRule::RemoveDoubleFree
+            .apply(&p, &err)
+            .expect("applies");
+        assert!(
+            run_program(&fixed).passes(),
+            "{:?}",
+            run_program(&fixed).errors
+        );
     }
 
     #[test]
@@ -1623,7 +1708,9 @@ mod tests {
              unsafe { let flag: bool = transmute::<u8, bool>(x); print(flag); } }",
         );
         let err = first_error(&p);
-        let fixed = RepairRule::BoolFromComparison.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::BoolFromComparison
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec!["true"]);
@@ -1636,7 +1723,9 @@ mod tests {
              unsafe { let n2: u32 = transmute::<[u8; 2], u32>(n1); print(n2); } }",
         );
         let err = first_error(&p);
-        let fixed = RepairRule::TransmuteBytesToFromLe.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::TransmuteBytesToFromLe
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec![format!("{}", 23 + 7 * 256)]);
@@ -1652,7 +1741,9 @@ mod tests {
         );
         let err = first_error(&p);
         assert_eq!(err.kind, UbKind::NoProvenance);
-        let fixed = RepairRule::UseDirectPointer.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::UseDirectPointer
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec!["9"]);
@@ -1666,7 +1757,9 @@ mod tests {
              join; unsafe { print(G); } }",
         );
         let err = first_error(&p);
-        let fixed = RepairRule::LockSpawnBodies.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::LockSpawnBodies
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
     }
@@ -1709,7 +1802,9 @@ mod tests {
         );
         let err = first_error(&p);
         assert_eq!(err.kind, UbKind::UseAfterFree);
-        let fixed = RepairRule::ReorderDeallocAfterUse.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::ReorderDeallocAfterUse
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec!["7"]);
@@ -1722,7 +1817,9 @@ mod tests {
              unsafe { print(unchecked_add::<i32>(x, d)); } }",
         );
         let err = first_error(&p);
-        let fixed = RepairRule::WidenArithmetic.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::WidenArithmetic
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec!["2147483652"]);
@@ -1747,7 +1844,9 @@ mod tests {
              *second = 9; print(*first); } }",
         );
         let err = first_error(&p);
-        let fixed = RepairRule::SingleMutBorrow.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::SingleMutBorrow
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec!["9"]);
@@ -1761,7 +1860,9 @@ mod tests {
              fn main() { print(runner(3)); }",
         );
         let err = first_error(&p);
-        let fixed = RepairRule::ReplaceTailCallWithReturn.apply(&p, &err).expect("applies");
+        let fixed = RepairRule::ReplaceTailCallWithReturn
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&fixed);
         assert!(r.passes(), "{:?}", r.errors);
         assert_eq!(r.outputs, vec!["7"]);
@@ -1769,12 +1870,12 @@ mod tests {
 
     #[test]
     fn hallucinations_apply_but_rarely_fix() {
-        let p = parse(
-            "fn main() { let d: i32 = 0; let n: i32 = 8; print(n / d); }",
-        );
+        let p = parse("fn main() { let d: i32 = 0; let n: i32 = 8; print(n / d); }");
         let err = first_error(&p);
         // Deleting the faulting statement "fixes" Miri but changes meaning.
-        let deleted = RepairRule::DeleteStatement.apply(&p, &err).expect("applies");
+        let deleted = RepairRule::DeleteStatement
+            .apply(&p, &err)
+            .expect("applies");
         let r = run_program(&deleted);
         assert!(r.passes());
         assert!(r.outputs.is_empty()); // outputs lost: semantically bad

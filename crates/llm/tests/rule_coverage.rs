@@ -32,8 +32,9 @@ fn canonical_rule(template: &str) -> RepairRule {
         "write_invalidates" | "ref_invalidated" => RetakePointerAfterWrite,
         "shared_write" => UseRawMutDirect,
         "two_mut" | "cross_fn" => SingleMutBorrow,
-        "two_writers" | "heap_writers" | "reader_writer" | "helper_writer"
-        | "three_writers" => LockSpawnBodies,
+        "two_writers" | "heap_writers" | "reader_writer" | "helper_writer" | "three_writers" => {
+            LockSpawnBodies
+        }
         "increment" => UseAtomics,
         "main_read" => MoveReadAfterJoin,
         "unchecked_add" | "overflow" | "callee_unchecked" => WidenArithmetic,

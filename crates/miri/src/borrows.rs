@@ -99,7 +99,11 @@ impl BorrowStack {
     #[must_use]
     pub fn new(base_tag: BorTag) -> BorrowStack {
         BorrowStack {
-            items: vec![BorItem { tag: base_tag, perm: Perm::Unique, origin: Origin::Base }],
+            items: vec![BorItem {
+                tag: base_tag,
+                perm: Perm::Unique,
+                origin: Origin::Base,
+            }],
         }
     }
 
@@ -143,12 +147,26 @@ impl BorrowStack {
         match kind {
             RetagKind::Mut => {
                 for it in self.items.drain(idx + 1..) {
-                    popped.insert(it.tag, PopInfo { origin: it.origin, reason: PopReason::MutRetag });
+                    popped.insert(
+                        it.tag,
+                        PopInfo {
+                            origin: it.origin,
+                            reason: PopReason::MutRetag,
+                        },
+                    );
                 }
-                self.items.push(BorItem { tag: fresh, perm: Perm::Unique, origin: Origin::RefMut });
+                self.items.push(BorItem {
+                    tag: fresh,
+                    perm: Perm::Unique,
+                    origin: Origin::RefMut,
+                });
             }
             RetagKind::Shared => {
-                self.items.push(BorItem { tag: fresh, perm: Perm::SharedRO, origin: Origin::RefShared });
+                self.items.push(BorItem {
+                    tag: fresh,
+                    perm: Perm::SharedRO,
+                    origin: Origin::RefShared,
+                });
             }
             RetagKind::Raw => {
                 // A raw pointer inherits writability from its parent: raws
@@ -159,7 +177,11 @@ impl BorrowStack {
                 } else {
                     Perm::SharedRW
                 };
-                self.items.push(BorItem { tag: fresh, perm, origin: Origin::Raw });
+                self.items.push(BorItem {
+                    tag: fresh,
+                    perm,
+                    origin: Origin::Raw,
+                });
             }
         }
         Ok(())
@@ -185,14 +207,26 @@ impl BorrowStack {
                 return Err(UbKind::WriteThroughShared);
             }
             for it in self.items.drain(idx + 1..) {
-                popped.insert(it.tag, PopInfo { origin: it.origin, reason: PopReason::WriteAccess });
+                popped.insert(
+                    it.tag,
+                    PopInfo {
+                        origin: it.origin,
+                        reason: PopReason::WriteAccess,
+                    },
+                );
             }
         } else {
             // Reads disable Unique items above the granting one.
             let above: Vec<BorItem> = self.items.drain(idx + 1..).collect();
             for it in above {
                 if it.perm == Perm::Unique {
-                    popped.insert(it.tag, PopInfo { origin: it.origin, reason: PopReason::ReadAccess });
+                    popped.insert(
+                        it.tag,
+                        PopInfo {
+                            origin: it.origin,
+                            reason: PopReason::ReadAccess,
+                        },
+                    );
                 } else {
                     self.items.push(it);
                 }
@@ -207,9 +241,10 @@ impl BorrowStack {
 /// anything else is a generic stacked-borrows violation.
 fn classify_missing(tag: BorTag, popped: &HashMap<BorTag, PopInfo>) -> UbKind {
     match popped.get(&tag) {
-        Some(PopInfo { origin: Origin::RefMut, reason: PopReason::MutRetag }) => {
-            UbKind::ConflictingMutBorrows
-        }
+        Some(PopInfo {
+            origin: Origin::RefMut,
+            reason: PopReason::MutRetag,
+        }) => UbKind::ConflictingMutBorrows,
         _ => UbKind::StackBorrowViolation,
     }
 }
@@ -245,7 +280,10 @@ mod tests {
     fn write_through_shared_rejected() {
         let (mut st, mut popped) = setup();
         st.retag(0, RetagKind::Shared, 1, &mut popped).unwrap();
-        assert_eq!(st.access(1, true, &mut popped), Err(UbKind::WriteThroughShared));
+        assert_eq!(
+            st.access(1, true, &mut popped),
+            Err(UbKind::WriteThroughShared)
+        );
         assert!(st.access(1, false, &mut popped).is_ok());
     }
 
@@ -254,7 +292,10 @@ mod tests {
         let (mut st, mut popped) = setup();
         st.retag(0, RetagKind::Shared, 1, &mut popped).unwrap();
         st.retag(1, RetagKind::Raw, 2, &mut popped).unwrap();
-        assert_eq!(st.access(2, true, &mut popped), Err(UbKind::WriteThroughShared));
+        assert_eq!(
+            st.access(2, true, &mut popped),
+            Err(UbKind::WriteThroughShared)
+        );
         assert!(st.access(2, false, &mut popped).is_ok());
     }
 
@@ -270,7 +311,10 @@ mod tests {
         let (mut st, mut popped) = setup();
         st.retag(0, RetagKind::Raw, 1, &mut popped).unwrap();
         st.access(0, true, &mut popped).unwrap(); // write through base pops raw
-        assert_eq!(st.access(1, false, &mut popped), Err(UbKind::StackBorrowViolation));
+        assert_eq!(
+            st.access(1, false, &mut popped),
+            Err(UbKind::StackBorrowViolation)
+        );
     }
 
     #[test]
@@ -279,7 +323,10 @@ mod tests {
         st.retag(0, RetagKind::Mut, 1, &mut popped).unwrap();
         // Read through base disables the &mut above.
         st.access(0, false, &mut popped).unwrap();
-        assert_eq!(st.access(1, true, &mut popped), Err(UbKind::StackBorrowViolation));
+        assert_eq!(
+            st.access(1, true, &mut popped),
+            Err(UbKind::StackBorrowViolation)
+        );
     }
 
     #[test]

@@ -239,7 +239,9 @@ impl UbKind {
             UbKind::UncheckedOverflow | UbKind::Precondition => UbClass::FuncCall,
             UbKind::InvalidFnPtr | UbKind::FnSigMismatch => UbClass::FuncPointer,
             UbKind::TailCallMismatch => UbClass::TailCall,
-            UbKind::PanicAssert | UbKind::PanicOverflow | UbKind::PanicDivZero
+            UbKind::PanicAssert
+            | UbKind::PanicOverflow
+            | UbKind::PanicDivZero
             | UbKind::PanicIndex => UbClass::Panic,
             UbKind::IllFormed | UbKind::ResourceExhausted => UbClass::Compile,
         }

@@ -8,13 +8,11 @@
 //! (the error counts `nᵢ` that drive the adaptive-rollback analysis).
 //! Panics stop the current thread; exceeding the step budget stops the run.
 
+use crate::borrows::RetagKind;
 use crate::diagnostics::{MiriError, MiriReport, UbKind};
 use crate::memory::{AllocKind, Memory};
 use crate::race::{Access, AccessLog};
-use crate::value::{
-    from_bytes, to_bytes, value_matches_ty, AllocId, BorTag, Pointer, Value,
-};
-use crate::borrows::RetagKind;
+use crate::value::{from_bytes, to_bytes, value_matches_ty, AllocId, BorTag, Pointer, Value};
 use rb_lang::ast::{BinOp, Block, BuiltinKind, Expr, Lit, Program, Stmt, StmtPath, Ty, UnOp};
 use rb_lang::check::{check_program, ty_align, ty_size};
 use std::collections::{BTreeSet, HashMap};
@@ -331,14 +329,16 @@ impl<'p> Machine<'p> {
                 format!("{what}: pointer used after its target's scope ended (dangling)")
             }
             UbKind::OutOfBounds => format!("{what}: pointer out of bounds of its allocation"),
-            UbKind::UnalignedAccess => format!("{what}: accessing memory with insufficient alignment"),
+            UbKind::UnalignedAccess => {
+                format!("{what}: accessing memory with insufficient alignment")
+            }
             UbKind::UninitRead => format!("{what}: reading uninitialised memory"),
             UbKind::NoProvenance => {
                 format!("{what}: dereferencing an integer-derived pointer without provenance")
             }
-            UbKind::StackBorrowViolation =>
-
-                format!("{what}: tag does not exist in the borrow stack (stacked borrows)"),
+            UbKind::StackBorrowViolation => {
+                format!("{what}: tag does not exist in the borrow stack (stacked borrows)")
+            }
             UbKind::ConflictingMutBorrows => {
                 format!("{what}: conflicting exclusive reborrows of the same location")
             }
@@ -376,8 +376,17 @@ impl<'p> Machine<'p> {
 
     // ---- memory access helpers ---------------------------------------------
 
-    fn record_access(&mut self, alloc: AllocId, offset: i64, len: usize, write: bool, atomic: bool) {
-        let Some(a) = self.mem.alloc(alloc) else { return };
+    fn record_access(
+        &mut self,
+        alloc: AllocId,
+        offset: i64,
+        len: usize,
+        write: bool,
+        atomic: bool,
+    ) {
+        let Some(a) = self.mem.alloc(alloc) else {
+            return;
+        };
         if !matches!(a.kind, AllocKind::Heap | AllocKind::Static) {
             return;
         }
@@ -408,8 +417,7 @@ impl<'p> Machine<'p> {
     }
 
     fn typed_write(&mut self, place: &PlaceRef, value: &Value, atomic: bool) -> Result<(), Exc> {
-        let bytes = to_bytes(self.prog, value, &place.ty)
-            .map_err(|k| self.ub(k, "typed write"))?;
+        let bytes = to_bytes(self.prog, value, &place.ty).map_err(|k| self.ub(k, "typed write"))?;
         let align = ty_align(self.prog, &place.ty).unwrap_or(1);
         self.mem
             .write_bytes(place.alloc, place.tag, place.offset, &bytes, align)
@@ -427,7 +435,12 @@ impl<'p> Machine<'p> {
             .alloc(alloc)
             .ok_or_else(|| self.ub(UbKind::UseAfterFree, what))?;
         let offset = p.addr as i64 - a.base as i64;
-        Ok(PlaceRef { alloc, offset, tag, ty: p.pointee.clone() })
+        Ok(PlaceRef {
+            alloc,
+            offset,
+            tag,
+            ty: p.pointee.clone(),
+        })
     }
 
     // ---- place evaluation ---------------------------------------------------
@@ -437,18 +450,29 @@ impl<'p> Machine<'p> {
         match e {
             Expr::Var(name) => {
                 if let Some(l) = self.lookup_local(name) {
-                    Ok(PlaceRef { alloc: l.alloc, offset: 0, tag: l.tag, ty: l.ty.clone() })
+                    Ok(PlaceRef {
+                        alloc: l.alloc,
+                        offset: 0,
+                        tag: l.tag,
+                        ty: l.ty.clone(),
+                    })
                 } else {
-                    Err(Exc::Ub(UbKind::IllFormed, format!("unknown place `{name}`")))
+                    Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        format!("unknown place `{name}`"),
+                    ))
                 }
             }
             Expr::StaticRef(name) => {
-                let (alloc, tag, ty) = self
-                    .statics
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| Exc::Ub(UbKind::IllFormed, format!("unknown static `{name}`")))?;
-                Ok(PlaceRef { alloc, offset: 0, tag, ty })
+                let (alloc, tag, ty) = self.statics.get(name).cloned().ok_or_else(|| {
+                    Exc::Ub(UbKind::IllFormed, format!("unknown static `{name}`"))
+                })?;
+                Ok(PlaceRef {
+                    alloc,
+                    offset: 0,
+                    tag,
+                    ty,
+                })
             }
             Expr::Deref(inner) => {
                 let v = self.eval(inner)?;
@@ -498,10 +522,16 @@ impl<'p> Machine<'p> {
             Expr::Field(base, k) => {
                 let place = self.eval_place(base)?;
                 let Ty::Tuple(ts) = place.ty.clone() else {
-                    return Err(Exc::Ub(UbKind::IllFormed, "field access on non-tuple".into()));
+                    return Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        "field access on non-tuple".into(),
+                    ));
                 };
                 if *k >= ts.len() {
-                    return Err(Exc::Ub(UbKind::IllFormed, "tuple field out of range".into()));
+                    return Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        "tuple field out of range".into(),
+                    ));
                 }
                 let mut off = 0i64;
                 for t in ts.iter().take(*k) {
@@ -517,7 +547,10 @@ impl<'p> Machine<'p> {
             Expr::UnionField(base, fname) => {
                 let place = self.eval_place(base)?;
                 let Ty::Union(uname) = place.ty.clone() else {
-                    return Err(Exc::Ub(UbKind::IllFormed, "union field on non-union".into()));
+                    return Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        "union field on non-union".into(),
+                    ));
                 };
                 let def = self
                     .prog
@@ -537,7 +570,10 @@ impl<'p> Machine<'p> {
             }
             other => Err(Exc::Ub(
                 UbKind::IllFormed,
-                format!("not a place expression: {}", rb_lang::printer::print_expr(other)),
+                format!(
+                    "not a place expression: {}",
+                    rb_lang::printer::print_expr(other)
+                ),
             )),
         }
     }
@@ -558,7 +594,10 @@ impl<'p> Machine<'p> {
                 } else if let Some(idx) = self.prog.funcs.iter().position(|f| &f.name == name) {
                     Ok(Value::FnPtr(Some(idx)))
                 } else {
-                    Err(Exc::Ub(UbKind::IllFormed, format!("unknown variable `{name}`")))
+                    Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        format!("unknown variable `{name}`"),
+                    ))
                 }
             }
             Expr::StaticRef(_) => {
@@ -573,7 +612,10 @@ impl<'p> Machine<'p> {
                         if t.in_range(r) {
                             Ok(Value::Int(r, t))
                         } else {
-                            Err(Exc::Panic(UbKind::PanicOverflow, "attempt to negate with overflow".into()))
+                            Err(Exc::Panic(
+                                UbKind::PanicOverflow,
+                                "attempt to negate with overflow".into(),
+                            ))
                         }
                     }
                     (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
@@ -588,7 +630,11 @@ impl<'p> Machine<'p> {
             }
             Expr::AddrOf(m, place_e) => {
                 let place = self.eval_place(place_e)?;
-                let kind = if m.is_mut() { RetagKind::Mut } else { RetagKind::Shared };
+                let kind = if m.is_mut() {
+                    RetagKind::Mut
+                } else {
+                    RetagKind::Shared
+                };
                 let tag = self
                     .mem
                     .retag(place.alloc, place.tag, kind)
@@ -648,7 +694,10 @@ impl<'p> Machine<'p> {
                     let callee = self.eval(&Expr::Var(name.clone()))?;
                     self.call_value(callee, args)
                 } else {
-                    Err(Exc::Ub(UbKind::IllFormed, format!("unknown function `{name}`")))
+                    Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        format!("unknown function `{name}`"),
+                    ))
                 }
             }
             Expr::CallPtr(c, args) => {
@@ -668,12 +717,15 @@ impl<'p> Machine<'p> {
                     .ok_or_else(|| Exc::Ub(UbKind::IllFormed, "unknown union field".into()))?
                     .clone();
                 let val = self.eval(v)?;
-                let mut bytes = to_bytes(self.prog, &val, &fty)
-                    .map_err(|k| self.ub(k, "union literal"))?;
+                let mut bytes =
+                    to_bytes(self.prog, &val, &fty).map_err(|k| self.ub(k, "union literal"))?;
                 let (size, _) = rb_lang::check::union_layout(self.prog, uname)
                     .ok_or_else(|| self.ub(UbKind::IllFormed, "union layout"))?;
                 bytes.resize(size, crate::value::AbByte::Uninit);
-                Ok(Value::Union { name: uname.clone(), bytes })
+                Ok(Value::Union {
+                    name: uname.clone(),
+                    bytes,
+                })
             }
         }
     }
@@ -689,10 +741,9 @@ impl<'p> Machine<'p> {
                 (BinOp::And, false) => Ok(Value::Bool(false)),
                 (BinOp::Or, true) => Ok(Value::Bool(true)),
                 _ => {
-                    let bv = self
-                        .eval(b)?
-                        .as_bool()
-                        .ok_or_else(|| Exc::Ub(UbKind::IllFormed, "non-bool logic operand".into()))?;
+                    let bv = self.eval(b)?.as_bool().ok_or_else(|| {
+                        Exc::Ub(UbKind::IllFormed, "non-bool logic operand".into())
+                    })?;
                     Ok(Value::Bool(bv))
                 }
             };
@@ -704,7 +755,12 @@ impl<'p> Machine<'p> {
         }
         let (x, t) = match &av {
             Value::Int(v, t) => (*v, *t),
-            _ => return Err(Exc::Ub(UbKind::IllFormed, "non-integer arithmetic operand".into())),
+            _ => {
+                return Err(Exc::Ub(
+                    UbKind::IllFormed,
+                    "non-integer arithmetic operand".into(),
+                ))
+            }
         };
         let y = bv
             .as_int()
@@ -715,7 +771,10 @@ impl<'p> Machine<'p> {
             BinOp::Mul => x.checked_mul(y),
             BinOp::Div => {
                 if y == 0 {
-                    return Err(Exc::Panic(UbKind::PanicDivZero, "attempt to divide by zero".into()));
+                    return Err(Exc::Panic(
+                        UbKind::PanicDivZero,
+                        "attempt to divide by zero".into(),
+                    ));
                 }
                 x.checked_div(y)
             }
@@ -733,13 +792,19 @@ impl<'p> Machine<'p> {
             BinOp::BitXor => Some(x ^ y),
             BinOp::Shl => {
                 if y < 0 || y as u32 >= (t.size() * 8) as u32 {
-                    return Err(Exc::Panic(UbKind::PanicOverflow, "attempt to shift left with overflow".into()));
+                    return Err(Exc::Panic(
+                        UbKind::PanicOverflow,
+                        "attempt to shift left with overflow".into(),
+                    ));
                 }
                 Some(t.wrap(x << y))
             }
             BinOp::Shr => {
                 if y < 0 || y as u32 >= (t.size() * 8) as u32 {
-                    return Err(Exc::Panic(UbKind::PanicOverflow, "attempt to shift right with overflow".into()));
+                    return Err(Exc::Panic(
+                        UbKind::PanicOverflow,
+                        "attempt to shift right with overflow".into(),
+                    ));
                 }
                 Some(x >> y)
             }
@@ -747,7 +812,12 @@ impl<'p> Machine<'p> {
         };
         match r {
             Some(v) if t.in_range(v) => Ok(Value::Int(v, t)),
-            Some(v) if matches!(op, BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr) => {
+            Some(v)
+                if matches!(
+                    op,
+                    BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+                ) =>
+            {
                 Ok(Value::Int(t.wrap(v), t))
             }
             _ => Err(Exc::Panic(
@@ -791,9 +861,10 @@ impl<'p> Machine<'p> {
             (Value::Ptr(p) | Value::Ref(p) | Value::Boxed(p), Ty::Int(t)) => {
                 Ok(Value::Int(t.wrap(p.addr as i128), *t))
             }
-            (Value::FnPtr(idx), Ty::Int(t)) => {
-                Ok(Value::Int(t.wrap(idx.map_or(0, crate::value::fn_ptr_addr) as i128), *t))
-            }
+            (Value::FnPtr(idx), Ty::Int(t)) => Ok(Value::Int(
+                t.wrap(idx.map_or(0, crate::value::fn_ptr_addr) as i128),
+                *t,
+            )),
             // Int-to-pointer: no provenance.
             (Value::Int(x, _), Ty::RawPtr(inner, _)) => {
                 Ok(Value::Ptr(Pointer::from_addr(x as u64, (**inner).clone())))
@@ -807,7 +878,12 @@ impl<'p> Machine<'p> {
                         .mem
                         .retag(alloc, tag, RetagKind::Raw)
                         .map_err(|k| self.ub(k, "ref-to-raw cast"))?;
-                    Ok(Value::Ptr(Pointer::with_prov(alloc, fresh, p.addr, (**inner).clone())))
+                    Ok(Value::Ptr(Pointer::with_prov(
+                        alloc,
+                        fresh,
+                        p.addr,
+                        (**inner).clone(),
+                    )))
                 } else {
                     Ok(Value::Ptr(p.retype((**inner).clone())))
                 }
@@ -815,7 +891,11 @@ impl<'p> Machine<'p> {
             (Value::FnPtr(i), Ty::FnPtr(..)) => Ok(Value::FnPtr(i)),
             (v, to) => Err(Exc::Ub(
                 UbKind::IllFormed,
-                format!("unsupported cast of {} to {}", v.render(), rb_lang::printer::print_ty(to)),
+                format!(
+                    "unsupported cast of {} to {}",
+                    v.render(),
+                    rb_lang::printer::print_ty(to)
+                ),
             )),
         }
     }
@@ -858,7 +938,10 @@ impl<'p> Machine<'p> {
 
     fn call_function(&mut self, idx: usize, args: Vec<Value>) -> EvalResult {
         if self.frames.len() >= self.config.max_call_depth {
-            return Err(Exc::Stop(UbKind::ResourceExhausted, "call depth exceeded".into()));
+            return Err(Exc::Stop(
+                UbKind::ResourceExhausted,
+                "call depth exceeded".into(),
+            ));
         }
         let f = &self.prog.funcs[idx];
         if f.params.len() != args.len() {
@@ -867,7 +950,10 @@ impl<'p> Machine<'p> {
                 format!("`{}` called with wrong arity", f.name),
             ));
         }
-        self.frames.push(Frame { scopes: vec![Scope::new()], fn_idx: idx });
+        self.frames.push(Frame {
+            scopes: vec![Scope::new()],
+            fn_idx: idx,
+        });
         let params: Vec<(String, Ty)> = f.params.clone();
         let body = f.body.clone();
         let mut result = Ok(Value::Unit);
@@ -958,7 +1044,11 @@ impl<'p> Machine<'p> {
                 self.pop_scope();
                 r
             }
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self
                     .eval(cond)?
                     .as_bool()
@@ -1005,7 +1095,10 @@ impl<'p> Machine<'p> {
                 if c {
                     Ok(Flow::Normal)
                 } else {
-                    Err(Exc::Panic(UbKind::PanicAssert, format!("assertion failed: {msg}")))
+                    Err(Exc::Panic(
+                        UbKind::PanicAssert,
+                        format!("assertion failed: {msg}"),
+                    ))
                 }
             }
             Stmt::Return(e) => {
@@ -1106,7 +1199,10 @@ impl<'p> Machine<'p> {
             let saved_thread = self.thread;
             let saved_locks = std::mem::take(&mut self.locks_held);
             self.thread = id;
-            self.frames.push(Frame { scopes: vec![Scope::new()], fn_idx: 0 });
+            self.frames.push(Frame {
+                scopes: vec![Scope::new()],
+                fn_idx: 0,
+            });
             self.current_path = t.spawn_path.clone();
             let mut failed = false;
             for (n, ty, v) in t.env {
@@ -1174,7 +1270,12 @@ impl<'p> Machine<'p> {
                     ));
                 }
                 let (id, tag, base) = self.mem.allocate(AllocKind::Heap, size, align);
-                Ok(Value::Ptr(Pointer::with_prov(id, tag, base, Ty::Int(rb_lang::IntTy::U8))))
+                Ok(Value::Ptr(Pointer::with_prov(
+                    id,
+                    tag,
+                    base,
+                    Ty::Int(rb_lang::IntTy::U8),
+                )))
             }
             BuiltinKind::Dealloc => {
                 let p = self.eval_ptr(&args[0])?;
@@ -1227,17 +1328,27 @@ impl<'p> Machine<'p> {
                     let hi = a.base + a.size as u64; // one-past-end allowed
                     if new_addr < lo || new_addr > hi {
                         return Err(if self.mem.alloc_at(new_addr).is_some() {
-                            self.ub(UbKind::CrossAllocation, "ptr_offset into another allocation")
+                            self.ub(
+                                UbKind::CrossAllocation,
+                                "ptr_offset into another allocation",
+                            )
                         } else {
                             self.ub(UbKind::OutOfBounds, "ptr_offset")
                         });
                     }
                 }
-                Ok(Value::Ptr(Pointer { prov: p.prov, addr: new_addr, pointee: t }))
+                Ok(Value::Ptr(Pointer {
+                    prov: p.prov,
+                    addr: new_addr,
+                    pointee: t,
+                }))
             }
             BuiltinKind::Transmute => {
                 if tys.len() != 2 {
-                    return Err(Exc::Ub(UbKind::IllFormed, "transmute needs two type args".into()));
+                    return Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        "transmute needs two type args".into(),
+                    ));
                 }
                 let (from, to) = (&tys[0], &tys[1]);
                 let sf = ty_size(self.prog, from);
@@ -1263,7 +1374,12 @@ impl<'p> Machine<'p> {
                     .ok_or_else(|| self.ub(UbKind::IllFormed, "box_new of unsized type"))?;
                 let align = ty_align(self.prog, &t).unwrap_or(1);
                 let (id, tag, base) = self.mem.allocate(AllocKind::Heap, size.max(1), align);
-                let place = PlaceRef { alloc: id, offset: 0, tag, ty: t.clone() };
+                let place = PlaceRef {
+                    alloc: id,
+                    offset: 0,
+                    tag,
+                    ty: t.clone(),
+                };
                 self.typed_write(&place, &v, false)?;
                 Ok(Value::Boxed(Pointer::with_prov(id, tag, base, t)))
             }
@@ -1333,13 +1449,16 @@ impl<'p> Machine<'p> {
                     .eval(&args[1])?
                     .as_int()
                     .ok_or_else(|| Exc::Ub(UbKind::IllFormed, "non-integer index".into()))?;
-                let p = base
-                    .as_pointer()
-                    .cloned()
-                    .ok_or_else(|| Exc::Ub(UbKind::IllFormed, "get_unchecked on non-pointer".into()))?;
+                let p = base.as_pointer().cloned().ok_or_else(|| {
+                    Exc::Ub(UbKind::IllFormed, "get_unchecked on non-pointer".into())
+                })?;
                 let es = ty_size(self.prog, &t).unwrap_or(1) as i128;
                 let addr = (p.addr as i128 + idx * es) as u64;
-                let q = Pointer { prov: p.prov, addr, pointee: t };
+                let q = Pointer {
+                    prov: p.prov,
+                    addr,
+                    pointee: t,
+                };
                 let place = self.place_from_pointer(&q, "get_unchecked")?;
                 self.typed_read(&place, false)
             }
@@ -1355,7 +1474,10 @@ impl<'p> Machine<'p> {
                     Some(v) if t.in_range(v) => Ok(Value::Int(v, t)),
                     _ => Err(Exc::Ub(
                         UbKind::UncheckedOverflow,
-                        format!("`{}` overflowed: the unsafe precondition was violated", b.name()),
+                        format!(
+                            "`{}` overflowed: the unsafe precondition was violated",
+                            b.name()
+                        ),
                     )),
                 }
             }
@@ -1390,13 +1512,17 @@ impl<'p> Machine<'p> {
                 let v = self.eval(&args[0])?;
                 let n = ty_size(self.prog, &t).unwrap_or(4);
                 let src_ty = Ty::Array(Box::new(Ty::Int(rb_lang::IntTy::U8)), n);
-                let bytes = to_bytes(self.prog, &v, &src_ty).map_err(|k| self.ub(k, "from_le_bytes"))?;
+                let bytes =
+                    to_bytes(self.prog, &v, &src_ty).map_err(|k| self.ub(k, "from_le_bytes"))?;
                 from_bytes(self.prog, &bytes, &t).map_err(|k| self.ub(k, "from_le_bytes"))
             }
             BuiltinKind::ToLeBytes => {
                 let v = self.eval(&args[0])?;
                 let Value::Int(x, t) = v else {
-                    return Err(Exc::Ub(UbKind::IllFormed, "to_le_bytes of non-integer".into()));
+                    return Err(Exc::Ub(
+                        UbKind::IllFormed,
+                        "to_le_bytes of non-integer".into(),
+                    ));
                 };
                 let raw = (t.wrap(x) as u128).to_le_bytes();
                 Ok(Value::Array(

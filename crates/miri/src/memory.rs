@@ -64,7 +64,11 @@ impl Memory {
     /// Creates an empty memory.
     #[must_use]
     pub fn new() -> Memory {
-        Memory { next_base: 0x1000, next_tag: 1, ..Memory::default() }
+        Memory {
+            next_base: 0x1000,
+            next_tag: 1,
+            ..Memory::default()
+        }
     }
 
     fn fresh_tag(&mut self) -> BorTag {
@@ -75,9 +79,14 @@ impl Memory {
 
     /// Allocates `size` bytes with `align`, returning the id, base borrow
     /// tag and base address.
-    pub fn allocate(&mut self, kind: AllocKind, size: usize, align: usize) -> (AllocId, BorTag, u64) {
+    pub fn allocate(
+        &mut self,
+        kind: AllocKind,
+        size: usize,
+        align: usize,
+    ) -> (AllocId, BorTag, u64) {
         let align = align.max(1);
-        let base = (self.next_base + align as u64 - 1) / align as u64 * align as u64;
+        let base = self.next_base.div_ceil(align as u64) * align as u64;
         self.next_base = base + size.max(1) as u64 + 32; // guard gap
         let tag = self.fresh_tag();
         let id = AllocId(self.allocs.len() as u32);
@@ -175,7 +184,10 @@ impl Memory {
         write: bool,
     ) -> MemResult<()> {
         let popped = &mut self.popped;
-        let a = self.allocs.get_mut(id.0 as usize).ok_or(UbKind::UseAfterFree)?;
+        let a = self
+            .allocs
+            .get_mut(id.0 as usize)
+            .ok_or(UbKind::UseAfterFree)?;
         if !a.live {
             return Err(match a.dead_reason {
                 Some(DeadReason::ScopeEnded) => UbKind::UseAfterScope,
@@ -237,7 +249,10 @@ impl Memory {
     pub fn retag(&mut self, id: AllocId, parent: BorTag, kind: RetagKind) -> MemResult<BorTag> {
         let fresh = self.fresh_tag();
         let popped = &mut self.popped;
-        let a = self.allocs.get_mut(id.0 as usize).ok_or(UbKind::UseAfterFree)?;
+        let a = self
+            .allocs
+            .get_mut(id.0 as usize)
+            .ok_or(UbKind::UseAfterFree)?;
         if !a.live {
             return Err(match a.dead_reason {
                 Some(DeadReason::ScopeEnded) => UbKind::UseAfterScope,

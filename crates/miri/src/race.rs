@@ -107,7 +107,11 @@ impl AccessLog {
                     Some(AllocKind::Static) => UbKind::RaceOnStatic,
                     _ => UbKind::RaceOnHeap,
                 };
-                let what = if a.write && b.write { "write-write" } else { "read-write" };
+                let what = if a.write && b.write {
+                    "write-write"
+                } else {
+                    "read-write"
+                };
                 out.push(MiriError {
                     kind,
                     message: format!(

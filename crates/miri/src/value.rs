@@ -72,19 +72,31 @@ impl Pointer {
     /// A pointer with full provenance.
     #[must_use]
     pub fn with_prov(alloc: AllocId, tag: BorTag, addr: u64, pointee: Ty) -> Pointer {
-        Pointer { prov: Some((alloc, tag)), addr, pointee }
+        Pointer {
+            prov: Some((alloc, tag)),
+            addr,
+            pointee,
+        }
     }
 
     /// An integer-derived pointer without provenance.
     #[must_use]
     pub fn from_addr(addr: u64, pointee: Ty) -> Pointer {
-        Pointer { prov: None, addr, pointee }
+        Pointer {
+            prov: None,
+            addr,
+            pointee,
+        }
     }
 
     /// Returns a copy re-typed to point at `pointee`.
     #[must_use]
     pub fn retype(&self, pointee: Ty) -> Pointer {
-        Pointer { prov: self.prov, addr: self.addr, pointee }
+        Pointer {
+            prov: self.prov,
+            addr: self.addr,
+            pointee,
+        }
     }
 }
 
@@ -196,7 +208,7 @@ pub fn fn_ptr_addr(idx: usize) -> u64 {
 pub fn to_bytes(prog: &Program, v: &Value, ty: &Ty) -> Result<Vec<AbByte>, UbKind> {
     let size = ty_size(prog, ty).ok_or(UbKind::TransmuteSize)?;
     let mut out = Vec::with_capacity(size);
-    fill_bytes(prog, v, ty, &mut out)?;
+    fill_bytes(v, ty, &mut out)?;
     if out.len() != size {
         // Pad unions / short values with uninit.
         while out.len() < size {
@@ -222,7 +234,7 @@ fn push_ptr(out: &mut Vec<AbByte>, p: &Pointer) {
     }
 }
 
-fn fill_bytes(prog: &Program, v: &Value, ty: &Ty, out: &mut Vec<AbByte>) -> Result<(), UbKind> {
+fn fill_bytes(v: &Value, ty: &Ty, out: &mut Vec<AbByte>) -> Result<(), UbKind> {
     match (v, ty) {
         (Value::Unit, Ty::Unit) => Ok(()),
         (Value::Bool(b), Ty::Bool) => {
@@ -240,9 +252,10 @@ fn fill_bytes(prog: &Program, v: &Value, ty: &Ty, out: &mut Vec<AbByte>) -> Resu
             out.push(AbByte::Init((*v as u128 & 0xFF) as u8, None));
             Ok(())
         }
-        (Value::Ptr(p) | Value::Ref(p) | Value::Boxed(p), t)
-            if matches!(t, Ty::RawPtr(..) | Ty::Ref(..) | Ty::Boxed(_) | Ty::Int(IntTy::Usize)) =>
-        {
+        (
+            Value::Ptr(p) | Value::Ref(p) | Value::Boxed(p),
+            Ty::RawPtr(..) | Ty::Ref(..) | Ty::Boxed(_) | Ty::Int(IntTy::Usize),
+        ) => {
             push_ptr(out, p);
             Ok(())
         }
@@ -261,13 +274,13 @@ fn fill_bytes(prog: &Program, v: &Value, ty: &Ty, out: &mut Vec<AbByte>) -> Resu
         }
         (Value::Tuple(xs), Ty::Tuple(ts)) if xs.len() == ts.len() => {
             for (x, t) in xs.iter().zip(ts) {
-                fill_bytes(prog, x, t, out)?;
+                fill_bytes(x, t, out)?;
             }
             Ok(())
         }
         (Value::Array(xs), Ty::Array(elem, n)) if xs.len() == *n => {
             for x in xs {
-                fill_bytes(prog, x, elem, out)?;
+                fill_bytes(x, elem, out)?;
             }
             Ok(())
         }
@@ -318,7 +331,9 @@ fn read_ptr_parts(bytes: &[AbByte]) -> Result<(u64, Option<Prov>), UbKind> {
         AbByte::Init(_, p) => p,
         AbByte::Uninit => return Err(UbKind::UninitRead),
     };
-    let uniform = bytes[..8].iter().all(|b| matches!(b, AbByte::Init(_, p) if *p == first));
+    let uniform = bytes[..8]
+        .iter()
+        .all(|b| matches!(b, AbByte::Init(_, p) if *p == first));
     Ok((addr, if uniform { first } else { None }))
 }
 
@@ -341,7 +356,11 @@ fn read_value(prog: &Program, bytes: &[AbByte], ty: &Ty) -> Result<Value, UbKind
                 Some(Prov::Mem { alloc, tag }) => Some((alloc, tag)),
                 _ => None,
             };
-            Ok(Value::Ptr(Pointer { prov, addr, pointee: (**inner).clone() }))
+            Ok(Value::Ptr(Pointer {
+                prov,
+                addr,
+                pointee: (**inner).clone(),
+            }))
         }
         Ty::Ref(inner, _) | Ty::Boxed(inner) => {
             let (addr, prov) = read_ptr_parts(bytes)?;
@@ -352,7 +371,11 @@ fn read_value(prog: &Program, bytes: &[AbByte], ty: &Ty) -> Result<Value, UbKind
             if addr == 0 || prov.is_none() {
                 return Err(UbKind::InvalidRef);
             }
-            let p = Pointer { prov, addr, pointee: (**inner).clone() };
+            let p = Pointer {
+                prov,
+                addr,
+                pointee: (**inner).clone(),
+            };
             if matches!(ty, Ty::Boxed(_)) {
                 Ok(Value::Boxed(p))
             } else {
@@ -385,7 +408,10 @@ fn read_value(prog: &Program, bytes: &[AbByte], ty: &Ty) -> Result<Value, UbKind
             }
             Ok(Value::Array(out))
         }
-        Ty::Union(name) => Ok(Value::Union { name: name.clone(), bytes: bytes.to_vec() }),
+        Ty::Union(name) => Ok(Value::Union {
+            name: name.clone(),
+            bytes: bytes.to_vec(),
+        }),
     }
 }
 
@@ -424,7 +450,10 @@ pub fn zero_value(ty: &Ty) -> Value {
         Ty::FnPtr(..) => Value::FnPtr(None),
         Ty::Tuple(ts) => Value::Tuple(ts.iter().map(zero_value).collect()),
         Ty::Array(t, n) => Value::Array(vec![zero_value(t); *n]),
-        Ty::Union(name) => Value::Union { name: name.clone(), bytes: Vec::new() },
+        Ty::Union(name) => Value::Union {
+            name: name.clone(),
+            bytes: Vec::new(),
+        },
     }
 }
 
@@ -530,7 +559,12 @@ mod tests {
         let bytes = to_bytes(&p, &Value::FnPtr(Some(2)), &ty).unwrap();
         assert_eq!(from_bytes(&p, &bytes, &ty), Ok(Value::FnPtr(Some(2))));
         // Forged: integer bytes interpreted as fn ptr.
-        let forged = to_bytes(&p, &Value::Int(0x1234, IntTy::Usize), &Ty::Int(IntTy::Usize)).unwrap();
+        let forged = to_bytes(
+            &p,
+            &Value::Int(0x1234, IntTy::Usize),
+            &Ty::Int(IntTy::Usize),
+        )
+        .unwrap();
         assert_eq!(from_bytes(&p, &forged, &ty), Ok(Value::FnPtr(None)));
     }
 
@@ -539,7 +573,12 @@ mod tests {
         let p = prog();
         let v = Value::Union {
             name: "B".into(),
-            bytes: vec![AbByte::Init(1, None), AbByte::Init(2, None), AbByte::Init(3, None), AbByte::Init(4, None)],
+            bytes: vec![
+                AbByte::Init(1, None),
+                AbByte::Init(2, None),
+                AbByte::Init(3, None),
+                AbByte::Init(4, None),
+            ],
         };
         let bytes = to_bytes(&p, &v, &Ty::Union("B".into())).unwrap();
         assert_eq!(bytes.len(), 4);

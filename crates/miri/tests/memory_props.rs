@@ -8,20 +8,41 @@ use rb_miri::value::AbByte;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Alloc { size: usize, align_pow: u8 },
-    Write { slot: usize, offset: i64, len: usize },
-    Read { slot: usize, offset: i64, len: usize },
-    Dealloc { slot: usize },
-    RetagRaw { slot: usize },
+    Alloc {
+        size: usize,
+        align_pow: u8,
+    },
+    Write {
+        slot: usize,
+        offset: i64,
+        len: usize,
+    },
+    Read {
+        slot: usize,
+        offset: i64,
+        len: usize,
+    },
+    Dealloc {
+        slot: usize,
+    },
+    RetagRaw {
+        slot: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1usize..64, 0u8..4).prop_map(|(size, align_pow)| Op::Alloc { size, align_pow }),
-        (0usize..8, -4i64..70, 0usize..16)
-            .prop_map(|(slot, offset, len)| Op::Write { slot, offset, len }),
-        (0usize..8, -4i64..70, 0usize..16)
-            .prop_map(|(slot, offset, len)| Op::Read { slot, offset, len }),
+        (0usize..8, -4i64..70, 0usize..16).prop_map(|(slot, offset, len)| Op::Write {
+            slot,
+            offset,
+            len
+        }),
+        (0usize..8, -4i64..70, 0usize..16).prop_map(|(slot, offset, len)| Op::Read {
+            slot,
+            offset,
+            len
+        }),
         (0usize..8).prop_map(|slot| Op::Dealloc { slot }),
         (0usize..8).prop_map(|slot| Op::RetagRaw { slot }),
     ]

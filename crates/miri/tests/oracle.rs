@@ -54,45 +54,37 @@ fn box_lifecycle_passes() {
 
 #[test]
 fn function_calls_and_control_flow() {
-    let r = run(
-        "fn fib(n: i32) -> i32 { if n < 2 { return n; } \
+    let r = run("fn fib(n: i32) -> i32 { if n < 2 { return n; } \
          return fib(n - 1) + fib(n - 2); } \
-         fn main() { print(fib(10)); }",
-    );
+         fn main() { print(fib(10)); }");
     assert!(r.passes(), "{:?}", r.errors);
     assert_eq!(r.outputs, vec!["55"]);
 }
 
 #[test]
 fn while_loop_accumulates() {
-    let r = run(
-        "fn main() { let i: i32 = 0; let acc: i32 = 0; \
-         while i < 5 { acc = acc + i; i = i + 1; } print(acc); }",
-    );
+    let r = run("fn main() { let i: i32 = 0; let acc: i32 = 0; \
+         while i < 5 { acc = acc + i; i = i + 1; } print(acc); }");
     assert!(r.passes(), "{:?}", r.errors);
     assert_eq!(r.outputs, vec!["10"]);
 }
 
 #[test]
 fn synchronised_threads_pass() {
-    let r = run(
-        "static mut G: i32 = 0; fn main() { \
+    let r = run("static mut G: i32 = 0; fn main() { \
          spawn { lock(1) { unsafe { G = G + 1; } } } \
          spawn { lock(1) { unsafe { G = G + 1; } } } \
-         join; unsafe { print(G); } }",
-    );
+         join; unsafe { print(G); } }");
     assert!(r.passes(), "{:?}", r.errors);
     assert_eq!(r.outputs, vec!["2"]);
 }
 
 #[test]
 fn atomics_pass() {
-    let r = run(
-        "static mut C: i32 = 0; fn main() { \
+    let r = run("static mut C: i32 = 0; fn main() { \
          spawn { atomic_store(C, 5i32); } \
          spawn { print(atomic_load(C)); } \
-         join; }",
-    );
+         join; }");
     assert!(r.passes(), "{:?}", r.errors);
 }
 
@@ -325,11 +317,9 @@ fn tail_call_mismatch() {
 
 #[test]
 fn tail_call_matching_passes() {
-    let r = run(
-        "fn helper(x: i32) -> i32 { return x + 1; } \
+    let r = run("fn helper(x: i32) -> i32 { return x + 1; } \
          fn run(x: i32) -> i32 { tailcall helper(x); } \
-         fn main() { print(run(1)); }",
-    );
+         fn main() { print(run(1)); }");
     assert!(r.passes(), "{:?}", r.errors);
     assert_eq!(r.outputs, vec!["2"]);
 }
@@ -346,7 +336,10 @@ fn assert_failure_is_panic() {
 
 #[test]
 fn division_by_zero_is_panic() {
-    assert_class("fn main() { let z: i32 = 0; print(5 / z); }", UbClass::Panic);
+    assert_class(
+        "fn main() { let z: i32 = 0; print(5 / z); }",
+        UbClass::Panic,
+    );
 }
 
 #[test]
@@ -369,10 +362,8 @@ fn overflow_is_panic() {
 
 #[test]
 fn union_type_pun_works() {
-    let r = run(
-        "union Bits { i: i32, u: u32 } \
-         fn main() { let b: Bits = Bits { i: -1 }; unsafe { print(b.u); } }",
-    );
+    let r = run("union Bits { i: i32, u: u32 } \
+         fn main() { let b: Bits = Bits { i: -1 }; unsafe { print(b.u); } }");
     assert!(r.passes(), "{:?}", r.errors);
     assert_eq!(r.outputs, vec!["4294967295"]);
 }
@@ -399,10 +390,9 @@ fn ill_formed_program_reports_compile() {
 
 #[test]
 fn missing_unsafe_reports_compile() {
-    let prog = parse_program(
-        "fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; print(*p); }",
-    )
-    .unwrap();
+    let prog =
+        parse_program("fn main() { let x: i32 = 1; let p: *const i32 = &raw const x; print(*p); }")
+            .unwrap();
     let r = run_program(&prog);
     assert!(!r.passes());
     assert_eq!(r.errors[0].kind, UbKind::IllFormed);
@@ -426,7 +416,10 @@ fn multiple_errors_recovered() {
 #[test]
 fn infinite_loop_hits_budget() {
     let prog = parse_program("fn main() { while true { print(1i32); } }").unwrap();
-    let cfg = MiriConfig { step_budget: 5_000, ..MiriConfig::default() };
+    let cfg = MiriConfig {
+        step_budget: 5_000,
+        ..MiriConfig::default()
+    };
     let r = run_with_config(&prog, &cfg);
     assert!(r.errors.iter().any(|e| e.kind == UbKind::ResourceExhausted));
 }
@@ -437,7 +430,10 @@ fn leak_detection_can_be_disabled() {
         "fn main() { unsafe { let p: *mut u8 = alloc(4usize, 4usize); print(1i32); } }",
     )
     .unwrap();
-    let cfg = MiriConfig { detect_leaks: false, ..MiriConfig::default() };
+    let cfg = MiriConfig {
+        detect_leaks: false,
+        ..MiriConfig::default()
+    };
     assert!(run_with_config(&prog, &cfg).passes());
 }
 

@@ -70,8 +70,10 @@ fn control_flow() {
         vec!["20"]
     );
     assert_eq!(
-        outputs("fn sign(x: i32) -> i32 { if x > 0 { return 1; } else { return -1; } } \
-                 fn main() { print(sign(5)); print(sign(-5)); }"),
+        outputs(
+            "fn sign(x: i32) -> i32 { if x > 0 { return 1; } else { return -1; } } \
+                 fn main() { print(sign(5)); print(sign(-5)); }"
+        ),
         vec!["1", "-1"]
     );
 }
@@ -172,7 +174,9 @@ fn byte_conversions() {
         vec!["256"]
     );
     assert_eq!(
-        outputs("fn main() { let b: [u8; 2] = to_le_bytes::<u16>(258u16); print(b[0]); print(b[1]); }"),
+        outputs(
+            "fn main() { let b: [u8; 2] = to_le_bytes::<u16>(258u16); print(b[0]); print(b[1]); }"
+        ),
         vec!["2", "1"]
     );
 }
@@ -278,9 +282,7 @@ fn copy_nonoverlapping_moves_bytes() {
 #[test]
 fn nested_scopes_shadowing_lifetimes() {
     assert_eq!(
-        outputs(
-            "fn main() { let x: i32 = 1; { let x: i32 = 2; print(x); } print(x); }"
-        ),
+        outputs("fn main() { let x: i32 = 1; { let x: i32 = 2; print(x); } print(x); }"),
         vec!["2", "1"]
     );
 }

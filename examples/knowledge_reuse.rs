@@ -55,8 +55,8 @@ fn main() {
         );
     }
     let first = times.first().copied().unwrap_or(0.0);
-    let later: f64 = times[times.len() / 2..].iter().sum::<f64>()
-        / (times.len() - times.len() / 2) as f64;
+    let later: f64 =
+        times[times.len() / 2..].iter().sum::<f64>() / (times.len() - times.len() / 2) as f64;
     println!(
         "\nfirst repair: {first:.1}s; mean of later half: {later:.1}s \
          (self-learning should not make repeats slower)"
@@ -67,6 +67,7 @@ fn main() {
         brain
             .priors()
             .best_solution(UbClass::DanglingPointer)
-            .map_or("none".to_owned(), |s| rustbrain::Solution::new(s.to_vec()).describe())
+            .map_or("none".to_owned(), |s| rustbrain::Solution::new(s.to_vec())
+                .describe())
     );
 }

@@ -13,7 +13,11 @@ use rustbrain::{RustBrain, RustBrainConfig};
 
 fn main() {
     let corpus = Corpus::generate(7, 4, &UbClass::FIG8);
-    println!("corpus: {} cases over {} classes\n", corpus.len(), UbClass::FIG8.len());
+    println!(
+        "corpus: {} cases over {} classes\n",
+        corpus.len(),
+        UbClass::FIG8.len()
+    );
     println!(
         "{:<26}{:>8}{:>8}{:>12}",
         "configuration", "pass", "exec", "mean time"

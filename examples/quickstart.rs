@@ -32,7 +32,10 @@ fn main() {
     let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 42));
     let outcome = brain.repair(&buggy, &["5".to_owned()]);
 
-    println!("== repaired program ==\n{}", print_program(&outcome.final_program));
+    println!(
+        "== repaired program ==\n{}",
+        print_program(&outcome.final_program)
+    );
     println!(
         "passed: {} | semantically acceptable: {} | simulated time: {:.1}s | \
          solutions tried: {} | oracle runs: {}",
@@ -42,6 +45,12 @@ fn main() {
         outcome.solutions_tried,
         outcome.oracle_runs
     );
-    println!("error-count trace (the paper's N sequence): {:?}", outcome.error_history);
-    assert!(outcome.passed, "RustBrain should repair the quickstart case");
+    println!(
+        "error-count trace (the paper's N sequence): {:?}",
+        outcome.error_history
+    );
+    assert!(
+        outcome.passed,
+        "RustBrain should repair the quickstart case"
+    );
 }

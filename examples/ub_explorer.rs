@@ -88,7 +88,10 @@ fn main() {
         ),
     ];
 
-    println!("UB explorer — {} classic defects through the oracle\n", gallery.len());
+    println!(
+        "UB explorer — {} classic defects through the oracle\n",
+        gallery.len()
+    );
     for (name, src) in gallery {
         let program = parse_program(src).expect("gallery programs parse");
         let report = run_program(&program);
@@ -100,7 +103,10 @@ fn main() {
             println!("  {err}");
         }
         if !report.outputs.is_empty() {
-            println!("  (partial output before/around the error: {:?})", report.outputs);
+            println!(
+                "  (partial output before/around the error: {:?})",
+                report.outputs
+            );
         }
         println!();
     }

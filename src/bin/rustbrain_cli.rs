@@ -182,7 +182,7 @@ fn export_corpus(dir: &str, seed: u64) -> ExitCode {
     }
     let mut written = 0usize;
     for case in &corpus.cases {
-        let stem = case.id.replace('/', "_").replace('.', "_");
+        let stem = case.id.replace(['/', '.'], "_");
         let buggy_path = format!("{dir}/{stem}.buggy.mrs");
         let gold_path = format!("{dir}/{stem}.gold.mrs");
         let ok = std::fs::write(&buggy_path, print_program(&case.buggy)).is_ok()
@@ -238,12 +238,19 @@ fn repair(src: &str, cli: &Cli) -> ExitCode {
     config.use_knowledge = cli.use_knowledge;
     let mut brain = RustBrain::new(config);
     let outcome = brain.repair(&program, &cli.reference);
-    println!("\n== repaired program ==\n{}", print_program(&outcome.final_program));
+    println!(
+        "\n== repaired program ==\n{}",
+        print_program(&outcome.final_program)
+    );
     println!(
         "passed: {} | acceptable: {}{} | simulated time: {:.1}s | solutions: {} | oracle runs: {}",
         outcome.passed,
         outcome.acceptable,
-        if cli.reference.is_empty() { " (no --reference given)" } else { "" },
+        if cli.reference.is_empty() {
+            " (no --reference given)"
+        } else {
+            ""
+        },
         outcome.overhead_ms / 1000.0,
         outcome.solutions_tried,
         outcome.oracle_runs

@@ -30,7 +30,11 @@ fn repaired_programs_actually_pass_the_oracle() {
         if outcome.passed {
             // The outcome's claim must be backed by a fresh oracle run.
             let report = run_program(&outcome.final_program);
-            assert!(report.passes(), "{}: claimed pass but oracle disagrees", case.id);
+            assert!(
+                report.passes(),
+                "{}: claimed pass but oracle disagrees",
+                case.id
+            );
             if outcome.acceptable {
                 assert!(
                     semantically_acceptable(case, &outcome.final_program),
@@ -73,7 +77,12 @@ fn adaptive_rollback_bounds_error_growth() {
         for case in &corpus.cases {
             let outcome = brain.repair(&case.buggy, &case.gold_outputs());
             let initial = outcome.error_history[0];
-            let final_best = outcome.error_history.iter().min().copied().unwrap_or(initial);
+            let final_best = outcome
+                .error_history
+                .iter()
+                .min()
+                .copied()
+                .unwrap_or(initial);
             if policy == RollbackPolicy::Adaptive {
                 assert!(
                     final_best <= initial,
@@ -111,7 +120,10 @@ fn overhead_accounting_is_consistent() {
     let outcome = brain.repair(&case.buggy, &case.gold_outputs());
     // Overhead must cover at least the model latency actually spent.
     assert!(outcome.overhead_ms >= brain.model_stats().total_latency_ms * 0.5);
-    assert!(outcome.overhead_ms < 3_600_000.0, "bounded by an hour of simulated time");
+    assert!(
+        outcome.overhead_ms < 3_600_000.0,
+        "bounded by an hour of simulated time"
+    );
 }
 
 #[test]
@@ -124,9 +136,50 @@ fn full_stack_determinism() {
             .iter()
             .map(|c| {
                 let o = brain.repair(&c.buggy, &c.gold_outputs());
-                (o.passed, o.acceptable, o.oracle_runs, o.overhead_ms.to_bits())
+                (
+                    o.passed,
+                    o.acceptable,
+                    o.oracle_runs,
+                    o.overhead_ms.to_bits(),
+                )
             })
             .collect::<Vec<_>>()
     };
-    assert_eq!(run_once(), run_once(), "whole-stack runs must be bit-identical");
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "whole-stack runs must be bit-identical"
+    );
+}
+
+#[test]
+fn quickstart_smoke_path() {
+    // The exact path the crates/core quickstart doctest (and README)
+    // advertises: parse a buggy program, repair it, and observe a passing,
+    // oracle-verified outcome whose final program no longer exhibits UB.
+    let buggy = rb_lang::parser::parse_program(
+        "fn main() { let q: *const i32 = 0 as *const i32; \
+         { let x: i32 = 5; q = &raw const x; } \
+         unsafe { print(*q); } }",
+    )
+    .expect("quickstart program parses");
+    assert!(
+        !run_program(&buggy).passes(),
+        "quickstart program must exhibit UB"
+    );
+
+    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 42));
+    let outcome = brain.repair(&buggy, &["5".to_owned()]);
+    assert!(outcome.passed, "quickstart repair must pass the oracle");
+    let report = run_program(&outcome.final_program);
+    assert!(
+        report.passes(),
+        "final program re-checked clean: {:?}",
+        report.errors
+    );
+    assert_eq!(
+        report.outputs,
+        vec!["5".to_owned()],
+        "repair must preserve the observable output"
+    );
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! Implements exactly the surface the workspace uses — [`RngCore`],
+//! [`SeedableRng`] (with the rand_core 0.6 `seed_from_u64` expansion so
+//! seeds stay stable if the real crate is ever swapped back in), and the
+//! [`Rng`] extension trait with `gen::<f64>()`, `gen::<u64>()`,
+//! `gen_bool` and unbiased integer `gen_range`. See `vendor/README.md`.
+
+/// Low-level source of randomness (stand-in for `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A random number generator that can be seeded deterministically
+/// (stand-in for `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type, a fixed-size byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with the same PCG32
+    /// key-expansion rand_core 0.6 uses, so seed streams match the real
+    /// crate family.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's raw output
+/// (stand-in for the `Standard` distribution).
+pub trait StandardSample: Sized {
+    /// Draws one uniformly distributed value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (rand 0.8's
+    /// `Standard` for `f64`).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u8 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+
+impl StandardSample for i64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)`; `high` must be greater than
+    /// `low`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let span = high.wrapping_sub(low) as $unsigned as u64;
+                // Lemire's unbiased multiply-shift method: reject when the
+                // low product word falls in the first 2^64 mod span slots.
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let m = rng.next_u64() as u128 * span as u128;
+                    if (m as u64) >= threshold {
+                        return low.wrapping_add((m >> 64) as u64 as $unsigned as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+/// Extension methods over any [`RngCore`] (stand-in for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws uniformly from the half-open range `low..high`.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic SplitMix64-ish generator, enough to exercise the
+    /// sampling layer without depending on rand_chacha (a dependent crate).
+    struct TestRng(u64);
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let raw = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&raw[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_reaches_the_whole_span_even_for_huge_spans() {
+        // Regression: a buggy rejection test once made values above
+        // span/2 unreachable for spans near 2^63.
+        let mut rng = TestRng(7);
+        let top = (1u64 << 63) + 1;
+        let mut above_half = 0;
+        for _ in 0..512 {
+            let v = rng.gen_range(0u64..top);
+            assert!(v < top);
+            if v > 1u64 << 62 {
+                above_half += 1;
+            }
+        }
+        assert!(
+            (96..=416).contains(&above_half),
+            "upper half badly under/over-represented: {above_half}/512"
+        );
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform_on_small_spans() {
+        let mut rng = TestRng(42);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(b), "bucket {i} skewed: {b}");
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_matches_rand_core_expansion() {
+        // First four bytes of the rand_core 0.6 PCG32 key expansion for
+        // seed 0 — pins the stream so swapping the real crate back in
+        // stays transparent.
+        struct Capture([u8; 4]);
+        impl SeedableRng for Capture {
+            type Seed = [u8; 4];
+            fn from_seed(seed: [u8; 4]) -> Self {
+                Capture(seed)
+            }
+        }
+        let c = Capture::seed_from_u64(0);
+        let state = 11_634_580_027_462_260_723u64;
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let expected = xorshifted.rotate_right((state >> 59) as u32);
+        assert_eq!(c.0, expected.to_le_bytes());
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and (behind the
+//! `derive` feature) the derive macros, so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile without a
+//! registry. No actual serialisation framework is provided — nothing in
+//! the workspace serialises yet. See `vendor/README.md` for the swap-out
+//! plan once a crates.io mirror is reachable.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The real trait's methods are intentionally absent: the vendored derive
+/// expands to nothing, and no code in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// See [`Serialize`] for why this carries no methods.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace has no network access to crates.io, and nothing in the
+//! reproduction actually serialises data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations across the crates only declare intent. These
+//! derives therefore expand to nothing; swap this vendored crate for the
+//! real `serde`/`serde_derive` the day a registry is reachable (see
+//! `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
