@@ -1,0 +1,47 @@
+//! Benchmarks of the batch-repair engine: 1-worker vs N-worker wall
+//! clock on the same corpus (the speedup series of `BENCH_engine.json`),
+//! plus the cost of a warm oracle-cache sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rb_dataset::Corpus;
+use rb_engine::{Engine, OracleCache, SystemSpec};
+use rb_llm::ModelId;
+use rustbrain::RustBrainConfig;
+use std::sync::Arc;
+
+fn bench_engine(c: &mut Criterion) {
+    let corpus = Corpus::generate_full(7, 1);
+    let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 0));
+    let parallelism = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .max(4);
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for workers in [1usize, parallelism] {
+        // One shared cache per variant: after the first iteration both
+        // variants run fully warm, so the series isolates scheduling.
+        let engine = Engine::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("corpus_sweep", workers),
+            &workers,
+            |b, _| b.iter(|| black_box(engine.run_batch(&spec, &corpus.cases, 42))),
+        );
+    }
+    group.finish();
+
+    let cache = Arc::new(OracleCache::new());
+    for case in &corpus.cases {
+        let _ = cache.outputs(&case.gold); // pre-warm
+    }
+    c.bench_function("engine/warm_cache_gold_lookups", |b| {
+        b.iter(|| {
+            for case in &corpus.cases {
+                black_box(cache.outputs(&case.gold));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

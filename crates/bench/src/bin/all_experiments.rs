@@ -1,29 +1,144 @@
-//! Runs every experiment sequentially — the full reproduction of the
-//! paper's evaluation section.
+//! Runs every experiment — the full reproduction of the paper's
+//! evaluation section — on the engine: the experiment computations fan
+//! out across a scoped thread pool (each experiment is internally
+//! sequential, as the paper's stateful runs require), every corpus sweep
+//! shares the engine's process-wide oracle cache, and the renders are
+//! printed in the fixed section order once everything has joined.
+//!
+//! `--jobs 1` forces the old fully-serial execution; `--jobs N` caps how
+//! many experiments compute at once.
+
 use rb_bench::experiments::*;
+use rb_engine::OracleCache;
+use std::sync::{Condvar, Mutex};
+
+fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => std::thread::available_parallelism().map_or(1, usize::from),
+        [flag, value] if flag == "--jobs" => {
+            value.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                eprintln!("error: --jobs needs a positive integer");
+                std::process::exit(2);
+            })
+        }
+        _ => {
+            eprintln!("error: expected no arguments or `--jobs N`, got {args:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A counting semaphore bounding how many experiments run concurrently
+/// (std has no semaphore; Mutex + Condvar is the textbook stand-in).
+struct Gate {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Gate {
+        Gate {
+            permits: Mutex::new(permits),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn run<T>(&self, f: impl FnOnce() -> T) -> T {
+        let mut permits = self.permits.lock().expect("gate poisoned");
+        while *permits == 0 {
+            permits = self.freed.wait(permits).expect("gate poisoned");
+        }
+        *permits -= 1;
+        drop(permits);
+        // RAII so a panicking experiment restores its permit while
+        // unwinding: the siblings finish and the join propagates the
+        // panic, instead of everyone deadlocking in `wait`.
+        struct Permit<'a>(&'a Gate);
+        impl Drop for Permit<'_> {
+            fn drop(&mut self) {
+                *self.0.permits.lock().expect("gate poisoned") += 1;
+                self.0.freed.notify_one();
+            }
+        }
+        let _permit = Permit(self);
+        f()
+    }
+}
+
 fn main() {
     let seed = DEFAULT_SEED;
+    let jobs = parse_jobs();
+    let started = std::time::Instant::now();
+
+    // Each closure is one independent experiment; with jobs > 1 up to
+    // `jobs` of them compute concurrently (gated by the semaphore), and
+    // the deterministic per-experiment seeds keep every rendered number
+    // identical to the serial schedule.
+    let (f7, grid, f10, f11, f12, t1, ar, ap) = if jobs > 1 {
+        let gate = &Gate::new(jobs);
+        std::thread::scope(|s| {
+            let f7 = s.spawn(|| gate.run(|| fig7::run(seed)));
+            let grid = s.spawn(|| gate.run(|| rq2::run(seed, DEFAULT_PER_CLASS)));
+            let f10 = s.spawn(|| gate.run(|| fig10::run(seed, DEFAULT_PER_CLASS)));
+            let f11 = s.spawn(|| gate.run(|| fig11::run(seed, 4, 3)));
+            let f12 = s.spawn(|| gate.run(|| fig12::run(seed, DEFAULT_PER_CLASS)));
+            let t1 = s.spawn(|| gate.run(|| table1::run(seed, DEFAULT_PER_CLASS)));
+            let ar = s.spawn(|| gate.run(|| ablation_rollback::run(seed, 4)));
+            let ap = s.spawn(|| gate.run(|| ablation_prune::run(seed)));
+            (
+                f7.join().expect("fig7 panicked"),
+                grid.join().expect("rq2 panicked"),
+                f10.join().expect("fig10 panicked"),
+                f11.join().expect("fig11 panicked"),
+                f12.join().expect("fig12 panicked"),
+                t1.join().expect("table1 panicked"),
+                ar.join().expect("ablation_rollback panicked"),
+                ap.join().expect("ablation_prune panicked"),
+            )
+        })
+    } else {
+        (
+            fig7::run(seed),
+            rq2::run(seed, DEFAULT_PER_CLASS),
+            fig10::run(seed, DEFAULT_PER_CLASS),
+            fig11::run(seed, 4, 3),
+            fig12::run(seed, DEFAULT_PER_CLASS),
+            table1::run(seed, DEFAULT_PER_CLASS),
+            ablation_rollback::run(seed, 4),
+            ablation_prune::run(seed),
+        )
+    };
+
     println!("== RQ1 ==");
-    let f7 = fig7::run(seed);
     print!("{}", f7.render());
     if let Some(f) = f7.kb_overhead_factor() {
         println!("knowledge-base overhead factor: {f:.2}x");
     }
     println!("\n== RQ2 ==");
-    let grid = rq2::run(seed, DEFAULT_PER_CLASS);
     print!("{}", grid.render(false));
     println!();
     print!("{}", grid.render(true));
     println!();
-    print!("{}", fig10::run(seed, DEFAULT_PER_CLASS).render());
+    print!("{}", f10.render());
     println!("\n== RQ3 ==");
-    print!("{}", fig11::run(seed, 4, 3).render());
+    print!("{}", f11.render());
     println!("\n== RQ4 ==");
-    print!("{}", fig12::run(seed, DEFAULT_PER_CLASS).render());
+    print!("{}", f12.render());
     println!();
-    print!("{}", table1::run(seed, DEFAULT_PER_CLASS).render());
+    print!("{}", t1.render());
     println!("\n== Ablations ==");
-    print!("{}", ablation_rollback::run(seed, 4).render());
+    print!("{}", ar.render());
     println!();
-    print!("{}", ablation_prune::run(seed).render());
+    print!("{}", ap.render());
+
+    let cache = OracleCache::global().stats();
+    println!(
+        "\n== engine ==\njobs: {jobs} | wall: {:.1}s | oracle cache: {} hits / {} misses ({:.1}% hit rate, {} programs)",
+        started.elapsed().as_secs_f64(),
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.entries,
+    );
 }

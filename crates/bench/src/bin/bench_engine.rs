@@ -1,0 +1,142 @@
+//! Engine throughput benchmark: times a full-corpus RustBrain sweep at 1
+//! worker and at N workers on a *pre-warmed* shared oracle cache (so the
+//! series isolates scheduling from caching), checks the two result
+//! streams are byte-identical, and writes the numbers to
+//! `BENCH_engine.json` — the start of the engine's perf trajectory.
+//!
+//! ```text
+//! USAGE: bench_engine [--jobs N] [--per-class N] [--out PATH]
+//! ```
+
+use rb_bench::overall_rates;
+use rb_dataset::Corpus;
+use rb_engine::{BatchOutcome, Engine, OracleCache, SystemSpec};
+use rb_llm::ModelId;
+use rustbrain::RustBrainConfig;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    jobs: usize,
+    per_class: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: std::thread::available_parallelism().map_or(4, usize::from),
+        per_class: 3,
+        out: "BENCH_engine.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--jobs" => {
+                args.jobs = value("--jobs")?.parse().map_err(|_| "bad --jobs")?;
+            }
+            "--per-class" => {
+                args.per_class = value("--per-class")?
+                    .parse()
+                    .map_err(|_| "bad --per-class")?;
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.jobs == 0 || args.per_class == 0 {
+        return Err("--jobs and --per-class must be positive".into());
+    }
+    Ok(args)
+}
+
+fn sweep(
+    workers: usize,
+    cache: &Arc<OracleCache>,
+    spec: &SystemSpec,
+    corpus: &Corpus,
+) -> BatchOutcome {
+    Engine::with_cache(workers, Arc::clone(cache)).run_batch(spec, &corpus.cases, corpus.seed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let corpus = Corpus::generate_full(42, args.per_class);
+    let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 0));
+    let cache = Arc::new(OracleCache::new());
+
+    // Warm-up sweep (untimed): populates the oracle cache so both timed
+    // sweeps run under identical, fully-warm cache conditions.
+    let warmup = sweep(args.jobs, &cache, &spec, &corpus);
+
+    let serial = sweep(1, &cache, &spec, &corpus);
+    let parallel = sweep(args.jobs, &cache, &spec, &corpus);
+    let identical = serial.results == parallel.results && warmup.results == serial.results;
+
+    let speedup = if parallel.stats.wall_ms > 0.0 {
+        serial.stats.wall_ms / parallel.stats.wall_ms
+    } else {
+        0.0
+    };
+    let cache_stats = cache.stats();
+    let (pass, exec) = overall_rates(&parallel.results);
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"engine\",\"cases\":{},\"available_cores\":{},\n",
+            " \"identical_results\":{},\n",
+            " \"pass_rate\":{:.4},\"exec_rate\":{:.4},\n",
+            " \"serial\":{},\n",
+            " \"parallel\":{},\n",
+            " \"speedup\":{:.4},\n",
+            " \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}}}}\n"
+        ),
+        corpus.len(),
+        cores,
+        identical,
+        pass.value(),
+        exec.value(),
+        serial.stats.to_json(),
+        parallel.stats.to_json(),
+        speedup,
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.entries,
+        cache_stats.hit_rate(),
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "engine bench: {} cases | {} cores | 1 worker: {:.0} ms ({:.1} cases/s) | {} workers: {:.0} ms ({:.1} cases/s) | speedup {speedup:.2}x",
+        corpus.len(),
+        cores,
+        serial.stats.wall_ms,
+        serial.stats.cases_per_sec,
+        args.jobs,
+        parallel.stats.wall_ms,
+        parallel.stats.cases_per_sec,
+    );
+    println!(
+        "oracle cache: {} hits / {} misses ({:.1}% hit rate) | results identical: {identical} | wrote {}",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.hit_rate() * 100.0,
+        args.out,
+    );
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: parallel results diverged from the serial sweep");
+        ExitCode::FAILURE
+    }
+}

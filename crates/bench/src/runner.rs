@@ -1,88 +1,15 @@
 //! Uniform driver over the repair systems under comparison, so every
 //! experiment iterates a corpus the same way.
+//!
+//! The system abstraction and per-case execution moved into
+//! [`rb_engine`] (the parallel batch-repair engine); this module
+//! re-exports them and keeps the aggregation helpers, so experiments keep
+//! their `rb_bench::runner::System` imports while corpus sweeps execute
+//! on the engine — sequential stateful runs go through the engine's
+//! sequential lane and share its process-wide oracle cache, and batch
+//! sweeps ([`rb_engine::Engine::run_batch`]) fan out across workers.
 
-use rb_baselines::{LlmOnly, RustAssistant};
-use rb_dataset::UbCase;
-use rb_llm::ModelId;
-use rustbrain::{RustBrain, RustBrainConfig};
-use serde::{Deserialize, Serialize};
-
-/// Result of one case repair, system-agnostic.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct CaseResult {
-    /// Case id.
-    pub case_id: String,
-    /// UB class.
-    pub class: rb_miri::UbClass,
-    /// Passed the oracle.
-    pub passed: bool,
-    /// Semantically acceptable.
-    pub acceptable: bool,
-    /// Simulated time in milliseconds.
-    pub overhead_ms: f64,
-}
-
-/// A repair system under test.
-pub enum System {
-    /// Standalone model.
-    Llm(LlmOnly),
-    /// RustAssistant fixed pipeline.
-    RustAssistant(RustAssistant),
-    /// The RustBrain framework.
-    Brain(Box<RustBrain>),
-}
-
-impl System {
-    /// A standalone model at the paper's default temperature.
-    #[must_use]
-    pub fn llm(model: ModelId, seed: u64) -> System {
-        System::Llm(LlmOnly::new(model, 0.5, seed))
-    }
-
-    /// The RustAssistant baseline (GPT-4-backed, as in the paper).
-    #[must_use]
-    pub fn rust_assistant(seed: u64) -> System {
-        System::RustAssistant(RustAssistant::new(ModelId::Gpt4, 0.5, seed))
-    }
-
-    /// A RustBrain instance.
-    #[must_use]
-    pub fn brain(config: RustBrainConfig) -> System {
-        System::Brain(Box::new(RustBrain::new(config)))
-    }
-
-    /// Repairs one corpus case.
-    pub fn repair_case(&mut self, case: &UbCase) -> CaseResult {
-        let reference = case.gold_outputs();
-        let (passed, acceptable, overhead_ms) = match self {
-            System::Llm(s) => {
-                let o = s.repair(&case.buggy, &reference);
-                (o.passed, o.acceptable, o.overhead_ms)
-            }
-            System::RustAssistant(s) => {
-                let o = s.repair(&case.buggy, &reference);
-                (o.passed, o.acceptable, o.overhead_ms)
-            }
-            System::Brain(s) => {
-                let o = s.repair(&case.buggy, &reference);
-                (o.passed, o.acceptable, o.overhead_ms)
-            }
-        };
-        CaseResult {
-            case_id: case.id.clone(),
-            class: case.class,
-            passed,
-            acceptable,
-            overhead_ms,
-        }
-    }
-
-    /// Repairs every case of a corpus in order (order matters: stateful
-    /// systems learn across cases, as in the paper's sequential runs).
-    pub fn run_corpus(&mut self, cases: &[UbCase]) -> Vec<CaseResult> {
-        cases.iter().map(|c| self.repair_case(c)).collect()
-    }
-}
+pub use rb_engine::{CaseResult, System, SystemSpec};
 
 /// Aggregates results per class into (pass %, exec %) pairs.
 #[must_use]
@@ -120,7 +47,9 @@ pub fn overall_rates(results: &[CaseResult]) -> (crate::stats::Rate, crate::stat
 mod tests {
     use super::*;
     use rb_dataset::Corpus;
+    use rb_llm::ModelId;
     use rb_miri::UbClass;
+    use rustbrain::RustBrainConfig;
 
     #[test]
     fn all_systems_run_a_small_corpus() {

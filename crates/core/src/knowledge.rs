@@ -21,13 +21,17 @@ pub struct KbEntry {
 }
 
 /// The knowledge base.
+///
+/// The query-accounting counters are private: shared/concurrent use (the
+/// batch engine hands bases to worker-built systems) must not be able to
+/// corrupt the accounting from outside — reads go through
+/// [`KnowledgeBase::queries`] and [`KnowledgeBase::query_time_ms`], and
+/// the only writer is [`KnowledgeBase::query`] itself.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
     entries: Vec<KbEntry>,
-    /// Total simulated milliseconds spent in queries.
-    pub query_time_ms: f64,
-    /// Number of queries served.
-    pub queries: u64,
+    query_time_ms: f64,
+    queries: u64,
 }
 
 /// Fixed per-query cost plus a per-entry scan cost (simulated ms).
@@ -108,6 +112,18 @@ impl KnowledgeBase {
     pub fn last_query_cost_ms(&self) -> f64 {
         QUERY_BASE_MS + QUERY_PER_ENTRY_MS * self.entries.len() as f64
     }
+
+    /// Number of queries served over the base's lifetime.
+    #[must_use]
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Total simulated milliseconds spent in queries.
+    #[must_use]
+    pub fn query_time_ms(&self) -> f64 {
+        self.query_time_ms
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +190,7 @@ mod tests {
         }
         assert!(kb.last_query_cost_ms() > c0);
         kb.query(&v, UbClass::Panic, 1);
-        assert_eq!(kb.queries, 1);
-        assert!(kb.query_time_ms > 0.0);
+        assert_eq!(kb.queries(), 1);
+        assert!(kb.query_time_ms() > 0.0);
     }
 }

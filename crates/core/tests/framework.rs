@@ -95,7 +95,7 @@ fn no_knowledge_config_never_queries() {
     for case in &cases {
         brain.repair(&case.buggy, &case.gold_outputs());
     }
-    assert_eq!(brain.knowledge().queries, 0);
+    assert_eq!(brain.knowledge().queries(), 0);
     assert_eq!(brain.knowledge().len(), 0);
 }
 

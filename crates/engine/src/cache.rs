@@ -1,0 +1,214 @@
+//! The sharded, content-addressed oracle cache.
+//!
+//! The oracle ([`rb_miri::run_program`]) is deterministic: a program's
+//! verdict depends only on its AST. The cache therefore keys verdicts by
+//! *hashed program structure* — not source text — so two jobs that reach
+//! the same program through different whitespace, comments or printing
+//! round-trips share one oracle execution. Entries live behind
+//! [`RwLock`]-protected shards so concurrent workers contend only when
+//! their keys land in the same shard; hit/miss counters are lock-free
+//! atomics.
+//!
+//! A key collision (two structurally different programs hashing alike) is
+//! handled, not assumed away: each bucket stores the full program next to
+//! its verdict and a hit requires structural equality, so a collision
+//! degrades to an extra oracle run, never to a wrong verdict.
+
+use rb_lang::Program;
+use rb_miri::{run_program, MiriReport};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of independent shards. A power of two so the shard index is a
+/// cheap mask of the content key.
+const SHARD_COUNT: usize = 16;
+
+/// The content key of a program: a structural hash over its AST.
+///
+/// Programs that print and re-parse to the same structure map to the same
+/// key; programs that differ in any statement, type or literal map to
+/// different keys (modulo 64-bit collisions, which the cache verifies
+/// against).
+#[must_use]
+pub fn program_key(program: &Program) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    program.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One cached verdict: the program is stored alongside the report so hits
+/// are confirmed by structural equality (collision guard).
+struct CacheEntry {
+    program: Program,
+    report: Arc<MiriReport>,
+}
+
+type Shard = RwLock<HashMap<u64, Vec<CacheEntry>>>;
+
+/// Point-in-time counters of a cache (see [`OracleCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to execute the oracle.
+    pub misses: u64,
+    /// Distinct programs stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded `hash(Program) → MiriReport` map shared across workers.
+pub struct OracleCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for OracleCache {
+    fn default() -> OracleCache {
+        OracleCache::new()
+    }
+}
+
+impl OracleCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> OracleCache {
+        OracleCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache shared by every engine-backed corpus run
+    /// (the experiment harness re-generates identical gold programs many
+    /// times over; this is where that redundancy dies).
+    #[must_use]
+    pub fn global() -> Arc<OracleCache> {
+        static GLOBAL: OnceLock<Arc<OracleCache>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(OracleCache::new())))
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        &self.shards[(key as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The oracle verdict for `program` plus whether it was served from
+    /// the cache, so callers can attribute the hit/miss to their own
+    /// accounting (the engine's per-batch telemetry needs this — the
+    /// cache-wide counters are shared by every concurrent batch).
+    pub fn lookup(&self, program: &Program) -> (Arc<MiriReport>, bool) {
+        let key = program_key(program);
+        let shard = self.shard(key);
+        {
+            let read = shard.read().expect("oracle cache shard poisoned");
+            if let Some(entries) = read.get(&key) {
+                if let Some(e) = entries.iter().find(|e| &e.program == program) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(&e.report), true);
+                }
+            }
+        }
+        // Miss: run the oracle outside any lock, then publish.
+        let report = Arc::new(run_program(program));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut write = shard.write().expect("oracle cache shard poisoned");
+        let entries = write.entry(key).or_default();
+        if let Some(e) = entries.iter().find(|e| &e.program == program) {
+            // A racing worker published the same program first; keep one
+            // copy (the verdicts are identical — the oracle is pure).
+            return (Arc::clone(&e.report), false);
+        }
+        entries.push(CacheEntry {
+            program: program.clone(),
+            report: Arc::clone(&report),
+        });
+        (report, false)
+    }
+
+    /// The oracle verdict for `program`, executing the oracle only on the
+    /// first structurally distinct sighting.
+    pub fn report(&self, program: &Program) -> Arc<MiriReport> {
+        self.lookup(program).0
+    }
+
+    /// The observable outputs of `program` under the oracle (the gold
+    /// reference a repair must reproduce), cached like [`report`].
+    ///
+    /// [`report`]: OracleCache::report
+    #[must_use]
+    pub fn outputs(&self, program: &Program) -> Vec<String> {
+        self.report(program).outputs.clone()
+    }
+
+    /// Current hit/miss/entry counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.read()
+                        .expect("oracle cache shard poisoned")
+                        .values()
+                        .map(Vec::len)
+                        .sum::<usize>() as u64
+                })
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_lang::parser::parse_program;
+
+    #[test]
+    fn shard_count_is_power_of_two() {
+        assert!(SHARD_COUNT.is_power_of_two());
+    }
+
+    #[test]
+    fn report_matches_direct_oracle_run() {
+        let p = parse_program("fn main() { print(7i32); }").unwrap();
+        let cache = OracleCache::new();
+        assert_eq!(*cache.report(&p), run_program(&p));
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_sharing_the_verdict() {
+        let p = parse_program("fn main() { print(7i32); }").unwrap();
+        let cache = OracleCache::new();
+        let first = cache.report(&p);
+        let second = cache.report(&p);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn global_cache_is_one_instance() {
+        assert!(Arc::ptr_eq(&OracleCache::global(), &OracleCache::global()));
+    }
+}

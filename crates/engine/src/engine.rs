@@ -1,0 +1,295 @@
+//! The batch executor: a fixed-size worker pool over `std::thread` and
+//! `mpsc` channels, sharing one [`OracleCache`], merging results
+//! deterministically.
+//!
+//! Determinism contract: the merged [`CaseResult`] stream of
+//! [`Engine::run_batch`] is byte-identical for every worker count,
+//! because (a) each job builds a *fresh* system seeded only from the
+//! batch seed and the case id ([`crate::job::derive_case_seed`]), (b) the
+//! oracle cache can change *when* a verdict is computed but never *what*
+//! it is (the oracle is pure), and (c) results are merged back into
+//! submission order. [`run_serial_reference`] is the plain-loop,
+//! cache-free reference implementation the property tests compare
+//! against.
+
+use crate::cache::OracleCache;
+use crate::job::{JobResult, JobSpec};
+use crate::stats::EngineStats;
+use crate::system::{CaseResult, System, SystemSpec};
+use rb_dataset::UbCase;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// Outcome of one batch: the deterministic result stream plus telemetry.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Per-case results, in submission order (byte-identical for any
+    /// worker count).
+    pub results: Vec<CaseResult>,
+    /// Per-job execution records (worker assignment, wall time), in
+    /// submission order. Scheduling-dependent — telemetry only.
+    pub jobs: Vec<JobResult>,
+    /// Batch telemetry.
+    pub stats: EngineStats,
+}
+
+/// The parallel batch-repair engine.
+pub struct Engine {
+    workers: usize,
+    cache: Arc<OracleCache>,
+}
+
+impl Engine {
+    /// An engine with `workers` threads (clamped to at least 1) and a
+    /// private oracle cache.
+    #[must_use]
+    pub fn new(workers: usize) -> Engine {
+        Engine::with_cache(workers, Arc::new(OracleCache::new()))
+    }
+
+    /// An engine sharing an existing oracle cache (e.g. across sweeps, so
+    /// a second sweep over the same corpus never re-runs the oracle).
+    #[must_use]
+    pub fn with_cache(workers: usize, cache: Arc<OracleCache>) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            cache,
+        }
+    }
+
+    /// An engine on the process-wide cache ([`OracleCache::global`]).
+    #[must_use]
+    pub fn with_global_cache(workers: usize) -> Engine {
+        Engine::with_cache(workers, OracleCache::global())
+    }
+
+    /// Worker threads this engine schedules onto.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The oracle cache the engine's jobs share.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<OracleCache> {
+        &self.cache
+    }
+
+    /// Executes one job: build the system at the job's derived seed,
+    /// resolve the gold reference through the cache, repair. The flag is
+    /// whether the reference lookup was a cache hit.
+    fn execute(job: &JobSpec, cache: &OracleCache) -> (CaseResult, bool) {
+        let mut system = job.system.build(job.seed);
+        let (report, cache_hit) = cache.lookup(&job.case.gold);
+        let result = system.repair_case_with(&job.case, &report.outputs);
+        (result, cache_hit)
+    }
+
+    /// Runs a prepared job list on the worker pool and merges the results
+    /// back into submission order.
+    #[must_use]
+    pub fn run_jobs(&self, jobs: &[JobSpec]) -> BatchOutcome {
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<JobResult>();
+
+        let mut executed: Vec<JobResult> = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let tx = tx.clone();
+                let next = &next;
+                let cache = &self.cache;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let job_started = Instant::now();
+                    let (result, cache_hit) = Engine::execute(job, cache);
+                    let sent = tx.send(JobResult {
+                        index: job.index,
+                        worker,
+                        wall_ms: job_started.elapsed().as_secs_f64() * 1e3,
+                        cache_hit,
+                        result,
+                    });
+                    if sent.is_err() {
+                        break; // receiver gone: the batch was abandoned
+                    }
+                });
+            }
+            drop(tx); // workers hold the remaining senders
+            executed.extend(rx.iter());
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Deterministic merge: scheduling decided arrival order, the
+        // submission index restores it.
+        executed.sort_by_key(|j| j.index);
+        let results: Vec<CaseResult> = executed.iter().map(|j| j.result.clone()).collect();
+
+        let mut busy_ms = vec![0.0f64; self.workers];
+        let mut worker_cases = vec![0usize; self.workers];
+        for j in &executed {
+            busy_ms[j.worker] += j.wall_ms;
+            worker_cases[j.worker] += 1;
+        }
+        // Per-job attribution, not a delta of the shared counters: other
+        // batches may be running on the same cache concurrently, and
+        // their lookups must not leak into this batch's telemetry.
+        let hits = executed.iter().filter(|j| j.cache_hit).count() as u64;
+        let cache = crate::cache::CacheStats {
+            hits,
+            misses: executed.len() as u64 - hits,
+            entries: self.cache.stats().entries,
+        };
+        let stats = EngineStats {
+            workers: self.workers,
+            cases: results.len(),
+            wall_ms,
+            cases_per_sec: if wall_ms > 0.0 {
+                results.len() as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            worker_utilization: busy_ms
+                .iter()
+                .map(|b| {
+                    if wall_ms > 0.0 {
+                        (b / wall_ms).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            worker_cases,
+            simulated_overhead_ms: results.iter().map(|r| r.overhead_ms).sum(),
+            cache,
+        };
+        BatchOutcome {
+            results,
+            jobs: executed,
+            stats,
+        }
+    }
+
+    /// Sweeps a corpus: one job per case, seeds derived from case ids,
+    /// fanned out across the pool.
+    #[must_use]
+    pub fn run_batch(&self, system: &SystemSpec, cases: &[UbCase], base_seed: u64) -> BatchOutcome {
+        let jobs: Vec<JobSpec> = cases
+            .iter()
+            .enumerate()
+            .map(|(i, case)| JobSpec::new(i, case.clone(), system.clone(), base_seed))
+            .collect();
+        self.run_jobs(&jobs)
+    }
+
+    /// Runs a *stateful* system over a corpus in order on the engine's
+    /// sequential lane (cross-case learning makes these runs inherently
+    /// order-dependent, as in the paper's sequential experiments), with
+    /// gold references served from the shared oracle cache.
+    pub fn run_stateful(&self, system: &mut System, cases: &[UbCase]) -> Vec<CaseResult> {
+        cases
+            .iter()
+            .map(|case| {
+                let reference = self.cache.outputs(&case.gold);
+                system.repair_case_with(case, &reference)
+            })
+            .collect()
+    }
+}
+
+/// The reference implementation the engine must reproduce byte-for-byte:
+/// a plain serial loop with no threads and no cache, building each case's
+/// system exactly like the engine does and resolving the gold reference
+/// with a direct oracle run.
+#[must_use]
+pub fn run_serial_reference(
+    system: &SystemSpec,
+    cases: &[UbCase],
+    base_seed: u64,
+) -> Vec<CaseResult> {
+    cases
+        .iter()
+        .map(|case| {
+            let seed = crate::job::derive_case_seed(base_seed, &case.id);
+            let reference = case.gold_outputs();
+            system.build(seed).repair_case_with(case, &reference)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_dataset::Corpus;
+    use rb_llm::ModelId;
+    use rb_miri::UbClass;
+    use rustbrain::RustBrainConfig;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(11, 2, &[UbClass::Alloc, UbClass::Panic])
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Engine::new(0).workers(), 1);
+        assert_eq!(Engine::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = Engine::new(2).run_batch(&SystemSpec::rust_assistant(), &[], 1);
+        assert!(out.results.is_empty() && out.jobs.is_empty());
+        assert_eq!(out.stats.cases, 0);
+    }
+
+    #[test]
+    fn batch_matches_serial_reference() {
+        let corpus = small_corpus();
+        let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 0));
+        let serial = run_serial_reference(&spec, &corpus.cases, 42);
+        for workers in [1, 2, 4] {
+            let out = Engine::new(workers).run_batch(&spec, &corpus.cases, 42);
+            assert_eq!(out.results, serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let corpus = small_corpus();
+        let out = Engine::new(4).run_batch(&SystemSpec::llm(ModelId::Gpt35), &corpus.cases, 7);
+        let ids: Vec<&str> = out.results.iter().map(|r| r.case_id.as_str()).collect();
+        let expected: Vec<&str> = corpus.cases.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids, expected);
+        assert!(out.jobs.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn stats_account_for_every_case_and_worker() {
+        let corpus = small_corpus();
+        let engine = Engine::new(2);
+        let out = engine.run_batch(&SystemSpec::rust_assistant(), &corpus.cases, 3);
+        assert_eq!(out.stats.cases, corpus.len());
+        assert_eq!(out.stats.workers, 2);
+        assert_eq!(out.stats.worker_cases.iter().sum::<usize>(), corpus.len());
+        assert_eq!(out.stats.worker_utilization.len(), 2);
+        assert!(out.stats.cases_per_sec > 0.0);
+        // Every gold reference went through the cache exactly once per
+        // distinct program.
+        let c = out.stats.cache;
+        assert_eq!(c.hits + c.misses, corpus.len() as u64);
+    }
+
+    #[test]
+    fn shared_cache_turns_second_sweep_into_hits() {
+        let corpus = small_corpus();
+        let cache = Arc::new(OracleCache::new());
+        let spec = SystemSpec::rust_assistant();
+        let first = Engine::with_cache(1, Arc::clone(&cache)).run_batch(&spec, &corpus.cases, 5);
+        let second = Engine::with_cache(2, Arc::clone(&cache)).run_batch(&spec, &corpus.cases, 5);
+        assert_eq!(first.results, second.results);
+        assert_eq!(second.stats.cache.misses, 0, "warm cache re-ran the oracle");
+        assert_eq!(second.stats.cache.hits, corpus.len() as u64);
+    }
+}

@@ -1,0 +1,59 @@
+//! # rb-engine — parallel batch-repair engine
+//!
+//! The execution subsystem of the RustBrain reproduction: fans repair
+//! jobs out across a fixed-size worker pool (`std::thread` + channels —
+//! no external runtime) and almost never pays for the same oracle verdict
+//! twice, by keying verdicts on *hashed program structure* in a sharded,
+//! content-addressed cache ([`cache::OracleCache`]) — at most one verdict
+//! per structurally distinct program is ever *stored*, though two workers
+//! racing on the same first sighting may both execute the oracle once.
+//!
+//! Three guarantees shape the design:
+//!
+//! 1. **Determinism** — a batch's merged [`CaseResult`] stream is
+//!    byte-identical for any worker count and any scheduling: each job
+//!    builds a fresh system whose RNG seed derives only from the batch
+//!    seed and the case id ([`job::derive_case_seed`]), and results are
+//!    merged back into submission order.
+//! 2. **Soundness of caching** — the oracle is pure, so the cache can
+//!    only change *when* a verdict is computed, never *what* it is; a
+//!    64-bit key collision is verified against the stored program and
+//!    degrades to an extra oracle run, not a wrong verdict.
+//! 3. **Observability** — every batch reports throughput, per-worker
+//!    utilization and cache effectiveness as an [`EngineStats`] that
+//!    serializes to JSON (`BENCH_engine.json` tracks it across PRs).
+//!
+//! Stateful sequential sweeps (where a system learns across cases, as in
+//! the paper's experiments) run on the engine's sequential lane
+//! ([`Engine::run_stateful`]) and still share the oracle cache; the
+//! parallel path ([`Engine::run_batch`]) trades cross-case learning for
+//! scheduling freedom.
+//!
+//! ## Example
+//!
+//! ```
+//! use rb_engine::{Engine, SystemSpec, run_serial_reference};
+//! use rb_dataset::Corpus;
+//! use rb_miri::UbClass;
+//!
+//! let corpus = Corpus::generate(1, 2, &[UbClass::Alloc]);
+//! let spec = SystemSpec::rust_assistant();
+//! let parallel = Engine::new(4).run_batch(&spec, &corpus.cases, 42);
+//! let serial = run_serial_reference(&spec, &corpus.cases, 42);
+//! assert_eq!(parallel.results, serial);
+//! assert!(parallel.stats.cases_per_sec > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod job;
+pub mod stats;
+pub mod system;
+
+pub use cache::{program_key, CacheStats, OracleCache};
+pub use engine::{run_serial_reference, BatchOutcome, Engine};
+pub use job::{derive_case_seed, JobResult, JobSpec};
+pub use stats::EngineStats;
+pub use system::{CaseResult, System, SystemSpec};

@@ -1,0 +1,112 @@
+//! Engine telemetry: throughput, per-worker utilization and cache
+//! effectiveness, serializable to JSON.
+//!
+//! The vendored `serde` is a marker stub (see `vendor/README.md`), so the
+//! JSON encoding here is hand-rolled; [`EngineStats::to_json`] emits
+//! strictly valid JSON (finite numbers only, no trailing commas).
+
+use crate::cache::CacheStats;
+
+/// Aggregate telemetry of one engine batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Jobs executed.
+    pub cases: usize,
+    /// Real wall-clock duration of the batch in milliseconds.
+    pub wall_ms: f64,
+    /// Throughput: cases per wall-clock second.
+    pub cases_per_sec: f64,
+    /// Fraction of the batch wall-clock each worker spent executing jobs
+    /// (one entry per worker, in worker order).
+    pub worker_utilization: Vec<f64>,
+    /// Jobs executed by each worker, in worker order.
+    pub worker_cases: Vec<usize>,
+    /// Total simulated repair time accumulated by the jobs (the paper's
+    /// overhead metric — unrelated to real wall-clock).
+    pub simulated_overhead_ms: f64,
+    /// Oracle-cache effect of the batch: `hits`/`misses` count exactly
+    /// this batch's lookups (attributed per job, so concurrent batches on
+    /// a shared cache cannot pollute each other), while `entries` is the
+    /// cache's absolute size when the batch finished.
+    pub cache: CacheStats,
+}
+
+/// Formats a float as a finite JSON number (non-finite values collapse to
+/// 0, which cannot occur in practice but keeps the output parseable).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn json_array<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
+    let body: Vec<String> = items.iter().map(f).collect();
+    format!("[{}]", body.join(","))
+}
+
+impl EngineStats {
+    /// Serializes the telemetry to a single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workers\":{},\"cases\":{},\"wall_ms\":{},",
+                "\"cases_per_sec\":{},\"worker_utilization\":{},",
+                "\"worker_cases\":{},\"simulated_overhead_ms\":{},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
+                "\"hit_rate\":{}}}}}"
+            ),
+            self.workers,
+            self.cases,
+            json_num(self.wall_ms),
+            json_num(self.cases_per_sec),
+            json_array(&self.worker_utilization, |u| json_num(*u)),
+            json_array(&self.worker_cases, |c| c.to_string()),
+            json_num(self.simulated_overhead_ms),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            json_num(self.cache.hit_rate()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let stats = EngineStats {
+            workers: 2,
+            cases: 3,
+            wall_ms: 12.5,
+            cases_per_sec: 240.0,
+            worker_utilization: vec![0.9, 0.8],
+            worker_cases: vec![2, 1],
+            simulated_overhead_ms: 99.0,
+            cache: CacheStats {
+                hits: 1,
+                misses: 3,
+                entries: 3,
+            },
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"workers\":2"));
+        assert!(json.contains("\"worker_utilization\":[0.9000,0.8000]"));
+        assert!(json.contains("\"hit_rate\":0.2500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn non_finite_numbers_never_leak() {
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(f64::INFINITY), "0");
+        assert_eq!(json_num(1.0 / 3.0), "0.3333");
+    }
+}

@@ -6,6 +6,8 @@
 //!   rustbrain repair <file.mrs> [options]       detect and repair
 //!   rustbrain demo                              repair a built-in example
 //!   rustbrain corpus <dir> [--seed N]           export the benchmark corpus
+//!   rustbrain batch [options]                   sweep the corpus on the
+//!                                               parallel batch engine
 //!
 //! OPTIONS:
 //!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
@@ -14,11 +16,17 @@
 //!   --no-knowledge                              disable the knowledge base
 //!   --reference <out1,out2,...>                 expected outputs for the
 //!                                               acceptability judgement
+//!   --jobs <N>                                  batch worker threads
+//!                                               [available cores]
+//!   --per-class <N>                             batch cases per UB class [3]
+//!   --system <rustbrain|llm-only|rust-assistant>  batch system [rustbrain]
+//!   --stats-out <file>                          write batch EngineStats JSON
 //! ```
 //!
 //! `.mrs` files contain mini-Rust source (see `rb-lang`'s grammar); the
 //! `demo` subcommand needs no file.
 
+use rb_engine::{Engine, SystemSpec};
 use rb_lang::parser::parse_program;
 use rb_lang::printer::print_program;
 use rb_llm::ModelId;
@@ -35,6 +43,10 @@ struct Cli {
     seed: u64,
     use_knowledge: bool,
     reference: Vec<String>,
+    jobs: usize,
+    per_class: usize,
+    system: BatchSystem,
+    stats_out: Option<String>,
 }
 
 #[derive(Debug, PartialEq)]
@@ -43,7 +55,25 @@ enum Command {
     Repair(String),
     Demo,
     Corpus(String),
+    Batch,
     Help,
+}
+
+/// Which system a `batch` sweep drives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum BatchSystem {
+    Brain,
+    LlmOnly,
+    RustAssistant,
+}
+
+fn parse_system(s: &str) -> Result<BatchSystem, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "rustbrain" | "brain" => Ok(BatchSystem::Brain),
+        "llm-only" | "llm" => Ok(BatchSystem::LlmOnly),
+        "rust-assistant" | "assistant" => Ok(BatchSystem::RustAssistant),
+        other => Err(format!("unknown system `{other}`")),
+    }
 }
 
 fn parse_model(s: &str) -> Result<ModelId, String> {
@@ -64,6 +94,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         seed: 42,
         use_knowledge: true,
         reference: Vec::new(),
+        jobs: std::thread::available_parallelism().map_or(1, usize::from),
+        per_class: 3,
+        system: BatchSystem::Brain,
+        stats_out: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -76,6 +110,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             cli.command = Command::Repair(file.clone());
         }
         Some("demo") => cli.command = Command::Demo,
+        Some("batch") => cli.command = Command::Batch,
         Some("corpus") => {
             let dir = it.next().ok_or("`corpus` needs a directory argument")?;
             cli.command = Command::Corpus(dir.clone());
@@ -107,6 +142,32 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--reference needs a value")?;
                 cli.reference = v.split(',').map(str::to_owned).collect();
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs `{v}`"))?;
+                if cli.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--per-class" => {
+                let v = it.next().ok_or("--per-class needs a value")?;
+                cli.per_class = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --per-class `{v}`"))?;
+                if cli.per_class == 0 {
+                    return Err("--per-class must be at least 1".into());
+                }
+            }
+            "--system" => {
+                let v = it.next().ok_or("--system needs a value")?;
+                cli.system = parse_system(v)?;
+            }
+            "--stats-out" => {
+                let v = it.next().ok_or("--stats-out needs a value")?;
+                cli.stats_out = Some(v.clone());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -127,13 +188,19 @@ USAGE:
   rustbrain repair <file.mrs> [options]     detect and repair
   rustbrain demo                            repair a built-in example
   rustbrain corpus <dir> [--seed N]         export the benchmark corpus
+  rustbrain batch [options]                 sweep the corpus on the
+                                            parallel batch engine
 
 OPTIONS:
   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
   --temperature <0.0..1.0>                   sampling temp   [0.5]
   --seed <u64>                               RNG seed        [42]
   --no-knowledge                             disable the knowledge base
-  --reference <out1,out2,...>                expected outputs"
+  --reference <out1,out2,...>                expected outputs
+  --jobs <N>                                 batch worker threads [cores]
+  --per-class <N>                            batch cases per UB class [3]
+  --system <rustbrain|llm-only|rust-assistant>  batch system [rustbrain]
+  --stats-out <file>                         write batch EngineStats JSON"
 }
 
 fn main() -> ExitCode {
@@ -165,6 +232,7 @@ fn main() -> ExitCode {
             }
         },
         Command::Corpus(ref dir) => export_corpus(dir, cli.seed),
+        Command::Batch => batch(&cli),
         Command::Demo => {
             println!("repairing the built-in dangling-pointer demo:\n\n{DEMO}\n");
             let mut demo_cli = cli;
@@ -199,6 +267,56 @@ fn export_corpus(dir: &str, seed: u64) -> ExitCode {
         corpus.len(),
         corpus.stats().len()
     );
+    ExitCode::SUCCESS
+}
+
+fn batch(cli: &Cli) -> ExitCode {
+    let corpus = rb_dataset::Corpus::generate_full(cli.seed, cli.per_class);
+    let spec = match cli.system {
+        BatchSystem::Brain => {
+            let mut config = RustBrainConfig::for_model(cli.model, cli.seed);
+            config.temperature = cli.temperature;
+            config.use_knowledge = cli.use_knowledge;
+            SystemSpec::brain(config)
+        }
+        BatchSystem::LlmOnly => SystemSpec::Llm {
+            model: cli.model,
+            temperature: cli.temperature,
+        },
+        BatchSystem::RustAssistant => SystemSpec::RustAssistant {
+            model: cli.model,
+            temperature: cli.temperature,
+        },
+    };
+    println!(
+        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s)",
+        corpus.len(),
+        corpus.stats().len(),
+        cli.per_class,
+        spec.label(),
+        cli.jobs,
+    );
+    let outcome = Engine::new(cli.jobs).run_batch(&spec, &corpus.cases, cli.seed);
+    let (pass, exec) = rb_bench::overall_rates(&outcome.results);
+    println!(
+        "pass rate: {:.1}% | exec rate: {:.1}% | wall: {:.0} ms | {:.1} cases/s | cache hit rate: {:.1}%",
+        pass.percent(),
+        exec.percent(),
+        outcome.stats.wall_ms,
+        outcome.stats.cases_per_sec,
+        outcome.stats.cache.hit_rate() * 100.0,
+    );
+    let stats_json = outcome.stats.to_json();
+    match &cli.stats_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{stats_json}\n")) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("engine stats written to {path}");
+        }
+        None => println!("{stats_json}"),
+    }
     ExitCode::SUCCESS
 }
 
@@ -311,5 +429,31 @@ mod tests {
     #[test]
     fn help_is_default() {
         assert_eq!(parse_cli(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_batch_with_engine_flags() {
+        let cli = parse_cli(&argv(
+            "batch --jobs 4 --per-class 2 --system llm-only --stats-out stats.json --seed 5",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Batch);
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.per_class, 2);
+        assert_eq!(cli.system, BatchSystem::LlmOnly);
+        assert_eq!(cli.stats_out.as_deref(), Some("stats.json"));
+        assert_eq!(cli.seed, 5);
+    }
+
+    #[test]
+    fn batch_defaults_and_validation() {
+        let cli = parse_cli(&argv("batch")).unwrap();
+        assert_eq!(cli.system, BatchSystem::Brain);
+        assert!(cli.jobs >= 1);
+        assert_eq!(cli.per_class, 3);
+        assert!(cli.stats_out.is_none());
+        assert!(parse_cli(&argv("batch --jobs 0")).is_err());
+        assert!(parse_cli(&argv("batch --per-class 0")).is_err());
+        assert!(parse_cli(&argv("batch --system gpt-9")).is_err());
     }
 }

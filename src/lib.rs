@@ -8,6 +8,7 @@
 //! - [`rb_llm`] — simulated language models,
 //! - [`rustbrain`] — the fast/slow-thinking repair framework,
 //! - [`rb_baselines`] — comparison systems,
+//! - [`rb_engine`] — the parallel batch-repair engine and oracle cache,
 //! - [`rb_bench`] — the experiment harness.
 
 #![warn(missing_docs)]
@@ -15,6 +16,7 @@
 pub use rb_baselines;
 pub use rb_bench;
 pub use rb_dataset;
+pub use rb_engine;
 pub use rb_lang;
 pub use rb_llm;
 pub use rb_miri;
