@@ -21,6 +21,7 @@ pub use llm_only::LlmOnly;
 pub use rust_assistant::RustAssistant;
 
 use rb_lang::Program;
+use rb_miri::OracleUse;
 use serde::{Deserialize, Serialize};
 
 /// Result shape shared by all repair systems.
@@ -34,6 +35,10 @@ pub struct BaselineOutcome {
     pub overhead_ms: f64,
     /// Oracle iterations used.
     pub iterations: usize,
+    /// Executed-vs-cached split of every oracle judgement the repair made
+    /// (telemetry only — identical repairs under a caching and a direct
+    /// oracle differ in nothing but this field).
+    pub oracle_use: OracleUse,
     /// The final program state.
     pub final_program: Program,
 }

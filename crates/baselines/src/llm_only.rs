@@ -6,20 +6,36 @@
 use crate::BaselineOutcome;
 use rb_lang::Program;
 use rb_llm::{LanguageModel, ModelId, PromptStrategy, RepairContext, SimulatedModel};
-use rb_miri::run_program;
+use rb_miri::{DirectOracle, Oracle, OracleUse};
 use rustbrain::slow::ORACLE_RUN_MS;
+use std::sync::Arc;
 
 /// The standalone-LLM repair loop.
 pub struct LlmOnly {
+    oracle: Arc<dyn Oracle>,
     model: SimulatedModel,
     max_iterations: usize,
 }
 
 impl LlmOnly {
-    /// Creates a standalone repair loop around a model.
+    /// Creates a standalone repair loop around a model, judging programs
+    /// with the zero-cost [`DirectOracle`].
     #[must_use]
     pub fn new(model: ModelId, temperature: f64, seed: u64) -> LlmOnly {
+        LlmOnly::with_oracle(model, temperature, seed, Arc::new(DirectOracle))
+    }
+
+    /// Creates the loop with an injected oracle (the batch engine passes
+    /// its process-wide verdict cache through here).
+    #[must_use]
+    pub fn with_oracle(
+        model: ModelId,
+        temperature: f64,
+        seed: u64,
+        oracle: Arc<dyn Oracle>,
+    ) -> LlmOnly {
         LlmOnly {
+            oracle,
             model: SimulatedModel::new(model, temperature, seed),
             max_iterations: 3,
         }
@@ -36,7 +52,8 @@ impl LlmOnly {
     /// for the acceptability judgement.
     pub fn repair(&mut self, program: &Program, reference: &[String]) -> BaselineOutcome {
         let mut current = program.clone();
-        let mut report = run_program(&current);
+        let mut oracle_use = OracleUse::default();
+        let mut report = self.oracle.judge_recording(&current, &mut oracle_use);
         let mut overhead = 0.0f64;
         let mut iterations = 0usize;
 
@@ -61,7 +78,7 @@ impl LlmOnly {
                     break;
                 }
             }
-            report = run_program(&current);
+            report = self.oracle.judge_recording(&current, &mut oracle_use);
             overhead += ORACLE_RUN_MS;
             iterations += 1;
             if !applied {
@@ -73,6 +90,7 @@ impl LlmOnly {
             acceptable: report.passes() && report.outputs == reference,
             overhead_ms: overhead,
             iterations,
+            oracle_use,
             final_program: current,
         }
     }

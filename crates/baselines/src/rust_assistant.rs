@@ -9,8 +9,9 @@
 use crate::BaselineOutcome;
 use rb_lang::Program;
 use rb_llm::{LanguageModel, ModelId, PromptStrategy, RepairContext, SimulatedModel};
-use rb_miri::run_program;
+use rb_miri::{DirectOracle, Oracle, OracleUse};
 use rustbrain::slow::ORACLE_RUN_MS;
+use std::sync::Arc;
 
 /// Per-iteration cost of the fixed pipeline's generic steps (error
 /// parsing, diff formatting, re-prompt assembly) in simulated ms.
@@ -18,15 +19,30 @@ const GENERIC_STEP_MS: f64 = 2_200.0;
 
 /// The fixed-pipeline repairer.
 pub struct RustAssistant {
+    oracle: Arc<dyn Oracle>,
     model: SimulatedModel,
     max_iterations: usize,
 }
 
 impl RustAssistant {
-    /// Creates the pipeline around a model (the original uses GPT-4).
+    /// Creates the pipeline around a model (the original uses GPT-4),
+    /// judging programs with the zero-cost [`DirectOracle`].
     #[must_use]
     pub fn new(model: ModelId, temperature: f64, seed: u64) -> RustAssistant {
+        RustAssistant::with_oracle(model, temperature, seed, Arc::new(DirectOracle))
+    }
+
+    /// Creates the pipeline with an injected oracle (the batch engine
+    /// passes its process-wide verdict cache through here).
+    #[must_use]
+    pub fn with_oracle(
+        model: ModelId,
+        temperature: f64,
+        seed: u64,
+        oracle: Arc<dyn Oracle>,
+    ) -> RustAssistant {
         RustAssistant {
+            oracle,
             model: SimulatedModel::new(model, temperature, seed),
             max_iterations: 2,
         }
@@ -44,7 +60,8 @@ impl RustAssistant {
     /// Attempts to repair `program` against the `reference` gold outputs.
     pub fn repair(&mut self, program: &Program, reference: &[String]) -> BaselineOutcome {
         let initial = program.clone();
-        let initial_report = run_program(&initial);
+        let mut oracle_use = OracleUse::default();
+        let initial_report = self.oracle.judge_recording(&initial, &mut oracle_use);
         let mut current = initial.clone();
         let mut errors = initial_report.error_count();
         let mut report = initial_report;
@@ -70,14 +87,14 @@ impl RustAssistant {
                     break;
                 }
             }
-            let next_report = run_program(&next);
+            let next_report = self.oracle.judge_recording(&next, &mut oracle_use);
             overhead += ORACLE_RUN_MS;
             iterations += 1;
             if next_report.error_count() > errors {
                 // Fixed pipelines roll back to the *initial* state,
                 // discarding all partial progress (cost c·Tₙ).
                 current = initial.clone();
-                report = run_program(&current);
+                report = self.oracle.judge_recording(&current, &mut oracle_use);
                 errors = report.error_count();
             } else {
                 errors = next_report.error_count();
@@ -90,6 +107,7 @@ impl RustAssistant {
             acceptable: report.passes() && report.outputs == reference,
             overhead_ms: overhead,
             iterations,
+            oracle_use,
             final_program: current,
         }
     }

@@ -2,7 +2,11 @@
 //! worker and at N workers on a *pre-warmed* shared oracle cache (so the
 //! series isolates scheduling from caching), checks the two result
 //! streams are byte-identical, and writes the numbers to
-//! `BENCH_engine.json` — the start of the engine's perf trajectory.
+//! `BENCH_engine.json` — the engine's perf trajectory across PRs. Since
+//! PR 3 the file also carries per-UbClass throughput and the
+//! executed-vs-cached oracle split (the whole stack judges through the
+//! shared cache now, so the split is the honest measure of how much
+//! interpreter work the cache actually saves).
 //!
 //! ```text
 //! USAGE: bench_engine [--jobs N] [--per-class N] [--out PATH]
@@ -12,6 +16,7 @@ use rb_bench::overall_rates;
 use rb_dataset::Corpus;
 use rb_engine::{BatchOutcome, Engine, OracleCache, SystemSpec};
 use rb_llm::ModelId;
+use rb_miri::UbClass;
 use rustbrain::RustBrainConfig;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -59,6 +64,63 @@ fn sweep(
     Engine::with_cache(workers, Arc::clone(cache)).run_batch(spec, &corpus.cases, corpus.seed)
 }
 
+/// Per-UbClass rows of the parallel sweep: case count, pass/exec rates,
+/// real wall time spent on the class across all workers (and the derived
+/// per-class throughput), and the class's executed-vs-cached oracle
+/// split. Rows appear in first-encounter (submission) order.
+fn class_rows_json(outcome: &BatchOutcome) -> String {
+    let mut classes: Vec<UbClass> = Vec::new();
+    for r in &outcome.results {
+        if !classes.contains(&r.class) {
+            classes.push(r.class);
+        }
+    }
+    let rows: Vec<String> = classes
+        .iter()
+        .map(|&class| {
+            let mut cases = 0usize;
+            let mut passed = 0usize;
+            let mut acceptable = 0usize;
+            let mut wall_ms = 0.0f64;
+            let mut executed = 0usize;
+            let mut cached = 0usize;
+            for j in &outcome.jobs {
+                if j.result.class != class {
+                    continue;
+                }
+                cases += 1;
+                passed += usize::from(j.result.passed);
+                acceptable += usize::from(j.result.acceptable);
+                wall_ms += j.wall_ms;
+                executed += j.oracle_use.executed;
+                cached += j.oracle_use.cached;
+            }
+            let cases_per_sec = if wall_ms > 0.0 {
+                cases as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            };
+            format!(
+                concat!(
+                    "{{\"class\":\"{}\",\"cases\":{},\"passed\":{},",
+                    "\"acceptable\":{},\"wall_ms\":{:.4},",
+                    "\"cases_per_sec\":{:.4},",
+                    "\"oracle\":{{\"executed\":{},\"cached\":{}}}}}"
+                ),
+                class.label(),
+                cases,
+                passed,
+                acceptable,
+                wall_ms,
+                cases_per_sec,
+                executed,
+                cached,
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(",\n  "))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -96,7 +158,9 @@ fn main() -> ExitCode {
             " \"serial\":{},\n",
             " \"parallel\":{},\n",
             " \"speedup\":{:.4},\n",
-            " \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}}}}\n"
+            " \"per_class\":{},\n",
+            " \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
+            "\"evictions\":{},\"capacity\":{},\"hit_rate\":{:.4}}}}}\n"
         ),
         corpus.len(),
         cores,
@@ -106,9 +170,12 @@ fn main() -> ExitCode {
         serial.stats.to_json(),
         parallel.stats.to_json(),
         speedup,
+        class_rows_json(&parallel),
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.entries,
+        cache_stats.evictions,
+        cache_stats.capacity,
         cache_stats.hit_rate(),
     );
     if let Err(e) = std::fs::write(&args.out, &json) {
@@ -127,10 +194,12 @@ fn main() -> ExitCode {
         parallel.stats.cases_per_sec,
     );
     println!(
-        "oracle cache: {} hits / {} misses ({:.1}% hit rate) | results identical: {identical} | wrote {}",
+        "oracle cache: {} hits / {} misses ({:.1}% hit rate) | parallel sweep: {} executed / {} cached | results identical: {identical} | wrote {}",
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.hit_rate() * 100.0,
+        parallel.stats.oracle_executed,
+        parallel.stats.oracle_cached,
         args.out,
     );
     if identical {

@@ -7,10 +7,12 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rb_dataset::{templates_for, UbCase};
+use rb_engine::CachedOracle;
 use rb_llm::ModelId;
-use rb_miri::{run_program, UbClass};
+use rb_miri::{Oracle, UbClass};
 use rustbrain::{AgentKind, RustBrain, RustBrainConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One row of the Fig. 7 matrix.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -110,12 +112,19 @@ pub fn run(seed: u64) -> Fig7Result {
         &sources.description,
     );
     case.validate().expect("fig7 case valid");
-    let reference = case.gold_outputs();
-    let report = run_program(&case.buggy);
+    // Judge through the process-wide verdict cache: the same case is
+    // instantiated across seeds and sibling experiments, and the ten
+    // slow-thinking executions below re-verify many identical candidates.
+    let oracle: Arc<dyn Oracle> = Arc::new(CachedOracle::global());
+    let reference = oracle.judge(&case.gold).outputs.clone();
+    let report = oracle.judge(&case.buggy);
 
     // Seed a small knowledge base so abstract-reasoning solutions have
     // something to retrieve (the paper's KB-backed groups).
-    let mut brain = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, seed));
+    let mut brain = RustBrain::with_oracle(
+        RustBrainConfig::for_model(ModelId::Gpt4, seed),
+        Arc::clone(&oracle),
+    );
     brain.seed_knowledge(
         &case.buggy,
         UbClass::DanglingPointer,

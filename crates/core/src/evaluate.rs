@@ -3,7 +3,7 @@
 //! simulated time.
 
 use rb_lang::Program;
-use rb_miri::{run_program, MiriReport};
+use rb_miri::{MiriReport, Oracle};
 use serde::{Deserialize, Serialize};
 
 /// Multi-dimensional assessment of one repair attempt.
@@ -33,14 +33,16 @@ impl EvalTriplet {
     }
 }
 
-/// Evaluates a candidate repair against reference outputs.
+/// Evaluates a candidate repair against reference outputs, judging the
+/// candidate through the injected `oracle`.
 #[must_use]
 pub fn evaluate(
+    oracle: &dyn Oracle,
     candidate: &Program,
     reference_outputs: &[String],
     overhead_ms: f64,
 ) -> EvalTriplet {
-    let report = run_program(candidate);
+    let report = oracle.judge(candidate);
     evaluate_with_report(&report, reference_outputs, overhead_ms)
 }
 
@@ -102,13 +104,14 @@ mod tests {
 
     #[test]
     fn evaluate_compares_outputs() {
+        let oracle = rb_miri::DirectOracle;
         let good = parse_program("fn main() { print(7i32); }").unwrap();
-        let t = evaluate(&good, &["7".into()], 100.0);
+        let t = evaluate(&oracle, &good, &["7".into()], 100.0);
         assert!(t.accuracy && t.acceptability);
-        let t = evaluate(&good, &["8".into()], 100.0);
+        let t = evaluate(&oracle, &good, &["8".into()], 100.0);
         assert!(t.accuracy && !t.acceptability);
         let bad = parse_program("fn main() { let z: i32 = 0; print(1 / z); }").unwrap();
-        let t = evaluate(&bad, &["7".into()], 100.0);
+        let t = evaluate(&oracle, &bad, &["7".into()], 100.0);
         assert!(!t.accuracy && !t.acceptability);
     }
 }

@@ -1,6 +1,8 @@
 //! The fast-thinking stage (paper stage F2): rapid, intuitive generation of
 //! diverse candidate repair solutions from extracted code features, guided
-//! by learned priors from the feedback loop.
+//! by learned priors from the feedback loop. Fast thinking never judges
+//! programs — the features it consumes come from a report the pipeline
+//! obtained through its injected [`rb_miri::Oracle`].
 
 use crate::features::CodeFeatures;
 use crate::feedback::Priors;

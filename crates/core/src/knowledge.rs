@@ -38,6 +38,34 @@ pub struct KnowledgeBase {
 const QUERY_BASE_MS: f64 = 9_000.0;
 const QUERY_PER_ENTRY_MS: f64 = 60.0;
 
+/// The inserts a repair job recorded on top of a shared knowledge-base
+/// snapshot, in insertion order.
+///
+/// Batch mode recovers the paper's cross-case self-learning with these:
+/// every job starts from the same read-only snapshot, records its own
+/// successful repairs into a delta, and the engine merges all deltas back
+/// in submission order after the batch — so the merged base is identical
+/// for any worker count.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KbDelta {
+    /// The recorded inserts, oldest first.
+    pub entries: Vec<KbEntry>,
+}
+
+impl KbDelta {
+    /// Number of recorded inserts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the job recorded nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 impl KnowledgeBase {
     /// Creates an empty knowledge base.
     #[must_use]
@@ -74,6 +102,24 @@ impl KnowledgeBase {
             class,
             rule,
         });
+    }
+
+    /// The inserts recorded since the base held `baseline` entries
+    /// (typically the size of the snapshot the base was cloned from).
+    #[must_use]
+    pub fn delta_since(&self, baseline: usize) -> KbDelta {
+        KbDelta {
+            entries: self.entries[baseline.min(self.entries.len())..].to_vec(),
+        }
+    }
+
+    /// Appends a delta's inserts, preserving their order; returns how many
+    /// entries were merged. The merge policy is append-only (duplicates are
+    /// harmless: retrieval ranks by similarity, and a repeated entry only
+    /// reinforces an already-solved shape).
+    pub fn merge(&mut self, delta: &KbDelta) -> usize {
+        self.entries.extend(delta.entries.iter().cloned());
+        delta.len()
     }
 
     /// Retrieves up to `k` few-shots for a query vector, preferring
@@ -178,6 +224,30 @@ mod tests {
         let query = vec_of("fn main() { print(1i32); }");
         let shots = kb.query(&query, UbClass::DataRace, 3);
         assert!(shots.is_empty(), "{shots:?}");
+    }
+
+    #[test]
+    fn delta_records_only_post_snapshot_inserts() {
+        let v = vec_of("fn main() { print(1i32); }");
+        let mut snapshot = KnowledgeBase::new();
+        snapshot.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        let baseline = snapshot.len();
+
+        // A job clones the snapshot and learns two more cases.
+        let mut job_kb = snapshot.clone();
+        job_kb.insert(v.clone(), UbClass::Alloc, RepairRule::RemoveDoubleFree);
+        job_kb.insert(v.clone(), UbClass::DataRace, RepairRule::LockSpawnBodies);
+        let delta = job_kb.delta_since(baseline);
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta.entries[0].class, UbClass::Alloc);
+        assert_eq!(delta.entries[1].class, UbClass::DataRace);
+
+        // Merging back grows the snapshot in delta order.
+        let mut merged = snapshot.clone();
+        assert_eq!(merged.merge(&delta), 2);
+        assert_eq!(merged.len(), 3);
+        // An out-of-range baseline yields an empty delta, not a panic.
+        assert!(job_kb.delta_since(99).is_empty());
     }
 
     #[test]

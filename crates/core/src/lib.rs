@@ -20,6 +20,11 @@
 //!   of every attempt flows back into the fast-thinking priors, so similar
 //!   errors are solved faster with less knowledge-base dependence.
 //!
+//! Every program judgement — initial detection, per-edit verification,
+//! rollback re-verification — goes through an injected [`rb_miri::Oracle`]
+//! ([`RustBrain::with_oracle`]); the default [`rb_miri::DirectOracle`] runs
+//! the interpreter, while `rb_engine` injects a process-wide verdict cache.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -54,6 +59,7 @@ pub use config::{RollbackPolicy, RustBrainConfig};
 pub use evaluate::EvalTriplet;
 pub use features::CodeFeatures;
 pub use feedback::Priors;
-pub use knowledge::KnowledgeBase;
+pub use knowledge::{KbDelta, KnowledgeBase};
 pub use pipeline::{RepairOutcome, RustBrain};
+pub use rb_miri::{DirectOracle, Oracle, OracleUse};
 pub use solution::{AgentKind, Solution};

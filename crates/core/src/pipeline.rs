@@ -16,8 +16,9 @@ use rb_lang::prune::prune_program;
 use rb_lang::vectorize::AstVector;
 use rb_lang::Program;
 use rb_llm::{LanguageModel, ModelCallStats, RepairRule, SimulatedModel};
-use rb_miri::{run_program, MiriReport, UbClass};
+use rb_miri::{DirectOracle, MiriReport, Oracle, OracleUse, UbClass};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Aggregated result of repairing one program.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -30,6 +31,21 @@ pub struct RepairOutcome {
     pub overhead_ms: f64,
     /// Oracle invocations consumed.
     pub oracle_runs: usize,
+    /// Oracle judgements that executed the interpreter fresh.
+    ///
+    /// Together with `oracle_cached` this covers *every* judgement the
+    /// repair made — the initial detection, each verification counted in
+    /// `oracle_runs`, and rollback re-verifications — so
+    /// `oracle_executed + oracle_cached >= oracle_runs`, with the total
+    /// itself identical across oracles. The executed/cached split is pure
+    /// telemetry and is the *only* part of the outcome allowed to differ
+    /// between a caching oracle and [`DirectOracle`] (everything else is
+    /// bit-identical — property-tested in `rb_engine`'s
+    /// oracle-equivalence suite).
+    pub oracle_executed: usize,
+    /// Oracle judgements served from a cache (always 0 under
+    /// [`DirectOracle`]).
+    pub oracle_cached: usize,
     /// Solutions attempted before stopping.
     pub solutions_tried: usize,
     /// The best program produced.
@@ -46,11 +62,13 @@ pub struct RepairOutcome {
     pub class: UbClass,
 }
 
-/// The RustBrain framework instance. Holds the model, the knowledge base
-/// and the learned priors; repairs are stateful so that self-learning
-/// carries across problems (the paper's feedback mechanism).
+/// The RustBrain framework instance. Holds the model, the knowledge base,
+/// the learned priors and the injected [`Oracle`] every program judgement
+/// goes through; repairs are stateful so that self-learning carries across
+/// problems (the paper's feedback mechanism).
 pub struct RustBrain {
     config: RustBrainConfig,
+    oracle: Arc<dyn Oracle>,
     model: SimulatedModel,
     knowledge: KnowledgeBase,
     priors: Priors,
@@ -58,13 +76,28 @@ pub struct RustBrain {
 }
 
 impl RustBrain {
-    /// Builds a framework instance from a configuration.
+    /// Builds a framework instance from a configuration, judging programs
+    /// with the zero-cost [`DirectOracle`] (a thin wrapper over
+    /// [`with_oracle`]).
+    ///
+    /// [`with_oracle`]: RustBrain::with_oracle
     #[must_use]
     pub fn new(config: RustBrainConfig) -> RustBrain {
+        RustBrain::with_oracle(config, Arc::new(DirectOracle))
+    }
+
+    /// Builds a framework instance that judges every program — the initial
+    /// detection, each slow-thinking edit verification, and rollback
+    /// re-verification — through `oracle`. This is the seam the batch
+    /// engine uses to share one process-wide verdict cache across jobs,
+    /// and where a real-Miri or remote backend would plug in.
+    #[must_use]
+    pub fn with_oracle(config: RustBrainConfig, oracle: Arc<dyn Oracle>) -> RustBrain {
         let model = SimulatedModel::new(config.model, config.temperature, config.seed);
         let fast = FastThinking::new(ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0xFA57)));
         RustBrain {
             config,
+            oracle,
             model,
             knowledge: KnowledgeBase::new(),
             priors: Priors::new(),
@@ -72,10 +105,26 @@ impl RustBrain {
         }
     }
 
+    /// Replaces the knowledge base with `kb` (builder-style). Batch jobs
+    /// use this to start from a clone of the engine's shared pre-seeded
+    /// snapshot; their subsequent inserts are recovered with
+    /// [`KnowledgeBase::delta_since`] and merged after the batch.
+    #[must_use]
+    pub fn with_knowledge_base(mut self, kb: KnowledgeBase) -> RustBrain {
+        self.knowledge = kb;
+        self
+    }
+
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &RustBrainConfig {
         &self.config
+    }
+
+    /// The injected oracle.
+    #[must_use]
+    pub fn oracle(&self) -> &Arc<dyn Oracle> {
+        &self.oracle
     }
 
     /// Read access to the knowledge base.
@@ -125,13 +174,14 @@ impl RustBrain {
     pub fn execute_one(
         &mut self,
         program: &Program,
-        report: &MiriReport,
+        report: &Arc<MiriReport>,
         solution: &Solution,
         reference: &[String],
         budget: usize,
     ) -> SolutionOutcome {
         let kb = self.config.use_knowledge.then_some(&mut self.knowledge);
         execute_solution(
+            self.oracle.as_ref(),
             &mut self.model,
             kb,
             self.config.rollback,
@@ -146,7 +196,11 @@ impl RustBrain {
     /// Repairs a failing program. `reference` is the gold observable output
     /// used for the acceptability dimension of the evaluation triplet.
     pub fn repair(&mut self, program: &Program, reference: &[String]) -> RepairOutcome {
-        let report = run_program(program);
+        let mut oracle_use = OracleUse::default();
+        // Held as an Arc end to end: a cache-served verdict is shared,
+        // never deep-copied (execute_one and the rollback tracker only
+        // ever borrow it).
+        let report: Arc<MiriReport> = self.oracle.judge_recording(program, &mut oracle_use);
         let class = report.primary().map_or(UbClass::Compile, |e| e.class());
         if report.passes() {
             let eval = evaluate_with_report(&report, reference, 0.0);
@@ -155,6 +209,8 @@ impl RustBrain {
                 acceptable: eval.acceptability,
                 overhead_ms: 0.0,
                 oracle_runs: 1,
+                oracle_executed: oracle_use.executed,
+                oracle_cached: oracle_use.cached,
                 solutions_tried: 0,
                 final_program: program.clone(),
                 error_history: vec![0],
@@ -191,7 +247,7 @@ impl RustBrain {
         // no-rollback continues from wherever the last solution *ended* —
         // letting hallucinated damage compound across the whole process
         // (the paper's Fig. 5a).
-        let mut start_state: Option<(Program, MiriReport)> = None;
+        let mut start_state: Option<(Program, Arc<MiriReport>)> = None;
         let calls_at_start = self.model.stats().calls;
         for (i, solution) in solutions.iter().enumerate() {
             if total_runs >= self.config.max_iterations
@@ -205,9 +261,9 @@ impl RustBrain {
                 .max(self.config.max_steps_per_solution);
             let (start_prog, start_report) = match (&self.config.rollback, &start_state) {
                 (crate::config::RollbackPolicy::ToInitial, _) | (_, None) => {
-                    (program.clone(), report.clone())
+                    (program.clone(), Arc::clone(&report))
                 }
-                (_, Some((p, r))) => (p.clone(), r.clone()),
+                (_, Some((p, r))) => (p.clone(), Arc::clone(r)),
             };
             let outcome = self.execute_one(&start_prog, &start_report, solution, reference, budget);
             start_state = Some(match self.config.rollback {
@@ -217,22 +273,23 @@ impl RustBrain {
                     // foothold for refinement, so seek a fresh path from
                     // the original program instead.
                     if outcome.eval.accuracy {
-                        (program.clone(), report.clone())
+                        (program.clone(), Arc::clone(&report))
                     } else {
-                        (
-                            outcome.final_program.clone(),
-                            run_program(&outcome.final_program),
-                        )
+                        let reverified = self
+                            .oracle
+                            .judge_recording(&outcome.final_program, &mut oracle_use);
+                        (outcome.final_program.clone(), reverified)
                     }
                 }
                 crate::config::RollbackPolicy::None => {
                     (outcome.end_program.clone(), outcome.end_report.clone())
                 }
-                crate::config::RollbackPolicy::ToInitial => (program.clone(), report.clone()),
+                crate::config::RollbackPolicy::ToInitial => (program.clone(), Arc::clone(&report)),
             });
             tried += 1;
             total_overhead += outcome.overhead_ms;
             total_runs += outcome.oracle_runs;
+            oracle_use.absorb(outcome.oracle_use);
             history.extend(outcome.trace.error_counts.iter().skip(1));
             rollbacks += outcome.trace.rollbacks;
 
@@ -263,6 +320,8 @@ impl RustBrain {
             acceptable: eval.acceptability,
             overhead_ms: total_overhead,
             oracle_runs: total_runs,
+            oracle_executed: oracle_use.executed,
+            oracle_cached: oracle_use.cached,
             solutions_tried: tried,
             final_program: best.final_program.clone(),
             error_history: history,
@@ -325,6 +384,40 @@ mod tests {
         // run needs no more attempts than the first.
         assert!(second.solutions_tried <= first.solutions_tried);
         assert!(rb.priors().updates() > 0);
+    }
+
+    #[test]
+    fn oracle_split_accounts_for_every_run() {
+        let (p, gold) = double_free();
+        let mut rb = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 42));
+        let out = rb.repair(&p, &gold);
+        // The split covers every judgement (initial detection, inner
+        // verifications, rollback re-verifications) — at least the
+        // budget-counted runs, plus the initial detection.
+        assert!(out.oracle_executed + out.oracle_cached > out.oracle_runs);
+        // The default DirectOracle never serves from a cache.
+        assert_eq!(out.oracle_cached, 0);
+
+        let clean = rb_lang::parser::parse_program("fn main() { print(5i32); }").unwrap();
+        let out = rb.repair(&clean, &["5".to_owned()]);
+        assert_eq!(
+            (out.oracle_runs, out.oracle_executed, out.oracle_cached),
+            (1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn seeded_knowledge_base_snapshot_is_adopted() {
+        let (p, _) = double_free();
+        let mut donor = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 1));
+        donor.seed_knowledge(&p, UbClass::Alloc, rb_llm::RepairRule::RemoveDoubleFree);
+        let snapshot = donor.knowledge().clone();
+
+        let rb = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 2))
+            .with_knowledge_base(snapshot.clone());
+        assert_eq!(rb.knowledge().len(), snapshot.len());
+        // The delta relative to the snapshot starts empty.
+        assert!(rb.knowledge().delta_since(snapshot.len()).is_empty());
     }
 
     #[test]

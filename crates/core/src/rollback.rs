@@ -16,6 +16,7 @@ use crate::config::RollbackPolicy;
 use rb_lang::Program;
 use rb_miri::MiriReport;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Bookkeeping of one slow-thinking run.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -32,15 +33,20 @@ pub struct ThoughtTrace {
 
 /// Tracks program states across slow-thinking iterations and applies the
 /// configured rollback policy.
+///
+/// The tracker never judges programs itself: every [`MiriReport`] it
+/// observes was produced by the executor's injected [`rb_miri::Oracle`],
+/// so rollback re-verification shares whatever verdict cache the caller
+/// injected and stays bit-identical to an uncached run.
 #[derive(Clone, Debug)]
 pub struct RollbackTracker {
     policy: RollbackPolicy,
     initial: Program,
-    initial_report: MiriReport,
+    initial_report: Arc<MiriReport>,
     best: Program,
-    best_report: MiriReport,
+    best_report: Arc<MiriReport>,
     current: Program,
-    current_report: MiriReport,
+    current_report: Arc<MiriReport>,
     /// Thoughts accumulated since the last rollback anchor.
     since_anchor: usize,
     /// Public trace for analysis.
@@ -48,9 +54,14 @@ pub struct RollbackTracker {
 }
 
 impl RollbackTracker {
-    /// Starts tracking from the input program and its oracle report.
+    /// Starts tracking from the input program and its oracle report
+    /// (shared — a cache-served verdict is adopted without a deep copy).
     #[must_use]
-    pub fn new(policy: RollbackPolicy, program: Program, report: MiriReport) -> RollbackTracker {
+    pub fn new(
+        policy: RollbackPolicy,
+        program: Program,
+        report: Arc<MiriReport>,
+    ) -> RollbackTracker {
         let trace = ThoughtTrace {
             error_counts: vec![report.error_count()],
             ..ThoughtTrace::default()
@@ -74,6 +85,15 @@ impl RollbackTracker {
         (&self.current, &self.current_report)
     }
 
+    /// Like [`current`], but exposing the shared report handle so callers
+    /// can keep the verdict as an [`Arc`] without a deep copy.
+    ///
+    /// [`current`]: RollbackTracker::current
+    #[must_use]
+    pub fn current_shared(&self) -> (&Program, &Arc<MiriReport>) {
+        (&self.current, &self.current_report)
+    }
+
     /// The best state seen so far (fewest oracle errors).
     #[must_use]
     pub fn best(&self) -> (&Program, &MiriReport) {
@@ -82,7 +102,11 @@ impl RollbackTracker {
 
     /// Observes a new thought (candidate program + its report), applies the
     /// rollback policy, and returns whether a rollback occurred.
-    pub fn observe(&mut self, candidate: Program, report: MiriReport) -> bool {
+    ///
+    /// Takes the report as an [`Arc`] so a cache-served verdict is shared,
+    /// not deep-copied, on this hot path (the slow-thinking executor calls
+    /// this once per verified edit).
+    pub fn observe(&mut self, candidate: Program, report: Arc<MiriReport>) -> bool {
         let n_new = report.error_count();
         let n_cur = self.current_report.error_count();
         self.trace.error_counts.push(n_new);
@@ -143,7 +167,7 @@ mod tests {
         parse_program(&format!("fn main() {{ print({n}); }}")).unwrap()
     }
 
-    fn fake_report(errors: usize) -> MiriReport {
+    fn fake_report(errors: usize) -> Arc<MiriReport> {
         let mut r = MiriReport::default();
         for _ in 0..errors {
             r.errors.push(rb_miri::MiriError {
@@ -153,7 +177,7 @@ mod tests {
                 thread: 0,
             });
         }
-        r
+        Arc::new(r)
     }
 
     #[test]
@@ -202,7 +226,7 @@ mod tests {
         let good = parse_program("fn main() { print(1i32); }").unwrap();
         let report = run_program(&good);
         let mut t = RollbackTracker::new(RollbackPolicy::Adaptive, prog(9), fake_report(2));
-        t.observe(good.clone(), report);
+        t.observe(good.clone(), Arc::new(report));
         assert!(t.best().1.passes());
         assert_eq!(t.best().0, &good);
     }

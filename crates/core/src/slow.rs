@@ -1,6 +1,9 @@
 //! The slow-thinking stage (paper stages S1–S2): decompose a solution into
 //! agent steps, execute each step through the language model, verify every
-//! edit with the oracle, and guard the search with the rollback agent.
+//! edit with the injected [`Oracle`], and guard the search with the
+//! rollback agent. This inner verification loop re-judges near-identical
+//! programs constantly, which is why the oracle seam (rather than a direct
+//! interpreter call) matters here most.
 
 use crate::config::RollbackPolicy;
 use crate::evaluate::{evaluate_with_report, EvalTriplet};
@@ -11,8 +14,9 @@ use rb_lang::prune::prune_program;
 use rb_lang::vectorize::AstVector;
 use rb_lang::Program;
 use rb_llm::{LanguageModel, RepairContext, RepairRule};
-use rb_miri::{run_program, MiriReport};
+use rb_miri::{MiriReport, Oracle, OracleUse};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Fixed simulated cost of one oracle (Miri) run in milliseconds.
 pub const ORACLE_RUN_MS: f64 = 800.0;
@@ -51,6 +55,9 @@ pub struct SolutionOutcome {
     pub trace: ThoughtTrace,
     /// Oracle invocations consumed.
     pub oracle_runs: usize,
+    /// Split of `oracle_runs` into executed-fresh vs served-from-cache
+    /// (telemetry; always `total() == oracle_runs`).
+    pub oracle_use: OracleUse,
     /// Total simulated time of this solution.
     pub overhead_ms: f64,
     /// The rule whose application produced the passing state, if any.
@@ -58,29 +65,32 @@ pub struct SolutionOutcome {
     /// The state the slow-thinking process *ended* in (not necessarily the
     /// best one) — the continuation point under the no-rollback policy.
     pub end_program: Program,
-    /// Oracle report of the end state.
-    pub end_report: MiriReport,
+    /// Oracle report of the end state (shared, possibly cache-served).
+    pub end_report: Arc<MiriReport>,
 }
 
-/// Executes one solution against a failing program.
+/// Executes one solution against a failing program, verifying every edit
+/// through the injected `oracle`.
 ///
 /// Steps run in order; the solution is cycled (up to three passes) while it
 /// keeps making progress — the paper's "fine-tune solution" refinement.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_solution(
+    oracle: &dyn Oracle,
     model: &mut dyn LanguageModel,
     mut kb: Option<&mut KnowledgeBase>,
     policy: RollbackPolicy,
     program: &Program,
-    report: &MiriReport,
+    report: &Arc<MiriReport>,
     solution: &Solution,
     reference: &[String],
     max_oracle_runs: usize,
 ) -> SolutionOutcome {
-    let mut tracker = RollbackTracker::new(policy, program.clone(), report.clone());
+    let mut tracker = RollbackTracker::new(policy, program.clone(), Arc::clone(report));
     let mut steps: Vec<StepRecord> = Vec::new();
     let mut overhead = 0.0f64;
     let mut oracle_runs = 0usize;
+    let mut oracle_use = OracleUse::default();
     let mut fixing_rule = None;
 
     'passes: for _pass in 0..3 {
@@ -90,8 +100,8 @@ pub fn execute_solution(
                 break 'passes;
             }
             let (cur_prog, cur_report) = {
-                let (p, r) = tracker.current();
-                (p.clone(), r.clone())
+                let (p, r) = tracker.current_shared();
+                (p.clone(), Arc::clone(r))
             };
             let Some(primary) = cur_report.primary().cloned() else {
                 break 'passes;
@@ -130,8 +140,11 @@ pub fn execute_solution(
             }
             match applied {
                 Some((rule, candidate)) => {
-                    let creport = run_program(&candidate);
+                    let creport = oracle.judge_recording(&candidate, &mut oracle_use);
                     oracle_runs += 1;
+                    // Simulated cost is charged per *judgement*, cached or
+                    // not — the cache dodges real interpreter work, never
+                    // the modelled Miri latency (determinism depends on it).
                     overhead += ORACLE_RUN_MS;
                     let errors_after = creport.error_count();
                     if errors_after == 0 {
@@ -164,8 +177,8 @@ pub fn execute_solution(
     }
 
     let (end_prog, end_report) = {
-        let (p, r) = tracker.current();
-        (p.clone(), r.clone())
+        let (p, r) = tracker.current_shared();
+        (p.clone(), Arc::clone(r))
     };
     let (best_prog, best_report) = tracker.best();
     let eval = evaluate_with_report(best_report, reference, overhead);
@@ -176,6 +189,7 @@ pub fn execute_solution(
         steps,
         trace: tracker.trace.clone(),
         oracle_runs,
+        oracle_use,
         overhead_ms: overhead,
         fixing_rule,
         end_program: end_prog,
@@ -187,8 +201,9 @@ pub fn execute_solution(
 mod tests {
     use super::*;
     use rb_llm::{ModelId, SimulatedModel};
+    use rb_miri::DirectOracle;
 
-    fn fixture() -> (Program, MiriReport) {
+    fn fixture() -> (Program, Arc<MiriReport>) {
         let p = rb_lang::parser::parse_program(
             "fn main() { let p: *mut u8 = 0 as *mut u8; \
              unsafe { p = alloc(4usize, 4usize); ptr_write::<i32>(p as *mut i32, 3i32); } \
@@ -197,7 +212,7 @@ mod tests {
              unsafe { dealloc(p, 4usize, 4usize); } }",
         )
         .unwrap();
-        let r = run_program(&p);
+        let r = DirectOracle.judge(&p);
         (p, r)
     }
 
@@ -207,6 +222,7 @@ mod tests {
         let mut model = SimulatedModel::new(ModelId::GptO1, 0.3, 1);
         let sol = Solution::new(vec![AgentKind::Modify, AgentKind::SafeReplace]);
         let out = execute_solution(
+            &DirectOracle,
             &mut model,
             None,
             RollbackPolicy::Adaptive,
@@ -220,6 +236,9 @@ mod tests {
         assert!(out.eval.acceptability);
         assert_eq!(out.fixing_rule, Some(RepairRule::RemoveDoubleFree));
         assert!(out.overhead_ms > 0.0);
+        // The direct oracle executes every judgement.
+        assert_eq!(out.oracle_use.total(), out.oracle_runs);
+        assert_eq!(out.oracle_use.cached, 0);
     }
 
     #[test]
@@ -232,6 +251,7 @@ mod tests {
             AgentKind::Assert,
         ]);
         let out = execute_solution(
+            &DirectOracle,
             &mut model,
             None,
             RollbackPolicy::Adaptive,
@@ -250,6 +270,7 @@ mod tests {
         let mut model = SimulatedModel::new(ModelId::Gpt4, 0.5, 3);
         let sol = Solution::new(vec![AgentKind::Modify]);
         let out = execute_solution(
+            &DirectOracle,
             &mut model,
             None,
             RollbackPolicy::Adaptive,

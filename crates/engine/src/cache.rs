@@ -1,4 +1,5 @@
-//! The sharded, content-addressed oracle cache.
+//! The sharded, content-addressed oracle cache and the [`CachedOracle`]
+//! that plugs it into the repair stack's [`Oracle`] seam.
 //!
 //! The oracle ([`rb_miri::run_program`]) is deterministic: a program's
 //! verdict depends only on its AST. The cache therefore keys verdicts by
@@ -13,13 +14,25 @@
 //! handled, not assumed away: each bucket stores the full program next to
 //! its verdict and a hit requires structural equality, so a collision
 //! degrades to an extra oracle run, never to a wrong verdict.
+//!
+//! ## Memory ceiling
+//!
+//! An unbounded verdict cache grows with every structurally distinct
+//! program the search ever touches. [`OracleCache::bounded`] caps the
+//! entry count and evicts with a shard-local **clock** (second-chance)
+//! policy: every hit sets an entry's referenced bit; when a shard
+//! overflows, the clock hand sweeps its entries in insertion order,
+//! clearing referenced bits and evicting the first entry found cold.
+//! Eviction changes *when* the oracle re-executes, never *what* it
+//! reports, so bounded caches preserve the same bit-identical results as
+//! unbounded ones.
 
 use rb_lang::Program;
-use rb_miri::{run_program, MiriReport};
+use rb_miri::{run_program, MiriReport, Oracle};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of independent shards. A power of two so the shard index is a
@@ -42,11 +55,25 @@ pub fn program_key(program: &Program) -> u64 {
 /// One cached verdict: the program is stored alongside the report so hits
 /// are confirmed by structural equality (collision guard).
 struct CacheEntry {
+    /// Shard-unique id linking the entry to its clock-queue slot.
+    id: u64,
     program: Program,
     report: Arc<MiriReport>,
+    /// Second-chance bit: set on every hit, cleared by the clock hand.
+    referenced: AtomicBool,
 }
 
-type Shard = RwLock<HashMap<u64, Vec<CacheEntry>>>;
+/// Mutable interior of one shard: the verdict map plus the clock queue
+/// driving eviction (entries in insertion order, identified by `(key,
+/// id)`; the queue and map always hold exactly the same entries).
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<u64, Vec<CacheEntry>>,
+    clock: VecDeque<(u64, u64)>,
+    next_id: u64,
+}
+
+type Shard = RwLock<ShardState>;
 
 /// Point-in-time counters of a cache (see [`OracleCache::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,6 +84,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct programs stored.
     pub entries: u64,
+    /// Entries displaced by the clock eviction policy.
+    pub evictions: u64,
+    /// Entry ceiling (0 = unbounded).
+    pub capacity: u64,
 }
 
 impl CacheStats {
@@ -72,11 +103,15 @@ impl CacheStats {
     }
 }
 
-/// A sharded `hash(Program) → MiriReport` map shared across workers.
+/// A sharded `hash(Program) → MiriReport` map shared across workers,
+/// optionally bounded by an entry ceiling with clock eviction.
 pub struct OracleCache {
     shards: Vec<Shard>,
+    /// Per-shard entry ceiling (`None` = unbounded).
+    shard_capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for OracleCache {
@@ -86,13 +121,34 @@ impl Default for OracleCache {
 }
 
 impl OracleCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     #[must_use]
     pub fn new() -> OracleCache {
+        OracleCache::with_shard_capacity(None)
+    }
+
+    /// Creates an empty cache holding at most `max_entries` verdicts,
+    /// evicting with the shard-local clock policy once full.
+    ///
+    /// The ceiling is distributed evenly over the shards and rounded up,
+    /// so the effective capacity (reported by [`CacheStats::capacity`])
+    /// is `max_entries` rounded up to a multiple of the shard count, with
+    /// a floor of one entry per shard — i.e. the smallest enforceable
+    /// ceiling is `SHARD_COUNT` (16) entries, since shards evict
+    /// independently and each must be able to hold the entry it is
+    /// currently publishing.
+    #[must_use]
+    pub fn bounded(max_entries: usize) -> OracleCache {
+        OracleCache::with_shard_capacity(Some(max_entries.div_ceil(SHARD_COUNT).max(1)))
+    }
+
+    fn with_shard_capacity(shard_capacity: Option<usize>) -> OracleCache {
         OracleCache {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -103,6 +159,15 @@ impl OracleCache {
     pub fn global() -> Arc<OracleCache> {
         static GLOBAL: OnceLock<Arc<OracleCache>> = OnceLock::new();
         Arc::clone(GLOBAL.get_or_init(|| Arc::new(OracleCache::new())))
+    }
+
+    /// The configured entry ceiling (0 = unbounded). Saturates rather
+    /// than overflowing for absurd per-shard caps (`bounded(usize::MAX)`).
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.shard_capacity.map_or(0, |per_shard| {
+            (per_shard as u64).saturating_mul(SHARD_COUNT as u64)
+        })
     }
 
     fn shard(&self, key: u64) -> &Shard {
@@ -118,8 +183,9 @@ impl OracleCache {
         let shard = self.shard(key);
         {
             let read = shard.read().expect("oracle cache shard poisoned");
-            if let Some(entries) = read.get(&key) {
+            if let Some(entries) = read.map.get(&key) {
                 if let Some(e) = entries.iter().find(|e| &e.program == program) {
+                    e.referenced.store(true, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return (Arc::clone(&e.report), true);
                 }
@@ -129,21 +195,58 @@ impl OracleCache {
         let report = Arc::new(run_program(program));
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut write = shard.write().expect("oracle cache shard poisoned");
-        let entries = write.entry(key).or_default();
-        if let Some(e) = entries.iter().find(|e| &e.program == program) {
+        if let Some(e) = write
+            .map
+            .get(&key)
+            .and_then(|entries| entries.iter().find(|e| &e.program == program))
+        {
             // A racing worker published the same program first; keep one
             // copy (the verdicts are identical — the oracle is pure).
             return (Arc::clone(&e.report), false);
         }
-        entries.push(CacheEntry {
+        let id = write.next_id;
+        write.next_id += 1;
+        write.map.entry(key).or_default().push(CacheEntry {
+            id,
             program: program.clone(),
             report: Arc::clone(&report),
+            referenced: AtomicBool::new(false),
         });
+        write.clock.push_back((key, id));
+        if let Some(cap) = self.shard_capacity {
+            self.evict_overflow(&mut write, cap);
+        }
         (report, false)
     }
 
+    /// Sweeps the clock hand until the shard is back at its capacity:
+    /// referenced entries get a second chance (bit cleared, requeued),
+    /// the first cold entry found is evicted.
+    fn evict_overflow(&self, shard: &mut ShardState, cap: usize) {
+        while shard.clock.len() > cap {
+            let Some((key, id)) = shard.clock.pop_front() else {
+                break;
+            };
+            let Some(bucket) = shard.map.get_mut(&key) else {
+                continue; // unreachable: queue and map are kept in sync
+            };
+            let Some(pos) = bucket.iter().position(|e| e.id == id) else {
+                continue;
+            };
+            if bucket[pos].referenced.swap(false, Ordering::Relaxed) {
+                shard.clock.push_back((key, id));
+                continue;
+            }
+            bucket.remove(pos);
+            if bucket.is_empty() {
+                shard.map.remove(&key);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The oracle verdict for `program`, executing the oracle only on the
-    /// first structurally distinct sighting.
+    /// first structurally distinct sighting (or again after eviction).
     pub fn report(&self, program: &Program) -> Arc<MiriReport> {
         self.lookup(program).0
     }
@@ -157,7 +260,7 @@ impl OracleCache {
         self.report(program).outputs.clone()
     }
 
-    /// Current hit/miss/entry counters.
+    /// Current hit/miss/entry/eviction counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -169,12 +272,53 @@ impl OracleCache {
                 .map(|s| {
                     s.read()
                         .expect("oracle cache shard poisoned")
+                        .map
                         .values()
                         .map(Vec::len)
                         .sum::<usize>() as u64
                 })
                 .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity(),
         }
+    }
+}
+
+/// The [`Oracle`] implementation over an [`OracleCache`]: this is what the
+/// batch engine injects into every system it builds, so the slow-thinking
+/// executor's inner verifications, rollback re-verification, baselines and
+/// gold-reference runs all share one process-wide verdict store.
+pub struct CachedOracle {
+    cache: Arc<OracleCache>,
+}
+
+impl CachedOracle {
+    /// An oracle over an existing (possibly shared) cache.
+    #[must_use]
+    pub fn new(cache: Arc<OracleCache>) -> CachedOracle {
+        CachedOracle { cache }
+    }
+
+    /// An oracle over the process-wide cache ([`OracleCache::global`]).
+    #[must_use]
+    pub fn global() -> CachedOracle {
+        CachedOracle::new(OracleCache::global())
+    }
+
+    /// The backing cache.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<OracleCache> {
+        &self.cache
+    }
+}
+
+impl Oracle for CachedOracle {
+    fn judge(&self, program: &Program) -> Arc<MiriReport> {
+        self.cache.report(program)
+    }
+
+    fn judge_counted(&self, program: &Program) -> (Arc<MiriReport>, bool) {
+        self.cache.lookup(program)
     }
 }
 
@@ -205,10 +349,93 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!((stats.evictions, stats.capacity), (0, 0));
     }
 
     #[test]
     fn global_cache_is_one_instance() {
         assert!(Arc::ptr_eq(&OracleCache::global(), &OracleCache::global()));
+    }
+
+    #[test]
+    fn cached_oracle_serves_through_the_trait() {
+        let p = parse_program("fn main() { print(9i32); }").unwrap();
+        let oracle = CachedOracle::new(Arc::new(OracleCache::new()));
+        let (first, hit1) = oracle.judge_counted(&p);
+        let (second, hit2) = oracle.judge_counted(&p);
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*oracle.judge(&p), run_program(&p));
+    }
+
+    fn distinct_programs(n: usize) -> Vec<Program> {
+        (0..n)
+            .map(|i| parse_program(&format!("fn main() {{ print({i}); }}")).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_never_overflows() {
+        // Small caps round up to one entry per shard; huge caps saturate
+        // instead of wrapping.
+        assert_eq!(OracleCache::bounded(1).capacity(), SHARD_COUNT as u64);
+        assert_eq!(OracleCache::bounded(17).capacity(), 32);
+        assert_eq!(OracleCache::bounded(usize::MAX).capacity(), u64::MAX);
+        assert_eq!(OracleCache::new().capacity(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity() {
+        let cache = OracleCache::bounded(32);
+        assert_eq!(cache.capacity(), 32);
+        for p in distinct_programs(200) {
+            cache.report(&p);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= stats.capacity,
+            "{} entries > {} capacity",
+            stats.entries,
+            stats.capacity
+        );
+        assert!(stats.evictions > 0, "overflow without evictions");
+        assert_eq!(stats.entries + stats.evictions, stats.misses);
+    }
+
+    #[test]
+    fn eviction_preserves_verdicts() {
+        // A tiny cache thrashes constantly; every verdict must still
+        // match a direct oracle run bit for bit.
+        let cache = OracleCache::bounded(4);
+        let programs = distinct_programs(40);
+        for p in &programs {
+            cache.report(p);
+        }
+        for p in &programs {
+            assert_eq!(*cache.report(p), run_program(p));
+        }
+    }
+
+    #[test]
+    fn clock_gives_hot_entries_a_second_chance() {
+        // One entry per shard (the capacity floor), so every insertion
+        // into the hot entry's shard forces an eviction sweep there. The
+        // hot entry is hit once per round, which re-arms its referenced
+        // bit, so each sweep gives it a second chance and evicts the cold
+        // newcomer instead.
+        let cache = OracleCache::bounded(16);
+        let hot = parse_program("fn main() { print(7777i32); }").unwrap();
+        cache.report(&hot); // miss: inserted, bit clear
+        cache.report(&hot); // hit: referenced bit set before any contention
+        let rounds = 120;
+        for p in distinct_programs(rounds) {
+            cache.report(&p);
+            cache.report(&hot);
+        }
+        let stats = cache.stats();
+        // Every miss is accounted for by the cold programs plus the hot
+        // entry's single initial load: it was never evicted.
+        assert_eq!(stats.misses, 1 + rounds as u64);
+        assert_eq!(stats.hits, 1 + rounds as u64);
     }
 }

@@ -1,22 +1,27 @@
 //! The batch executor: a fixed-size worker pool over `std::thread` and
-//! `mpsc` channels, sharing one [`OracleCache`], merging results
-//! deterministically.
+//! `mpsc` channels, injecting one shared [`CachedOracle`] into every
+//! system it builds, recovering cross-case learning through shared
+//! knowledge-base snapshots, and merging results deterministically.
 //!
 //! Determinism contract: the merged [`CaseResult`] stream of
 //! [`Engine::run_batch`] is byte-identical for every worker count,
 //! because (a) each job builds a *fresh* system seeded only from the
 //! batch seed and the case id ([`crate::job::derive_case_seed`]), (b) the
 //! oracle cache can change *when* a verdict is computed but never *what*
-//! it is (the oracle is pure), and (c) results are merged back into
-//! submission order. [`run_serial_reference`] is the plain-loop,
-//! cache-free reference implementation the property tests compare
-//! against.
+//! it is (the oracle is pure), (c) every job starts from the same
+//! read-only knowledge-base snapshot (jobs never see each other's
+//! learning mid-batch), and (d) results — and the jobs' knowledge deltas
+//! — are merged back into submission order. [`run_serial_reference`] is
+//! the plain-loop, cache-free reference implementation the property tests
+//! compare against.
 
-use crate::cache::OracleCache;
+use crate::cache::{CachedOracle, OracleCache};
 use crate::job::{JobResult, JobSpec};
-use crate::stats::EngineStats;
+use crate::stats::{EngineStats, KbMergeStats};
 use crate::system::{CaseResult, System, SystemSpec};
 use rb_dataset::UbCase;
+use rb_miri::{DirectOracle, Oracle, OracleUse};
+use rustbrain::{KbDelta, KnowledgeBase};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
@@ -30,6 +35,11 @@ pub struct BatchOutcome {
     /// Per-job execution records (worker assignment, wall time), in
     /// submission order. Scheduling-dependent — telemetry only.
     pub jobs: Vec<JobResult>,
+    /// The knowledge base after the batch: the snapshot the jobs started
+    /// from plus every job's delta, merged in submission order (identical
+    /// for any worker count). Feed it into the next batch to keep
+    /// learning across sweeps.
+    pub knowledge: KnowledgeBase,
     /// Batch telemetry.
     pub stats: EngineStats,
 }
@@ -38,6 +48,9 @@ pub struct BatchOutcome {
 pub struct Engine {
     workers: usize,
     cache: Arc<OracleCache>,
+    /// When false, systems judge through [`DirectOracle`] and no verdict
+    /// is ever cached (the `--no-cache` equivalence baseline).
+    use_cache: bool,
 }
 
 impl Engine {
@@ -55,6 +68,7 @@ impl Engine {
         Engine {
             workers: workers.max(1),
             cache,
+            use_cache: true,
         }
     }
 
@@ -62,6 +76,18 @@ impl Engine {
     #[must_use]
     pub fn with_global_cache(workers: usize) -> Engine {
         Engine::with_cache(workers, OracleCache::global())
+    }
+
+    /// An engine that bypasses verdict caching entirely: every judgement
+    /// executes the interpreter through [`DirectOracle`]. Exists to pin
+    /// the cached/uncached equivalence (CI diffs the two result streams).
+    #[must_use]
+    pub fn direct(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            cache: Arc::new(OracleCache::new()),
+            use_cache: false,
+        }
     }
 
     /// Worker threads this engine schedules onto.
@@ -76,40 +102,77 @@ impl Engine {
         &self.cache
     }
 
-    /// Executes one job: build the system at the job's derived seed,
-    /// resolve the gold reference through the cache, repair. The flag is
-    /// whether the reference lookup was a cache hit.
-    fn execute(job: &JobSpec, cache: &OracleCache) -> (CaseResult, bool) {
-        let mut system = job.system.build(job.seed);
-        let (report, cache_hit) = cache.lookup(&job.case.gold);
-        let result = system.repair_case_with(&job.case, &report.outputs);
-        (result, cache_hit)
+    /// The oracle this engine injects into every system it builds.
+    fn oracle(&self) -> Arc<dyn Oracle> {
+        if self.use_cache {
+            Arc::new(CachedOracle::new(Arc::clone(&self.cache)))
+        } else {
+            Arc::new(DirectOracle)
+        }
     }
 
-    /// Runs a prepared job list on the worker pool and merges the results
-    /// back into submission order.
+    /// Executes one job: build the system at the job's derived seed with
+    /// the engine's oracle and the shared knowledge snapshot, resolve the
+    /// gold reference through the same oracle, repair, and collect the
+    /// job's knowledge delta. The flag is whether the gold-reference
+    /// lookup was a cache hit.
+    fn execute(
+        job: &JobSpec,
+        oracle: &Arc<dyn Oracle>,
+        snapshot: &KnowledgeBase,
+    ) -> (CaseResult, OracleUse, bool, Option<KbDelta>) {
+        let mut system = job
+            .system
+            .build_with(job.seed, Arc::clone(oracle), snapshot);
+        let (reference, gold_hit) = oracle.judge_counted(&job.case.gold);
+        let (result, mut oracle_use) =
+            system.repair_case_instrumented(&job.case, &reference.outputs);
+        oracle_use.record(gold_hit);
+        let kb_delta = system.kb_delta(snapshot.len());
+        (result, oracle_use, gold_hit, kb_delta)
+    }
+
+    /// Runs a prepared job list on the worker pool (every job starting
+    /// from an empty knowledge base) and merges the results back into
+    /// submission order.
     #[must_use]
     pub fn run_jobs(&self, jobs: &[JobSpec]) -> BatchOutcome {
+        self.run_jobs_with_knowledge(jobs, &KnowledgeBase::new())
+    }
+
+    /// Runs a prepared job list on the worker pool, every job starting
+    /// from the read-only `snapshot`, and merges results and knowledge
+    /// deltas back into submission order.
+    #[must_use]
+    pub fn run_jobs_with_knowledge(
+        &self,
+        jobs: &[JobSpec],
+        snapshot: &KnowledgeBase,
+    ) -> BatchOutcome {
         let started = Instant::now();
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<JobResult>();
+        let oracle = self.oracle();
 
         let mut executed: Vec<JobResult> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
             for worker in 0..self.workers {
                 let tx = tx.clone();
                 let next = &next;
-                let cache = &self.cache;
+                let oracle = &oracle;
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(index) else { break };
                     let job_started = Instant::now();
-                    let (result, cache_hit) = Engine::execute(job, cache);
+                    let (result, oracle_use, cache_hit, kb_delta) =
+                        Engine::execute(job, oracle, snapshot);
                     let sent = tx.send(JobResult {
                         index: job.index,
                         worker,
                         wall_ms: job_started.elapsed().as_secs_f64() * 1e3,
                         cache_hit,
+                        oracle_use,
+                        kb_delta,
                         result,
                     });
                     if sent.is_err() {
@@ -127,20 +190,46 @@ impl Engine {
         executed.sort_by_key(|j| j.index);
         let results: Vec<CaseResult> = executed.iter().map(|j| j.result.clone()).collect();
 
+        // Cross-case learning, recovered: fold every job's inserts back
+        // into the snapshot in submission order, so the merged base is
+        // the same for any worker count.
+        let mut knowledge = snapshot.clone();
+        let mut merged_inserts = 0usize;
+        let mut contributing_jobs = 0usize;
+        for j in &executed {
+            if let Some(delta) = &j.kb_delta {
+                if !delta.is_empty() {
+                    merged_inserts += knowledge.merge(delta);
+                    contributing_jobs += 1;
+                }
+            }
+        }
+        let kb = KbMergeStats {
+            seeded_entries: snapshot.len(),
+            merged_inserts,
+            contributing_jobs,
+            final_entries: knowledge.len(),
+        };
+
         let mut busy_ms = vec![0.0f64; self.workers];
         let mut worker_cases = vec![0usize; self.workers];
+        let mut batch_use = OracleUse::default();
         for j in &executed {
             busy_ms[j.worker] += j.wall_ms;
             worker_cases[j.worker] += 1;
+            batch_use.absorb(j.oracle_use);
         }
         // Per-job attribution, not a delta of the shared counters: other
         // batches may be running on the same cache concurrently, and
         // their lookups must not leak into this batch's telemetry.
         let hits = executed.iter().filter(|j| j.cache_hit).count() as u64;
+        let cache_now = self.cache.stats();
         let cache = crate::cache::CacheStats {
             hits,
             misses: executed.len() as u64 - hits,
-            entries: self.cache.stats().entries,
+            entries: cache_now.entries,
+            evictions: cache_now.evictions,
+            capacity: cache_now.capacity,
         };
         let stats = EngineStats {
             workers: self.workers,
@@ -163,36 +252,58 @@ impl Engine {
                 .collect(),
             worker_cases,
             simulated_overhead_ms: results.iter().map(|r| r.overhead_ms).sum(),
+            oracle_executed: batch_use.executed as u64,
+            oracle_cached: batch_use.cached as u64,
+            kb,
             cache,
         };
         BatchOutcome {
             results,
             jobs: executed,
+            knowledge,
             stats,
         }
     }
 
     /// Sweeps a corpus: one job per case, seeds derived from case ids,
-    /// fanned out across the pool.
+    /// fanned out across the pool, every job starting from an empty
+    /// knowledge base.
     #[must_use]
     pub fn run_batch(&self, system: &SystemSpec, cases: &[UbCase], base_seed: u64) -> BatchOutcome {
+        self.run_batch_learned(system, cases, base_seed, &KnowledgeBase::new())
+    }
+
+    /// Sweeps a corpus with cross-case learning: every job starts from
+    /// the read-only pre-seeded `snapshot`, and the returned
+    /// [`BatchOutcome::knowledge`] carries the deterministic merge of all
+    /// per-job inserts — feed it into the next call to keep accumulating,
+    /// as the paper's sequential self-learning runs do.
+    #[must_use]
+    pub fn run_batch_learned(
+        &self,
+        system: &SystemSpec,
+        cases: &[UbCase],
+        base_seed: u64,
+        snapshot: &KnowledgeBase,
+    ) -> BatchOutcome {
         let jobs: Vec<JobSpec> = cases
             .iter()
             .enumerate()
             .map(|(i, case)| JobSpec::new(i, case.clone(), system.clone(), base_seed))
             .collect();
-        self.run_jobs(&jobs)
+        self.run_jobs_with_knowledge(&jobs, snapshot)
     }
 
     /// Runs a *stateful* system over a corpus in order on the engine's
     /// sequential lane (cross-case learning makes these runs inherently
     /// order-dependent, as in the paper's sequential experiments), with
-    /// gold references served from the shared oracle cache.
+    /// gold references served through the engine's oracle.
     pub fn run_stateful(&self, system: &mut System, cases: &[UbCase]) -> Vec<CaseResult> {
+        let oracle = self.oracle();
         cases
             .iter()
             .map(|case| {
-                let reference = self.cache.outputs(&case.gold);
+                let reference = oracle.judge(&case.gold).outputs.clone();
                 system.repair_case_with(case, &reference)
             })
             .collect()

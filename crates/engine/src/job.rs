@@ -8,6 +8,8 @@
 
 use crate::system::{CaseResult, SystemSpec};
 use rb_dataset::UbCase;
+use rb_miri::OracleUse;
+use rustbrain::KbDelta;
 
 /// Derives the per-job RNG seed from the batch seed and the case id
 /// (FNV-1a over the id bytes, folded with the base seed).
@@ -70,6 +72,13 @@ pub struct JobResult {
     /// Whether the job's gold-reference oracle lookup was served from the
     /// cache (per-job attribution for the batch telemetry).
     pub cache_hit: bool,
+    /// Executed-vs-cached split of *every* oracle judgement the job made
+    /// (gold reference plus all repair-internal verifications).
+    pub oracle_use: OracleUse,
+    /// The knowledge-base inserts the job recorded on top of the shared
+    /// snapshot (`None` for systems without a knowledge base). Merged
+    /// back in submission order after the batch.
+    pub kb_delta: Option<KbDelta>,
     /// The system-agnostic repair result.
     pub result: CaseResult,
 }

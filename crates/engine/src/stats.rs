@@ -1,11 +1,27 @@
-//! Engine telemetry: throughput, per-worker utilization and cache
-//! effectiveness, serializable to JSON.
+//! Engine telemetry: throughput, per-worker utilization, cache
+//! effectiveness, the executed-vs-cached oracle split and knowledge-base
+//! merge accounting, serializable to JSON.
 //!
 //! The vendored `serde` is a marker stub (see `vendor/README.md`), so the
 //! JSON encoding here is hand-rolled; [`EngineStats::to_json`] emits
 //! strictly valid JSON (finite numbers only, no trailing commas).
 
 use crate::cache::CacheStats;
+use crate::system::CaseResult;
+
+/// Knowledge-base accounting of one batch: how the shared snapshot grew
+/// when the per-job deltas were merged back in submission order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KbMergeStats {
+    /// Entries in the read-only snapshot every job started from.
+    pub seeded_entries: usize,
+    /// Entries merged back from per-job deltas after the batch.
+    pub merged_inserts: usize,
+    /// Jobs that contributed at least one insert.
+    pub contributing_jobs: usize,
+    /// Entries in the merged base handed back in the batch outcome.
+    pub final_entries: usize,
+}
 
 /// Aggregate telemetry of one engine batch.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -26,10 +42,18 @@ pub struct EngineStats {
     /// Total simulated repair time accumulated by the jobs (the paper's
     /// overhead metric — unrelated to real wall-clock).
     pub simulated_overhead_ms: f64,
+    /// Oracle judgements across the whole batch (gold references plus
+    /// every repair-internal verification) that executed the interpreter.
+    pub oracle_executed: u64,
+    /// Oracle judgements served from the verdict cache.
+    pub oracle_cached: u64,
+    /// Knowledge-base snapshot/delta merge accounting.
+    pub kb: KbMergeStats,
     /// Oracle-cache effect of the batch: `hits`/`misses` count exactly
-    /// this batch's lookups (attributed per job, so concurrent batches on
-    /// a shared cache cannot pollute each other), while `entries` is the
-    /// cache's absolute size when the batch finished.
+    /// this batch's *gold-reference* lookups (attributed per job, so
+    /// concurrent batches on a shared cache cannot pollute each other),
+    /// while `entries`/`evictions`/`capacity` are the cache's absolute
+    /// state when the batch finished.
     pub cache: CacheStats,
 }
 
@@ -48,6 +72,22 @@ fn json_array<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
     format!("[{}]", body.join(","))
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl EngineStats {
     /// Serializes the telemetry to a single-line JSON object.
     #[must_use]
@@ -57,8 +97,11 @@ impl EngineStats {
                 "{{\"workers\":{},\"cases\":{},\"wall_ms\":{},",
                 "\"cases_per_sec\":{},\"worker_utilization\":{},",
                 "\"worker_cases\":{},\"simulated_overhead_ms\":{},",
+                "\"oracle\":{{\"executed\":{},\"cached\":{}}},",
+                "\"kb\":{{\"seeded\":{},\"merged_inserts\":{},",
+                "\"contributing_jobs\":{},\"final_entries\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
-                "\"hit_rate\":{}}}}}"
+                "\"evictions\":{},\"capacity\":{},\"hit_rate\":{}}}}}"
             ),
             self.workers,
             self.cases,
@@ -67,12 +110,43 @@ impl EngineStats {
             json_array(&self.worker_utilization, |u| json_num(*u)),
             json_array(&self.worker_cases, |c| c.to_string()),
             json_num(self.simulated_overhead_ms),
+            self.oracle_executed,
+            self.oracle_cached,
+            self.kb.seeded_entries,
+            self.kb.merged_inserts,
+            self.kb.contributing_jobs,
+            self.kb.final_entries,
             self.cache.hits,
             self.cache.misses,
             self.cache.entries,
+            self.cache.evictions,
+            self.cache.capacity,
             json_num(self.cache.hit_rate()),
         )
     }
+}
+
+/// Serializes a result stream to JSON carrying **only the deterministic
+/// repair fields** — no telemetry, no wall-clock, no cache attribution —
+/// so two runs that repaired identically produce byte-identical files.
+/// This is the artifact CI diffs between cache-enabled and cache-disabled
+/// batch runs to pin the equivalence.
+#[must_use]
+pub fn results_to_json(results: &[CaseResult]) -> String {
+    let rows = json_array(results, |r| {
+        format!(
+            concat!(
+                "{{\"case_id\":{},\"class\":{},\"passed\":{},",
+                "\"acceptable\":{},\"overhead_ms\":{}}}"
+            ),
+            json_str(&r.case_id),
+            json_str(r.class.label()),
+            r.passed,
+            r.acceptable,
+            json_num(r.overhead_ms),
+        )
+    });
+    format!("{{\"results\":{rows}}}")
 }
 
 #[cfg(test)]
@@ -89,16 +163,30 @@ mod tests {
             worker_utilization: vec![0.9, 0.8],
             worker_cases: vec![2, 1],
             simulated_overhead_ms: 99.0,
+            oracle_executed: 7,
+            oracle_cached: 21,
+            kb: KbMergeStats {
+                seeded_entries: 1,
+                merged_inserts: 2,
+                contributing_jobs: 2,
+                final_entries: 3,
+            },
             cache: CacheStats {
                 hits: 1,
                 misses: 3,
                 entries: 3,
+                evictions: 4,
+                capacity: 64,
             },
         };
         let json = stats.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"workers\":2"));
         assert!(json.contains("\"worker_utilization\":[0.9000,0.8000]"));
+        assert!(json.contains("\"oracle\":{\"executed\":7,\"cached\":21}"));
+        assert!(json.contains("\"merged_inserts\":2"));
+        assert!(json.contains("\"evictions\":4"));
+        assert!(json.contains("\"capacity\":64"));
         assert!(json.contains("\"hit_rate\":0.2500"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -108,5 +196,30 @@ mod tests {
         assert_eq!(json_num(f64::NAN), "0");
         assert_eq!(json_num(f64::INFINITY), "0");
         assert_eq!(json_num(1.0 / 3.0), "0.3333");
+    }
+
+    #[test]
+    fn results_json_is_telemetry_free() {
+        let results = vec![CaseResult {
+            case_id: "alloc/double_free/0".into(),
+            class: rb_miri::UbClass::Alloc,
+            passed: true,
+            acceptable: false,
+            overhead_ms: 1234.5,
+        }];
+        let json = results_to_json(&results);
+        assert!(json.contains("\"case_id\":\"alloc/double_free/0\""));
+        assert!(json.contains("\"overhead_ms\":1234.5000"));
+        // Deterministic fields only: no wall-clock, no cache, no workers.
+        for banned in ["wall", "cache", "worker", "hit"] {
+            assert!(!json.contains(banned), "telemetry `{banned}` leaked");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("n\nl"), "\"n\\u000al\"");
     }
 }

@@ -11,8 +11,10 @@ use crate::engine::Engine;
 use rb_baselines::{LlmOnly, RustAssistant};
 use rb_dataset::UbCase;
 use rb_llm::ModelId;
-use rustbrain::{RustBrain, RustBrainConfig};
+use rb_miri::{DirectOracle, Oracle, OracleUse};
+use rustbrain::{KbDelta, KnowledgeBase, RustBrain, RustBrainConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Result of one case repair, system-agnostic.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -61,26 +63,58 @@ impl System {
     /// Repairs one corpus case against an explicit gold reference (the
     /// engine path: the reference comes out of the shared oracle cache).
     pub fn repair_case_with(&mut self, case: &UbCase, reference: &[String]) -> CaseResult {
-        let (passed, acceptable, overhead_ms) = match self {
+        self.repair_case_instrumented(case, reference).0
+    }
+
+    /// Like [`repair_case_with`], additionally reporting the repair's
+    /// executed-vs-cached oracle split for the engine's telemetry. The
+    /// split never feeds back into the [`CaseResult`], which stays
+    /// byte-identical across caching and direct oracles.
+    ///
+    /// [`repair_case_with`]: System::repair_case_with
+    pub fn repair_case_instrumented(
+        &mut self,
+        case: &UbCase,
+        reference: &[String],
+    ) -> (CaseResult, OracleUse) {
+        let (passed, acceptable, overhead_ms, oracle_use) = match self {
             System::Llm(s) => {
                 let o = s.repair(&case.buggy, reference);
-                (o.passed, o.acceptable, o.overhead_ms)
+                (o.passed, o.acceptable, o.overhead_ms, o.oracle_use)
             }
             System::RustAssistant(s) => {
                 let o = s.repair(&case.buggy, reference);
-                (o.passed, o.acceptable, o.overhead_ms)
+                (o.passed, o.acceptable, o.overhead_ms, o.oracle_use)
             }
             System::Brain(s) => {
                 let o = s.repair(&case.buggy, reference);
-                (o.passed, o.acceptable, o.overhead_ms)
+                let used = OracleUse {
+                    executed: o.oracle_executed,
+                    cached: o.oracle_cached,
+                };
+                (o.passed, o.acceptable, o.overhead_ms, used)
             }
         };
-        CaseResult {
-            case_id: case.id.clone(),
-            class: case.class,
-            passed,
-            acceptable,
-            overhead_ms,
+        (
+            CaseResult {
+                case_id: case.id.clone(),
+                class: case.class,
+                passed,
+                acceptable,
+                overhead_ms,
+            },
+            oracle_use,
+        )
+    }
+
+    /// The knowledge-base inserts this system recorded beyond `baseline`
+    /// entries (the shared snapshot's size), or `None` for systems without
+    /// a knowledge base.
+    #[must_use]
+    pub fn kb_delta(&self, baseline: usize) -> Option<KbDelta> {
+        match self {
+            System::Brain(s) => Some(s.knowledge().delta_since(baseline)),
+            System::Llm(_) | System::RustAssistant(_) => None,
         }
     }
 
@@ -161,20 +195,39 @@ impl SystemSpec {
         }
     }
 
-    /// Instantiates the system with a per-job seed.
+    /// Instantiates the system with a per-job seed, a direct oracle and an
+    /// empty knowledge base (a thin wrapper over [`build_with`]).
+    ///
+    /// [`build_with`]: SystemSpec::build_with
     #[must_use]
     pub fn build(&self, seed: u64) -> System {
+        self.build_with(seed, Arc::new(DirectOracle), &KnowledgeBase::new())
+    }
+
+    /// Instantiates the system with a per-job seed, an injected oracle
+    /// (the engine passes its shared verdict cache here) and a pre-seeded
+    /// knowledge-base snapshot the instance starts from (cloned; ignored
+    /// by systems without a knowledge base).
+    #[must_use]
+    pub fn build_with(
+        &self,
+        seed: u64,
+        oracle: Arc<dyn Oracle>,
+        knowledge: &KnowledgeBase,
+    ) -> System {
         match self {
             SystemSpec::Llm { model, temperature } => {
-                System::Llm(LlmOnly::new(*model, *temperature, seed))
+                System::Llm(LlmOnly::with_oracle(*model, *temperature, seed, oracle))
             }
-            SystemSpec::RustAssistant { model, temperature } => {
-                System::RustAssistant(RustAssistant::new(*model, *temperature, seed))
-            }
+            SystemSpec::RustAssistant { model, temperature } => System::RustAssistant(
+                RustAssistant::with_oracle(*model, *temperature, seed, oracle),
+            ),
             SystemSpec::Brain(config) => {
                 let mut config = config.clone();
                 config.seed = seed;
-                System::Brain(Box::new(RustBrain::new(config)))
+                System::Brain(Box::new(
+                    RustBrain::with_oracle(config, oracle).with_knowledge_base(knowledge.clone()),
+                ))
             }
         }
     }
@@ -211,6 +264,29 @@ mod tests {
                 _ => panic!("spec {label} built the wrong system"),
             }
         }
+    }
+
+    #[test]
+    fn build_with_adopts_snapshot_and_reports_deltas() {
+        let mut donor = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 0));
+        let p = rb_lang::parser::parse_program("fn main() { print(1i32); }").unwrap();
+        donor.seed_knowledge(
+            &p,
+            rb_miri::UbClass::Panic,
+            rb_llm::RepairRule::GuardDivision,
+        );
+        let snapshot = donor.knowledge().clone();
+
+        let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 1));
+        let sys = spec.build_with(7, Arc::new(DirectOracle), &snapshot);
+        let System::Brain(b) = &sys else {
+            panic!("expected a brain");
+        };
+        assert_eq!(b.knowledge().len(), snapshot.len());
+        // Nothing learned yet: the delta over the snapshot is empty.
+        assert!(sys.kb_delta(snapshot.len()).unwrap().is_empty());
+        // Knowledge-free systems have no delta at all.
+        assert!(SystemSpec::rust_assistant().build(1).kb_delta(0).is_none());
     }
 
     #[test]

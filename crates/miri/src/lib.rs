@@ -11,7 +11,9 @@
 //! - a lockset-based data-race detector over deterministic fork-join
 //!   threads ([`race`]),
 //! - panic machinery (asserts, checked overflow, bounds, division),
-//! - the interpreter tying it together ([`interp`]).
+//! - the interpreter tying it together ([`interp`]),
+//! - the pluggable [`Oracle`] seam every repair layer judges programs
+//!   through, with the zero-cost [`DirectOracle`] default ([`oracle`]).
 //!
 //! Diagnostics are bucketed into the fourteen UB classes the paper's
 //! evaluation uses ([`diagnostics::UbClass`]).
@@ -43,9 +45,11 @@ pub mod borrows;
 pub mod diagnostics;
 pub mod interp;
 pub mod memory;
+pub mod oracle;
 pub mod race;
 pub mod value;
 
 pub use diagnostics::{MiriError, MiriReport, UbClass, UbKind};
 pub use interp::{run_program, run_with_config, MiriConfig};
+pub use oracle::{DirectOracle, Oracle, OracleUse};
 pub use value::{AllocId, Pointer, Value};

@@ -1,0 +1,166 @@
+//! The pluggable oracle seam: every layer that needs a UB verdict judges
+//! programs through the object-safe [`Oracle`] trait instead of calling
+//! [`run_program`] directly.
+//!
+//! The indirection is the architectural point, not the default behaviour:
+//! [`DirectOracle`] is a zero-cost wrapper over the interpreter, while
+//! other crates plug in caching (`rb_engine`'s `CachedOracle` over the
+//! sharded content-addressed cache) or — in the future — a real Miri
+//! subprocess or a remote oracle service, without any caller changing.
+//!
+//! Two invariants every implementation must uphold:
+//!
+//! 1. **Purity** — `judge` returns the verdict [`run_program`] would
+//!    return for the same program, bit for bit. Implementations may
+//!    change *when* the interpreter runs (memoisation, batching), never
+//!    *what* it reports. The repair pipelines rely on this for their
+//!    determinism guarantees.
+//! 2. **Thread safety** — oracles are shared across worker threads
+//!    (`Send + Sync`), so all interior state must be synchronised.
+
+use crate::diagnostics::MiriReport;
+use crate::interp::run_program;
+use rb_lang::Program;
+use std::sync::Arc;
+
+/// An object-safe judge of programs: the seam every repair layer runs its
+/// oracle calls through.
+///
+/// ```
+/// use rb_lang::parser::parse_program;
+/// use rb_miri::{DirectOracle, Oracle};
+///
+/// let p = parse_program("fn main() { print(2i32 + 2i32); }").unwrap();
+/// let oracle: &dyn Oracle = &DirectOracle;
+/// assert!(oracle.judge(&p).passes());
+/// ```
+pub trait Oracle: Send + Sync {
+    /// The oracle verdict for `program` — exactly what [`run_program`]
+    /// would report, possibly served without executing the interpreter.
+    fn judge(&self, program: &Program) -> Arc<MiriReport>;
+
+    /// Like [`judge`], additionally reporting whether the verdict was
+    /// served from a cache (`true`) or executed fresh (`false`), so
+    /// callers can attribute the call in their telemetry.
+    ///
+    /// The default forwards to [`judge`] and reports an execution, which
+    /// is correct for any implementation without memoisation.
+    ///
+    /// [`judge`]: Oracle::judge
+    fn judge_counted(&self, program: &Program) -> (Arc<MiriReport>, bool) {
+        (self.judge(program), false)
+    }
+
+    /// [`judge_counted`] with the attribution folded straight into a
+    /// counter — the one-liner every repair loop wants.
+    ///
+    /// [`judge_counted`]: Oracle::judge_counted
+    fn judge_recording(&self, program: &Program, used: &mut OracleUse) -> Arc<MiriReport> {
+        let (report, cached) = self.judge_counted(program);
+        used.record(cached);
+        report
+    }
+}
+
+/// The zero-cost default oracle: every judgement runs the interpreter.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectOracle;
+
+impl Oracle for DirectOracle {
+    fn judge(&self, program: &Program) -> Arc<MiriReport> {
+        Arc::new(run_program(program))
+    }
+}
+
+/// Telemetry counter splitting oracle judgements into executed-fresh vs
+/// served-from-cache (accumulated by the repair pipelines per repair, and
+/// by the batch engine per batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleUse {
+    /// Judgements that executed the interpreter.
+    pub executed: usize,
+    /// Judgements served from a cache.
+    pub cached: usize,
+}
+
+impl OracleUse {
+    /// Records one judgement from its cache flag (the second half of
+    /// [`Oracle::judge_counted`]).
+    pub fn record(&mut self, cached: bool) {
+        if cached {
+            self.cached += 1;
+        } else {
+            self.executed += 1;
+        }
+    }
+
+    /// Total judgements recorded.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.executed + self.cached
+    }
+
+    /// Folds another counter into this one.
+    pub fn absorb(&mut self, other: OracleUse) {
+        self.executed += other.executed;
+        self.cached += other.cached;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_lang::parser::parse_program;
+
+    #[test]
+    fn direct_oracle_matches_run_program() {
+        let p = parse_program("fn main() { let z: i32 = 0; print(1 / z); }").unwrap();
+        let via_trait = DirectOracle.judge(&p);
+        assert_eq!(*via_trait, run_program(&p));
+        let (report, cached) = DirectOracle.judge_counted(&p);
+        assert_eq!(*report, *via_trait);
+        assert!(!cached, "the direct oracle never serves from a cache");
+        let mut used = OracleUse::default();
+        assert_eq!(*DirectOracle.judge_recording(&p, &mut used), *via_trait);
+        assert_eq!(
+            used,
+            OracleUse {
+                executed: 1,
+                cached: 0
+            }
+        );
+    }
+
+    #[test]
+    fn oracle_is_object_safe_and_shareable() {
+        let oracle: Arc<dyn Oracle> = Arc::new(DirectOracle);
+        let p = parse_program("fn main() { print(1i32); }").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let oracle = Arc::clone(&oracle);
+                let p = &p;
+                s.spawn(move || assert!(oracle.judge(p).passes()));
+            }
+        });
+    }
+
+    #[test]
+    fn oracle_use_accounting() {
+        let mut used = OracleUse::default();
+        used.record(false);
+        used.record(true);
+        used.record(true);
+        assert_eq!(
+            used,
+            OracleUse {
+                executed: 1,
+                cached: 2
+            }
+        );
+        assert_eq!(used.total(), 3);
+        let mut sum = OracleUse::default();
+        sum.absorb(used);
+        sum.absorb(used);
+        assert_eq!(sum.total(), 6);
+    }
+}

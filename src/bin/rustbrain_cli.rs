@@ -21,18 +21,31 @@
 //!   --per-class <N>                             batch cases per UB class [3]
 //!   --system <rustbrain|llm-only|rust-assistant>  batch system [rustbrain]
 //!   --stats-out <file>                          write batch EngineStats JSON
+//!   --results-out <file>                        write deterministic per-case
+//!                                               results JSON (telemetry-free)
+//!   --no-cache                                  judge through the direct
+//!                                               oracle, bypassing the cache
+//!   --cache-cap <N>                             bound the oracle cache to N
+//!                                               entries, rounded up to one
+//!                                               per shard (clock eviction)
 //! ```
 //!
 //! `.mrs` files contain mini-Rust source (see `rb-lang`'s grammar); the
 //! `demo` subcommand needs no file.
+//!
+//! Every command judges programs through the [`rb_miri::Oracle`] seam: by
+//! default the process-wide verdict cache (`rb_engine::CachedOracle`),
+//! with `--no-cache` the direct interpreter — the results are
+//! byte-identical either way (CI diffs the two `--results-out` files).
 
-use rb_engine::{Engine, SystemSpec};
+use rb_engine::{results_to_json, CachedOracle, Engine, OracleCache, SystemSpec};
 use rb_lang::parser::parse_program;
 use rb_lang::printer::print_program;
 use rb_llm::ModelId;
-use rb_miri::run_program;
+use rb_miri::{DirectOracle, Oracle};
 use rustbrain::{RustBrain, RustBrainConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
@@ -47,6 +60,67 @@ struct Cli {
     per_class: usize,
     system: BatchSystem,
     stats_out: Option<String>,
+    results_out: Option<String>,
+    use_cache: bool,
+    cache_cap: Option<usize>,
+}
+
+/// How the oracle cache flags resolve — the single place the
+/// `--no-cache`/`--cache-cap` policy is interpreted, so `check`/`repair`
+/// (via [`Cli::oracle`]) and `batch` (via [`CacheMode::engine`]) can
+/// never drift apart.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum CacheMode {
+    /// `--no-cache`: every judgement runs the interpreter.
+    Direct,
+    /// `--cache-cap N`: a private cache bounded to ~N entries.
+    Bounded(usize),
+    /// Default: the process-wide shared cache.
+    Global,
+}
+
+impl CacheMode {
+    /// Banner label for the batch header.
+    fn label(self) -> String {
+        match self {
+            CacheMode::Direct => "direct".to_owned(),
+            CacheMode::Bounded(cap) => format!("cached (cap {cap})"),
+            CacheMode::Global => "cached (process-wide)".to_owned(),
+        }
+    }
+
+    /// The batch engine for this mode.
+    fn engine(self, jobs: usize) -> Engine {
+        match self {
+            CacheMode::Direct => Engine::direct(jobs),
+            CacheMode::Bounded(cap) => {
+                Engine::with_cache(jobs, Arc::new(OracleCache::bounded(cap)))
+            }
+            CacheMode::Global => Engine::with_global_cache(jobs),
+        }
+    }
+}
+
+impl Cli {
+    /// Resolves the cache flags to their canonical mode.
+    fn cache_mode(&self) -> CacheMode {
+        match (self.use_cache, self.cache_cap) {
+            (false, _) => CacheMode::Direct,
+            (true, Some(cap)) => CacheMode::Bounded(cap),
+            (true, None) => CacheMode::Global,
+        }
+    }
+
+    /// The oracle `check` and `repair` judge through.
+    fn oracle(&self) -> Arc<dyn Oracle> {
+        match self.cache_mode() {
+            CacheMode::Direct => Arc::new(DirectOracle),
+            CacheMode::Bounded(cap) => {
+                Arc::new(CachedOracle::new(Arc::new(OracleCache::bounded(cap))))
+            }
+            CacheMode::Global => Arc::new(CachedOracle::global()),
+        }
+    }
 }
 
 #[derive(Debug, PartialEq)]
@@ -98,6 +172,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         per_class: 3,
         system: BatchSystem::Brain,
         stats_out: None,
+        results_out: None,
+        use_cache: true,
+        cache_cap: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -168,8 +245,26 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--stats-out needs a value")?;
                 cli.stats_out = Some(v.clone());
             }
+            "--results-out" => {
+                let v = it.next().ok_or("--results-out needs a value")?;
+                cli.results_out = Some(v.clone());
+            }
+            "--no-cache" => cli.use_cache = false,
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a value")?;
+                let cap = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --cache-cap `{v}`"))?;
+                if cap == 0 {
+                    return Err("--cache-cap must be at least 1".into());
+                }
+                cli.cache_cap = Some(cap);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if !cli.use_cache && cli.cache_cap.is_some() {
+        return Err("--cache-cap conflicts with --no-cache".into());
     }
     Ok(cli)
 }
@@ -200,7 +295,12 @@ OPTIONS:
   --jobs <N>                                 batch worker threads [cores]
   --per-class <N>                            batch cases per UB class [3]
   --system <rustbrain|llm-only|rust-assistant>  batch system [rustbrain]
-  --stats-out <file>                         write batch EngineStats JSON"
+  --stats-out <file>                         write batch EngineStats JSON
+  --results-out <file>                       write deterministic per-case
+                                             results JSON (telemetry-free)
+  --no-cache                                 bypass the oracle verdict cache
+  --cache-cap <N>                            bound the cache to N entries
+                                             (rounded up; minimum 16)"
 }
 
 fn main() -> ExitCode {
@@ -218,7 +318,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Command::Check(ref file) => match std::fs::read_to_string(file) {
-            Ok(src) => check(&src),
+            Ok(src) => check(&src, &cli),
             Err(e) => {
                 eprintln!("error: cannot read {file}: {e}");
                 ExitCode::from(2)
@@ -288,15 +388,22 @@ fn batch(cli: &Cli) -> ExitCode {
             temperature: cli.temperature,
         },
     };
+    // The cache mode decides both the engine and its banner label, so the
+    // printed oracle mode can never drift from what actually runs. The
+    // engine injects its oracle into every system it builds — the whole
+    // repair stack, not just gold references, shares one cache.
+    let mode = cli.cache_mode();
+    let engine = mode.engine(cli.jobs);
     println!(
-        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s)",
+        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s) | oracle {}",
         corpus.len(),
         corpus.stats().len(),
         cli.per_class,
         spec.label(),
         cli.jobs,
+        mode.label(),
     );
-    let outcome = Engine::new(cli.jobs).run_batch(&spec, &corpus.cases, cli.seed);
+    let outcome = engine.run_batch(&spec, &corpus.cases, cli.seed);
     let (pass, exec) = rb_bench::overall_rates(&outcome.results);
     println!(
         "pass rate: {:.1}% | exec rate: {:.1}% | wall: {:.0} ms | {:.1} cases/s | cache hit rate: {:.1}%",
@@ -306,6 +413,17 @@ fn batch(cli: &Cli) -> ExitCode {
         outcome.stats.cases_per_sec,
         outcome.stats.cache.hit_rate() * 100.0,
     );
+    println!(
+        "oracle judgements: {} executed / {} cached | knowledge: {} entries learned across cases",
+        outcome.stats.oracle_executed, outcome.stats.oracle_cached, outcome.stats.kb.final_entries,
+    );
+    if let Some(path) = &cli.results_out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", results_to_json(&outcome.results))) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("deterministic results written to {path}");
+    }
     let stats_json = outcome.stats.to_json();
     match &cli.stats_out {
         Some(path) => {
@@ -320,7 +438,7 @@ fn batch(cli: &Cli) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn check(src: &str) -> ExitCode {
+fn check(src: &str, cli: &Cli) -> ExitCode {
     let program = match parse_program(src) {
         Ok(p) => p,
         Err(e) => {
@@ -328,7 +446,7 @@ fn check(src: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = run_program(&program);
+    let report = cli.oracle().judge(&program);
     print!("{report}");
     if report.passes() {
         ExitCode::SUCCESS
@@ -345,7 +463,8 @@ fn repair(src: &str, cli: &Cli) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = run_program(&program);
+    let oracle = cli.oracle();
+    let report = oracle.judge(&program);
     if report.passes() {
         println!("program already passes the oracle; nothing to repair");
         return ExitCode::SUCCESS;
@@ -354,7 +473,7 @@ fn repair(src: &str, cli: &Cli) -> ExitCode {
     let mut config = RustBrainConfig::for_model(cli.model, cli.seed);
     config.temperature = cli.temperature;
     config.use_knowledge = cli.use_knowledge;
-    let mut brain = RustBrain::new(config);
+    let mut brain = RustBrain::with_oracle(config, oracle);
     let outcome = brain.repair(&program, &cli.reference);
     println!(
         "\n== repaired program ==\n{}",
@@ -452,8 +571,27 @@ mod tests {
         assert!(cli.jobs >= 1);
         assert_eq!(cli.per_class, 3);
         assert!(cli.stats_out.is_none());
+        assert!(cli.results_out.is_none());
+        assert!(cli.use_cache && cli.cache_cap.is_none());
         assert!(parse_cli(&argv("batch --jobs 0")).is_err());
         assert!(parse_cli(&argv("batch --per-class 0")).is_err());
         assert!(parse_cli(&argv("batch --system gpt-9")).is_err());
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        let cli = parse_cli(&argv("batch --no-cache --results-out r.json")).unwrap();
+        assert!(!cli.use_cache);
+        assert_eq!(cli.cache_mode(), CacheMode::Direct);
+        assert_eq!(cli.results_out.as_deref(), Some("r.json"));
+        let cli = parse_cli(&argv("batch --cache-cap 512")).unwrap();
+        assert_eq!(cli.cache_cap, Some(512));
+        assert_eq!(cli.cache_mode(), CacheMode::Bounded(512));
+        assert_eq!(
+            parse_cli(&argv("batch")).unwrap().cache_mode(),
+            CacheMode::Global
+        );
+        assert!(parse_cli(&argv("batch --cache-cap 0")).is_err());
+        assert!(parse_cli(&argv("batch --no-cache --cache-cap 8")).is_err());
     }
 }
