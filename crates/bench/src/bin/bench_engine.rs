@@ -6,7 +6,12 @@
 //! PR 3 the file also carries per-UbClass throughput and the
 //! executed-vs-cached oracle split (the whole stack judges through the
 //! shared cache now, so the split is the honest measure of how much
-//! interpreter work the cache actually saves).
+//! interpreter work the cache actually saves). Since PR 4 it also
+//! carries a warm-vs-cold knowledge comparison: the cold sweep's learned
+//! base is saved to an `.rbkb` file, reloaded, and the sweep rerun warm
+//! — reporting repair-rate and kb-query-cost deltas plus the entry count
+//! before/after the merge policy's coalescing (versus the unbounded
+//! append-only alternative).
 //!
 //! ```text
 //! USAGE: bench_engine [--jobs N] [--per-class N] [--out PATH]
@@ -17,7 +22,7 @@ use rb_dataset::Corpus;
 use rb_engine::{BatchOutcome, Engine, OracleCache, SystemSpec};
 use rb_llm::ModelId;
 use rb_miri::UbClass;
-use rustbrain::RustBrainConfig;
+use rustbrain::{KnowledgeBase, MergePolicy, RustBrainConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -121,6 +126,82 @@ fn class_rows_json(outcome: &BatchOutcome) -> String {
     format!("[{}]", rows.join(",\n  "))
 }
 
+/// The warm-vs-cold knowledge comparison: saves the cold sweep's learned
+/// base through a real `.rbkb` file, reruns the sweep warm from the
+/// reloaded store, and runs the append-only alternative to quantify what
+/// coalescing bounds. Returns the JSON section and a console summary.
+fn warm_start_json(
+    jobs: usize,
+    cache: &Arc<OracleCache>,
+    spec: &SystemSpec,
+    corpus: &Corpus,
+    cold: &BatchOutcome,
+) -> (String, String) {
+    let kb_path = std::env::temp_dir().join(format!("bench_engine_{}.rbkb", std::process::id()));
+    cold.knowledge
+        .save(&kb_path)
+        .expect("saving the cold knowledge store");
+    let snapshot = KnowledgeBase::load(&kb_path).expect("reloading the knowledge store");
+    let _ = std::fs::remove_file(&kb_path);
+
+    let warm = Engine::with_cache(jobs, Arc::clone(cache)).run_batch_learned(
+        spec,
+        &corpus.cases,
+        corpus.seed,
+        &snapshot,
+    );
+    // The unbounded alternative the merge policy replaces: blind append.
+    let append = Engine::with_cache(jobs, Arc::clone(cache))
+        .with_merge_policy(MergePolicy::append_only())
+        .run_batch_learned(spec, &corpus.cases, corpus.seed, &snapshot);
+
+    let run_json = |o: &BatchOutcome| {
+        let (pass, exec) = overall_rates(&o.results);
+        format!(
+            concat!(
+                "{{\"pass_rate\":{:.4},\"exec_rate\":{:.4},",
+                "\"simulated_overhead_ms\":{:.4},\"kb_query_ms\":{:.4}}}"
+            ),
+            pass.value(),
+            exec.value(),
+            o.stats.simulated_overhead_ms,
+            o.stats.kb_query_ms,
+        )
+    };
+    let (cold_pass, cold_exec) = overall_rates(&cold.results);
+    let (warm_pass, warm_exec) = overall_rates(&warm.results);
+    let json = format!(
+        concat!(
+            "{{\"cold\":{},\n   \"warm\":{},\n   ",
+            "\"delta\":{{\"pass_rate\":{:.4},\"exec_rate\":{:.4},",
+            "\"simulated_overhead_ms\":{:.4},\"kb_query_ms\":{:.4}}},\n   ",
+            "\"kb_entries\":{{\"seeded\":{},\"before_coalescing\":{},",
+            "\"after_coalescing\":{},\"append_only_final\":{}}}}}"
+        ),
+        run_json(cold),
+        run_json(&warm),
+        warm_pass.value() - cold_pass.value(),
+        warm_exec.value() - cold_exec.value(),
+        warm.stats.simulated_overhead_ms - cold.stats.simulated_overhead_ms,
+        warm.stats.kb_query_ms - cold.stats.kb_query_ms,
+        warm.stats.kb.seeded_entries,
+        warm.stats.kb.seeded_entries + warm.stats.kb.merged_inserts,
+        warm.stats.kb.final_entries,
+        append.stats.kb.final_entries,
+    );
+    let summary = format!(
+        "warm start: exec rate {:.1}% -> {:.1}% | overhead {:.0} -> {:.0} ms | kb entries {} coalesced to {} (append-only would hold {})",
+        cold_exec.percent(),
+        warm_exec.percent(),
+        cold.stats.simulated_overhead_ms,
+        warm.stats.simulated_overhead_ms,
+        warm.stats.kb.seeded_entries + warm.stats.kb.merged_inserts,
+        warm.stats.kb.final_entries,
+        append.stats.kb.final_entries,
+    );
+    (json, summary)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -149,6 +230,7 @@ fn main() -> ExitCode {
     };
     let cache_stats = cache.stats();
     let (pass, exec) = overall_rates(&parallel.results);
+    let (warm_json, warm_summary) = warm_start_json(args.jobs, &cache, &spec, &corpus, &parallel);
 
     let json = format!(
         concat!(
@@ -159,6 +241,7 @@ fn main() -> ExitCode {
             " \"parallel\":{},\n",
             " \"speedup\":{:.4},\n",
             " \"per_class\":{},\n",
+            " \"warm_start\":{},\n",
             " \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
             "\"evictions\":{},\"capacity\":{},\"hit_rate\":{:.4}}}}}\n"
         ),
@@ -171,6 +254,7 @@ fn main() -> ExitCode {
         parallel.stats.to_json(),
         speedup,
         class_rows_json(&parallel),
+        warm_json,
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.entries,
@@ -202,6 +286,7 @@ fn main() -> ExitCode {
         parallel.stats.oracle_cached,
         args.out,
     );
+    println!("{warm_summary}");
     if identical {
         ExitCode::SUCCESS
     } else {

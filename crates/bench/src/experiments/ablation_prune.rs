@@ -167,7 +167,7 @@ pub fn run(seed: u64) -> PruneAblation {
         for _ in 0..n {
             kb.insert(probe.clone(), UbClass::Panic, RepairRule::GuardDivision);
         }
-        kb.last_query_cost_ms()
+        kb.query_cost_ms(UbClass::Panic)
     };
     PruneAblation {
         pruned_accuracy,

@@ -93,6 +93,8 @@ pub fn run(seed: u64, per_class: usize) -> RollbackAblation {
                 passed: out.passed,
                 acceptable: out.acceptable,
                 overhead_ms: out.overhead_ms,
+                kb_queries: out.kb_queries,
+                kb_query_ms: out.kb_query_time_ms,
             });
         }
         let (pass, exec) = overall_rates(&results);

@@ -1,24 +1,29 @@
 //! The AST-similarity knowledge base behind the abstract reasoning agent
 //! (paper Fig. 6): pruned ASTs are embedded as vectors; retrieval returns
 //! the repair rules that solved the most similar past errors, attached to
-//! prompts as few-shots. Querying costs simulated time proportional to the
-//! base's size — the source of the paper's 2–4× knowledge overhead.
+//! prompts as few-shots. Querying costs simulated time proportional to
+//! the scanned bucket — the source of the paper's 2–4× knowledge
+//! overhead.
+//!
+//! Since PR 4 this is the *live* half of a two-layer design: the durable
+//! half lives in [`rb_kb`] (binary codec, merge policy, class index,
+//! atomic file store), and this type composes it with query-cost
+//! accounting and delta recording. Entries carry a *weight* (how many
+//! solved cases they stand for), retrieval goes through a
+//! [`UbClass`]-bucketed index instead of scanning the whole base, and
+//! [`KnowledgeBase::merge_all`] applies a configurable [`MergePolicy`]
+//! so the base — and the per-query scan cost — stays bounded as learning
+//! accumulates across batches and invocations.
 
+use rb_kb::index::query_cost_ms as bucket_cost_ms;
+use rb_kb::KbIndex;
 use rb_lang::vectorize::AstVector;
 use rb_llm::{FewShot, RepairRule};
 use rb_miri::UbClass;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
-/// One stored solved case.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct KbEntry {
-    /// Embedding of the pruned buggy AST.
-    pub vector: AstVector,
-    /// UB class of the solved case.
-    pub class: UbClass,
-    /// The rule that produced the accepted repair.
-    pub rule: RepairRule,
-}
+pub use rb_kb::{CodecError, ConflictResolution, KbEntry, MergePolicy, StoreError};
 
 /// The knowledge base.
 ///
@@ -27,16 +32,33 @@ pub struct KbEntry {
 /// corrupt the accounting from outside — reads go through
 /// [`KnowledgeBase::queries`] and [`KnowledgeBase::query_time_ms`], and
 /// the only writer is [`KnowledgeBase::query`] itself.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KnowledgeBase {
+    /// Entries in insertion order between merges (a policy merge reorders
+    /// into canonical order; [`KnowledgeBase::insert`] appends — which is
+    /// what keeps [`KnowledgeBase::delta_since`] a cheap slice).
     entries: Vec<KbEntry>,
+    /// Entry positions bucketed by UB class (rebuilt on merge, extended
+    /// on insert).
+    index: KbIndex,
     query_time_ms: f64,
     queries: u64,
+    /// Actual simulated cost of the most recent query (initially the
+    /// empty-bucket cost).
+    last_query_cost_ms: f64,
 }
 
-/// Fixed per-query cost plus a per-entry scan cost (simulated ms).
-const QUERY_BASE_MS: f64 = 9_000.0;
-const QUERY_PER_ENTRY_MS: f64 = 60.0;
+impl Default for KnowledgeBase {
+    fn default() -> KnowledgeBase {
+        KnowledgeBase {
+            entries: Vec::new(),
+            index: KbIndex::new(),
+            query_time_ms: 0.0,
+            queries: 0,
+            last_query_cost_ms: bucket_cost_ms(0),
+        }
+    }
+}
 
 /// The inserts a repair job recorded on top of a shared knowledge-base
 /// snapshot, in insertion order.
@@ -44,8 +66,9 @@ const QUERY_PER_ENTRY_MS: f64 = 60.0;
 /// Batch mode recovers the paper's cross-case self-learning with these:
 /// every job starts from the same read-only snapshot, records its own
 /// successful repairs into a delta, and the engine merges all deltas back
-/// in submission order after the batch — so the merged base is identical
-/// for any worker count.
+/// after the batch under one [`MergePolicy`] — a single normalization
+/// over the whole multiset, so the merged base is identical for any
+/// worker count *and any submission order*.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct KbDelta {
     /// The recorded inserts, oldest first.
@@ -74,16 +97,19 @@ impl KnowledgeBase {
     }
 
     /// Seeds the base with `entries` (used to model a pre-built knowledge
-    /// base of a given size for the ablation benchmarks).
+    /// base of a given size for the ablation benchmarks, and to rebuild a
+    /// base from decoded storage).
     #[must_use]
     pub fn with_entries(entries: Vec<KbEntry>) -> KnowledgeBase {
         KnowledgeBase {
+            index: KbIndex::build(&entries),
             entries,
             ..KnowledgeBase::default()
         }
     }
 
-    /// Number of stored cases.
+    /// Number of stored entries (after merging, one entry can stand for
+    /// many solved cases — see [`KnowledgeBase::total_weight`]).
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -95,13 +121,24 @@ impl KnowledgeBase {
         self.entries.is_empty()
     }
 
-    /// Stores a solved case.
+    /// The stored entries, in current storage order.
+    #[must_use]
+    pub fn entries(&self) -> &[KbEntry] {
+        &self.entries
+    }
+
+    /// Total solved cases the base represents (the sum of entry weights —
+    /// invariant under dedup and coalescing, unlike [`KnowledgeBase::len`]).
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.weight)).sum()
+    }
+
+    /// Stores a solved case (weight 1; appended, never merged — merging
+    /// is a batch operation under an explicit [`MergePolicy`]).
     pub fn insert(&mut self, vector: AstVector, class: UbClass, rule: RepairRule) {
-        self.entries.push(KbEntry {
-            vector,
-            class,
-            rule,
-        });
+        self.index.note_insert(self.entries.len(), class);
+        self.entries.push(KbEntry::new(vector, class, rule));
     }
 
     /// The inserts recorded since the base held `baseline` entries
@@ -113,35 +150,87 @@ impl KnowledgeBase {
         }
     }
 
-    /// Appends a delta's inserts, preserving their order; returns how many
-    /// entries were merged. The merge policy is append-only (duplicates are
-    /// harmless: retrieval ranks by similarity, and a repeated entry only
-    /// reinforces an already-solved shape).
-    pub fn merge(&mut self, delta: &KbDelta) -> usize {
-        self.entries.extend(delta.entries.iter().cloned());
-        delta.len()
+    /// Merges one delta under `policy`; returns how many delta entries
+    /// were submitted. A shorthand for [`KnowledgeBase::merge_all`] with
+    /// a single delta — when merging several deltas, pass them all in one
+    /// call: the policy normalizes the whole multiset at once, which is
+    /// what makes the result independent of submission order.
+    pub fn merge(&mut self, delta: &KbDelta, policy: &MergePolicy) -> usize {
+        self.merge_all([delta], policy)
     }
 
-    /// Retrieves up to `k` few-shots for a query vector, preferring
-    /// same-class entries, ranked by cosine similarity. Entries below the
-    /// similarity floor (0.6) are not returned. Each call accrues simulated
-    /// query time.
+    /// Merges every delta's inserts under `policy` in one normalization
+    /// pass; returns how many delta entries were submitted.
+    ///
+    /// Under [`MergePolicy::append_only`] this preserves insertion order
+    /// (PR 3's behaviour). Under any reducing policy the whole base —
+    /// pre-existing entries included — is normalized to canonical order:
+    /// exact duplicates collapse into weights, same-shape rule conflicts
+    /// resolve, near-duplicates coalesce. Because normalization is a pure
+    /// function of the entry multiset, any permutation of `deltas` (and
+    /// any worker count producing them) yields the identical store.
+    pub fn merge_all<'a>(
+        &mut self,
+        deltas: impl IntoIterator<Item = &'a KbDelta>,
+        policy: &MergePolicy,
+    ) -> usize {
+        let mut submitted = 0usize;
+        for delta in deltas {
+            for e in &delta.entries {
+                self.index.note_insert(self.entries.len(), e.class);
+                self.entries.push(e.clone());
+            }
+            submitted += delta.len();
+        }
+        if !policy.is_append_only() {
+            self.entries = policy.normalize(std::mem::take(&mut self.entries));
+            self.index = KbIndex::build(&self.entries);
+        }
+        submitted
+    }
+
+    /// Re-normalizes the whole base under `policy` (used when adopting an
+    /// append-only store into a bounded one); returns entries removed.
+    pub fn compact(&mut self, policy: &MergePolicy) -> usize {
+        let before = self.entries.len();
+        self.merge_all([], policy);
+        before - self.entries.len()
+    }
+
+    /// Retrieves up to `k` few-shots for a query vector, scanning only
+    /// the `class` bucket of the index, ranked by cosine similarity
+    /// (ties: higher weight first). Entries below the similarity floor
+    /// are not returned. Each call accrues simulated query time
+    /// proportional to the *bucket*, not the base.
+    ///
+    /// Retrieval is class-scoped by design: the pre-index scanner could
+    /// additionally surface *cross-class* entries whose raw cosine
+    /// cleared the floor; the index trades those marginal hits away for
+    /// bucket-bounded scan cost (a repair rule learned for another UB
+    /// class is rarely the right few-shot anyway).
     pub fn query(&mut self, vector: &AstVector, class: UbClass, k: usize) -> Vec<FewShot> {
+        let cost = self.query_cost_ms(class);
         self.queries += 1;
-        self.query_time_ms += QUERY_BASE_MS + QUERY_PER_ENTRY_MS * self.entries.len() as f64;
+        self.query_time_ms += cost;
+        self.last_query_cost_ms = cost;
         let mut scored: Vec<(f64, &KbEntry)> = self
-            .entries
+            .index
+            .bucket(class)
             .iter()
+            .map(|&i| &self.entries[i as usize])
             .map(|e| {
-                let mut sim = vector.cosine(&e.vector);
-                if e.class == class {
-                    sim += 0.05; // same-class tie-break bonus
-                }
-                (sim, e)
+                // The pre-index scorer gave same-class entries a +0.05
+                // bonus before the 0.6 floor; kept so the floor admits
+                // the same *same-class* entries it always admitted.
+                (vector.cosine(&e.vector) + 0.05, e)
             })
             .filter(|(sim, _)| *sim >= 0.6)
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.1.weight.cmp(&a.1.weight))
+        });
         scored
             .into_iter()
             .take(k)
@@ -152,11 +241,20 @@ impl KnowledgeBase {
             .collect()
     }
 
-    /// Cost of the most recent query in simulated milliseconds (used by the
-    /// pipeline to charge overhead).
+    /// Prospective cost of a query for `class` in simulated milliseconds
+    /// — exactly what [`KnowledgeBase::query`] will accrue. The pipeline
+    /// charges this for the up-front knowledge consult so charged and
+    /// accrued overhead cannot drift apart.
+    #[must_use]
+    pub fn query_cost_ms(&self, class: UbClass) -> f64 {
+        bucket_cost_ms(self.index.bucket_len(class))
+    }
+
+    /// Actual cost of the most recent query in simulated milliseconds
+    /// (the empty-bucket cost before any query is made).
     #[must_use]
     pub fn last_query_cost_ms(&self) -> f64 {
-        QUERY_BASE_MS + QUERY_PER_ENTRY_MS * self.entries.len() as f64
+        self.last_query_cost_ms
     }
 
     /// Number of queries served over the base's lifetime.
@@ -169,6 +267,28 @@ impl KnowledgeBase {
     #[must_use]
     pub fn query_time_ms(&self) -> f64 {
         self.query_time_ms
+    }
+
+    /// Encodes the entries to the `.rbkb` wire format (query counters are
+    /// runtime state and are not persisted).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        rb_kb::encode_entries(&self.entries)
+    }
+
+    /// Decodes a base from `.rbkb` bytes (fresh counters, rebuilt index).
+    pub fn from_bytes(bytes: &[u8]) -> Result<KnowledgeBase, CodecError> {
+        Ok(KnowledgeBase::with_entries(rb_kb::decode_entries(bytes)?))
+    }
+
+    /// Saves the entries to an `.rbkb` file atomically.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        rb_kb::save(path, &self.entries)
+    }
+
+    /// Loads a base from an `.rbkb` file (fresh counters, rebuilt index).
+    pub fn load(path: &Path) -> Result<KnowledgeBase, StoreError> {
+        Ok(KnowledgeBase::with_entries(rb_kb::load(path)?))
     }
 }
 
@@ -242,25 +362,85 @@ mod tests {
         assert_eq!(delta.entries[0].class, UbClass::Alloc);
         assert_eq!(delta.entries[1].class, UbClass::DataRace);
 
-        // Merging back grows the snapshot in delta order.
+        // Merging back grows the snapshot (distinct classes: no policy
+        // pass can collapse them).
         let mut merged = snapshot.clone();
-        assert_eq!(merged.merge(&delta), 2);
+        assert_eq!(merged.merge(&delta, &MergePolicy::default()), 2);
         assert_eq!(merged.len(), 3);
         // An out-of-range baseline yields an empty delta, not a panic.
         assert!(job_kb.delta_since(99).is_empty());
     }
 
     #[test]
-    fn query_cost_grows_with_size() {
+    fn merge_policy_collapses_duplicates_into_weight() {
+        let v = vec_of("fn main() { print(1i32); }");
+        let mut kb = KnowledgeBase::new();
+        kb.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        let delta = KbDelta {
+            entries: vec![
+                KbEntry::new(v.clone(), UbClass::Panic, RepairRule::GuardDivision),
+                KbEntry::new(v.clone(), UbClass::Panic, RepairRule::GuardDivision),
+            ],
+        };
+        assert_eq!(kb.merge(&delta, &MergePolicy::default()), 2);
+        assert_eq!(kb.len(), 1, "duplicates must collapse");
+        assert_eq!(
+            kb.total_weight(),
+            3,
+            "weight must count the collapsed cases"
+        );
+        // Retrieval still works over the merged, re-indexed base.
+        assert_eq!(kb.query(&v, UbClass::Panic, 1).len(), 1);
+        // Append-only keeps every duplicate.
+        let mut plain = KnowledgeBase::new();
+        plain.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        plain.merge(&delta, &MergePolicy::append_only());
+        assert_eq!(plain.len(), 3);
+        assert_eq!(plain.compact(&MergePolicy::default()), 2);
+        assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn query_cost_scales_with_bucket_not_base() {
         let mut kb = KnowledgeBase::new();
         let v = vec_of("fn main() { print(1i32); }");
-        let c0 = kb.last_query_cost_ms();
+        let c0 = kb.query_cost_ms(UbClass::Panic);
         for _ in 0..50 {
-            kb.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+            kb.insert(v.clone(), UbClass::Alloc, RepairRule::RemoveDoubleFree);
         }
-        assert!(kb.last_query_cost_ms() > c0);
+        // Another class's entries do not make Panic queries slower…
+        assert_eq!(kb.query_cost_ms(UbClass::Panic), c0);
+        // …its own do.
+        kb.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        assert!(kb.query_cost_ms(UbClass::Panic) > c0);
+        // The charged cost is exactly what a query accrues.
+        let predicted = kb.query_cost_ms(UbClass::Panic);
         kb.query(&v, UbClass::Panic, 1);
+        assert_eq!(kb.last_query_cost_ms(), predicted);
+        assert_eq!(kb.query_time_ms(), predicted);
         assert_eq!(kb.queries(), 1);
-        assert!(kb.query_time_ms() > 0.0);
+    }
+
+    #[test]
+    fn bytes_round_trip_preserves_retrieval() {
+        let mut kb = KnowledgeBase::new();
+        let v = vec_of(
+            "fn main() { let q: *const i32 = 0 as *const i32; \
+             { let x: i32 = 5; q = &raw const x; } unsafe { print(*q); } }",
+        );
+        kb.insert(
+            v.clone(),
+            UbClass::DanglingPointer,
+            RepairRule::HoistLocalOut,
+        );
+        let mut revived = KnowledgeBase::from_bytes(&kb.to_bytes()).unwrap();
+        assert_eq!(revived.entries(), kb.entries());
+        assert_eq!(revived.queries(), 0, "counters are runtime state");
+        let shots = revived.query(&v, UbClass::DanglingPointer, 1);
+        assert_eq!(
+            shots.first().map(|s| s.rule),
+            Some(RepairRule::HoistLocalOut)
+        );
+        assert!(KnowledgeBase::from_bytes(b"garbage").is_err());
     }
 }

@@ -59,7 +59,7 @@ pub use config::{RollbackPolicy, RustBrainConfig};
 pub use evaluate::EvalTriplet;
 pub use features::CodeFeatures;
 pub use feedback::Priors;
-pub use knowledge::{KbDelta, KnowledgeBase};
+pub use knowledge::{ConflictResolution, KbDelta, KbEntry, KnowledgeBase, MergePolicy, StoreError};
 pub use pipeline::{RepairOutcome, RustBrain};
 pub use rb_miri::{DirectOracle, Oracle, OracleUse};
 pub use solution::{AgentKind, Solution};

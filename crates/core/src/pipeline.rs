@@ -48,6 +48,14 @@ pub struct RepairOutcome {
     pub oracle_cached: usize,
     /// Solutions attempted before stopping.
     pub solutions_tried: usize,
+    /// Knowledge-base lookups this repair made: the up-front S3→F
+    /// consult plus every retrieval during slow thinking (0 when the
+    /// knowledge base is disabled).
+    pub kb_queries: u64,
+    /// Simulated milliseconds those lookups accrued — bucket-indexed
+    /// scan cost, covering *all* KB time charged into `overhead_ms`
+    /// (consult included), so subtracting it isolates non-KB overhead.
+    pub kb_query_time_ms: f64,
     /// The best program produced.
     pub final_program: Program,
     /// Concatenated oracle error counts across all attempts.
@@ -212,6 +220,8 @@ impl RustBrain {
                 oracle_executed: oracle_use.executed,
                 oracle_cached: oracle_use.cached,
                 solutions_tried: 0,
+                kb_queries: 0,
+                kb_query_time_ms: 0.0,
                 final_program: program.clone(),
                 error_history: vec![0],
                 rules_applied: Vec::new(),
@@ -237,10 +247,20 @@ impl RustBrain {
 
         // The knowledge-enabled framework consults the base before anything
         // else (the paper's S3->F feedback path); that lookup costs time
-        // regardless of whether a shot is ultimately attached.
+        // regardless of whether a shot is ultimately attached. The charge
+        // is the indexed per-class cost — the same number an actual query
+        // for this class accrues, so charged and accrued overhead agree —
+        // and it is booked into the kb_* telemetry too, so kb_query_time_ms
+        // accounts for every KB millisecond inside overhead_ms.
+        let mut kb_consults = 0u64;
+        let mut kb_consult_ms = 0.0f64;
         if self.config.use_knowledge {
-            total_overhead += self.knowledge.last_query_cost_ms();
+            kb_consults = 1;
+            kb_consult_ms = self.knowledge.query_cost_ms(class);
+            total_overhead += kb_consult_ms;
         }
+        let kb_queries_before = self.knowledge.queries();
+        let kb_time_before = self.knowledge.query_time_ms();
         // The state each solution starts from depends on the rollback
         // policy: adaptive continues from the best state seen so far,
         // restart-from-initial always re-derives from scratch, and
@@ -323,6 +343,8 @@ impl RustBrain {
             oracle_executed: oracle_use.executed,
             oracle_cached: oracle_use.cached,
             solutions_tried: tried,
+            kb_queries: kb_consults + (self.knowledge.queries() - kb_queries_before),
+            kb_query_time_ms: kb_consult_ms + (self.knowledge.query_time_ms() - kb_time_before),
             final_program: best.final_program.clone(),
             error_history: history,
             rules_applied: best.steps.iter().filter_map(|s| s.rule).collect(),

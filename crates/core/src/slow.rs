@@ -116,7 +116,7 @@ pub fn execute_solution(
                     } else {
                         AstVector::embed(&pruned)
                     };
-                    overhead += kb.last_query_cost_ms();
+                    overhead += kb.query_cost_ms(primary.class());
                     shots = kb.query(&vector, primary.class(), 2);
                 }
             }

@@ -21,7 +21,8 @@ use crate::stats::{EngineStats, KbMergeStats};
 use crate::system::{CaseResult, System, SystemSpec};
 use rb_dataset::UbCase;
 use rb_miri::{DirectOracle, Oracle, OracleUse};
-use rustbrain::{KbDelta, KnowledgeBase};
+use rustbrain::{KbDelta, KnowledgeBase, MergePolicy, StoreError};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
@@ -51,6 +52,9 @@ pub struct Engine {
     /// When false, systems judge through [`DirectOracle`] and no verdict
     /// is ever cached (the `--no-cache` equivalence baseline).
     use_cache: bool,
+    /// How per-job knowledge deltas fold back into the shared base after
+    /// a batch (defaults to the bounded-growth [`MergePolicy::default`]).
+    merge_policy: MergePolicy,
 }
 
 impl Engine {
@@ -69,6 +73,7 @@ impl Engine {
             workers: workers.max(1),
             cache,
             use_cache: true,
+            merge_policy: MergePolicy::default(),
         }
     }
 
@@ -87,7 +92,23 @@ impl Engine {
             workers: workers.max(1),
             cache: Arc::new(OracleCache::new()),
             use_cache: false,
+            merge_policy: MergePolicy::default(),
         }
+    }
+
+    /// Replaces the knowledge merge policy (builder-style). Pass
+    /// [`MergePolicy::append_only`] to reproduce PR 3's unbounded-append
+    /// behaviour.
+    #[must_use]
+    pub fn with_merge_policy(mut self, policy: MergePolicy) -> Engine {
+        self.merge_policy = policy;
+        self
+    }
+
+    /// The policy per-job knowledge deltas merge under after a batch.
+    #[must_use]
+    pub fn merge_policy(&self) -> &MergePolicy {
+        &self.merge_policy
     }
 
     /// Worker threads this engine schedules onto.
@@ -191,23 +212,28 @@ impl Engine {
         let results: Vec<CaseResult> = executed.iter().map(|j| j.result.clone()).collect();
 
         // Cross-case learning, recovered: fold every job's inserts back
-        // into the snapshot in submission order, so the merged base is
-        // the same for any worker count.
+        // into the snapshot in ONE normalization pass under the engine's
+        // merge policy. The policy reduces the entry *multiset*, so the
+        // merged base is the same for any worker count and any delta
+        // order — and, unlike PR 3's blind append, stays bounded (exact
+        // duplicates become weights, near-duplicates coalesce).
         let mut knowledge = snapshot.clone();
-        let mut merged_inserts = 0usize;
-        let mut contributing_jobs = 0usize;
-        for j in &executed {
-            if let Some(delta) = &j.kb_delta {
-                if !delta.is_empty() {
-                    merged_inserts += knowledge.merge(delta);
-                    contributing_jobs += 1;
-                }
-            }
-        }
+        let deltas: Vec<&KbDelta> = executed
+            .iter()
+            .filter_map(|j| j.kb_delta.as_ref())
+            .filter(|d| !d.is_empty())
+            .collect();
+        let contributing_jobs = deltas.len();
+        let merged_inserts = if deltas.is_empty() {
+            0
+        } else {
+            knowledge.merge_all(deltas, &self.merge_policy)
+        };
         let kb = KbMergeStats {
             seeded_entries: snapshot.len(),
             merged_inserts,
             contributing_jobs,
+            coalesced: (snapshot.len() + merged_inserts).saturating_sub(knowledge.len()),
             final_entries: knowledge.len(),
         };
 
@@ -252,6 +278,7 @@ impl Engine {
                 .collect(),
             worker_cases,
             simulated_overhead_ms: results.iter().map(|r| r.overhead_ms).sum(),
+            kb_query_ms: results.iter().map(|r| r.kb_query_ms).sum(),
             oracle_executed: batch_use.executed as u64,
             oracle_cached: batch_use.cached as u64,
             kb,
@@ -292,6 +319,33 @@ impl Engine {
             .map(|(i, case)| JobSpec::new(i, case.clone(), system.clone(), base_seed))
             .collect();
         self.run_jobs_with_knowledge(&jobs, snapshot)
+    }
+
+    /// Sweeps a corpus with *durable* cross-case learning: the knowledge
+    /// snapshot is loaded from `kb_in` (empty when `None`), the batch
+    /// runs exactly like [`Engine::run_batch_learned`], and the merged
+    /// base is saved atomically to `kb_out` — so consecutive CLI
+    /// invocations chain their learning instead of starting cold.
+    ///
+    /// A missing or corrupt `kb_in` file is a typed [`StoreError`], never
+    /// a silent cold start: warm-start results must be trustworthy.
+    pub fn run_batch_stored(
+        &self,
+        system: &SystemSpec,
+        cases: &[UbCase],
+        base_seed: u64,
+        kb_in: Option<&Path>,
+        kb_out: Option<&Path>,
+    ) -> Result<BatchOutcome, StoreError> {
+        let snapshot = match kb_in {
+            Some(path) => KnowledgeBase::load(path)?,
+            None => KnowledgeBase::new(),
+        };
+        let outcome = self.run_batch_learned(system, cases, base_seed, &snapshot);
+        if let Some(path) = kb_out {
+            outcome.knowledge.save(path)?;
+        }
+        Ok(outcome)
     }
 
     /// Runs a *stateful* system over a corpus in order on the engine's

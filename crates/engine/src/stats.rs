@@ -19,6 +19,11 @@ pub struct KbMergeStats {
     pub merged_inserts: usize,
     /// Jobs that contributed at least one insert.
     pub contributing_jobs: usize,
+    /// Entries the merge policy absorbed (exact duplicates folded into
+    /// weights, conflicting rules dropped, near-duplicates coalesced):
+    /// `seeded_entries + merged_inserts - final_entries`. Zero under the
+    /// append-only policy.
+    pub coalesced: usize,
     /// Entries in the merged base handed back in the batch outcome.
     pub final_entries: usize,
 }
@@ -42,6 +47,10 @@ pub struct EngineStats {
     /// Total simulated repair time accumulated by the jobs (the paper's
     /// overhead metric — unrelated to real wall-clock).
     pub simulated_overhead_ms: f64,
+    /// Simulated milliseconds the jobs spent in knowledge-base retrieval
+    /// (a subset of `simulated_overhead_ms`; the paper's knowledge
+    /// overhead, now derived from indexed bucket scans).
+    pub kb_query_ms: f64,
     /// Oracle judgements across the whole batch (gold references plus
     /// every repair-internal verification) that executed the interpreter.
     pub oracle_executed: u64,
@@ -97,9 +106,10 @@ impl EngineStats {
                 "{{\"workers\":{},\"cases\":{},\"wall_ms\":{},",
                 "\"cases_per_sec\":{},\"worker_utilization\":{},",
                 "\"worker_cases\":{},\"simulated_overhead_ms\":{},",
+                "\"kb_query_ms\":{},",
                 "\"oracle\":{{\"executed\":{},\"cached\":{}}},",
                 "\"kb\":{{\"seeded\":{},\"merged_inserts\":{},",
-                "\"contributing_jobs\":{},\"final_entries\":{}}},",
+                "\"contributing_jobs\":{},\"coalesced\":{},\"final_entries\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
                 "\"evictions\":{},\"capacity\":{},\"hit_rate\":{}}}}}"
             ),
@@ -110,11 +120,13 @@ impl EngineStats {
             json_array(&self.worker_utilization, |u| json_num(*u)),
             json_array(&self.worker_cases, |c| c.to_string()),
             json_num(self.simulated_overhead_ms),
+            json_num(self.kb_query_ms),
             self.oracle_executed,
             self.oracle_cached,
             self.kb.seeded_entries,
             self.kb.merged_inserts,
             self.kb.contributing_jobs,
+            self.kb.coalesced,
             self.kb.final_entries,
             self.cache.hits,
             self.cache.misses,
@@ -137,13 +149,16 @@ pub fn results_to_json(results: &[CaseResult]) -> String {
         format!(
             concat!(
                 "{{\"case_id\":{},\"class\":{},\"passed\":{},",
-                "\"acceptable\":{},\"overhead_ms\":{}}}"
+                "\"acceptable\":{},\"overhead_ms\":{},",
+                "\"kb_queries\":{},\"kb_query_ms\":{}}}"
             ),
             json_str(&r.case_id),
             json_str(r.class.label()),
             r.passed,
             r.acceptable,
             json_num(r.overhead_ms),
+            r.kb_queries,
+            json_num(r.kb_query_ms),
         )
     });
     format!("{{\"results\":{rows}}}")
@@ -163,12 +178,14 @@ mod tests {
             worker_utilization: vec![0.9, 0.8],
             worker_cases: vec![2, 1],
             simulated_overhead_ms: 99.0,
+            kb_query_ms: 18.5,
             oracle_executed: 7,
             oracle_cached: 21,
             kb: KbMergeStats {
                 seeded_entries: 1,
-                merged_inserts: 2,
+                merged_inserts: 3,
                 contributing_jobs: 2,
+                coalesced: 1,
                 final_entries: 3,
             },
             cache: CacheStats {
@@ -184,7 +201,9 @@ mod tests {
         assert!(json.contains("\"workers\":2"));
         assert!(json.contains("\"worker_utilization\":[0.9000,0.8000]"));
         assert!(json.contains("\"oracle\":{\"executed\":7,\"cached\":21}"));
-        assert!(json.contains("\"merged_inserts\":2"));
+        assert!(json.contains("\"merged_inserts\":3"));
+        assert!(json.contains("\"coalesced\":1"));
+        assert!(json.contains("\"kb_query_ms\":18.5000"));
         assert!(json.contains("\"evictions\":4"));
         assert!(json.contains("\"capacity\":64"));
         assert!(json.contains("\"hit_rate\":0.2500"));
@@ -206,10 +225,13 @@ mod tests {
             passed: true,
             acceptable: false,
             overhead_ms: 1234.5,
+            kb_queries: 2,
+            kb_query_ms: 18120.0,
         }];
         let json = results_to_json(&results);
         assert!(json.contains("\"case_id\":\"alloc/double_free/0\""));
         assert!(json.contains("\"overhead_ms\":1234.5000"));
+        assert!(json.contains("\"kb_queries\":2"));
         // Deterministic fields only: no wall-clock, no cache, no workers.
         for banned in ["wall", "cache", "worker", "hit"] {
             assert!(!json.contains(banned), "telemetry `{banned}` leaked");

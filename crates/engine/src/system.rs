@@ -29,6 +29,13 @@ pub struct CaseResult {
     pub acceptable: bool,
     /// Simulated time in milliseconds.
     pub overhead_ms: f64,
+    /// Knowledge-base retrievals the repair made (0 for systems without
+    /// a knowledge base).
+    pub kb_queries: u64,
+    /// Simulated milliseconds those retrievals accrued (bucket-indexed
+    /// scan cost; deterministic, so it belongs in the result rather than
+    /// the telemetry).
+    pub kb_query_ms: f64,
 }
 
 /// A repair system under test.
@@ -77,14 +84,14 @@ impl System {
         case: &UbCase,
         reference: &[String],
     ) -> (CaseResult, OracleUse) {
-        let (passed, acceptable, overhead_ms, oracle_use) = match self {
+        let (passed, acceptable, overhead_ms, oracle_use, kb_queries, kb_query_ms) = match self {
             System::Llm(s) => {
                 let o = s.repair(&case.buggy, reference);
-                (o.passed, o.acceptable, o.overhead_ms, o.oracle_use)
+                (o.passed, o.acceptable, o.overhead_ms, o.oracle_use, 0, 0.0)
             }
             System::RustAssistant(s) => {
                 let o = s.repair(&case.buggy, reference);
-                (o.passed, o.acceptable, o.overhead_ms, o.oracle_use)
+                (o.passed, o.acceptable, o.overhead_ms, o.oracle_use, 0, 0.0)
             }
             System::Brain(s) => {
                 let o = s.repair(&case.buggy, reference);
@@ -92,7 +99,14 @@ impl System {
                     executed: o.oracle_executed,
                     cached: o.oracle_cached,
                 };
-                (o.passed, o.acceptable, o.overhead_ms, used)
+                (
+                    o.passed,
+                    o.acceptable,
+                    o.overhead_ms,
+                    used,
+                    o.kb_queries,
+                    o.kb_query_time_ms,
+                )
             }
         };
         (
@@ -102,6 +116,8 @@ impl System {
                 passed,
                 acceptable,
                 overhead_ms,
+                kb_queries,
+                kb_query_ms,
             },
             oracle_use,
         )

@@ -131,9 +131,15 @@ fn shared_kb_merge_is_identical_for_any_worker_count() {
 
     let reference = Engine::new(1).run_batch_learned(&spec, &corpus.cases, 9, &snapshot);
     assert_eq!(reference.stats.kb.seeded_entries, snapshot.len());
+    // The bounded-growth policy books every absorbed entry: final size is
+    // seeded + merged minus what dedup/conflict/coalescing folded away.
     assert_eq!(
         reference.stats.kb.final_entries,
-        snapshot.len() + reference.stats.kb.merged_inserts
+        snapshot.len() + reference.stats.kb.merged_inserts - reference.stats.kb.coalesced
+    );
+    assert!(
+        reference.stats.kb.coalesced > 0,
+        "re-sweeping the same corpus must rediscover shapes the policy collapses"
     );
     for jobs in [2usize, 4] {
         let out = Engine::new(jobs).run_batch_learned(&spec, &corpus.cases, 9, &snapshot);

@@ -1,0 +1,104 @@
+//! The durable warm-start contract: a batch that chains its knowledge
+//! base through an `.rbkb` file must (a) round-trip the base exactly,
+//! (b) measurably benefit from the loaded learning, and (c) keep the
+//! bounded-growth guarantee across repeated chaining.
+
+use rb_dataset::Corpus;
+use rb_engine::{BatchOutcome, Engine, SystemSpec};
+use rb_llm::ModelId;
+use rustbrain::{KnowledgeBase, RustBrainConfig};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rb_engine_persistence_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn rates(outcome: &BatchOutcome) -> (f64, f64) {
+    let n = outcome.results.len().max(1) as f64;
+    let pass = outcome.results.iter().filter(|r| r.passed).count() as f64 / n;
+    let acc = outcome.results.iter().filter(|r| r.acceptable).count() as f64 / n;
+    (pass, acc)
+}
+
+#[test]
+fn warm_start_through_a_file_improves_on_cold() {
+    let corpus = Corpus::generate_full(42, 2);
+    let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 0));
+    let engine = Engine::new(4);
+    let kb_path = scratch("warm_start.rbkb");
+
+    // Invocation 1: cold start, save the learned base.
+    let cold = engine
+        .run_batch_stored(&spec, &corpus.cases, 42, None, Some(&kb_path))
+        .unwrap();
+    assert!(cold.stats.kb.final_entries > 0, "nothing was learned");
+
+    // The saved file is byte-faithful to the merged base.
+    let revived = KnowledgeBase::load(&kb_path).unwrap();
+    assert_eq!(revived.entries(), cold.knowledge.entries());
+
+    // Invocation 2: warm start from the file.
+    let warm = engine
+        .run_batch_stored(&spec, &corpus.cases, 42, Some(&kb_path), Some(&kb_path))
+        .unwrap();
+    assert_eq!(warm.stats.kb.seeded_entries, cold.stats.kb.final_entries);
+
+    let (cold_pass, cold_acc) = rates(&cold);
+    let (warm_pass, warm_acc) = rates(&warm);
+    println!(
+        "cold: pass {cold_pass:.4} acc {cold_acc:.4} overhead {:.0} kb_query {:.0} entries {}",
+        cold.stats.simulated_overhead_ms, cold.stats.kb_query_ms, cold.stats.kb.final_entries
+    );
+    println!(
+        "warm: pass {warm_pass:.4} acc {warm_acc:.4} overhead {:.0} kb_query {:.0} entries {}",
+        warm.stats.simulated_overhead_ms, warm.stats.kb_query_ms, warm.stats.kb.final_entries
+    );
+
+    // The paper's self-learning claim, end to end through the store: the
+    // warm run must not repair worse, and must improve at least one
+    // repair metric.
+    assert!(warm_pass >= cold_pass, "warm pass rate regressed");
+    assert!(warm_acc >= cold_acc, "warm acceptability regressed");
+    assert!(
+        warm_pass > cold_pass
+            || warm_acc > cold_acc
+            || warm.stats.simulated_overhead_ms < cold.stats.simulated_overhead_ms,
+        "warm start improved nothing: pass {cold_pass}->{warm_pass}, acc {cold_acc}->{warm_acc}, \
+         overhead {}->{}",
+        cold.stats.simulated_overhead_ms,
+        warm.stats.simulated_overhead_ms,
+    );
+
+    // Chaining again must stay bounded: the policy keeps collapsing
+    // rediscoveries instead of growing without limit.
+    let third = engine
+        .run_batch_stored(&spec, &corpus.cases, 42, Some(&kb_path), Some(&kb_path))
+        .unwrap();
+    assert!(third.stats.kb.coalesced > 0);
+    assert!(
+        third.stats.kb.final_entries <= warm.stats.kb.final_entries + third.stats.kb.merged_inserts
+    );
+    let _ = std::fs::remove_file(&kb_path);
+}
+
+#[test]
+fn missing_and_corrupt_inputs_are_typed_errors() {
+    let corpus = Corpus::generate(5, 1, &[rb_miri::UbClass::Panic]);
+    let spec = SystemSpec::rust_assistant();
+    let engine = Engine::new(1);
+    let missing = scratch("does_not_exist.rbkb");
+    let err = engine
+        .run_batch_stored(&spec, &corpus.cases, 1, Some(&missing), None)
+        .unwrap_err();
+    assert!(err.to_string().contains("does_not_exist.rbkb"), "{err}");
+
+    let corrupt = scratch("corrupt.rbkb");
+    std::fs::write(&corrupt, b"RBKB\x01not really").unwrap();
+    let err = engine
+        .run_batch_stored(&spec, &corpus.cases, 1, Some(&corrupt), None)
+        .unwrap_err();
+    assert!(err.to_string().contains("corrupt"), "{err}");
+    let _ = std::fs::remove_file(&corrupt);
+}

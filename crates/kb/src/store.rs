@@ -1,0 +1,162 @@
+//! Atomic `.rbkb` file persistence.
+//!
+//! [`save`] writes to a temporary sibling file and renames it into place,
+//! so a crash mid-write can never leave a half-written store where a
+//! readable one used to be — the reader sees either the old file or the
+//! new one. [`load`] surfaces I/O problems and corruption (via the
+//! codec's checksum and structural validation) as typed [`StoreError`]s;
+//! it never panics on hostile bytes.
+
+use crate::codec::{decode_entries, encode_entries, CodecError};
+use crate::KbEntry;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The filesystem said no.
+    Io {
+        /// File the operation was about.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file's bytes are not a valid `.rbkb` stream.
+    Corrupt {
+        /// File the bytes came from.
+        path: PathBuf,
+        /// What the codec rejected.
+        source: CodecError,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, source } => {
+                write!(f, "{}: corrupt knowledge store: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { source, .. } => Some(source),
+        }
+    }
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Saves entries to `path` atomically (temp file + rename in the same
+/// directory, so the rename cannot cross filesystems).
+pub fn save(path: &Path, entries: &[KbEntry]) -> Result<(), StoreError> {
+    let bytes = encode_entries(entries);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        // Leave no droppings behind a failed rename.
+        let _ = std::fs::remove_file(&tmp);
+        io_err(path, e)
+    })
+}
+
+/// Loads entries from an `.rbkb` file, validating structure and checksum.
+pub fn load(path: &Path) -> Result<Vec<KbEntry>, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    decode_entries(&bytes).map_err(|source| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_lang::vectorize::AstVector;
+    use rb_llm::RepairRule;
+    use rb_miri::UbClass;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rb_kb_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn entries() -> Vec<KbEntry> {
+        vec![KbEntry {
+            vector: AstVector {
+                components: vec![0.5, 2.0, -1.0],
+            },
+            class: UbClass::Alloc,
+            rule: RepairRule::RemoveDoubleFree,
+            weight: 4,
+        }]
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let path = scratch("round_trip.rbkb");
+        let original = entries();
+        save(&path, &original).unwrap();
+        assert_eq!(load(&path).unwrap(), original);
+        // Overwrite in place: the rename replaces the old content whole.
+        save(&path, &[]).unwrap();
+        assert!(load(&path).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files() {
+        let path = scratch("no_droppings.rbkb");
+        save(&path, &entries()).unwrap();
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/definitely/not_here.rbkb")).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        assert!(err.to_string().contains("not_here.rbkb"));
+    }
+
+    #[test]
+    fn corrupt_file_is_typed_not_a_panic() {
+        let path = scratch("corrupt.rbkb");
+        save(&path, &entries()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        // And a truncated file too.
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(matches!(
+            load(&path).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

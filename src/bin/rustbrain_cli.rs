@@ -8,6 +8,8 @@
 //!   rustbrain corpus <dir> [--seed N]           export the benchmark corpus
 //!   rustbrain batch [options]                   sweep the corpus on the
 //!                                               parallel batch engine
+//!   rustbrain kb inspect <file.rbkb>            print a knowledge store's
+//!                                               entry/weight/class histograms
 //!
 //! OPTIONS:
 //!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
@@ -28,6 +30,10 @@
 //!   --cache-cap <N>                             bound the oracle cache to N
 //!                                               entries, rounded up to one
 //!                                               per shard (clock eviction)
+//!   --kb-in <file.rbkb>                         batch: start from a saved
+//!                                               knowledge store (warm start)
+//!   --kb-out <file.rbkb>                        batch: save the merged
+//!                                               knowledge store afterwards
 //! ```
 //!
 //! `.mrs` files contain mini-Rust source (see `rb-lang`'s grammar); the
@@ -44,6 +50,7 @@ use rb_lang::printer::print_program;
 use rb_llm::ModelId;
 use rb_miri::{DirectOracle, Oracle};
 use rustbrain::{RustBrain, RustBrainConfig};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -63,6 +70,8 @@ struct Cli {
     results_out: Option<String>,
     use_cache: bool,
     cache_cap: Option<usize>,
+    kb_in: Option<String>,
+    kb_out: Option<String>,
 }
 
 /// How the oracle cache flags resolve — the single place the
@@ -130,6 +139,7 @@ enum Command {
     Demo,
     Corpus(String),
     Batch,
+    KbInspect(String),
     Help,
 }
 
@@ -175,6 +185,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         results_out: None,
         use_cache: true,
         cache_cap: None,
+        kb_in: None,
+        kb_out: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -188,6 +200,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         }
         Some("demo") => cli.command = Command::Demo,
         Some("batch") => cli.command = Command::Batch,
+        Some("kb") => match it.next().map(String::as_str) {
+            Some("inspect") => {
+                let file = it.next().ok_or("`kb inspect` needs a file argument")?;
+                cli.command = Command::KbInspect(file.clone());
+            }
+            Some(other) => return Err(format!("unknown kb subcommand `{other}`")),
+            None => return Err("`kb` needs a subcommand (try `kb inspect <file>`)".into()),
+        },
         Some("corpus") => {
             let dir = it.next().ok_or("`corpus` needs a directory argument")?;
             cli.command = Command::Corpus(dir.clone());
@@ -260,11 +280,22 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.cache_cap = Some(cap);
             }
+            "--kb-in" => {
+                let v = it.next().ok_or("--kb-in needs a value")?;
+                cli.kb_in = Some(v.clone());
+            }
+            "--kb-out" => {
+                let v = it.next().ok_or("--kb-out needs a value")?;
+                cli.kb_out = Some(v.clone());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if !cli.use_cache && cli.cache_cap.is_some() {
         return Err("--cache-cap conflicts with --no-cache".into());
+    }
+    if (cli.kb_in.is_some() || cli.kb_out.is_some()) && cli.command != Command::Batch {
+        return Err("--kb-in/--kb-out only apply to `batch`".into());
     }
     Ok(cli)
 }
@@ -285,6 +316,8 @@ USAGE:
   rustbrain corpus <dir> [--seed N]         export the benchmark corpus
   rustbrain batch [options]                 sweep the corpus on the
                                             parallel batch engine
+  rustbrain kb inspect <file.rbkb>          print a knowledge store's
+                                            entry/weight/class histograms
 
 OPTIONS:
   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
@@ -300,7 +333,11 @@ OPTIONS:
                                              results JSON (telemetry-free)
   --no-cache                                 bypass the oracle verdict cache
   --cache-cap <N>                            bound the cache to N entries
-                                             (rounded up; minimum 16)"
+                                             (rounded up; minimum 16)
+  --kb-in <file.rbkb>                        batch: warm-start from a saved
+                                             knowledge store
+  --kb-out <file.rbkb>                       batch: save the merged knowledge
+                                             store afterwards (atomic write)"
 }
 
 fn main() -> ExitCode {
@@ -333,6 +370,7 @@ fn main() -> ExitCode {
         },
         Command::Corpus(ref dir) => export_corpus(dir, cli.seed),
         Command::Batch => batch(&cli),
+        Command::KbInspect(ref file) => kb_inspect(file),
         Command::Demo => {
             println!("repairing the built-in dangling-pointer demo:\n\n{DEMO}\n");
             let mut demo_cli = cli;
@@ -395,15 +433,31 @@ fn batch(cli: &Cli) -> ExitCode {
     let mode = cli.cache_mode();
     let engine = mode.engine(cli.jobs);
     println!(
-        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s) | oracle {}",
+        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s) | oracle {} | kb {}",
         corpus.len(),
         corpus.stats().len(),
         cli.per_class,
         spec.label(),
         cli.jobs,
         mode.label(),
+        match &cli.kb_in {
+            Some(path) => format!("warm ({path})"),
+            None => "cold".to_owned(),
+        },
     );
-    let outcome = engine.run_batch(&spec, &corpus.cases, cli.seed);
+    let outcome = match engine.run_batch_stored(
+        &spec,
+        &corpus.cases,
+        cli.seed,
+        cli.kb_in.as_deref().map(Path::new),
+        cli.kb_out.as_deref().map(Path::new),
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let (pass, exec) = rb_bench::overall_rates(&outcome.results);
     println!(
         "pass rate: {:.1}% | exec rate: {:.1}% | wall: {:.0} ms | {:.1} cases/s | cache hit rate: {:.1}%",
@@ -414,9 +468,18 @@ fn batch(cli: &Cli) -> ExitCode {
         outcome.stats.cache.hit_rate() * 100.0,
     );
     println!(
-        "oracle judgements: {} executed / {} cached | knowledge: {} entries learned across cases",
-        outcome.stats.oracle_executed, outcome.stats.oracle_cached, outcome.stats.kb.final_entries,
+        "oracle judgements: {} executed / {} cached | knowledge: {} seeded + {} learned - {} coalesced = {} entries | kb query time: {:.0} ms",
+        outcome.stats.oracle_executed,
+        outcome.stats.oracle_cached,
+        outcome.stats.kb.seeded_entries,
+        outcome.stats.kb.merged_inserts,
+        outcome.stats.kb.coalesced,
+        outcome.stats.kb.final_entries,
+        outcome.stats.kb_query_ms,
     );
+    if let Some(path) = &cli.kb_out {
+        println!("knowledge store written to {path}");
+    }
     if let Some(path) = &cli.results_out {
         if let Err(e) = std::fs::write(path, format!("{}\n", results_to_json(&outcome.results))) {
             eprintln!("error: cannot write {path}: {e}");
@@ -434,6 +497,58 @@ fn batch(cli: &Cli) -> ExitCode {
             println!("engine stats written to {path}");
         }
         None => println!("{stats_json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn kb_inspect(file: &str) -> ExitCode {
+    let entries = match rb_kb::load(Path::new(file)) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let total_weight: u64 = entries.iter().map(|e| u64::from(e.weight)).sum();
+    println!(
+        "{file}: rbkb v{} | {} entries standing for {} solved cases",
+        rb_kb::FORMAT_VERSION,
+        entries.len(),
+        total_weight,
+    );
+    if entries.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+
+    // Per-class histogram: entry slots and the solved-case weight behind
+    // them (the difference is what the merge policy has folded away).
+    let index = rb_kb::KbIndex::build(&entries);
+    println!("\nclass            entries   weight");
+    for (class, count) in index.histogram() {
+        let weight: u64 = index
+            .bucket(class)
+            .iter()
+            .map(|&i| u64::from(entries[i as usize].weight))
+            .sum();
+        println!("{:<16} {:>7} {:>8}", class.label(), count, weight);
+    }
+
+    // Per-rule weights, heaviest first (what the base has actually
+    // learned to reach for).
+    let mut rules: Vec<(rb_llm::RepairRule, u64)> = Vec::new();
+    for e in &entries {
+        match rules.iter_mut().find(|(r, _)| *r == e.rule) {
+            Some((_, w)) => *w += u64::from(e.weight),
+            None => rules.push((e.rule, u64::from(e.weight))),
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| rb_kb::codec::rule_code(a.0).cmp(&rb_kb::codec::rule_code(b.0)))
+    });
+    println!("\nrule                           weight");
+    for (rule, weight) in rules {
+        println!("{:<30} {:>7}", format!("{rule:?}"), weight);
     }
     ExitCode::SUCCESS
 }
@@ -576,6 +691,29 @@ mod tests {
         assert!(parse_cli(&argv("batch --jobs 0")).is_err());
         assert!(parse_cli(&argv("batch --per-class 0")).is_err());
         assert!(parse_cli(&argv("batch --system gpt-9")).is_err());
+    }
+
+    #[test]
+    fn parses_kb_persistence_flags() {
+        let cli = parse_cli(&argv("batch --kb-in warm.rbkb --kb-out next.rbkb")).unwrap();
+        assert_eq!(cli.kb_in.as_deref(), Some("warm.rbkb"));
+        assert_eq!(cli.kb_out.as_deref(), Some("next.rbkb"));
+        // Either flag alone is fine (cold start + save, or warm + discard).
+        assert!(parse_cli(&argv("batch --kb-out only.rbkb")).is_ok());
+        assert!(parse_cli(&argv("batch --kb-in only.rbkb")).is_ok());
+        // But they are batch-only, and need values.
+        assert!(parse_cli(&argv("demo --kb-in warm.rbkb")).is_err());
+        assert!(parse_cli(&argv("repair a.mrs --kb-out x.rbkb")).is_err());
+        assert!(parse_cli(&argv("batch --kb-in")).is_err());
+    }
+
+    #[test]
+    fn parses_kb_inspect_subcommand() {
+        let cli = parse_cli(&argv("kb inspect store.rbkb")).unwrap();
+        assert_eq!(cli.command, Command::KbInspect("store.rbkb".into()));
+        assert!(parse_cli(&argv("kb")).is_err());
+        assert!(parse_cli(&argv("kb inspect")).is_err());
+        assert!(parse_cli(&argv("kb frobnicate x")).is_err());
     }
 
     #[test]

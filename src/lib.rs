@@ -6,6 +6,8 @@
 //! - [`rb_miri`] — the Miri-style UB oracle,
 //! - [`rb_dataset`] — the benchmark corpus,
 //! - [`rb_llm`] — simulated language models,
+//! - [`rb_kb`] — the durable knowledge store (codec, merge policy,
+//!   class index, atomic `.rbkb` persistence),
 //! - [`rustbrain`] — the fast/slow-thinking repair framework,
 //! - [`rb_baselines`] — comparison systems,
 //! - [`rb_engine`] — the parallel batch-repair engine and oracle cache,
@@ -17,6 +19,7 @@ pub use rb_baselines;
 pub use rb_bench;
 pub use rb_dataset;
 pub use rb_engine;
+pub use rb_kb;
 pub use rb_lang;
 pub use rb_llm;
 pub use rb_miri;
