@@ -137,12 +137,15 @@ fn warm_start_json(
     corpus: &Corpus,
     cold: &BatchOutcome,
 ) -> (String, String) {
-    let kb_path = std::env::temp_dir().join(format!("bench_engine_{}.rbkb", std::process::id()));
-    cold.knowledge
-        .save(&kb_path)
+    // Chained through the sharded production layout: the save reports
+    // per-class segmentation and the reload proves the round trip.
+    let kb_path = std::env::temp_dir().join(format!("bench_engine_{}.rbkb.d", std::process::id()));
+    let save = cold
+        .knowledge
+        .save_reported(&kb_path)
         .expect("saving the cold knowledge store");
     let snapshot = KnowledgeBase::load(&kb_path).expect("reloading the knowledge store");
-    let _ = std::fs::remove_file(&kb_path);
+    let _ = std::fs::remove_dir_all(&kb_path);
 
     let warm = Engine::with_cache(jobs, Arc::clone(cache)).run_batch_learned(
         spec,
@@ -176,7 +179,7 @@ fn warm_start_json(
             "\"delta\":{{\"pass_rate\":{:.4},\"exec_rate\":{:.4},",
             "\"simulated_overhead_ms\":{:.4},\"kb_query_ms\":{:.4}}},\n   ",
             "\"kb_entries\":{{\"seeded\":{},\"before_coalescing\":{},",
-            "\"after_coalescing\":{},\"append_only_final\":{}}}}}"
+            "\"after_coalescing\":{},\"append_only_final\":{},\"store_shards\":{}}}}}"
         ),
         run_json(cold),
         run_json(&warm),
@@ -188,6 +191,7 @@ fn warm_start_json(
         warm.stats.kb.seeded_entries + warm.stats.kb.merged_inserts,
         warm.stats.kb.final_entries,
         append.stats.kb.final_entries,
+        save.shards_written + save.shards_skipped,
     );
     let summary = format!(
         "warm start: exec rate {:.1}% -> {:.1}% | overhead {:.0} -> {:.0} ms | kb entries {} coalesced to {} (append-only would hold {})",

@@ -23,7 +23,10 @@ use rb_miri::UbClass;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-pub use rb_kb::{CodecError, ConflictResolution, KbEntry, MergePolicy, StoreError};
+pub use rb_kb::{
+    CodecError, CompactReport, ConflictResolution, KbEntry, MergePolicy, SaveReport, StoreError,
+    StoreLayout,
+};
 
 /// The knowledge base.
 ///
@@ -101,11 +104,28 @@ impl KnowledgeBase {
     /// base from decoded storage).
     #[must_use]
     pub fn with_entries(entries: Vec<KbEntry>) -> KnowledgeBase {
-        KnowledgeBase {
+        let kb = KnowledgeBase {
             index: KbIndex::build(&entries),
             entries,
             ..KnowledgeBase::default()
-        }
+        };
+        kb.debug_assert_index_fresh();
+        kb
+    }
+
+    /// The index-staleness invariant (debug builds only): every indexed
+    /// position must point at an entry of the bucket's class. A policy
+    /// merge reorders the entry vector, so any code path that normalizes
+    /// without rebuilding the index would silently retrieve wrong-class
+    /// entries — this turns that silence into a loud assertion at every
+    /// construction, merge and query boundary.
+    #[inline]
+    fn debug_assert_index_fresh(&self) {
+        debug_assert!(
+            self.index.is_consistent(&self.entries),
+            "KbIndex is stale: positions no longer match the entries they point at \
+             (was the entry vector reordered without KbIndex::build?)"
+        );
     }
 
     /// Number of stored entries (after merging, one entry can stand for
@@ -183,9 +203,13 @@ impl KnowledgeBase {
             submitted += delta.len();
         }
         if !policy.is_append_only() {
+            // Normalization reorders the entry vector, so the positions
+            // the index holds are stale from this line on: rebuilding is
+            // not an optimization but a correctness requirement.
             self.entries = policy.normalize(std::mem::take(&mut self.entries));
             self.index = KbIndex::build(&self.entries);
         }
+        self.debug_assert_index_fresh();
         submitted
     }
 
@@ -209,6 +233,7 @@ impl KnowledgeBase {
     /// bucket-bounded scan cost (a repair rule learned for another UB
     /// class is rarely the right few-shot anyway).
     pub fn query(&mut self, vector: &AstVector, class: UbClass, k: usize) -> Vec<FewShot> {
+        self.debug_assert_index_fresh();
         let cost = self.query_cost_ms(class);
         self.queries += 1;
         self.query_time_ms += cost;
@@ -281,14 +306,40 @@ impl KnowledgeBase {
         Ok(KnowledgeBase::with_entries(rb_kb::decode_entries(bytes)?))
     }
 
-    /// Saves the entries to an `.rbkb` file atomically.
+    /// Saves the entries atomically in whichever layout `path` implies —
+    /// a single `.rbkb` file, or a sharded `.rbkb.d/` directory where
+    /// only the segments whose content changed are rewritten.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        rb_kb::save(path, &self.entries)
+        self.save_reported(path).map(|_| ())
     }
 
-    /// Loads a base from an `.rbkb` file (fresh counters, rebuilt index).
+    /// [`KnowledgeBase::save`], reporting which segments the save wrote,
+    /// skipped as already clean, or removed (the engine surfaces this in
+    /// its batch telemetry; a single-file save is one written "segment").
+    pub fn save_reported(&self, path: &Path) -> Result<SaveReport, StoreError> {
+        rb_kb::save_any(path, &self.entries)
+    }
+
+    /// Loads a base from either store layout (fresh counters, rebuilt
+    /// index): a single `.rbkb` file or a sharded `.rbkb.d/` directory.
     pub fn load(path: &Path) -> Result<KnowledgeBase, StoreError> {
-        Ok(KnowledgeBase::with_entries(rb_kb::load(path)?))
+        Ok(KnowledgeBase::with_entries(rb_kb::load_any(path)?))
+    }
+
+    /// Loads only `class`'s entries from a sharded store — the
+    /// single-class fast path: one segment file is read, every other
+    /// class's knowledge stays on disk. On a single-file store this
+    /// degrades honestly: the file is read whole and filtered.
+    pub fn load_class(path: &Path, class: UbClass) -> Result<KnowledgeBase, StoreError> {
+        let entries = match rb_kb::detect_layout(path) {
+            StoreLayout::Sharded => rb_kb::ShardedStore::open(path)?.load_class(class)?,
+            StoreLayout::SingleFile => {
+                let mut entries = rb_kb::load(path)?;
+                entries.retain(|e| e.class == class);
+                entries
+            }
+        };
+        Ok(KnowledgeBase::with_entries(entries))
     }
 }
 
@@ -419,6 +470,55 @@ mod tests {
         assert_eq!(kb.last_query_cost_ms(), predicted);
         assert_eq!(kb.query_time_ms(), predicted);
         assert_eq!(kb.queries(), 1);
+    }
+
+    #[test]
+    fn sharded_and_single_file_layouts_both_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rb_core_kb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut kb = KnowledgeBase::new();
+        let dangling = vec_of(
+            "fn main() { let q: *const i32 = 0 as *const i32; \
+             { let x: i32 = 5; q = &raw const x; } unsafe { print(*q); } }",
+        );
+        let race = vec_of(
+            "static mut G: i32 = 0; fn main() { \
+             spawn { unsafe { G = 1; } } spawn { unsafe { G = 2; } } join; }",
+        );
+        kb.insert(
+            dangling.clone(),
+            UbClass::DanglingPointer,
+            RepairRule::HoistLocalOut,
+        );
+        kb.insert(race, UbClass::DataRace, RepairRule::LockSpawnBodies);
+
+        let single = dir.join("store.rbkb");
+        let sharded = dir.join("store.rbkb.d");
+        kb.save(&single).unwrap();
+        let report = kb.save_reported(&sharded).unwrap();
+        assert_eq!(report.shards_written, 2, "two classes, two segments");
+
+        // Both layouts revive the same base (sharded order groups by
+        // class code; these two classes are already in code order).
+        let from_single = KnowledgeBase::load(&single).unwrap();
+        let from_sharded = KnowledgeBase::load(&sharded).unwrap();
+        assert_eq!(from_single.entries(), kb.entries());
+        assert_eq!(from_sharded.entries(), kb.entries());
+
+        // The single-class fast path sees exactly one class's knowledge,
+        // and retrieval over it still works.
+        let mut one = KnowledgeBase::load_class(&sharded, UbClass::DanglingPointer).unwrap();
+        assert_eq!(one.len(), 1);
+        let shots = one.query(&dangling, UbClass::DanglingPointer, 1);
+        assert_eq!(
+            shots.first().map(|s| s.rule),
+            Some(RepairRule::HoistLocalOut)
+        );
+        // …and the same call against the single-file store filters.
+        let one = KnowledgeBase::load_class(&single, UbClass::DataRace).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.entries()[0].rule, RepairRule::LockSpawnBodies);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -235,6 +235,9 @@ impl Engine {
             contributing_jobs,
             coalesced: (snapshot.len() + merged_inserts).saturating_sub(knowledge.len()),
             final_entries: knowledge.len(),
+            // Filled in by run_batch_stored when a store is written.
+            shards_written: 0,
+            shards_skipped: 0,
         };
 
         let mut busy_ms = vec![0.0f64; self.workers];
@@ -327,6 +330,13 @@ impl Engine {
     /// base is saved atomically to `kb_out` — so consecutive CLI
     /// invocations chain their learning instead of starting cold.
     ///
+    /// Both paths accept either store layout: a single `.rbkb` file or a
+    /// sharded `.rbkb.d/` directory. Saving into a sharded store merges
+    /// the batch's deltas into **only the dirty shards** — a class no job
+    /// learned anything new about keeps its segment file untouched on
+    /// disk (surfaced as `kb.shards_written`/`kb.shards_skipped` in
+    /// [`EngineStats`]).
+    ///
     /// A missing or corrupt `kb_in` file is a typed [`StoreError`], never
     /// a silent cold start: warm-start results must be trustworthy.
     pub fn run_batch_stored(
@@ -341,9 +351,11 @@ impl Engine {
             Some(path) => KnowledgeBase::load(path)?,
             None => KnowledgeBase::new(),
         };
-        let outcome = self.run_batch_learned(system, cases, base_seed, &snapshot);
+        let mut outcome = self.run_batch_learned(system, cases, base_seed, &snapshot);
         if let Some(path) = kb_out {
-            outcome.knowledge.save(path)?;
+            let report = outcome.knowledge.save_reported(path)?;
+            outcome.stats.kb.shards_written = report.shards_written;
+            outcome.stats.kb.shards_skipped = report.shards_skipped;
         }
         Ok(outcome)
     }

@@ -26,6 +26,13 @@ pub struct KbMergeStats {
     pub coalesced: usize,
     /// Entries in the merged base handed back in the batch outcome.
     pub final_entries: usize,
+    /// Store segments rewritten by `--kb-out` (a single-file store counts
+    /// as one; a sharded store rewrites only its dirty shards). Zero when
+    /// no store was written.
+    pub shards_written: usize,
+    /// Store segments whose content was unchanged and were skipped by the
+    /// sharded save (always zero for single-file stores).
+    pub shards_skipped: usize,
 }
 
 /// Aggregate telemetry of one engine batch.
@@ -109,7 +116,8 @@ impl EngineStats {
                 "\"kb_query_ms\":{},",
                 "\"oracle\":{{\"executed\":{},\"cached\":{}}},",
                 "\"kb\":{{\"seeded\":{},\"merged_inserts\":{},",
-                "\"contributing_jobs\":{},\"coalesced\":{},\"final_entries\":{}}},",
+                "\"contributing_jobs\":{},\"coalesced\":{},\"final_entries\":{},",
+                "\"shards_written\":{},\"shards_skipped\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
                 "\"evictions\":{},\"capacity\":{},\"hit_rate\":{}}}}}"
             ),
@@ -128,6 +136,8 @@ impl EngineStats {
             self.kb.contributing_jobs,
             self.kb.coalesced,
             self.kb.final_entries,
+            self.kb.shards_written,
+            self.kb.shards_skipped,
             self.cache.hits,
             self.cache.misses,
             self.cache.entries,
@@ -187,6 +197,8 @@ mod tests {
                 contributing_jobs: 2,
                 coalesced: 1,
                 final_entries: 3,
+                shards_written: 2,
+                shards_skipped: 1,
             },
             cache: CacheStats {
                 hits: 1,
@@ -203,6 +215,8 @@ mod tests {
         assert!(json.contains("\"oracle\":{\"executed\":7,\"cached\":21}"));
         assert!(json.contains("\"merged_inserts\":3"));
         assert!(json.contains("\"coalesced\":1"));
+        assert!(json.contains("\"shards_written\":2"));
+        assert!(json.contains("\"shards_skipped\":1"));
         assert!(json.contains("\"kb_query_ms\":18.5000"));
         assert!(json.contains("\"evictions\":4"));
         assert!(json.contains("\"capacity\":64"));

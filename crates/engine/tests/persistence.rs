@@ -84,6 +84,69 @@ fn warm_start_through_a_file_improves_on_cold() {
 }
 
 #[test]
+fn sharded_store_chains_batches_and_rewrites_only_dirty_shards() {
+    let corpus = Corpus::generate_full(42, 2);
+    let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 0));
+    let engine = Engine::new(4);
+    let single = scratch("layout.rbkb");
+    let sharded = scratch("layout.rbkb.d");
+
+    // One batch saved into both layouts: identical learning, and the
+    // sharded store reports one written segment per learned class.
+    let cold = engine
+        .run_batch_stored(&spec, &corpus.cases, 42, None, Some(&single))
+        .unwrap();
+    assert_eq!(cold.stats.kb.shards_written, 1, "single file = one segment");
+    let cold_sharded = engine
+        .run_batch_stored(&spec, &corpus.cases, 42, None, Some(&sharded))
+        .unwrap();
+    assert_eq!(cold_sharded.results, cold.results);
+    let classes: std::collections::BTreeSet<_> = cold_sharded
+        .knowledge
+        .entries()
+        .iter()
+        .map(|e| e.class)
+        .collect();
+    assert_eq!(cold_sharded.stats.kb.shards_written, classes.len());
+    assert_eq!(cold_sharded.stats.kb.shards_skipped, 0);
+
+    // Warm-starting from the sharded store is byte-faithful: the loaded
+    // base equals the canonical (class-grouped) merged base.
+    let revived = KnowledgeBase::load(&sharded).unwrap();
+    assert_eq!(revived.entries(), cold_sharded.knowledge.entries());
+
+    // Chaining through the sharded store only rewrites dirty shards: a
+    // class whose knowledge did not change keeps its segment untouched.
+    let warm = engine
+        .run_batch_stored(&spec, &corpus.cases, 42, Some(&sharded), Some(&sharded))
+        .unwrap();
+    assert_eq!(
+        warm.stats.kb.seeded_entries,
+        cold_sharded.stats.kb.final_entries
+    );
+    assert_eq!(
+        warm.stats.kb.shards_written + warm.stats.kb.shards_skipped,
+        warm.knowledge
+            .entries()
+            .iter()
+            .map(|e| e.class)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        "every class's segment is either rewritten or skipped, never lost"
+    );
+
+    // A fixed-point save (same base in, same base out) skips everything.
+    let report = warm.knowledge.save_reported(&sharded).unwrap();
+    assert_eq!(report.shards_written, 0, "clean shards were rewritten");
+    assert_eq!(
+        report.shards_skipped,
+        warm.stats.kb.shards_written + warm.stats.kb.shards_skipped
+    );
+    let _ = std::fs::remove_file(&single);
+    let _ = std::fs::remove_dir_all(&sharded);
+}
+
+#[test]
 fn missing_and_corrupt_inputs_are_typed_errors() {
     let corpus = Corpus::generate(5, 1, &[rb_miri::UbClass::Panic]);
     let spec = SystemSpec::rust_assistant();

@@ -256,15 +256,33 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Encodes entries to the `.rbkb` wire format.
 #[must_use]
 pub fn encode_entries(entries: &[KbEntry]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(9 + entries.len() * (8 + 64 * 8));
+    encode_inner(entries.len(), entries.iter())
+}
+
+/// Encodes borrowed entries to the `.rbkb` wire format — what the
+/// sharded store uses to write one class's segment out of a larger base
+/// without cloning the entries first.
+#[must_use]
+pub fn encode_entries_refs(entries: &[&KbEntry]) -> Vec<u8> {
+    encode_inner(entries.len(), entries.iter().copied())
+}
+
+fn encode_inner<'a>(count: usize, entries: impl Iterator<Item = &'a KbEntry>) -> Vec<u8> {
+    // The count prefix is u32 (and per-entry dims u16); a base past
+    // either bound encodes truncated-but-decodable rather than writing a
+    // count the content contradicts (which would checksum fine and then
+    // refuse to decode — a save that quietly bricks the store). In
+    // practice the merge policy bounds the base far below this.
+    debug_assert!(
+        u32::try_from(count).is_ok(),
+        "encoding truncates a base past u32::MAX entries"
+    );
+    let count = u32::try_from(count).unwrap_or(u32::MAX);
+    let mut out = Vec::with_capacity(9 + count as usize * (8 + 64 * 8));
     out.extend_from_slice(&MAGIC);
     out.push(FORMAT_VERSION);
-    out.extend_from_slice(
-        &u32::try_from(entries.len())
-            .unwrap_or(u32::MAX)
-            .to_le_bytes(),
-    );
-    for e in entries {
+    out.extend_from_slice(&count.to_le_bytes());
+    for e in entries.take(count as usize) {
         let dim = u16::try_from(e.vector.components.len()).unwrap_or(u16::MAX);
         out.extend_from_slice(&dim.to_le_bytes());
         for c in e.vector.components.iter().take(usize::from(dim)) {
@@ -313,12 +331,101 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a `.rbkb` byte stream back into entries.
+/// A streaming decoder over a `.rbkb` byte stream: entries materialize
+/// one at a time instead of all at once, so a consumer can index, filter
+/// or re-encode a large store without ever holding two copies of it.
 ///
-/// Validates the magic, version, per-entry codes, the exact stream length
-/// and the trailing checksum; any corruption — truncation, bit flips,
-/// foreign files — returns a [`CodecError`] instead of panicking.
-pub fn decode_entries(bytes: &[u8]) -> Result<Vec<KbEntry>, CodecError> {
+/// Produced by [`decode_entries_iter`], which validates the header and
+/// the trailing checksum *up front* — by the time the iterator yields its
+/// first entry, the bytes are known to be exactly what an encoder wrote.
+/// Per-entry structural validation (codes, weights, the announced count
+/// matching the content) still happens lazily; the first failure is
+/// yielded as an `Err` and the iterator fuses.
+pub struct EntriesIter<'a> {
+    /// Reader over the content region only (checksum excluded), so an
+    /// overlong entry reads [`CodecError::Truncated`], never the checksum.
+    r: Reader<'a>,
+    remaining: usize,
+    done: bool,
+}
+
+impl Iterator for EntriesIter<'_> {
+    type Item = Result<KbEntry, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.remaining == 0 {
+            self.done = true;
+            let left = self.r.bytes.len() - self.r.pos;
+            if left != 0 {
+                return Some(Err(CodecError::TrailingBytes(left)));
+            }
+            return None;
+        }
+        self.remaining -= 1;
+        let entry = self.decode_one();
+        if entry.is_err() {
+            self.done = true;
+        }
+        Some(entry)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            // The announced count bounds the entries, plus one possible
+            // final `Err` item (a structural error, or TrailingBytes when
+            // the content outruns the count).
+            (0, Some(self.remaining + 1))
+        }
+    }
+}
+
+impl EntriesIter<'_> {
+    /// Entries the stream still announces (an upper bound once errors are
+    /// possible; exact for a well-formed stream).
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn decode_one(&mut self) -> Result<KbEntry, CodecError> {
+        let r = &mut self.r;
+        let dim = usize::from(r.u16()?);
+        let mut components = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            components.push(f64::from_bits(r.u64()?));
+        }
+        let class = r.u8()?;
+        let class = class_from_code(class).ok_or(CodecError::BadClass(class))?;
+        let rule = r.u8()?;
+        let rule = rule_from_code(rule).ok_or(CodecError::BadRule(rule))?;
+        let weight = r.u32()?;
+        if weight == 0 {
+            return Err(CodecError::ZeroWeight);
+        }
+        Ok(KbEntry {
+            vector: AstVector { components },
+            class,
+            rule,
+            weight,
+        })
+    }
+}
+
+/// Opens a streaming decoder over a `.rbkb` byte stream.
+///
+/// The magic, format version and trailing checksum are validated here,
+/// before any entry is decoded — corruption anywhere in the stream
+/// (truncation, bit flips, foreign files) surfaces as an immediate
+/// [`CodecError`]. The returned [`EntriesIter`] then yields entries
+/// incrementally; per-entry structural problems a checksum cannot rule
+/// out (unknown codes in a hand-crafted file, a count that disagrees
+/// with the content) are yielded as `Err` items.
+pub fn decode_entries_iter(bytes: &[u8]) -> Result<EntriesIter<'_>, CodecError> {
     let mut r = Reader { bytes, pos: 0 };
     let magic = r.take(4).map_err(|_| CodecError::BadMagic {
         found: bytes.to_vec(),
@@ -333,38 +440,35 @@ pub fn decode_entries(bytes: &[u8]) -> Result<Vec<KbEntry>, CodecError> {
         return Err(CodecError::UnsupportedVersion(version));
     }
     let count = r.u32()? as usize;
-    let mut entries = Vec::with_capacity(count.min(bytes.len() / 8));
-    for _ in 0..count {
-        let dim = usize::from(r.u16()?);
-        let mut components = Vec::with_capacity(dim);
-        for _ in 0..dim {
-            components.push(f64::from_bits(r.u64()?));
-        }
-        let class = r.u8()?;
-        let class = class_from_code(class).ok_or(CodecError::BadClass(class))?;
-        let rule = r.u8()?;
-        let rule = rule_from_code(rule).ok_or(CodecError::BadRule(rule))?;
-        let weight = r.u32()?;
-        if weight == 0 {
-            return Err(CodecError::ZeroWeight);
-        }
-        entries.push(KbEntry {
-            vector: AstVector { components },
-            class,
-            rule,
-            weight,
-        });
+    let have = bytes.len() - r.pos;
+    if have < 8 {
+        return Err(CodecError::Truncated { needed: 8, have });
     }
-    let content_end = r.pos;
-    let stored = r.u64()?;
-    if r.pos != bytes.len() {
-        return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
-    }
+    let content_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[content_end..].try_into().expect("len 8"));
     let computed = fnv1a64(&bytes[..content_end]);
     if stored != computed {
         return Err(CodecError::ChecksumMismatch { stored, computed });
     }
-    Ok(entries)
+    Ok(EntriesIter {
+        r: Reader {
+            bytes: &bytes[..content_end],
+            pos: r.pos,
+        },
+        remaining: count,
+        done: false,
+    })
+}
+
+/// Decodes a `.rbkb` byte stream back into entries.
+///
+/// Validates the magic, version, per-entry codes, the exact stream length
+/// and the trailing checksum; any corruption — truncation, bit flips,
+/// foreign files — returns a [`CodecError`] instead of panicking. This is
+/// [`decode_entries_iter`] collected; use the iterator directly when the
+/// store is large and entries can be consumed incrementally.
+pub fn decode_entries(bytes: &[u8]) -> Result<Vec<KbEntry>, CodecError> {
+    decode_entries_iter(bytes)?.collect()
 }
 
 #[cfg(test)]
@@ -478,11 +582,70 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
+        // A blind append lands after the checksum: the checksum (computed
+        // over everything but the trailing 8 bytes) no longer lines up.
         let mut bytes = encode_entries(&[]);
         bytes.push(0);
         assert!(matches!(
             decode_entries(&bytes),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+        // Junk *inside* a checksum-valid stream — content beyond the
+        // announced entry count — is the TrailingBytes refusal.
+        let mut bytes = encode_entries(&[]);
+        bytes.truncate(bytes.len() - 8); // drop the checksum
+        bytes.push(0xAB); // junk the count does not announce
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_entries(&bytes),
             Err(CodecError::TrailingBytes(1))
         ));
+    }
+
+    #[test]
+    fn streaming_decode_yields_entries_incrementally() {
+        let entries = vec![
+            entry(&[1.0, 2.0], UbClass::Panic, RepairRule::GuardDivision, 2),
+            entry(&[0.5], UbClass::Alloc, RepairRule::AddDealloc, 1),
+            entry(&[], UbClass::Compile, RepairRule::BreakTypes, 7),
+        ];
+        let bytes = encode_entries(&entries);
+        let mut it = decode_entries_iter(&bytes).unwrap();
+        assert_eq!(it.remaining(), 3);
+        assert_eq!(it.next().unwrap().unwrap(), entries[0]);
+        assert_eq!(it.remaining(), 2);
+        let rest: Result<Vec<KbEntry>, CodecError> = it.collect();
+        assert_eq!(rest.unwrap(), entries[1..]);
+    }
+
+    #[test]
+    fn streaming_decode_rejects_corruption_before_the_first_entry() {
+        let entries = vec![entry(&[0.25], UbClass::Uninit, RepairRule::GuardIndex, 1)];
+        let mut bytes = encode_entries(&entries);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        // The checksum is verified when the iterator is opened, so the
+        // consumer can never stream entries out of a corrupt file.
+        assert!(matches!(
+            decode_entries_iter(&bytes),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_decode_fuses_after_a_structural_error() {
+        // A hand-crafted stream with a valid checksum but an unknown class
+        // code: the iterator yields the typed error once, then fuses.
+        let good = entry(&[1.0], UbClass::Panic, RepairRule::GuardDivision, 1);
+        let mut bytes = encode_entries(&[good.clone(), good]);
+        bytes.truncate(bytes.len() - 8);
+        let class_at = 4 + 1 + 4 + 2 + 8; // header, dim, one component
+        bytes[class_at] = 200; // no such class code
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let mut it = decode_entries_iter(&bytes).unwrap();
+        assert!(matches!(it.next(), Some(Err(CodecError::BadClass(200)))));
+        assert!(it.next().is_none(), "iterator must fuse after an error");
     }
 }

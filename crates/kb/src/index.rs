@@ -32,9 +32,15 @@ pub fn query_cost_ms(scanned: usize) -> f64 {
 /// The index stores positions into the owner's entry vector (not copies),
 /// so it must be rebuilt when the entry vector is reordered (e.g. by a
 /// policy merge) and extended via [`KbIndex::note_insert`] on appends.
+/// Owners can (and in debug builds should) check that contract with
+/// [`KbIndex::is_consistent`].
+///
+/// Positions are `u64` on the wire-facing side: a store past `u32::MAX`
+/// entries keeps indexing correctly instead of aborting mid-batch (the
+/// pre-fix index `expect`ed the narrowing and panicked).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KbIndex {
-    buckets: Vec<Vec<u32>>,
+    buckets: Vec<Vec<u64>>,
 }
 
 impl KbIndex {
@@ -57,20 +63,46 @@ impl KbIndex {
     }
 
     /// Records that an entry of `class` was appended at `position`.
+    ///
+    /// Positions widen losslessly into `u64`: a base that outgrows
+    /// `u32::MAX` entries degrades into more memory, not a panic.
     pub fn note_insert(&mut self, position: usize, class: UbClass) {
         if self.buckets.is_empty() {
             self.buckets = vec![Vec::new(); NUM_CLASS_CODES];
         }
-        self.buckets[usize::from(class_code(class))]
-            .push(u32::try_from(position).expect("kb larger than u32 positions"));
+        self.buckets[usize::from(class_code(class))].push(position as u64);
     }
 
     /// Entry positions holding `class` entries, in insertion order.
     #[must_use]
-    pub fn bucket(&self, class: UbClass) -> &[u32] {
+    pub fn bucket(&self, class: UbClass) -> &[u64] {
         self.buckets
             .get(usize::from(class_code(class)))
             .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether this index faithfully describes `entries`: every position
+    /// is in range, points at an entry of the bucket's class, and every
+    /// entry is indexed exactly once. This is the staleness invariant a
+    /// reorder (e.g. a policy merge) breaks unless the owner rebuilds —
+    /// owners `debug_assert!` it at their read and merge boundaries.
+    #[must_use]
+    pub fn is_consistent(&self, entries: &[KbEntry]) -> bool {
+        if self.len() != entries.len() {
+            return false;
+        }
+        // With bucket sizes summing to entries.len(), "each entry indexed
+        // exactly once" reduces to "no position indexed twice".
+        let mut seen = vec![false; entries.len()];
+        self.buckets.iter().enumerate().all(|(code, bucket)| {
+            bucket.iter().all(|&p| {
+                let Some(e) = usize::try_from(p).ok().and_then(|p| entries.get(p)) else {
+                    return false;
+                };
+                let fresh = !std::mem::replace(&mut seen[p as usize], true);
+                fresh && u8::try_from(code).is_ok_and(|code| class_code(e.class) == code)
+            })
+        })
     }
 
     /// Number of entries a query for `class` will scan.
@@ -146,6 +178,44 @@ mod tests {
         assert!(index.is_empty());
         index.note_insert(0, UbClass::Uninit);
         assert_eq!(index.bucket(UbClass::Uninit), &[0]);
+    }
+
+    #[test]
+    fn positions_past_u32_index_without_panicking() {
+        // Regression: the pre-fix index narrowed positions to u32 with an
+        // `expect`, so entry 4_294_967_296 of a huge store aborted the
+        // whole batch. Widened positions just keep counting.
+        let mut index = KbIndex::new();
+        let huge = u32::MAX as usize + 1;
+        index.note_insert(huge, UbClass::Alloc);
+        assert_eq!(index.bucket(UbClass::Alloc), &[huge as u64]);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn consistency_detects_stale_positions() {
+        let entries = vec![
+            entry(UbClass::Panic),
+            entry(UbClass::Alloc),
+            entry(UbClass::Panic),
+        ];
+        let index = KbIndex::build(&entries);
+        assert!(index.is_consistent(&entries));
+        // A reorder without a rebuild is exactly the staleness bug.
+        let mut reordered = entries.clone();
+        reordered.swap(0, 1);
+        assert!(!index.is_consistent(&reordered));
+        // So is an index that covers fewer entries than exist…
+        assert!(!index.is_consistent(&[entries[0].clone()]));
+        // …and a stale out-of-range position.
+        assert!(!KbIndex::build(&entries).is_consistent(&entries[..2]));
+        // A duplicated position hides an unindexed entry even though the
+        // totals match: "exactly once" must actually mean exactly once.
+        let mut duplicated = KbIndex::new();
+        duplicated.note_insert(0, UbClass::Panic);
+        duplicated.note_insert(0, UbClass::Panic);
+        duplicated.note_insert(1, UbClass::Alloc);
+        assert!(!duplicated.is_consistent(&entries));
     }
 
     #[test]

@@ -17,13 +17,18 @@
 //!   one bucket instead of the whole base, with the simulated cost model
 //!   re-derived from bucket size.
 //! - [`store`] — atomic load/save of `.rbkb` files (temp file + rename)
-//!   with corruption surfaced as typed errors, never panics.
+//!   with corruption surfaced as typed errors, never panics — plus the
+//!   layout dispatch between the single file and the sharded directory.
+//! - [`shard`] — the production-scale `.rbkb.d/` layout: one segment per
+//!   [`UbClass`] (mirroring the index), a checksummed manifest,
+//!   dirty-shard-only saves, and compaction with atomic swap-in.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod index;
 pub mod policy;
+pub mod shard;
 pub mod store;
 
 use rb_lang::vectorize::AstVector;
@@ -61,7 +66,13 @@ impl KbEntry {
     }
 }
 
-pub use codec::{decode_entries, encode_entries, CodecError, FORMAT_VERSION, MAGIC};
+pub use codec::{
+    decode_entries, decode_entries_iter, encode_entries, CodecError, EntriesIter, FORMAT_VERSION,
+    MAGIC,
+};
 pub use index::{query_cost_ms, KbIndex, QUERY_BASE_MS, QUERY_PER_ENTRY_MS};
-pub use policy::{ConflictResolution, MergePolicy};
-pub use store::{load, save, StoreError};
+pub use policy::{ConflictResolution, MergePolicy, COMPACTION_COALESCE_THRESHOLD};
+pub use shard::{load_sharded, save_sharded, CompactReport, Manifest, ShardMeta, ShardedStore};
+pub use store::{
+    detect_layout, load, load_any, save, save_any, SaveReport, StoreError, StoreLayout,
+};

@@ -59,6 +59,12 @@ pub struct MergePolicy {
 /// retrieval floor is 0.6 — far below).
 pub const DEFAULT_COALESCE_THRESHOLD: f64 = 0.995;
 
+/// Tightened coalescing threshold for background compaction: lower than
+/// the live-merge default, so shapes the online policy kept distinct fold
+/// together when a shard is re-normalized offline — bounding segment
+/// growth harder than the per-batch merge does.
+pub const COMPACTION_COALESCE_THRESHOLD: f64 = 0.98;
+
 impl Default for MergePolicy {
     fn default() -> MergePolicy {
         MergePolicy {
@@ -78,6 +84,21 @@ impl MergePolicy {
             dedup_exact: false,
             conflict: ConflictResolution::KeepAll,
             coalesce_threshold: None,
+        }
+    }
+
+    /// The compaction policy: exact dedup plus near-duplicate coalescing
+    /// at `threshold` (typically the tightened
+    /// [`COMPACTION_COALESCE_THRESHOLD`]), with conflict resolution OFF —
+    /// compaction only *folds* weight, it never drops a rule, so the
+    /// store's total solved-case weight is invariant under it (the
+    /// property `kb compact` and the CI smoke assert).
+    #[must_use]
+    pub fn compaction(threshold: f64) -> MergePolicy {
+        MergePolicy {
+            dedup_exact: true,
+            conflict: ConflictResolution::KeepAll,
+            coalesce_threshold: Some(threshold),
         }
     }
 

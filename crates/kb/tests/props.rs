@@ -8,9 +8,13 @@ use proptest::prelude::*;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rb_kb::codec::{class_from_code, rule_from_code};
-use rb_kb::{decode_entries, encode_entries, ConflictResolution, KbEntry, MergePolicy};
+use rb_kb::codec::{class_code, class_from_code, rule_from_code};
+use rb_kb::{
+    decode_entries, encode_entries, ConflictResolution, KbEntry, MergePolicy, ShardedStore,
+};
 use rb_lang::vectorize::AstVector;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// One arbitrary entry: a small vector with coarse components (collisions
 /// and near-duplicates must actually occur for the policy passes to have
@@ -57,6 +61,25 @@ fn policy(selector: u8) -> MergePolicy {
         },
         _ => MergePolicy::default(),
     }
+}
+
+/// A scratch directory unique to this process *and* proptest case, so
+/// cases never see each other's segment files.
+fn scratch_dir() -> PathBuf {
+    static UNIQUE: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "rb_kb_props_{}_{}.rbkb.d",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The order a sharded store returns entries in: grouped by ascending
+/// class wire code, input order preserved inside each class.
+fn class_grouped(entries: &[KbEntry]) -> Vec<KbEntry> {
+    let mut grouped = entries.to_vec();
+    grouped.sort_by_key(|e| class_code(e.class)); // stable: keeps in-class order
+    grouped
 }
 
 fn shuffled(mut entries: Vec<KbEntry>, seed: u64) -> Vec<KbEntry> {
@@ -110,6 +133,58 @@ proptest! {
         let out = policy.normalize(entries);
         let after: u64 = out.iter().map(|e| u64::from(e.weight)).sum();
         prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sharded_store_round_trips_against_the_single_file_codec(
+        entries in entries_strategy(),
+    ) {
+        // The same multiset through both layouts: the single-file codec
+        // (bit-exact, order-preserving) and the sharded store (segments
+        // per class). Sharded load must equal the single-file round trip
+        // entry for entry, up to the layout's documented class grouping —
+        // and for a policy-normalized base (already in canonical class
+        // order) the two must be *identical*.
+        let dir = scratch_dir();
+        let mut store = ShardedStore::open_or_create(&dir).unwrap();
+        store.save(&entries).unwrap();
+        let sharded = store.load_all().unwrap();
+        let single = decode_entries(&encode_entries(&entries)).unwrap();
+        prop_assert_eq!(&sharded, &class_grouped(&single));
+
+        let canonical = MergePolicy::default().normalize(entries);
+        store.save(&canonical).unwrap();
+        let sharded = store.load_all().unwrap();
+        let single = decode_entries(&encode_entries(&canonical)).unwrap();
+        prop_assert_eq!(&sharded, &single);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_is_a_fixpoint_and_preserves_weight(
+        entries in entries_strategy(),
+        threshold_percent in 90u8..100,
+    ) {
+        let policy = MergePolicy::compaction(f64::from(threshold_percent) / 100.0);
+        let dir = scratch_dir();
+        let mut store = ShardedStore::open_or_create(&dir).unwrap();
+        store.save(&entries).unwrap();
+        let weight_before: u64 = entries.iter().map(|e| u64::from(e.weight)).sum();
+
+        let first = store.compact(&policy, 4).unwrap();
+        prop_assert_eq!(first.entries_before as usize, entries.len());
+        prop_assert!(first.entries_after <= first.entries_before);
+        prop_assert_eq!(first.weight_after, weight_before,
+            "compaction must only fold weight, never drop it");
+        let after_first = store.load_all().unwrap();
+
+        // Compacting twice changes nothing: no shard is rewritten, the
+        // content is byte-stable.
+        let second = store.compact(&policy, 4).unwrap();
+        prop_assert_eq!(second.shards_compacted, 0, "second pass rewrote a shard");
+        prop_assert_eq!(second.entries_after, first.entries_after);
+        prop_assert_eq!(&store.load_all().unwrap(), &after_first);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -8,8 +8,16 @@
 //!   rustbrain corpus <dir> [--seed N]           export the benchmark corpus
 //!   rustbrain batch [options]                   sweep the corpus on the
 //!                                               parallel batch engine
-//!   rustbrain kb inspect <file.rbkb>            print a knowledge store's
+//!   rustbrain kb inspect <store>                print a knowledge store's
 //!                                               entry/weight/class histograms
+//!                                               (and per-shard sizes for a
+//!                                               sharded store)
+//!   rustbrain kb migrate <src> <dst>            copy a store between layouts
+//!                                               (`x.rbkb` file ⇄ `x.rbkb.d/`
+//!                                               shard directory)
+//!   rustbrain kb compact <store> [--threshold]  re-normalize under the
+//!                                               tightened coalescing
+//!                                               threshold, atomic swap-in
 //!
 //! OPTIONS:
 //!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
@@ -30,10 +38,15 @@
 //!   --cache-cap <N>                             bound the oracle cache to N
 //!                                               entries, rounded up to one
 //!                                               per shard (clock eviction)
-//!   --kb-in <file.rbkb>                         batch: start from a saved
-//!                                               knowledge store (warm start)
-//!   --kb-out <file.rbkb>                        batch: save the merged
+//!   --kb-in <store>                             batch: start from a saved
+//!                                               knowledge store (warm start;
+//!                                               either layout)
+//!   --kb-out <store>                            batch: save the merged
 //!                                               knowledge store afterwards
+//!                                               (`.rbkb.d` paths shard by
+//!                                               UB class, dirty shards only)
+//!   --threshold <0.0..1.0>                      kb compact: cosine threshold
+//!                                               for coalescing [0.98]
 //! ```
 //!
 //! `.mrs` files contain mini-Rust source (see `rb-lang`'s grammar); the
@@ -72,6 +85,9 @@ struct Cli {
     cache_cap: Option<usize>,
     kb_in: Option<String>,
     kb_out: Option<String>,
+    /// `Some` only when `--threshold` was passed explicitly (so passing
+    /// the default value on the wrong subcommand still errors).
+    threshold: Option<f64>,
 }
 
 /// How the oracle cache flags resolve — the single place the
@@ -140,6 +156,8 @@ enum Command {
     Corpus(String),
     Batch,
     KbInspect(String),
+    KbMigrate(String, String),
+    KbCompact(String),
     Help,
 }
 
@@ -187,6 +205,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         cache_cap: None,
         kb_in: None,
         kb_out: None,
+        threshold: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -202,11 +221,20 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         Some("batch") => cli.command = Command::Batch,
         Some("kb") => match it.next().map(String::as_str) {
             Some("inspect") => {
-                let file = it.next().ok_or("`kb inspect` needs a file argument")?;
+                let file = it.next().ok_or("`kb inspect` needs a store argument")?;
                 cli.command = Command::KbInspect(file.clone());
             }
+            Some("migrate") => {
+                let src = it.next().ok_or("`kb migrate` needs <src> and <dst>")?;
+                let dst = it.next().ok_or("`kb migrate` needs <src> and <dst>")?;
+                cli.command = Command::KbMigrate(src.clone(), dst.clone());
+            }
+            Some("compact") => {
+                let file = it.next().ok_or("`kb compact` needs a store argument")?;
+                cli.command = Command::KbCompact(file.clone());
+            }
             Some(other) => return Err(format!("unknown kb subcommand `{other}`")),
-            None => return Err("`kb` needs a subcommand (try `kb inspect <file>`)".into()),
+            None => return Err("`kb` needs a subcommand (try `kb inspect <store>`)".into()),
         },
         Some("corpus") => {
             let dir = it.next().ok_or("`corpus` needs a directory argument")?;
@@ -288,6 +316,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--kb-out needs a value")?;
                 cli.kb_out = Some(v.clone());
             }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                let t = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --threshold `{v}`"))?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err("--threshold must be in [0, 1]".into());
+                }
+                cli.threshold = Some(t);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -296,6 +334,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     }
     if (cli.kb_in.is_some() || cli.kb_out.is_some()) && cli.command != Command::Batch {
         return Err("--kb-in/--kb-out only apply to `batch`".into());
+    }
+    if cli.threshold.is_some() && !matches!(cli.command, Command::KbCompact(_)) {
+        return Err("--threshold only applies to `kb compact`".into());
     }
     Ok(cli)
 }
@@ -316,8 +357,14 @@ USAGE:
   rustbrain corpus <dir> [--seed N]         export the benchmark corpus
   rustbrain batch [options]                 sweep the corpus on the
                                             parallel batch engine
-  rustbrain kb inspect <file.rbkb>          print a knowledge store's
+  rustbrain kb inspect <store>              print a knowledge store's
                                             entry/weight/class histograms
+                                            (plus per-shard sizes when sharded)
+  rustbrain kb migrate <src> <dst>          copy a store between layouts
+                                            (x.rbkb file <-> x.rbkb.d/ shards)
+  rustbrain kb compact <store> [--threshold T]
+                                            re-normalize shards under a
+                                            tightened coalescing threshold
 
 OPTIONS:
   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
@@ -334,10 +381,14 @@ OPTIONS:
   --no-cache                                 bypass the oracle verdict cache
   --cache-cap <N>                            bound the cache to N entries
                                              (rounded up; minimum 16)
-  --kb-in <file.rbkb>                        batch: warm-start from a saved
-                                             knowledge store
-  --kb-out <file.rbkb>                       batch: save the merged knowledge
-                                             store afterwards (atomic write)"
+  --kb-in <store>                            batch: warm-start from a saved
+                                             knowledge store (either layout)
+  --kb-out <store>                           batch: save the merged knowledge
+                                             store afterwards (atomic write;
+                                             a .rbkb.d path shards by UB class
+                                             and rewrites dirty shards only)
+  --threshold <0.0..1.0>                     kb compact: coalescing cosine
+                                             threshold [0.98]"
 }
 
 fn main() -> ExitCode {
@@ -371,6 +422,13 @@ fn main() -> ExitCode {
         Command::Corpus(ref dir) => export_corpus(dir, cli.seed),
         Command::Batch => batch(&cli),
         Command::KbInspect(ref file) => kb_inspect(file),
+        Command::KbMigrate(ref src, ref dst) => kb_migrate(src, dst),
+        Command::KbCompact(ref file) => kb_compact(
+            file,
+            cli.threshold
+                .unwrap_or(rb_kb::COMPACTION_COALESCE_THRESHOLD),
+            cli.jobs,
+        ),
         Command::Demo => {
             println!("repairing the built-in dangling-pointer demo:\n\n{DEMO}\n");
             let mut demo_cli = cli;
@@ -478,7 +536,10 @@ fn batch(cli: &Cli) -> ExitCode {
         outcome.stats.kb_query_ms,
     );
     if let Some(path) = &cli.kb_out {
-        println!("knowledge store written to {path}");
+        println!(
+            "knowledge store written to {path} ({} segment(s) rewritten, {} already clean)",
+            outcome.stats.kb.shards_written, outcome.stats.kb.shards_skipped,
+        );
     }
     if let Some(path) = &cli.results_out {
         if let Err(e) = std::fs::write(path, format!("{}\n", results_to_json(&outcome.results))) {
@@ -502,20 +563,54 @@ fn batch(cli: &Cli) -> ExitCode {
 }
 
 fn kb_inspect(file: &str) -> ExitCode {
-    let entries = match rb_kb::load(Path::new(file)) {
-        Ok(entries) => entries,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+    let path = Path::new(file);
+    // One open per store: the sharded arm loads entries and prints its
+    // segment table from the same handle, so the table can never show a
+    // different store generation than the histograms below it.
+    let (layout, entries, shards) = match rb_kb::detect_layout(path) {
+        rb_kb::StoreLayout::SingleFile => match rb_kb::load(path) {
+            Ok(entries) => ("single-file", entries, Vec::new()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        rb_kb::StoreLayout::Sharded => {
+            let loaded = rb_kb::ShardedStore::open(path).and_then(|mut store| {
+                let entries = store.load_all()?;
+                Ok((entries, store.manifest().shards.clone()))
+            });
+            match loaded {
+                Ok((entries, shards)) => ("sharded", entries, shards),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
     };
     let total_weight: u64 = entries.iter().map(|e| u64::from(e.weight)).sum();
     println!(
-        "{file}: rbkb v{} | {} entries standing for {} solved cases",
+        "{file}: rbkb v{} ({layout}) | {} entries standing for {} solved cases",
         rb_kb::FORMAT_VERSION,
         entries.len(),
         total_weight,
     );
+    // A sharded store additionally reports its on-disk segmentation —
+    // which classes occupy which segment files, and how big each is.
+    if !shards.is_empty() {
+        println!("\nshard            entries   weight    bytes  file");
+        for m in &shards {
+            println!(
+                "{:<16} {:>7} {:>8} {:>8}  {}",
+                m.class.label(),
+                m.entries,
+                m.weight,
+                m.bytes,
+                m.file_name(),
+            );
+        }
+    }
     if entries.is_empty() {
         return ExitCode::SUCCESS;
     }
@@ -551,6 +646,83 @@ fn kb_inspect(file: &str) -> ExitCode {
         println!("{:<30} {:>7}", format!("{rule:?}"), weight);
     }
     ExitCode::SUCCESS
+}
+
+/// Copies a knowledge store between layouts: the destination layout is
+/// whatever `dst` implies (`x.rbkb.d` → sharded, anything else → single
+/// file), so this is both the migration *to* shards and the way back.
+fn kb_migrate(src: &str, dst: &str) -> ExitCode {
+    let entries = match rb_kb::load_any(Path::new(src)) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match rb_kb::save_any(Path::new(dst), &entries) {
+        Ok(report) => {
+            println!(
+                "migrated {src} -> {dst}: {} entries in {} segment(s)",
+                entries.len(),
+                report.shards_written + report.shards_skipped,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Re-normalizes a store under the (tightened) compaction policy. For a
+/// sharded store each segment compacts independently on background
+/// threads and swaps in atomically; a single-file store is rewritten
+/// whole. Compaction only folds near-duplicate weight together — total
+/// solved-case weight is preserved, entry count can only shrink.
+fn kb_compact(file: &str, threshold: f64, jobs: usize) -> ExitCode {
+    let path = Path::new(file);
+    let policy = rustbrain::MergePolicy::compaction(threshold);
+    let report = match rb_kb::detect_layout(path) {
+        rb_kb::StoreLayout::Sharded => match rb_kb::ShardedStore::open(path) {
+            Ok(mut store) => store.compact(&policy, jobs),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        rb_kb::StoreLayout::SingleFile => rb_kb::load(path).and_then(|entries| {
+            let before = entries.len() as u64;
+            let weight: u64 = entries.iter().map(|e| u64::from(e.weight)).sum();
+            let compacted = policy.normalize(entries);
+            rb_kb::save(path, &compacted)?;
+            Ok(rb_kb::CompactReport {
+                shards_compacted: 1,
+                entries_before: before,
+                entries_after: compacted.len() as u64,
+                weight_before: weight,
+                weight_after: compacted.iter().map(|e| u64::from(e.weight)).sum(),
+            })
+        }),
+    };
+    match report {
+        Ok(r) => {
+            println!(
+                "compacted {file} @ cosine {threshold}: {} -> {} entries ({} folded) | weight {} -> {} | {} segment(s) rewritten",
+                r.entries_before,
+                r.entries_after,
+                r.entries_before - r.entries_after,
+                r.weight_before,
+                r.weight_after,
+                r.shards_compacted,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn check(src: &str, cli: &Cli) -> ExitCode {
@@ -714,6 +886,29 @@ mod tests {
         assert!(parse_cli(&argv("kb")).is_err());
         assert!(parse_cli(&argv("kb inspect")).is_err());
         assert!(parse_cli(&argv("kb frobnicate x")).is_err());
+    }
+
+    #[test]
+    fn parses_kb_migrate_and_compact_subcommands() {
+        let cli = parse_cli(&argv("kb migrate old.rbkb new.rbkb.d")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::KbMigrate("old.rbkb".into(), "new.rbkb.d".into())
+        );
+        assert!(parse_cli(&argv("kb migrate only_src.rbkb")).is_err());
+
+        let cli = parse_cli(&argv("kb compact store.rbkb.d --threshold 0.97")).unwrap();
+        assert_eq!(cli.command, Command::KbCompact("store.rbkb.d".into()));
+        assert_eq!(cli.threshold, Some(0.97));
+        // Omitted: the tightened compaction constant applies at dispatch.
+        let cli = parse_cli(&argv("kb compact store.rbkb.d")).unwrap();
+        assert_eq!(cli.threshold, None);
+        assert!(parse_cli(&argv("kb compact")).is_err());
+        assert!(parse_cli(&argv("kb compact s.rbkb --threshold 1.5")).is_err());
+        assert!(parse_cli(&argv("kb compact s.rbkb --threshold nope")).is_err());
+        // --threshold is compact-only — even at its default value.
+        assert!(parse_cli(&argv("batch --threshold 0.9")).is_err());
+        assert!(parse_cli(&argv("batch --threshold 0.98")).is_err());
     }
 
     #[test]
