@@ -238,7 +238,8 @@ fn main() -> ExitCode {
 
     let json = format!(
         concat!(
-            "{{\"bench\":\"engine\",\"cases\":{},\"available_cores\":{},\n",
+            "{{\"bench\":\"engine\",\"cases\":{},\"available_cores\":{},",
+            "\"requested_jobs\":{},\n",
             " \"identical_results\":{},\n",
             " \"pass_rate\":{:.4},\"exec_rate\":{:.4},\n",
             " \"serial\":{},\n",
@@ -251,6 +252,7 @@ fn main() -> ExitCode {
         ),
         corpus.len(),
         cores,
+        args.jobs,
         identical,
         pass.value(),
         exec.value(),

@@ -14,14 +14,26 @@
 //! [`KnowledgeBase::merge_all`] applies a configurable [`MergePolicy`]
 //! so the base — and the per-query scan cost — stays bounded as learning
 //! accumulates across batches and invocations.
+//!
+//! Since PR 6 a base can also be *lazily loaded*
+//! ([`KnowledgeBase::open_lazy`]): opened against a sharded `.rbkb.d/`
+//! store it starts empty and faults each class's segment in on first
+//! touch — [`KnowledgeBase::query`] and
+//! [`KnowledgeBase::consult_cost_ms`] fault in before any cost is
+//! computed, so a lazy base's retrieved shots *and* its simulated costs
+//! are byte-identical to an eagerly loaded one's. The daemon in
+//! `rb_serve` rides on this: only the shards traffic touches ever leave
+//! disk.
 
+use rb_kb::codec::class_code;
 use rb_kb::index::query_cost_ms as bucket_cost_ms;
-use rb_kb::KbIndex;
+use rb_kb::{KbIndex, ShardedStore};
 use rb_lang::vectorize::AstVector;
 use rb_llm::{FewShot, RepairRule};
 use rb_miri::UbClass;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 pub use rb_kb::{
     CodecError, CompactReport, ConflictResolution, KbEntry, MergePolicy, SaveReport, StoreError,
@@ -44,6 +56,9 @@ pub struct KnowledgeBase {
     /// Entry positions bucketed by UB class (rebuilt on merge, extended
     /// on insert).
     index: KbIndex,
+    /// The backing sharded store of a lazily loaded base (see
+    /// [`KnowledgeBase::open_lazy`]); `None` for eager bases.
+    lazy: Option<LazyShards>,
     query_time_ms: f64,
     queries: u64,
     /// Actual simulated cost of the most recent query (initially the
@@ -51,11 +66,41 @@ pub struct KnowledgeBase {
     last_query_cost_ms: f64,
 }
 
+/// The fault-in state of a lazily loaded base: a shared handle on the
+/// backing [`ShardedStore`] plus a bitmask of the classes already pulled
+/// into [`KnowledgeBase::entries`].
+///
+/// The store handle is behind an `Arc`: clones of a lazy base (the batch
+/// engine clones the snapshot into every job) share one handle, so the
+/// store's per-shard load counters aggregate segment reads across the
+/// base *and* all its clones — which is exactly what the daemon's
+/// telemetry and the serve integration test want to observe. The
+/// residency mask, by contrast, is per-clone: a clone that faults a
+/// shard in mutates only its own entry vector.
+#[derive(Clone, Debug)]
+struct LazyShards {
+    store: Arc<Mutex<ShardedStore>>,
+    /// One bit per class wire code ([`rb_kb::codec::NUM_CLASS_CODES`]
+    /// is 15, so `u16` covers every code).
+    resident: u16,
+}
+
+impl LazyShards {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardedStore> {
+        self.store.lock().expect("lazy shard store lock poisoned")
+    }
+}
+
+fn class_bit(class: UbClass) -> u16 {
+    1 << class_code(class)
+}
+
 impl Default for KnowledgeBase {
     fn default() -> KnowledgeBase {
         KnowledgeBase {
             entries: Vec::new(),
             index: KbIndex::new(),
+            lazy: None,
             query_time_ms: 0.0,
             queries: 0,
             last_query_cost_ms: bucket_cost_ms(0),
@@ -197,6 +242,18 @@ impl KnowledgeBase {
         let mut submitted = 0usize;
         for delta in deltas {
             for e in &delta.entries {
+                // Merging a class into a lazy base before its shard is
+                // resident would leave the on-disk entries shadowed: a
+                // later fault-in appends them raw on top of the merged
+                // (normalized) bucket, diverging from the eager path.
+                // Callers fault the class in first (learning deltas only
+                // carry classes the dispatch already ensured).
+                debug_assert!(
+                    self.is_resident(e.class),
+                    "merged class {:?} into a lazy base before its shard was faulted in \
+                     (ensure_class first)",
+                    e.class
+                );
                 self.index.note_insert(self.entries.len(), e.class);
                 self.entries.push(e.clone());
             }
@@ -233,6 +290,11 @@ impl KnowledgeBase {
     /// bucket-bounded scan cost (a repair rule learned for another UB
     /// class is rarely the right few-shot anyway).
     pub fn query(&mut self, vector: &AstVector, class: UbClass, k: usize) -> Vec<FewShot> {
+        // A lazy base faults the class's shard in before the cost is
+        // computed, so the accrued cost equals the eager-loaded cost. A
+        // store error degrades to the not-yet-resident bucket and leaves
+        // the class non-resident, so the next touch retries.
+        let _ = self.ensure_class(class);
         self.debug_assert_index_fresh();
         let cost = self.query_cost_ms(class);
         self.queries += 1;
@@ -316,7 +378,22 @@ impl KnowledgeBase {
     /// [`KnowledgeBase::save`], reporting which segments the save wrote,
     /// skipped as already clean, or removed (the engine surfaces this in
     /// its batch telemetry; a single-file save is one written "segment").
+    ///
+    /// A *partially resident* lazy base refuses to save: a sharded save
+    /// removes segments for classes absent from the entries, so saving
+    /// before every shard is faulted in would silently destroy the
+    /// knowledge still on disk. Call [`KnowledgeBase::ensure_all`] first.
     pub fn save_reported(&self, path: &Path) -> Result<SaveReport, StoreError> {
+        if let Some(missing) = self.first_non_resident() {
+            return Err(StoreError::Io {
+                path: path.to_path_buf(),
+                source: std::io::Error::other(format!(
+                    "lazy base is only partially resident (shard {:?} still on disk); \
+                     call ensure_all() before saving",
+                    missing.label()
+                )),
+            });
+        }
         rb_kb::save_any(path, &self.entries)
     }
 
@@ -340,6 +417,176 @@ impl KnowledgeBase {
             }
         };
         Ok(KnowledgeBase::with_entries(entries))
+    }
+
+    /// Opens `path` as a *lazily loaded* base. On a sharded `.rbkb.d/`
+    /// store (created empty if missing) the base starts with no entries
+    /// and faults each class's segment in on first touch — via
+    /// [`KnowledgeBase::query`], [`KnowledgeBase::consult_cost_ms`], or
+    /// an explicit [`KnowledgeBase::ensure_class`]. On a single-file
+    /// store there is nothing to defer, so this degrades to an eager
+    /// [`KnowledgeBase::load`].
+    ///
+    /// A lazy base answers queries — shots *and* simulated costs —
+    /// byte-identically to an eagerly loaded one, because fault-in
+    /// happens before any bucket cost is computed and a faulted bucket
+    /// holds exactly the eager bucket's entries in segment order.
+    pub fn open_lazy(path: &Path) -> Result<KnowledgeBase, StoreError> {
+        match rb_kb::detect_layout(path) {
+            StoreLayout::Sharded => {
+                let store = ShardedStore::open_or_create(path)?;
+                let mut kb = KnowledgeBase::new();
+                kb.lazy = Some(LazyShards {
+                    store: Arc::new(Mutex::new(store)),
+                    resident: 0,
+                });
+                Ok(kb)
+            }
+            StoreLayout::SingleFile => KnowledgeBase::load(path),
+        }
+    }
+
+    /// Whether this base lazily faults shards in from a backing store.
+    #[must_use]
+    pub fn is_lazy(&self) -> bool {
+        self.lazy.is_some()
+    }
+
+    /// An eager copy of the currently resident entries. This is what a
+    /// dispatcher hands to repair jobs after faulting in the classes a
+    /// request needs: job-side queries can never reach the backing store
+    /// behind its back, so the positional [`KnowledgeBase::delta_since`]
+    /// contract the learning merge depends on stays exact.
+    #[must_use]
+    pub fn resident_snapshot(&self) -> KnowledgeBase {
+        let mut snapshot = self.clone();
+        snapshot.lazy = None;
+        snapshot
+    }
+
+    /// Faults `class`'s shard into the base if this base is lazy and the
+    /// shard is not yet resident. Returns whether a segment file was
+    /// actually read (an eager base, an already-resident class, and a
+    /// class with no segment all return `Ok(false)`). On error the class
+    /// stays non-resident, so a later touch retries.
+    pub fn ensure_class(&mut self, class: UbClass) -> Result<bool, StoreError> {
+        let Some(lazy) = self.lazy.as_mut() else {
+            return Ok(false);
+        };
+        let bit = class_bit(class);
+        if lazy.resident & bit != 0 {
+            return Ok(false);
+        }
+        let entries = lazy.lock().load_class(class)?;
+        lazy.resident |= bit;
+        let read = !entries.is_empty();
+        for e in entries {
+            self.index.note_insert(self.entries.len(), e.class);
+            self.entries.push(e);
+        }
+        self.debug_assert_index_fresh();
+        Ok(read)
+    }
+
+    /// [`KnowledgeBase::ensure_class`] over a class list; returns how
+    /// many segment files were read.
+    pub fn ensure_classes(&mut self, classes: &[UbClass]) -> Result<usize, StoreError> {
+        let mut read = 0usize;
+        for &class in classes {
+            read += usize::from(self.ensure_class(class)?);
+        }
+        Ok(read)
+    }
+
+    /// Faults in every shard the backing store holds, making a lazy base
+    /// fully resident (a no-op on eager bases); returns how many segment
+    /// files were read. Required before [`KnowledgeBase::save`] on a
+    /// lazy base.
+    pub fn ensure_all(&mut self) -> Result<usize, StoreError> {
+        let Some(lazy) = self.lazy.as_ref() else {
+            return Ok(0);
+        };
+        let classes: Vec<UbClass> = lazy
+            .lock()
+            .manifest()
+            .shards
+            .iter()
+            .map(|m| m.class)
+            .collect();
+        self.ensure_classes(&classes)
+    }
+
+    /// Whether `class`'s knowledge is available in memory: always true
+    /// for eager bases; for lazy bases, true once the class was faulted
+    /// in — or when the backing store has no segment for it (nothing to
+    /// load means nothing is missing).
+    #[must_use]
+    pub fn is_resident(&self, class: UbClass) -> bool {
+        match &self.lazy {
+            None => true,
+            Some(lazy) => {
+                lazy.resident & class_bit(class) != 0
+                    || lazy.lock().manifest().shard(class).is_none()
+            }
+        }
+    }
+
+    /// Number of store shards resident in memory: for a lazy base, the
+    /// backing segments faulted in so far; for an eager base, the
+    /// distinct classes holding entries.
+    #[must_use]
+    pub fn resident_shards(&self) -> usize {
+        match &self.lazy {
+            None => self.index.histogram().len(),
+            Some(lazy) => {
+                let store = lazy.lock();
+                store
+                    .manifest()
+                    .shards
+                    .iter()
+                    .filter(|m| lazy.resident & class_bit(m.class) != 0)
+                    .count()
+            }
+        }
+    }
+
+    /// Segment reads for `class` through the backing store handle (0 for
+    /// eager bases). The handle is shared with every clone of this base,
+    /// so the count aggregates fault-ins across the base and its clones.
+    #[must_use]
+    pub fn shard_loads(&self, class: UbClass) -> u64 {
+        self.lazy.as_ref().map_or(0, |l| l.lock().loads(class))
+    }
+
+    /// Segment reads across all classes through the backing store handle
+    /// (0 for eager bases; shared with clones like
+    /// [`KnowledgeBase::shard_loads`]).
+    #[must_use]
+    pub fn total_shard_loads(&self) -> u64 {
+        self.lazy.as_ref().map_or(0, |l| l.lock().total_loads())
+    }
+
+    /// The first store shard not yet faulted in, if any — what makes a
+    /// save refusable before data silently goes missing.
+    fn first_non_resident(&self) -> Option<UbClass> {
+        let lazy = self.lazy.as_ref()?;
+        lazy.lock()
+            .manifest()
+            .shards
+            .iter()
+            .map(|m| m.class)
+            .find(|&c| lazy.resident & class_bit(c) == 0)
+    }
+
+    /// Prospective cost of a query for `class`, faulting the class's
+    /// shard in first on a lazy base. The fast/slow thinking paths
+    /// charge the consult cost *before* querying, so the fault-in must
+    /// happen at the charge site — otherwise a lazy base would charge
+    /// the empty-bucket cost and then accrue the full-bucket cost,
+    /// breaking the charged ≡ accrued invariant eager runs pin.
+    pub fn consult_cost_ms(&mut self, class: UbClass) -> f64 {
+        let _ = self.ensure_class(class);
+        self.query_cost_ms(class)
     }
 }
 
@@ -518,6 +765,131 @@ mod tests {
         let one = KnowledgeBase::load_class(&single, UbClass::DataRace).unwrap();
         assert_eq!(one.len(), 1);
         assert_eq!(one.entries()[0].rule, RepairRule::LockSpawnBodies);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lazy_base_faults_in_only_touched_shards() {
+        let dir = std::env::temp_dir().join(format!("rb_core_lazy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("lazy.rbkb.d");
+        let dangling = vec_of(
+            "fn main() { let q: *const i32 = 0 as *const i32; \
+             { let x: i32 = 5; q = &raw const x; } unsafe { print(*q); } }",
+        );
+        let race = vec_of(
+            "static mut G: i32 = 0; fn main() { \
+             spawn { unsafe { G = 1; } } spawn { unsafe { G = 2; } } join; }",
+        );
+        let mut eager = KnowledgeBase::new();
+        eager.insert(
+            dangling.clone(),
+            UbClass::DanglingPointer,
+            RepairRule::HoistLocalOut,
+        );
+        eager.insert(race.clone(), UbClass::DataRace, RepairRule::LockSpawnBodies);
+        eager.save(&store).unwrap();
+
+        let mut lazy = KnowledgeBase::open_lazy(&store).unwrap();
+        assert!(lazy.is_lazy());
+        assert!(lazy.is_empty(), "a lazy base starts with nothing resident");
+        assert_eq!(lazy.resident_shards(), 0);
+        assert_eq!(lazy.total_shard_loads(), 0);
+        assert!(!lazy.is_resident(UbClass::DataRace));
+        // A class without a segment is trivially resident.
+        assert!(lazy.is_resident(UbClass::Panic));
+
+        // The first touch faults exactly one shard in; shots and costs
+        // match the eager base.
+        let mut eager_q = eager.clone();
+        let want_cost = eager_q.query_cost_ms(UbClass::DanglingPointer);
+        assert_eq!(lazy.consult_cost_ms(UbClass::DanglingPointer), want_cost);
+        let shots = lazy.query(&dangling, UbClass::DanglingPointer, 1);
+        assert_eq!(shots, eager_q.query(&dangling, UbClass::DanglingPointer, 1));
+        assert_eq!(lazy.last_query_cost_ms(), eager_q.last_query_cost_ms());
+        assert_eq!(lazy.resident_shards(), 1);
+        assert_eq!(lazy.shard_loads(UbClass::DanglingPointer), 1);
+        assert_eq!(lazy.shard_loads(UbClass::DataRace), 0);
+
+        // Repeated touches never reload a resident shard.
+        lazy.query(&dangling, UbClass::DanglingPointer, 1);
+        assert!(!lazy.ensure_class(UbClass::DanglingPointer).unwrap());
+        assert_eq!(lazy.total_shard_loads(), 1);
+
+        // Clones share the store handle: a clone's fault-in is counted
+        // on the same per-shard load counters.
+        let mut job = lazy.clone();
+        job.query(&race, UbClass::DataRace, 1);
+        assert_eq!(lazy.shard_loads(UbClass::DataRace), 1);
+        assert_eq!(lazy.resident_shards(), 1, "residency stays per-clone");
+
+        // ensure_all makes the base fully resident and equal to the
+        // eager base as a per-class multiset.
+        lazy.ensure_all().unwrap();
+        assert_eq!(lazy.resident_shards(), 2);
+        let mut got: Vec<_> = lazy.entries().to_vec();
+        let mut want: Vec<_> = eager.entries().to_vec();
+        let key = |e: &KbEntry| (class_code(e.class), rb_kb::codec::rule_code(e.rule));
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lazy_partial_save_is_refused_until_fully_resident() {
+        let dir = std::env::temp_dir().join(format!("rb_core_lazy_save_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("guard.rbkb.d");
+        let v = vec_of("fn main() { print(1i32); }");
+        let mut kb = KnowledgeBase::new();
+        kb.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        kb.insert(v.clone(), UbClass::Alloc, RepairRule::RemoveDoubleFree);
+        kb.save(&store).unwrap();
+
+        let mut lazy = KnowledgeBase::open_lazy(&store).unwrap();
+        lazy.ensure_class(UbClass::Panic).unwrap();
+        // Saving now would delete the still-on-disk Alloc segment.
+        let err = lazy.save_reported(&store).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        assert!(err.to_string().contains("partially resident"), "{err}");
+
+        lazy.ensure_all().unwrap();
+        lazy.save_reported(&store).unwrap();
+        // Nothing was lost: the store still revives both classes.
+        assert_eq!(KnowledgeBase::load(&store).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_lazy_on_single_file_degrades_to_eager() {
+        let dir = std::env::temp_dir().join(format!("rb_core_lazy_single_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("eager.rbkb");
+        let v = vec_of("fn main() { print(1i32); }");
+        let mut kb = KnowledgeBase::new();
+        kb.insert(v.clone(), UbClass::Panic, RepairRule::GuardDivision);
+        kb.save(&file).unwrap();
+        let lazy = KnowledgeBase::open_lazy(&file).unwrap();
+        assert!(!lazy.is_lazy(), "a single file has nothing to defer");
+        assert_eq!(lazy.len(), 1);
+        assert!(lazy.is_resident(UbClass::Panic));
+        assert_eq!(lazy.resident_shards(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_lazy_creates_a_missing_sharded_store() {
+        let dir = std::env::temp_dir().join(format!("rb_core_lazy_fresh_{}", std::process::id()));
+        let store = dir.join("fresh.rbkb.d");
+        let mut lazy = KnowledgeBase::open_lazy(&store).unwrap();
+        assert!(lazy.is_lazy());
+        assert_eq!(lazy.ensure_all().unwrap(), 0);
+        // Fully resident by construction, so saving is allowed.
+        let v = vec_of("fn main() { print(1i32); }");
+        lazy.insert(v, UbClass::Panic, RepairRule::GuardDivision);
+        lazy.save(&store).unwrap();
+        assert_eq!(KnowledgeBase::load(&store).unwrap().len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -256,7 +256,11 @@ impl RustBrain {
         let mut kb_consult_ms = 0.0f64;
         if self.config.use_knowledge {
             kb_consults = 1;
-            kb_consult_ms = self.knowledge.query_cost_ms(class);
+            // consult_cost_ms (not query_cost_ms) so a lazily loaded
+            // base faults the class's shard in before the charge: the
+            // charged cost must be the same full-bucket number an eager
+            // base charges here.
+            kb_consult_ms = self.knowledge.consult_cost_ms(class);
             total_overhead += kb_consult_ms;
         }
         let kb_queries_before = self.knowledge.queries();

@@ -116,7 +116,13 @@ pub fn execute_solution(
                     } else {
                         AstVector::embed(&pruned)
                     };
-                    overhead += kb.query_cost_ms(primary.class());
+                    // The current report's class can differ from the
+                    // case's initial class mid-repair (e.g. a bad patch
+                    // turning UB into a compile error), so the consult
+                    // must fault that class's shard in itself — charging
+                    // before fault-in would book the empty-bucket cost
+                    // on a lazily loaded base.
+                    overhead += kb.consult_cost_ms(primary.class());
                     shots = kb.query(&vector, primary.class(), 2);
                 }
             }

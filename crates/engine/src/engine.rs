@@ -123,8 +123,13 @@ impl Engine {
         &self.cache
     }
 
-    /// The oracle this engine injects into every system it builds.
-    fn oracle(&self) -> Arc<dyn Oracle> {
+    /// The oracle this engine injects into every system it builds: a
+    /// [`CachedOracle`] over the engine's shared cache, or a plain
+    /// [`DirectOracle`] for a cache-bypassing engine. Public since PR 6
+    /// so a resident daemon's single-repair path judges through the
+    /// same verdict cache its batches warm.
+    #[must_use]
+    pub fn shared_oracle(&self) -> Arc<dyn Oracle> {
         if self.use_cache {
             Arc::new(CachedOracle::new(Arc::clone(&self.cache)))
         } else {
@@ -173,7 +178,7 @@ impl Engine {
         let started = Instant::now();
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<JobResult>();
-        let oracle = self.oracle();
+        let oracle = self.shared_oracle();
 
         let mut executed: Vec<JobResult> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
@@ -365,7 +370,7 @@ impl Engine {
     /// order-dependent, as in the paper's sequential experiments), with
     /// gold references served through the engine's oracle.
     pub fn run_stateful(&self, system: &mut System, cases: &[UbCase]) -> Vec<CaseResult> {
-        let oracle = self.oracle();
+        let oracle = self.shared_oracle();
         cases
             .iter()
             .map(|case| {

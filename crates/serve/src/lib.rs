@@ -1,0 +1,36 @@
+//! `rb_serve`: the resident RustBrain repair daemon (PR 6).
+//!
+//! The one-shot CLI pays the full startup bill — engine construction,
+//! knowledge-store load, oracle cache from cold — on every invocation.
+//! This crate keeps that state resident: a [`server::Server`] accepts
+//! line-delimited JSON requests over TCP and serves them from one
+//! process-wide engine (shared verdict cache) and one lazily-loaded
+//! knowledge base, so the Nth request costs what the Nth request needs
+//! and nothing more.
+//!
+//! The pieces:
+//!
+//! - [`json`] — a dependency-free JSON parser/emitter for the wire
+//!   protocol (the vendored serde is a build-marker stub).
+//! - [`protocol`] — the five verbs (`repair`, `batch`, `stats`,
+//!   `compact`, `shutdown`) and their request shapes.
+//! - [`server`] — the daemon: accept loop, handler pool, lazy shard
+//!   faulting, threshold-triggered compaction.
+//! - [`stats`] — [`stats::ServeStats`] telemetry and the latency ring.
+//! - [`client`] — a blocking line client for scripts, the CLI and CI.
+//!
+//! Determinism carries over from the engine: a `batch` request's
+//! embedded `results_json` is byte-identical to what `rustbrain batch`
+//! writes for the same seed, corpus and starting knowledge — the CI
+//! smoke job diffs exactly that.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use protocol::{parse_request, Request};
+pub use server::{seed_store, ServeConfig, Server};
+pub use stats::{ServeStats, StatsRecorder, Verb};

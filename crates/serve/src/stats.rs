@@ -1,0 +1,350 @@
+//! Service telemetry: what a resident daemon has done since it started.
+//!
+//! The daemon keeps one [`StatsRecorder`] for its whole life; every
+//! handled request records its verb, outcome and real wall-clock
+//! latency, and the `stats` verb (plus the shutdown dump) snapshots it
+//! into a [`ServeStats`] — the numbers later scheduler work learns
+//! from. Latency percentiles come from a bounded ring of the most
+//! recent samples, so a long-lived daemon's memory stays flat.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many latency samples the percentile ring retains (oldest
+/// overwritten first).
+const LATENCY_RING: usize = 4096;
+
+/// A point-in-time snapshot of the daemon's counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Real milliseconds since the daemon started.
+    pub uptime_ms: f64,
+    /// Requests handled, all verbs (errors included).
+    pub requests: u64,
+    /// Requests answered with `{"ok":false,...}`.
+    pub errors: u64,
+    /// `repair` requests handled.
+    pub repairs: u64,
+    /// `batch` requests handled.
+    pub batches: u64,
+    /// Cases swept across all `batch` requests.
+    pub batch_cases: u64,
+    /// Compactions run — the `compact` verb plus threshold-triggered.
+    pub compactions: u64,
+    /// The subset of `compactions` fired by the size/time thresholds.
+    pub triggered_compactions: u64,
+    /// Median request latency over the recent ring, real ms.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency over the recent ring, real ms.
+    pub p99_ms: f64,
+    /// Slowest request in the recent ring, real ms.
+    pub max_ms: f64,
+    /// Knowledge shards faulted into the resident base.
+    pub resident_shards: usize,
+    /// Segment files read from the backing store since startup.
+    pub shard_loads: u64,
+    /// Entries in the resident knowledge base.
+    pub kb_entries: usize,
+    /// Solved-case weight the resident base stands for.
+    pub kb_weight: u64,
+    /// Learned inserts merged into the resident base since startup.
+    pub kb_merged_inserts: u64,
+    /// Oracle cache hits across all requests (gold-reference lookups).
+    pub cache_hits: u64,
+    /// Oracle cache misses across all requests.
+    pub cache_misses: u64,
+    /// Oracle judgements that executed the interpreter fresh.
+    pub oracle_executed: u64,
+    /// Oracle judgements served from the verdict cache.
+    pub oracle_cached: u64,
+}
+
+impl ServeStats {
+    /// Fraction of oracle lookups served from the cache (0 when idle).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The snapshot as one JSON object (engine telemetry conventions:
+    /// floats at four decimals, stable field order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use crate::json::fmt_num;
+        format!(
+            concat!(
+                "{{\"uptime_ms\":{},\"requests\":{},\"errors\":{},",
+                "\"repairs\":{},\"batches\":{},\"batch_cases\":{},",
+                "\"compactions\":{},\"triggered_compactions\":{},",
+                "\"latency\":{{\"p50_ms\":{},\"p99_ms\":{},\"max_ms\":{}}},",
+                "\"kb\":{{\"resident_shards\":{},\"shard_loads\":{},",
+                "\"entries\":{},\"weight\":{},\"merged_inserts\":{}}},",
+                "\"oracle\":{{\"cache_hits\":{},\"cache_misses\":{},",
+                "\"cache_hit_rate\":{},\"executed\":{},\"cached\":{}}}}}"
+            ),
+            fmt_num(self.uptime_ms),
+            self.requests,
+            self.errors,
+            self.repairs,
+            self.batches,
+            self.batch_cases,
+            self.compactions,
+            self.triggered_compactions,
+            fmt_num(self.p50_ms),
+            fmt_num(self.p99_ms),
+            fmt_num(self.max_ms),
+            self.resident_shards,
+            self.shard_loads,
+            self.kb_entries,
+            self.kb_weight,
+            self.kb_merged_inserts,
+            self.cache_hits,
+            self.cache_misses,
+            fmt_num(self.cache_hit_rate()),
+            self.oracle_executed,
+            self.oracle_cached,
+        )
+    }
+}
+
+/// The verb a handled request resolved to, for per-verb counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// A `repair` request.
+    Repair,
+    /// A `batch` request; the payload is its case count.
+    Batch(u64),
+    /// A `stats` request.
+    Stats,
+    /// A `compact` request.
+    Compact,
+    /// A `shutdown` request.
+    Shutdown,
+    /// A request that failed to parse or execute.
+    Error,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: u64,
+    errors: u64,
+    repairs: u64,
+    batches: u64,
+    batch_cases: u64,
+    compactions: u64,
+    triggered_compactions: u64,
+    kb_merged_inserts: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    oracle_executed: u64,
+    oracle_cached: u64,
+    /// Latency ring: most recent `LATENCY_RING` samples, insertion
+    /// position wrapping.
+    latencies: Vec<f64>,
+    next_slot: usize,
+}
+
+/// The daemon's live, thread-shared counters.
+#[derive(Debug)]
+pub struct StatsRecorder {
+    started: Instant,
+    counters: Mutex<Counters>,
+}
+
+impl Default for StatsRecorder {
+    fn default() -> StatsRecorder {
+        StatsRecorder::new()
+    }
+}
+
+impl StatsRecorder {
+    /// A fresh recorder; `uptime_ms` counts from here.
+    #[must_use]
+    pub fn new() -> StatsRecorder {
+        StatsRecorder {
+            started: Instant::now(),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.counters.lock().expect("stats lock poisoned")
+    }
+
+    /// Records one handled request: its verb and real latency.
+    pub fn record_request(&self, verb: Verb, latency_ms: f64) {
+        let mut c = self.lock();
+        c.requests += 1;
+        match verb {
+            Verb::Repair => c.repairs += 1,
+            Verb::Batch(cases) => {
+                c.batches += 1;
+                c.batch_cases += cases;
+            }
+            Verb::Error => c.errors += 1,
+            Verb::Stats | Verb::Compact | Verb::Shutdown => {}
+        }
+        if c.latencies.len() < LATENCY_RING {
+            c.latencies.push(latency_ms);
+        } else {
+            let slot = c.next_slot;
+            c.latencies[slot] = latency_ms;
+        }
+        c.next_slot = (c.next_slot + 1) % LATENCY_RING;
+    }
+
+    /// Records a compaction run (`triggered` when fired by a threshold
+    /// rather than the `compact` verb).
+    pub fn record_compaction(&self, triggered: bool) {
+        let mut c = self.lock();
+        c.compactions += 1;
+        if triggered {
+            c.triggered_compactions += 1;
+        }
+    }
+
+    /// Records learned inserts merged into the resident base.
+    pub fn record_merged_inserts(&self, inserts: u64) {
+        self.lock().kb_merged_inserts += inserts;
+    }
+
+    /// Records a request's oracle traffic: gold-reference cache
+    /// hits/misses and the executed/cached judgement split.
+    pub fn record_oracle(&self, hits: u64, misses: u64, executed: u64, cached: u64) {
+        let mut c = self.lock();
+        c.cache_hits += hits;
+        c.cache_misses += misses;
+        c.oracle_executed += executed;
+        c.oracle_cached += cached;
+    }
+
+    /// Snapshots the counters. The knowledge-base gauges (resident
+    /// shards, entries, weight, shard loads) are the caller's — the
+    /// recorder only holds what it observed itself.
+    #[must_use]
+    pub fn snapshot(&self) -> ServeStats {
+        let c = self.lock();
+        let (p50, p99, max) = percentiles(&c.latencies);
+        ServeStats {
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            requests: c.requests,
+            errors: c.errors,
+            repairs: c.repairs,
+            batches: c.batches,
+            batch_cases: c.batch_cases,
+            compactions: c.compactions,
+            triggered_compactions: c.triggered_compactions,
+            p50_ms: p50,
+            p99_ms: p99,
+            max_ms: max,
+            resident_shards: 0,
+            shard_loads: 0,
+            kb_entries: 0,
+            kb_weight: 0,
+            kb_merged_inserts: c.kb_merged_inserts,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            oracle_executed: c.oracle_executed,
+            oracle_cached: c.oracle_cached,
+        }
+    }
+}
+
+/// `(p50, p99, max)` over the sample ring (zeros when empty). The
+/// nearest-rank method on a sorted copy — the ring is small and
+/// snapshots are rare, so simplicity beats cleverness.
+fn percentiles(samples: &[f64]) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = |p: f64| {
+        let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+    (rank(50.0), rank(99.0), sorted[sorted.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_verb() {
+        let rec = StatsRecorder::new();
+        rec.record_request(Verb::Repair, 3.0);
+        rec.record_request(Verb::Batch(42), 10.0);
+        rec.record_request(Verb::Stats, 1.0);
+        rec.record_request(Verb::Error, 0.5);
+        rec.record_compaction(false);
+        rec.record_compaction(true);
+        rec.record_merged_inserts(5);
+        rec.record_oracle(3, 1, 10, 2);
+        let s = rec.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.repairs, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_cases, 42);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.compactions, 2);
+        assert_eq!(s.triggered_compactions, 1);
+        assert_eq!(s.kb_merged_inserts, 5);
+        assert_eq!((s.cache_hits, s.cache_misses), (3, 1));
+        assert_eq!((s.oracle_executed, s.oracle_cached), (10, 2));
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.max_ms, 10.0);
+        assert!(s.uptime_ms >= 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_sane_and_ring_is_bounded() {
+        assert_eq!(percentiles(&[]), (0.0, 0.0, 0.0));
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let (p50, p99, max) = percentiles(&samples);
+        assert_eq!(p50, 50.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(max, 100.0);
+
+        let rec = StatsRecorder::new();
+        for i in 0..(LATENCY_RING + 100) {
+            rec.record_request(Verb::Stats, i as f64);
+        }
+        let c = rec.lock();
+        assert_eq!(c.latencies.len(), LATENCY_RING, "ring must stay bounded");
+        // The oldest samples were overwritten by the newest.
+        assert!(c.latencies.contains(&(LATENCY_RING as f64 + 99.0)));
+        assert!(!c.latencies.contains(&0.0));
+    }
+
+    #[test]
+    fn stats_json_is_parseable_and_complete() {
+        let rec = StatsRecorder::new();
+        rec.record_request(Verb::Batch(6), 12.5);
+        let mut s = rec.snapshot();
+        s.resident_shards = 2;
+        s.kb_entries = 10;
+        let v = crate::json::parse(&s.to_json()).unwrap();
+        assert_eq!(
+            v.get("requests").and_then(crate::json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("kb")
+                .and_then(|kb| kb.get("resident_shards"))
+                .and_then(crate::json::Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("latency")
+                .and_then(|l| l.get("p50_ms"))
+                .and_then(crate::json::Value::as_f64),
+            Some(12.5)
+        );
+    }
+}

@@ -18,6 +18,14 @@
 //!   rustbrain kb compact <store> [--threshold]  re-normalize under the
 //!                                               tightened coalescing
 //!                                               threshold, atomic swap-in
+//!   rustbrain serve [options]                   run the resident repair
+//!                                               daemon (line-delimited JSON
+//!                                               over TCP, lazy KB shards,
+//!                                               triggered compaction)
+//!   rustbrain client <verb> [options]           send one request to a
+//!                                               daemon: repair <file.mrs>,
+//!                                               batch, stats, compact, or
+//!                                               shutdown
 //!
 //! OPTIONS:
 //!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
@@ -88,7 +96,24 @@ struct Cli {
     /// `Some` only when `--threshold` was passed explicitly (so passing
     /// the default value on the wrong subcommand still errors).
     threshold: Option<f64>,
+    /// `Some` only when `--addr` was passed explicitly (serve/client
+    /// only; both default to [`DEFAULT_ADDR`]).
+    addr: Option<String>,
+    /// `serve`: knowledge store to open lazily and persist back to.
+    kb: Option<String>,
+    /// `serve`: compact when the resident base reaches this many
+    /// entries (0 = size trigger off).
+    compact_entries: usize,
+    /// `serve`: compact after this many seconds since the last
+    /// compaction (0 = time trigger off).
+    compact_secs: u64,
+    /// `client batch`: restrict the sweep to these UB classes.
+    classes: Option<Vec<rb_miri::UbClass>>,
 }
+
+/// Where `serve` listens and `client` connects unless `--addr` says
+/// otherwise.
+const DEFAULT_ADDR: &str = "127.0.0.1:4650";
 
 /// How the oracle cache flags resolve — the single place the
 /// `--no-cache`/`--cache-cap` policy is interpreted, so `check`/`repair`
@@ -158,7 +183,20 @@ enum Command {
     KbInspect(String),
     KbMigrate(String, String),
     KbCompact(String),
+    Serve,
+    Client(ClientVerb),
     Help,
+}
+
+/// Which daemon verb `rustbrain client` sends.
+#[derive(Debug, PartialEq)]
+enum ClientVerb {
+    /// Repair a local `.mrs` file over the socket.
+    Repair(String),
+    Batch,
+    Stats,
+    Compact,
+    Shutdown,
 }
 
 /// Which system a `batch` sweep drives.
@@ -206,6 +244,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         kb_in: None,
         kb_out: None,
         threshold: None,
+        addr: None,
+        kb: None,
+        compact_entries: 0,
+        compact_secs: 0,
+        classes: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -239,6 +282,26 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         Some("corpus") => {
             let dir = it.next().ok_or("`corpus` needs a directory argument")?;
             cli.command = Command::Corpus(dir.clone());
+        }
+        Some("serve") => cli.command = Command::Serve,
+        Some("client") => {
+            let verb = match it.next().map(String::as_str) {
+                Some("repair") => {
+                    let file = it.next().ok_or("`client repair` needs a file argument")?;
+                    ClientVerb::Repair(file.clone())
+                }
+                Some("batch") => ClientVerb::Batch,
+                Some("stats") => ClientVerb::Stats,
+                Some("compact") => ClientVerb::Compact,
+                Some("shutdown") => ClientVerb::Shutdown,
+                Some(other) => return Err(format!("unknown client verb `{other}`")),
+                None => {
+                    return Err(
+                        "`client` needs a verb (repair|batch|stats|compact|shutdown)".into(),
+                    )
+                }
+            };
+            cli.command = Command::Client(verb);
         }
         Some("help" | "--help" | "-h") | None => cli.command = Command::Help,
         Some(other) => return Err(format!("unknown command `{other}`")),
@@ -326,6 +389,41 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.threshold = Some(t);
             }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a value")?;
+                cli.addr = Some(v.clone());
+            }
+            "--kb" => {
+                let v = it.next().ok_or("--kb needs a value")?;
+                cli.kb = Some(v.clone());
+            }
+            "--compact-entries" => {
+                let v = it.next().ok_or("--compact-entries needs a value")?;
+                cli.compact_entries = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --compact-entries `{v}`"))?;
+            }
+            "--compact-secs" => {
+                let v = it.next().ok_or("--compact-secs needs a value")?;
+                cli.compact_secs = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad --compact-secs `{v}`"))?;
+            }
+            "--classes" => {
+                let v = it.next().ok_or("--classes needs a value")?;
+                let mut classes = Vec::new();
+                for label in v.split(',') {
+                    let class = rb_serve::protocol::class_from_label(label)
+                        .ok_or_else(|| format!("unknown UB class `{label}`"))?;
+                    if !classes.contains(&class) {
+                        classes.push(class);
+                    }
+                }
+                if classes.is_empty() {
+                    return Err("--classes must name at least one class".into());
+                }
+                cli.classes = Some(classes);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -337,6 +435,17 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     }
     if cli.threshold.is_some() && !matches!(cli.command, Command::KbCompact(_)) {
         return Err("--threshold only applies to `kb compact`".into());
+    }
+    if cli.addr.is_some() && !matches!(cli.command, Command::Serve | Command::Client(_)) {
+        return Err("--addr only applies to `serve` and `client`".into());
+    }
+    if (cli.kb.is_some() || cli.compact_entries > 0 || cli.compact_secs > 0)
+        && cli.command != Command::Serve
+    {
+        return Err("--kb/--compact-entries/--compact-secs only apply to `serve`".into());
+    }
+    if cli.classes.is_some() && !matches!(cli.command, Command::Client(ClientVerb::Batch)) {
+        return Err("--classes only applies to `client batch`".into());
     }
     Ok(cli)
 }
@@ -365,6 +474,12 @@ USAGE:
   rustbrain kb compact <store> [--threshold T]
                                             re-normalize shards under a
                                             tightened coalescing threshold
+  rustbrain serve [options]                 run the resident repair daemon
+                                            (line-delimited JSON over TCP;
+                                            lazy knowledge shards)
+  rustbrain client <verb> [options]         send one request to a daemon:
+                                            repair <file.mrs> | batch |
+                                            stats | compact | shutdown
 
 OPTIONS:
   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
@@ -388,7 +503,18 @@ OPTIONS:
                                              a .rbkb.d path shards by UB class
                                              and rewrites dirty shards only)
   --threshold <0.0..1.0>                     kb compact: coalescing cosine
-                                             threshold [0.98]"
+                                             threshold [0.98]
+  --addr <host:port>                         serve/client: listen/connect
+                                             address [127.0.0.1:4650]
+  --kb <store>                               serve: knowledge store, opened
+                                             lazily (shards fault in per
+                                             class) and saved on shutdown
+  --compact-entries <N>                      serve: compact when the resident
+                                             base reaches N entries [off]
+  --compact-secs <N>                         serve: compact every N seconds
+                                             of wall clock [off]
+  --classes <c1,c2,...>                      client batch: restrict the sweep
+                                             to these UB classes [all]"
 }
 
 fn main() -> ExitCode {
@@ -429,6 +555,28 @@ fn main() -> ExitCode {
                 .unwrap_or(rb_kb::COMPACTION_COALESCE_THRESHOLD),
             cli.jobs,
         ),
+        Command::Serve => serve(&cli),
+        Command::Client(ref verb) => match verb {
+            ClientVerb::Repair(file) => client_call(&cli, |cli| {
+                let src = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                Ok(rb_serve::client::repair_request(
+                    &src,
+                    &cli.reference,
+                    cli.seed,
+                ))
+            }),
+            ClientVerb::Batch => client_call(&cli, |cli| {
+                Ok(rb_serve::client::batch_request(
+                    cli.seed,
+                    cli.per_class,
+                    cli.classes.as_deref(),
+                ))
+            }),
+            ClientVerb::Stats => client_call(&cli, |_| Ok(rb_serve::client::stats_request())),
+            ClientVerb::Compact => client_call(&cli, |_| Ok(rb_serve::client::compact_request())),
+            ClientVerb::Shutdown => client_call(&cli, |_| Ok(rb_serve::client::shutdown_request())),
+        },
         Command::Demo => {
             println!("repairing the built-in dangling-pointer demo:\n\n{DEMO}\n");
             let mut demo_cli = cli;
@@ -725,6 +873,103 @@ fn kb_compact(file: &str, threshold: f64, jobs: usize) -> ExitCode {
     }
 }
 
+/// `rustbrain serve`: run the resident repair daemon until a `shutdown`
+/// request arrives, then dump (or write) the final [`rb_serve::ServeStats`].
+fn serve(cli: &Cli) -> ExitCode {
+    let config = rb_serve::ServeConfig {
+        addr: cli.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
+        jobs: cli.jobs,
+        handlers: 2,
+        kb_path: cli.kb.as_deref().map(std::path::PathBuf::from),
+        compact_entries: cli.compact_entries,
+        compact_secs: cli.compact_secs,
+    };
+    let kb_label = cli.kb.clone().unwrap_or_else(|| "in-memory".to_owned());
+    let server = match rb_serve::Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The smoke harness waits for this exact line before connecting, so
+    // it goes out flushed and before any request is served.
+    println!(
+        "serving on {} | {} worker(s) | kb {kb_label}",
+        server.local_addr(),
+        cli.jobs,
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = server.run();
+    let stats_json = stats.to_json();
+    match &cli.stats_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{stats_json}\n")) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("serve stats written to {path}");
+        }
+        None => println!("{stats_json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rustbrain client <verb>`: one request line to a running daemon, the
+/// response line to stdout. A `batch` response's embedded results
+/// document additionally lands in `--results-out` verbatim — the same
+/// bytes `rustbrain batch --results-out` writes, which is what CI diffs.
+fn client_call(cli: &Cli, build: impl FnOnce(&Cli) -> Result<String, String>) -> ExitCode {
+    let addr = cli.addr.clone().unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    let request = match build(cli) {
+        Ok(request) => request,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let response = rb_serve::Client::connect(&addr).and_then(|mut client| client.call(&request));
+    let response = match response {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("error: daemon at {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{response}");
+    let parsed = rb_serve::json::parse(&response).ok();
+    let ok = parsed
+        .as_ref()
+        .and_then(|v| v.get("ok"))
+        .and_then(rb_serve::json::Value::as_bool)
+        .unwrap_or(false);
+    if let Some(path) = &cli.results_out {
+        let results = parsed
+            .as_ref()
+            .and_then(|v| v.get("results_json"))
+            .and_then(rb_serve::json::Value::as_str);
+        match results {
+            Some(results) => {
+                if let Err(e) = std::fs::write(path, format!("{results}\n")) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("deterministic results written to {path}");
+            }
+            None => {
+                eprintln!("error: response carries no results_json to write to {path}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn check(src: &str, cli: &Cli) -> ExitCode {
     let program = match parse_program(src) {
         Ok(p) => p,
@@ -909,6 +1154,67 @@ mod tests {
         // --threshold is compact-only — even at its default value.
         assert!(parse_cli(&argv("batch --threshold 0.9")).is_err());
         assert!(parse_cli(&argv("batch --threshold 0.98")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let cli = parse_cli(&argv(
+            "serve --addr 127.0.0.1:4700 --kb store.rbkb.d --compact-entries 500 --compact-secs 60 --jobs 2",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.addr.as_deref(), Some("127.0.0.1:4700"));
+        assert_eq!(cli.kb.as_deref(), Some("store.rbkb.d"));
+        assert_eq!(cli.compact_entries, 500);
+        assert_eq!(cli.compact_secs, 60);
+        assert_eq!(cli.jobs, 2);
+        // Defaults: ephemeral flags off, address falls back at dispatch.
+        let cli = parse_cli(&argv("serve")).unwrap();
+        assert!(cli.addr.is_none());
+        assert!(cli.kb.is_none());
+        assert_eq!((cli.compact_entries, cli.compact_secs), (0, 0));
+    }
+
+    #[test]
+    fn parses_client_command() {
+        let cli = parse_cli(&argv("client repair prog.mrs --reference 5 --seed 9")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Client(ClientVerb::Repair("prog.mrs".into()))
+        );
+        assert_eq!(cli.seed, 9);
+        let cli = parse_cli(&argv(
+            "client batch --classes alloc,panic,alloc --per-class 2 --results-out r.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Client(ClientVerb::Batch));
+        assert_eq!(
+            cli.classes,
+            Some(vec![rb_miri::UbClass::Alloc, rb_miri::UbClass::Panic])
+        );
+        assert_eq!(cli.results_out.as_deref(), Some("r.json"));
+        for verb in ["stats", "compact", "shutdown"] {
+            assert!(
+                parse_cli(&argv(&format!("client {verb}"))).is_ok(),
+                "{verb}"
+            );
+        }
+        assert!(parse_cli(&argv("client")).is_err());
+        assert!(parse_cli(&argv("client frobnicate")).is_err());
+        assert!(parse_cli(&argv("client repair")).is_err());
+        assert!(parse_cli(&argv("client batch --classes nope")).is_err());
+    }
+
+    #[test]
+    fn serve_flags_are_scoped_to_their_commands() {
+        assert!(parse_cli(&argv("batch --addr 127.0.0.1:4700")).is_err());
+        assert!(parse_cli(&argv("batch --kb store.rbkb.d")).is_err());
+        assert!(parse_cli(&argv("demo --compact-entries 10")).is_err());
+        assert!(parse_cli(&argv("demo --compact-secs 10")).is_err());
+        assert!(parse_cli(&argv("client stats --classes alloc")).is_err());
+        assert!(parse_cli(&argv("serve --classes alloc")).is_err());
+        // But --addr works on both sides of the socket.
+        assert!(parse_cli(&argv("client stats --addr 127.0.0.1:4700")).is_ok());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! - [`rustbrain`] — the fast/slow-thinking repair framework,
 //! - [`rb_baselines`] — comparison systems,
 //! - [`rb_engine`] — the parallel batch-repair engine and oracle cache,
-//! - [`rb_bench`] — the experiment harness.
+//! - [`rb_bench`] — the experiment harness,
+//! - [`rb_serve`] — the resident repair daemon (line-delimited JSON
+//!   over TCP, lazy knowledge shards, triggered compaction).
 
 #![warn(missing_docs)]
 
@@ -23,4 +25,5 @@ pub use rb_kb;
 pub use rb_lang;
 pub use rb_llm;
 pub use rb_miri;
+pub use rb_serve;
 pub use rustbrain;
