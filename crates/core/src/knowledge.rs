@@ -239,6 +239,7 @@ impl KnowledgeBase {
         deltas: impl IntoIterator<Item = &'a KbDelta>,
         policy: &MergePolicy,
     ) -> usize {
+        let mut span = rb_obs::span("kb.merge");
         let mut submitted = 0usize;
         for delta in deltas {
             for e in &delta.entries {
@@ -267,15 +268,22 @@ impl KnowledgeBase {
             self.index = KbIndex::build(&self.entries);
         }
         self.debug_assert_index_fresh();
+        span.tag("submitted", submitted.to_string());
+        span.tag("entries_after", self.entries.len().to_string());
+        rb_obs::metrics().counter_add("rustbrain_kb_merges_total", None, 1);
         submitted
     }
 
     /// Re-normalizes the whole base under `policy` (used when adopting an
     /// append-only store into a bounded one); returns entries removed.
     pub fn compact(&mut self, policy: &MergePolicy) -> usize {
+        let mut span = rb_obs::span("kb.compact");
         let before = self.entries.len();
         self.merge_all([], policy);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        span.tag("removed", removed.to_string());
+        rb_obs::metrics().counter_add("rustbrain_kb_compactions_total", None, 1);
+        removed
     }
 
     /// Retrieves up to `k` few-shots for a query vector, scanning only
@@ -290,6 +298,8 @@ impl KnowledgeBase {
     /// bucket-bounded scan cost (a repair rule learned for another UB
     /// class is rarely the right few-shot anyway).
     pub fn query(&mut self, vector: &AstVector, class: UbClass, k: usize) -> Vec<FewShot> {
+        let mut span = rb_obs::span("kb.query");
+        span.tag("class", class.label());
         // A lazy base faults the class's shard in before the cost is
         // computed, so the accrued cost equals the eager-loaded cost. A
         // store error degrades to the not-yet-resident bucket and leaves
@@ -297,6 +307,15 @@ impl KnowledgeBase {
         let _ = self.ensure_class(class);
         self.debug_assert_index_fresh();
         let cost = self.query_cost_ms(class);
+        span.add_sim_ms(cost);
+        let m = rb_obs::metrics();
+        m.counter_add("rustbrain_kb_queries_total", None, 1);
+        m.observe(
+            "rustbrain_kb_query_sim_ms",
+            Some(("class", class.label())),
+            cost,
+            rb_obs::SIM_MS_BUCKETS,
+        );
         self.queries += 1;
         self.query_time_ms += cost;
         self.last_query_cost_ms = cost;
@@ -318,14 +337,16 @@ impl KnowledgeBase {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| b.1.weight.cmp(&a.1.weight))
         });
-        scored
+        let shots: Vec<FewShot> = scored
             .into_iter()
             .take(k)
             .map(|(sim, e)| FewShot {
                 rule: e.rule,
                 similarity: sim.min(1.0),
             })
-            .collect()
+            .collect();
+        span.tag("shots", shots.len().to_string());
+        shots
     }
 
     /// Prospective cost of a query for `class` in simulated milliseconds
@@ -477,9 +498,15 @@ impl KnowledgeBase {
         if lazy.resident & bit != 0 {
             return Ok(false);
         }
+        let mut span = rb_obs::span("kb.fault_in");
+        span.tag("class", class.label());
         let entries = lazy.lock().load_class(class)?;
         lazy.resident |= bit;
         let read = !entries.is_empty();
+        span.tag("entries", entries.len().to_string());
+        if read {
+            rb_obs::metrics().counter_add("rustbrain_kb_fault_ins_total", None, 1);
+        }
         for e in entries {
             self.index.note_insert(self.entries.len(), e.class);
             self.entries.push(e);

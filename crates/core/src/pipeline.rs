@@ -70,6 +70,20 @@ pub struct RepairOutcome {
     pub class: UbClass,
 }
 
+/// Records one finished repair into the process-wide metrics registry:
+/// the per-class repair counter and the per-class simulated-latency
+/// histogram — the direct input for the planned scheduler cost model.
+fn record_repair_metrics(class: UbClass, sim_ms: f64) {
+    let m = rb_obs::metrics();
+    m.counter_add("rustbrain_repairs_total", Some(("class", class.label())), 1);
+    m.observe(
+        "rustbrain_repair_latency_sim_ms",
+        Some(("class", class.label())),
+        sim_ms,
+        rb_obs::SIM_MS_BUCKETS,
+    );
+}
+
 /// The RustBrain framework instance. Holds the model, the knowledge base,
 /// the learned priors and the injected [`Oracle`] every program judgement
 /// goes through; repairs are stateful so that self-learning carries across
@@ -203,14 +217,27 @@ impl RustBrain {
 
     /// Repairs a failing program. `reference` is the gold observable output
     /// used for the acceptability dimension of the evaluation triplet.
+    ///
+    /// When a tracer is installed (see `rb_obs::trace::scope`) the repair
+    /// emits a `repair` span whose direct children — the `fast` phase,
+    /// the up-front `kb.consult`, and one `solution` span per attempt —
+    /// carry `sim_ms` attributions that sum *exactly* to the outcome's
+    /// `overhead_ms`: the spans are opened at the cost model's charge
+    /// sites, not alongside them. Tracing and the metrics recorded into
+    /// `rb_obs::metrics()` are purely observational; results are
+    /// byte-identical with or without them.
     pub fn repair(&mut self, program: &Program, reference: &[String]) -> RepairOutcome {
+        let mut repair_span = rb_obs::span("repair");
         let mut oracle_use = OracleUse::default();
         // Held as an Arc end to end: a cache-served verdict is shared,
         // never deep-copied (execute_one and the rollback tracker only
         // ever borrow it).
         let report: Arc<MiriReport> = self.oracle.judge_recording(program, &mut oracle_use);
         let class = report.primary().map_or(UbClass::Compile, |e| e.class());
+        repair_span.tag("class", class.label());
         if report.passes() {
+            repair_span.tag("outcome", "already-passing");
+            record_repair_metrics(class, 0.0);
             let eval = evaluate_with_report(&report, reference, 0.0);
             return RepairOutcome {
                 passed: true,
@@ -237,7 +264,13 @@ impl RustBrain {
         let fast_tokens = rb_llm::tokens::count_tokens(&rb_lang::printer::print_program(program));
         let fast_cost =
             2.0 * (profile.latency_base_ms + profile.latency_per_token_ms * fast_tokens as f64);
-        let solutions = self.generate_solutions(program, &report);
+        let solutions = {
+            let mut fast_span = rb_obs::span("fast");
+            fast_span.add_sim_ms(fast_cost);
+            let solutions = self.generate_solutions(program, &report);
+            fast_span.tag("solutions", solutions.len().to_string());
+            solutions
+        };
         let mut best: Option<SolutionOutcome> = None;
         let mut total_overhead = fast_cost;
         let mut total_runs = 0usize;
@@ -256,11 +289,14 @@ impl RustBrain {
         let mut kb_consult_ms = 0.0f64;
         if self.config.use_knowledge {
             kb_consults = 1;
+            let mut consult_span = rb_obs::span("kb.consult");
+            consult_span.tag("class", class.label());
             // consult_cost_ms (not query_cost_ms) so a lazily loaded
             // base faults the class's shard in before the charge: the
             // charged cost must be the same full-bucket number an eager
             // base charges here.
             kb_consult_ms = self.knowledge.consult_cost_ms(class);
+            consult_span.add_sim_ms(kb_consult_ms);
             total_overhead += kb_consult_ms;
         }
         let kb_queries_before = self.knowledge.queries();
@@ -289,7 +325,15 @@ impl RustBrain {
                 }
                 (_, Some((p, r))) => (p.clone(), Arc::clone(r)),
             };
-            let outcome = self.execute_one(&start_prog, &start_report, solution, reference, budget);
+            let outcome = {
+                let mut solution_span = rb_obs::span("solution");
+                solution_span.tag("index", i.to_string());
+                let outcome =
+                    self.execute_one(&start_prog, &start_report, solution, reference, budget);
+                solution_span.add_sim_ms(outcome.overhead_ms);
+                solution_span.tag("accuracy", outcome.eval.accuracy.to_string());
+                outcome
+            };
             start_state = Some(match self.config.rollback {
                 crate::config::RollbackPolicy::Adaptive => {
                     // Continue from the best state while it still has
@@ -339,6 +383,10 @@ impl RustBrain {
             }
         }
         let eval: &EvalTriplet = &best.eval;
+        repair_span.add_sim_ms(total_overhead);
+        repair_span.tag("passed", eval.accuracy.to_string());
+        repair_span.tag("solutions_tried", tried.to_string());
+        record_repair_metrics(class, total_overhead);
         RepairOutcome {
             passed: eval.accuracy,
             acceptable: eval.acceptability,

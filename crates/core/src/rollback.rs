@@ -118,7 +118,7 @@ impl RollbackTracker {
         }
 
         let regressed = n_new > n_cur;
-        match self.policy {
+        let rolled = match self.policy {
             RollbackPolicy::None => {
                 self.current = candidate;
                 self.current_report = report;
@@ -153,7 +153,19 @@ impl RollbackTracker {
                     false
                 }
             }
+        };
+        if rolled {
+            rb_obs::event(
+                "rollback",
+                &[
+                    ("policy", &format!("{:?}", self.policy)),
+                    ("errors_new", &n_new.to_string()),
+                    ("errors_current", &n_cur.to_string()),
+                ],
+            );
+            rb_obs::metrics().counter_add("rustbrain_rollbacks_total", None, 1);
         }
+        rolled
     }
 }
 

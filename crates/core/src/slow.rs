@@ -106,6 +106,12 @@ pub fn execute_solution(
             let Some(primary) = cur_report.primary().cloned() else {
                 break 'passes;
             };
+            // One span per thinking step; its sim_ms mirrors the step's
+            // charge sites exactly (model latency + decompose cost +
+            // oracle run), so a step tree reconciles with the solution's
+            // overhead. The KB consult charges inside its own child span.
+            let mut step_span = rb_obs::span("step");
+            step_span.tag("agent", format!("{agent:?}"));
             // Abstract reasoning: retrieve similar solved cases.
             let mut shots = Vec::new();
             if agent == AgentKind::AbstractReasoning {
@@ -122,7 +128,12 @@ pub fn execute_solution(
                     // must fault that class's shard in itself — charging
                     // before fault-in would book the empty-bucket cost
                     // on a lazily loaded base.
-                    overhead += kb.consult_cost_ms(primary.class());
+                    let mut cspan = rb_obs::span("kb.consult");
+                    cspan.tag("class", primary.class().label());
+                    let consult_ms = kb.consult_cost_ms(primary.class());
+                    cspan.add_sim_ms(consult_ms);
+                    overhead += consult_ms;
+                    step_span.add_sim_ms(consult_ms);
                     shots = kb.query(&vector, primary.class(), 2);
                 }
             }
@@ -131,6 +142,7 @@ pub fn execute_solution(
             let shot_count = ctx.shots.len();
             let resp = model.propose(&ctx);
             overhead += resp.latency_ms + STEP_DECOMPOSE_MS;
+            step_span.add_sim_ms(resp.latency_ms + STEP_DECOMPOSE_MS);
 
             let mut applied: Option<(RepairRule, Program)> = None;
             for proposal in &resp.proposals {
@@ -152,10 +164,13 @@ pub fn execute_solution(
                     // not — the cache dodges real interpreter work, never
                     // the modelled Miri latency (determinism depends on it).
                     overhead += ORACLE_RUN_MS;
+                    step_span.add_sim_ms(ORACLE_RUN_MS);
                     let errors_after = creport.error_count();
                     if errors_after == 0 {
                         fixing_rule = Some(rule);
                     }
+                    step_span.tag("rule", format!("{rule:?}"));
+                    step_span.tag("errors_after", errors_after.to_string());
                     tracker.observe(candidate, creport);
                     steps.push(StepRecord {
                         agent,

@@ -55,6 +55,11 @@ pub struct Engine {
     /// How per-job knowledge deltas fold back into the shared base after
     /// a batch (defaults to the bounded-growth [`MergePolicy::default`]).
     merge_policy: MergePolicy,
+    /// When set, every worker thread installs this tracer for the whole
+    /// batch, so job spans (and the repair/oracle/KB spans beneath them)
+    /// from all workers interleave into one trace stream. Purely
+    /// observational: results are byte-identical with or without it.
+    tracer: Option<rb_obs::Tracer>,
 }
 
 impl Engine {
@@ -74,6 +79,7 @@ impl Engine {
             cache,
             use_cache: true,
             merge_policy: MergePolicy::default(),
+            tracer: None,
         }
     }
 
@@ -93,6 +99,7 @@ impl Engine {
             cache: Arc::new(OracleCache::new()),
             use_cache: false,
             merge_policy: MergePolicy::default(),
+            tracer: None,
         }
     }
 
@@ -109,6 +116,15 @@ impl Engine {
     #[must_use]
     pub fn merge_policy(&self) -> &MergePolicy {
         &self.merge_policy
+    }
+
+    /// Installs `tracer` on every worker thread of subsequent batches
+    /// (builder-style), so the full repair path emits spans into it.
+    /// Tracing is off without this call.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: rb_obs::Tracer) -> Engine {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Worker threads this engine schedules onto.
@@ -150,7 +166,15 @@ impl Engine {
         let mut system = job
             .system
             .build_with(job.seed, Arc::clone(oracle), snapshot);
-        let (reference, gold_hit) = oracle.judge_counted(&job.case.gold);
+        // The gold-reference lookup goes through judge_counted directly
+        // (no OracleUse to record into yet), so it needs its own
+        // call-site span — the judge_recording seam never sees it.
+        let (reference, gold_hit) = {
+            let mut gold_span = rb_obs::span("oracle.gold");
+            let (reference, gold_hit) = oracle.judge_counted(&job.case.gold);
+            gold_span.tag("cached", if gold_hit { "cached" } else { "executed" });
+            (reference, gold_hit)
+        };
         let (result, mut oracle_use) =
             system.repair_case_instrumented(&job.case, &reference.outputs);
         oracle_use.record(gold_hit);
@@ -186,23 +210,46 @@ impl Engine {
                 let tx = tx.clone();
                 let next = &next;
                 let oracle = &oracle;
-                scope.spawn(move || loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    let job_started = Instant::now();
-                    let (result, oracle_use, cache_hit, kb_delta) =
-                        Engine::execute(job, oracle, snapshot);
-                    let sent = tx.send(JobResult {
-                        index: job.index,
-                        worker,
-                        wall_ms: job_started.elapsed().as_secs_f64() * 1e3,
-                        cache_hit,
-                        oracle_use,
-                        kb_delta,
-                        result,
-                    });
-                    if sent.is_err() {
-                        break; // receiver gone: the batch was abandoned
+                let tracer = self.tracer.clone();
+                scope.spawn(move || {
+                    // Install the batch tracer on this worker for its
+                    // whole lifetime; every span the jobs open lands in
+                    // the shared sink.
+                    let _trace_scope = tracer.as_ref().map(rb_obs::trace::scope);
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else { break };
+                        let job_started = Instant::now();
+                        let mut job_span = rb_obs::span("engine.job");
+                        job_span.tag("case", job.case.id.clone());
+                        job_span.tag("worker", worker.to_string());
+                        let (result, oracle_use, cache_hit, kb_delta) =
+                            Engine::execute(job, oracle, snapshot);
+                        let wall_s = job_started.elapsed().as_secs_f64();
+                        job_span.add_sim_ms(result.overhead_ms);
+                        job_span.tag("class", result.class.label());
+                        job_span.tag("passed", result.passed.to_string());
+                        drop(job_span);
+                        let m = rb_obs::metrics();
+                        m.counter_add("rustbrain_engine_jobs_total", None, 1);
+                        m.observe(
+                            "rustbrain_engine_job_wall_us",
+                            Some(("class", result.class.label())),
+                            wall_s * 1e6,
+                            rb_obs::REAL_US_BUCKETS,
+                        );
+                        let sent = tx.send(JobResult {
+                            index: job.index,
+                            worker,
+                            wall_ms: wall_s * 1e3,
+                            cache_hit,
+                            oracle_use,
+                            kb_delta,
+                            result,
+                        });
+                        if sent.is_err() {
+                            break; // receiver gone: the batch was abandoned
+                        }
                     }
                 });
             }
@@ -284,6 +331,7 @@ impl Engine {
                     }
                 })
                 .collect(),
+            imbalance: EngineStats::imbalance_of(&worker_cases),
             worker_cases,
             simulated_overhead_ms: results.iter().map(|r| r.overhead_ms).sum(),
             kb_query_ms: results.iter().map(|r| r.kb_query_ms).sum(),
@@ -292,6 +340,13 @@ impl Engine {
             kb,
             cache,
         };
+        // Batch-level gauges for the scheduler cost model: the latest
+        // imbalance ratio and pool size (the per-class latency
+        // histograms were filled at the repair call sites).
+        if let Some(ratio) = stats.imbalance {
+            rb_obs::metrics().gauge_set("rustbrain_engine_imbalance", None, ratio);
+        }
+        rb_obs::metrics().gauge_set("rustbrain_engine_workers", None, self.workers as f64);
         BatchOutcome {
             results,
             jobs: executed,

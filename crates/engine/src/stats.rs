@@ -51,6 +51,14 @@ pub struct EngineStats {
     pub worker_utilization: Vec<f64>,
     /// Jobs executed by each worker, in worker order.
     pub worker_cases: Vec<usize>,
+    /// Scheduler-imbalance summary: the busiest worker's case share
+    /// divided by the idlest worker's (`max/min` over `worker_cases`).
+    /// `1.0` is a perfectly even split. `None` — serialized as JSON
+    /// `null` — when a worker got zero jobs while another got some (the
+    /// ratio would be ∞) or when the batch was empty; collapsing ∞ to a
+    /// number would hide exactly the starvation the metric exists to
+    /// flag.
+    pub imbalance: Option<f64>,
     /// Total simulated repair time accumulated by the jobs (the paper's
     /// overhead metric — unrelated to real wall-clock).
     pub simulated_overhead_ms: f64,
@@ -105,6 +113,22 @@ fn json_str(s: &str) -> String {
 }
 
 impl EngineStats {
+    /// The scheduler-imbalance ratio for a per-worker case distribution:
+    /// `max/min`, `Some(1.0)` for a single worker or an even split, and
+    /// `None` when the ratio is undefined or infinite (an empty batch,
+    /// or a worker starved to zero jobs while others ran).
+    #[must_use]
+    pub fn imbalance_of(worker_cases: &[usize]) -> Option<f64> {
+        let max = worker_cases.iter().copied().max()?;
+        let min = worker_cases.iter().copied().min()?;
+        if min == 0 {
+            // max == 0 means an empty batch (no share to compare);
+            // max > 0 means a starved worker (an infinite ratio).
+            return None;
+        }
+        Some(max as f64 / min as f64)
+    }
+
     /// Serializes the telemetry to a single-line JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -112,7 +136,8 @@ impl EngineStats {
             concat!(
                 "{{\"workers\":{},\"cases\":{},\"wall_ms\":{},",
                 "\"cases_per_sec\":{},\"worker_utilization\":{},",
-                "\"worker_cases\":{},\"simulated_overhead_ms\":{},",
+                "\"worker_cases\":{},\"imbalance\":{},",
+                "\"simulated_overhead_ms\":{},",
                 "\"kb_query_ms\":{},",
                 "\"oracle\":{{\"executed\":{},\"cached\":{}}},",
                 "\"kb\":{{\"seeded\":{},\"merged_inserts\":{},",
@@ -127,6 +152,7 @@ impl EngineStats {
             json_num(self.cases_per_sec),
             json_array(&self.worker_utilization, |u| json_num(*u)),
             json_array(&self.worker_cases, |c| c.to_string()),
+            self.imbalance.map_or_else(|| "null".to_owned(), json_num),
             json_num(self.simulated_overhead_ms),
             json_num(self.kb_query_ms),
             self.oracle_executed,
@@ -187,6 +213,7 @@ mod tests {
             cases_per_sec: 240.0,
             worker_utilization: vec![0.9, 0.8],
             worker_cases: vec![2, 1],
+            imbalance: EngineStats::imbalance_of(&[2, 1]),
             simulated_overhead_ms: 99.0,
             kb_query_ms: 18.5,
             oracle_executed: 7,
@@ -212,6 +239,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"workers\":2"));
         assert!(json.contains("\"worker_utilization\":[0.9000,0.8000]"));
+        assert!(json.contains("\"imbalance\":2.0000"));
         assert!(json.contains("\"oracle\":{\"executed\":7,\"cached\":21}"));
         assert!(json.contains("\"merged_inserts\":3"));
         assert!(json.contains("\"coalesced\":1"));
@@ -229,6 +257,31 @@ mod tests {
         assert_eq!(json_num(f64::NAN), "0");
         assert_eq!(json_num(f64::INFINITY), "0");
         assert_eq!(json_num(1.0 / 3.0), "0.3333");
+    }
+
+    #[test]
+    fn imbalance_is_infinity_safe() {
+        // Even split and single worker are both 1.0.
+        assert_eq!(EngineStats::imbalance_of(&[3, 3]), Some(1.0));
+        assert_eq!(EngineStats::imbalance_of(&[7]), Some(1.0));
+        // The committed bench's distribution has a defined ratio.
+        assert_eq!(EngineStats::imbalance_of(&[4, 1, 16, 21]), Some(21.0));
+        // A starved worker would be an infinite ratio: report None, and
+        // serialize it as null rather than a misleading finite number.
+        assert_eq!(EngineStats::imbalance_of(&[0, 5]), None);
+        assert_eq!(EngineStats::imbalance_of(&[0, 0]), None);
+        assert_eq!(EngineStats::imbalance_of(&[]), None);
+        let stats = EngineStats {
+            workers: 2,
+            worker_cases: vec![0, 5],
+            imbalance: EngineStats::imbalance_of(&[0, 5]),
+            ..EngineStats::default()
+        };
+        assert!(
+            stats.to_json().contains("\"imbalance\":null"),
+            "{}",
+            stats.to_json()
+        );
     }
 
     #[test]

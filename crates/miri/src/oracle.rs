@@ -54,10 +54,36 @@ pub trait Oracle: Send + Sync {
     /// [`judge_counted`] with the attribution folded straight into a
     /// counter — the one-liner every repair loop wants.
     ///
+    /// This default is also the observability seam: every judgement that
+    /// flows through it opens an `oracle.judge` span (cached/executed
+    /// and verdict-class tags) and records wall-clock latency into the
+    /// process-wide registry. No implementation in the stack overrides
+    /// it, so the fast path, slow path and rollback reverification are
+    /// all covered through dynamic dispatch. Purely observational: the
+    /// verdict and the `used` accounting are untouched.
+    ///
     /// [`judge_counted`]: Oracle::judge_counted
     fn judge_recording(&self, program: &Program, used: &mut OracleUse) -> Arc<MiriReport> {
+        let mut span = rb_obs::span("oracle.judge");
+        let start = std::time::Instant::now();
         let (report, cached) = self.judge_counted(program);
         used.record(cached);
+        let verdict = report.primary().map_or("pass", |e| e.class().label());
+        let result = if cached { "cached" } else { "executed" };
+        let m = rb_obs::metrics();
+        m.counter_add(
+            "rustbrain_oracle_judgements_total",
+            Some(("result", result)),
+            1,
+        );
+        m.observe(
+            "rustbrain_oracle_judge_us",
+            Some(("class", verdict)),
+            start.elapsed().as_secs_f64() * 1e6,
+            rb_obs::REAL_US_BUCKETS,
+        );
+        span.tag("cached", result);
+        span.tag("verdict", verdict);
         report
     }
 }

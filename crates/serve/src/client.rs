@@ -84,6 +84,12 @@ pub fn stats_request() -> String {
     "{\"verb\":\"stats\"}".to_owned()
 }
 
+/// Builds a `metrics` request line.
+#[must_use]
+pub fn metrics_request() -> String {
+    "{\"verb\":\"metrics\"}".to_owned()
+}
+
 /// Builds a `compact` request line.
 #[must_use]
 pub fn compact_request() -> String {
@@ -129,6 +135,7 @@ mod tests {
             }
         });
         assert_eq!(parse_request(&stats_request()).unwrap(), Request::Stats);
+        assert_eq!(parse_request(&metrics_request()).unwrap(), Request::Metrics);
         assert_eq!(parse_request(&compact_request()).unwrap(), Request::Compact);
         assert_eq!(
             parse_request(&shutdown_request()).unwrap(),

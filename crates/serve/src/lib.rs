@@ -12,11 +12,12 @@
 //!
 //! - [`json`] — a dependency-free JSON parser/emitter for the wire
 //!   protocol (the vendored serde is a build-marker stub).
-//! - [`protocol`] — the five verbs (`repair`, `batch`, `stats`,
-//!   `compact`, `shutdown`) and their request shapes.
+//! - [`protocol`] — the six verbs (`repair`, `batch`, `stats`,
+//!   `metrics`, `compact`, `shutdown`) and their request shapes.
 //! - [`server`] — the daemon: accept loop, handler pool, lazy shard
-//!   faulting, threshold-triggered compaction.
-//! - [`stats`] — [`stats::ServeStats`] telemetry and the latency ring.
+//!   faulting, threshold-triggered compaction, optional request tracing.
+//! - [`stats`] — [`stats::ServeStats`] telemetry, registry-backed
+//!   counters, and the latency ring.
 //! - [`client`] — a blocking line client for scripts, the CLI and CI.
 //!
 //! Determinism carries over from the engine: a `batch` request's

@@ -4,12 +4,13 @@
 //! Every request carries a `"verb"` field; everything else is
 //! verb-specific. Responses always carry `"ok"` (and `"verb"` echoed
 //! back), with failures shaped as `{"ok":false,"error":"..."}` so a
-//! scripting client needs exactly one code path. The five verbs:
+//! scripting client needs exactly one code path. The six verbs:
 //!
 //! ```text
 //! {"verb":"repair","source":"fn main() { ... }","reference":["5"],"seed":7}
 //! {"verb":"batch","seed":42,"per_class":2,"classes":["alloc","panic"]}
 //! {"verb":"stats"}
+//! {"verb":"metrics"}
 //! {"verb":"compact"}
 //! {"verb":"shutdown"}
 //! ```
@@ -50,6 +51,10 @@ pub enum Request {
     },
     /// Report the daemon's [`crate::stats::ServeStats`] snapshot.
     Stats,
+    /// Dump the metrics registries (Prometheus-style exposition text):
+    /// the process-global registry (per-UbClass repair/oracle latency
+    /// histograms) plus this daemon's own request counters.
+    Metrics,
     /// Fault every shard in, re-normalize the resident base under the
     /// compaction policy, and persist it (atomic swap-in).
     Compact,
@@ -152,10 +157,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "compact" => Ok(Request::Compact),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown verb `{other}` (expected repair|batch|stats|compact|shutdown)"
+            "unknown verb `{other}` (expected repair|batch|stats|metrics|compact|shutdown)"
         )),
     }
 }
@@ -174,7 +180,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_all_five_verbs() {
+    fn parses_all_six_verbs() {
         let r = parse_request(
             r#"{"verb":"repair","source":"fn main() {}","reference":["5","true"],"seed":7}"#,
         )
@@ -200,6 +206,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"verb":"stats"}"#).unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"metrics"}"#).unwrap(),
+            Request::Metrics
         );
         assert_eq!(
             parse_request(r#"{"verb":"compact"}"#).unwrap(),

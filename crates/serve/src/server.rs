@@ -66,6 +66,9 @@ pub struct ServeConfig {
     /// Compact when this many seconds pass since the last compaction
     /// (0 disables the time trigger).
     pub compact_secs: u64,
+    /// Write a structured JSONL trace of every request (and the repair
+    /// spans nested under it) to this file. `None` disables tracing.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +80,7 @@ impl Default for ServeConfig {
             kb_path: None,
             compact_entries: 0,
             compact_secs: 0,
+            trace_out: None,
         }
     }
 }
@@ -89,6 +93,9 @@ struct ServeState {
     /// The resident knowledge base (lazy when backed by a store).
     kb: Mutex<KnowledgeBase>,
     stats: StatsRecorder,
+    /// Structured-trace sink shared by every handler thread (`None`
+    /// when tracing is off — spans are inert and cost one branch).
+    tracer: Option<rb_obs::Tracer>,
     shutdown: AtomicBool,
     /// Serializes compactions so a size trigger firing on two handler
     /// threads at once runs the work exactly once.
@@ -123,11 +130,22 @@ impl Server {
                 .map_err(|e| format!("cannot open knowledge store: {e}"))?,
             None => KnowledgeBase::new(),
         };
-        let engine = Engine::with_global_cache(config.jobs);
+        let tracer = match &config.trace_out {
+            Some(path) => Some(
+                rb_obs::Tracer::to_file(path)
+                    .map_err(|e| format!("cannot open trace file {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        let mut engine = Engine::with_global_cache(config.jobs);
+        if let Some(tracer) = &tracer {
+            engine = engine.with_tracer(tracer.clone());
+        }
         let state = Arc::new(ServeState {
             engine,
             kb: Mutex::new(kb),
             stats: StatsRecorder::new(),
+            tracer,
             shutdown: AtomicBool::new(false),
             compacting: AtomicBool::new(false),
             last_compact: Mutex::new(Instant::now()),
@@ -186,6 +204,9 @@ impl Server {
                 eprintln!("serve: final knowledge save failed: {e}");
             }
         }
+        if let Some(tracer) = &state.tracer {
+            tracer.flush();
+        }
         final_stats(&state)
     }
 }
@@ -193,6 +214,10 @@ impl Server {
 /// Serves one connection: request lines in, response lines out, until
 /// the peer hangs up or the daemon shuts down.
 fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) {
+    // Bind this handler thread to the daemon's trace sink: every span
+    // opened while serving this connection (repair pipeline included)
+    // lands in the shared JSONL file. A no-op when tracing is off.
+    let _trace_scope = state.tracer.as_ref().map(rb_obs::trace::scope);
     let _ = stream.set_nodelay(true);
     let reader = match stream.try_clone() {
         Ok(read_half) => BufReader::new(read_half),
@@ -208,7 +233,13 @@ fn handle_connection(state: &Arc<ServeState>, stream: TcpStream) {
             continue;
         }
         let started = Instant::now();
-        let (response, verb) = dispatch(state, &line);
+        let (response, verb) = {
+            let mut span = rb_obs::span("serve.request");
+            let (response, verb) = dispatch(state, &line);
+            span.tag("verb", verb.label());
+            span.tag("ok", if verb == Verb::Error { "false" } else { "true" });
+            (response, verb)
+        };
         state
             .stats
             .record_request(verb, started.elapsed().as_secs_f64() * 1e3);
@@ -253,6 +284,7 @@ fn dispatch(state: &Arc<ServeState>, line: &str) -> (String, Verb) {
             Err(e) => (error_response(&e), Verb::Error),
         },
         Request::Stats => (stats_response(state), Verb::Stats),
+        Request::Metrics => (metrics_response(state), Verb::Metrics),
         Request::Compact => match compact_now(state, false) {
             Ok(response) => (response, Verb::Compact),
             Err(e) => (error_response(&e), Verb::Error),
@@ -279,7 +311,18 @@ fn handle_repair(
 ) -> Result<String, String> {
     let program = parse_program(source).map_err(|e| format!("parse error: {e}"))?;
     let oracle = state.engine.shared_oracle();
-    let report = oracle.judge(&program);
+    // Call-site span: this initial triage judgement goes through
+    // `Oracle::judge` directly, not the instrumented `judge_recording`
+    // seam, so it must account for itself.
+    let report = {
+        let mut span = rb_obs::span("oracle.judge");
+        let report = oracle.judge(&program);
+        span.tag(
+            "verdict",
+            report.primary().map_or("pass", |e| e.class().label()),
+        );
+        report
+    };
     if report.passes() {
         return Ok(
             "{\"ok\":true,\"verb\":\"repair\",\"already_clean\":true,\"passed\":true}".to_owned(),
@@ -433,6 +476,23 @@ fn stats_response(state: &Arc<ServeState>) -> String {
     format!(
         "{{\"ok\":true,\"verb\":\"stats\",\"serve\":{}}}",
         serve_stats(state).to_json()
+    )
+}
+
+/// The `metrics` verb: Prometheus-style exposition text (the
+/// process-global registry — per-UbClass repair/oracle latency
+/// histograms — concatenated with this daemon's own request counters,
+/// which are per-recorder so cohabiting daemons stay hermetic), plus
+/// both registries as structured JSON.
+fn metrics_response(state: &Arc<ServeState>) -> String {
+    let global = rb_obs::metrics();
+    let serve = state.stats.registry();
+    let exposition = format!("{}{}", global.prometheus(), serve.prometheus());
+    format!(
+        "{{\"ok\":true,\"verb\":\"metrics\",\"exposition\":{},\"global\":{},\"serve\":{}}}",
+        fmt_str(&exposition),
+        global.to_json(),
+        serve.to_json(),
     )
 }
 

@@ -4,15 +4,35 @@
 //! handled request records its verb, outcome and real wall-clock
 //! latency, and the `stats` verb (plus the shutdown dump) snapshots it
 //! into a [`ServeStats`] — the numbers later scheduler work learns
-//! from. Latency percentiles come from a bounded ring of the most
-//! recent samples, so a long-lived daemon's memory stays flat.
+//! from. Latency percentiles come from a bounded [`LatencyRing`] of the
+//! most recent samples, so a long-lived daemon's memory stays flat.
+//!
+//! Since PR 7 the scalar counters live in a per-recorder
+//! [`rb_obs::MetricsRegistry`] rather than a parallel tally struct:
+//! [`StatsRecorder::record_request`] writes registry counters and the
+//! latency histogram, and [`StatsRecorder::snapshot`] *reads them back*.
+//! The registry is per-recorder (not the process-global one) so two
+//! daemons in one process — the integration tests run exactly that —
+//! never see each other's counts; the `metrics` verb exposes this
+//! registry alongside the global one.
 
-use std::sync::Mutex;
+use rb_obs::MetricsRegistry;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How many latency samples the percentile ring retains (oldest
 /// overwritten first).
 const LATENCY_RING: usize = 4096;
+
+/// Registry series names the recorder writes and the snapshot re-reads.
+const REQUESTS: &str = "rustbrain_serve_requests_total";
+const BATCH_CASES: &str = "rustbrain_serve_batch_cases_total";
+const COMPACTIONS: &str = "rustbrain_serve_compactions_total";
+const TRIGGERED: &str = "rustbrain_serve_triggered_compactions_total";
+const MERGED_INSERTS: &str = "rustbrain_serve_kb_merged_inserts_total";
+const CACHE_LOOKUPS: &str = "rustbrain_serve_cache_lookups_total";
+const ORACLE_JUDGEMENTS: &str = "rustbrain_serve_oracle_judgements_total";
+const REQUEST_LATENCY_US: &str = "rustbrain_serve_request_us";
 
 /// A point-in-time snapshot of the daemon's counters.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -121,6 +141,8 @@ pub enum Verb {
     Batch(u64),
     /// A `stats` request.
     Stats,
+    /// A `metrics` request (registry exposition).
+    Metrics,
     /// A `compact` request.
     Compact,
     /// A `shutdown` request.
@@ -129,31 +151,95 @@ pub enum Verb {
     Error,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    requests: u64,
-    errors: u64,
-    repairs: u64,
-    batches: u64,
-    batch_cases: u64,
-    compactions: u64,
-    triggered_compactions: u64,
-    kb_merged_inserts: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    oracle_executed: u64,
-    oracle_cached: u64,
-    /// Latency ring: most recent `LATENCY_RING` samples, insertion
-    /// position wrapping.
-    latencies: Vec<f64>,
+impl Verb {
+    /// The `verb` label value this request counts under in the registry.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Verb::Repair => "repair",
+            Verb::Batch(_) => "batch",
+            Verb::Stats => "stats",
+            Verb::Metrics => "metrics",
+            Verb::Compact => "compact",
+            Verb::Shutdown => "shutdown",
+            Verb::Error => "error",
+        }
+    }
+}
+
+/// A bounded ring of the most recent latency samples with nearest-rank
+/// percentiles. Fill-then-overwrite: pushes append until `capacity`,
+/// then wrap around overwriting the oldest slot.
+#[derive(Clone, Debug)]
+pub struct LatencyRing {
+    capacity: usize,
+    samples: Vec<f64>,
     next_slot: usize,
 }
 
-/// The daemon's live, thread-shared counters.
+impl Default for LatencyRing {
+    fn default() -> LatencyRing {
+        LatencyRing::new(LATENCY_RING)
+    }
+}
+
+impl LatencyRing {
+    /// A ring retaining at most `capacity` samples (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> LatencyRing {
+        LatencyRing {
+            capacity: capacity.max(1),
+            samples: Vec::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// Adds one sample, overwriting the oldest once full.
+    pub fn push(&mut self, sample: f64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.next_slot] = sample;
+        }
+        self.next_slot = (self.next_slot + 1) % self.capacity;
+    }
+
+    /// Samples currently retained (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample was ever recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The retained samples, unordered.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// `(p50, p99, max)` over the retained samples (zeros when empty).
+    /// The nearest-rank method on a sorted copy — the ring is small and
+    /// snapshots are rare, so simplicity beats cleverness.
+    #[must_use]
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        percentiles(&self.samples)
+    }
+}
+
+/// The daemon's live, thread-shared counters: scalar counts and the
+/// request-latency histogram live in a per-recorder metrics registry
+/// (readable through [`StatsRecorder::registry`], exposed by the
+/// `metrics` verb); only the percentile ring needs its own lock.
 #[derive(Debug)]
 pub struct StatsRecorder {
     started: Instant,
-    counters: Mutex<Counters>,
+    registry: Arc<MetricsRegistry>,
+    ring: Mutex<LatencyRing>,
 }
 
 impl Default for StatsRecorder {
@@ -163,82 +249,98 @@ impl Default for StatsRecorder {
 }
 
 impl StatsRecorder {
-    /// A fresh recorder; `uptime_ms` counts from here.
+    /// A fresh recorder with a private registry; `uptime_ms` counts from
+    /// here. Private (rather than process-global) so several daemons in
+    /// one process stay hermetic.
     #[must_use]
     pub fn new() -> StatsRecorder {
+        StatsRecorder::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// A recorder writing into an existing registry (shared counters).
+    #[must_use]
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> StatsRecorder {
         StatsRecorder {
             started: Instant::now(),
-            counters: Mutex::new(Counters::default()),
+            registry,
+            ring: Mutex::new(LatencyRing::default()),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
-        self.counters.lock().expect("stats lock poisoned")
+    /// The registry this recorder writes through — the `metrics` verb
+    /// exposes it next to the process-global one.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    fn ring(&self) -> std::sync::MutexGuard<'_, LatencyRing> {
+        self.ring.lock().expect("latency ring lock poisoned")
     }
 
     /// Records one handled request: its verb and real latency.
     pub fn record_request(&self, verb: Verb, latency_ms: f64) {
-        let mut c = self.lock();
-        c.requests += 1;
-        match verb {
-            Verb::Repair => c.repairs += 1,
-            Verb::Batch(cases) => {
-                c.batches += 1;
-                c.batch_cases += cases;
-            }
-            Verb::Error => c.errors += 1,
-            Verb::Stats | Verb::Compact | Verb::Shutdown => {}
+        self.registry
+            .counter_add(REQUESTS, Some(("verb", verb.label())), 1);
+        if let Verb::Batch(cases) = verb {
+            self.registry.counter_add(BATCH_CASES, None, cases);
         }
-        if c.latencies.len() < LATENCY_RING {
-            c.latencies.push(latency_ms);
-        } else {
-            let slot = c.next_slot;
-            c.latencies[slot] = latency_ms;
-        }
-        c.next_slot = (c.next_slot + 1) % LATENCY_RING;
+        self.registry.observe(
+            REQUEST_LATENCY_US,
+            Some(("verb", verb.label())),
+            latency_ms * 1e3,
+            rb_obs::REAL_US_BUCKETS,
+        );
+        self.ring().push(latency_ms);
     }
 
     /// Records a compaction run (`triggered` when fired by a threshold
     /// rather than the `compact` verb).
     pub fn record_compaction(&self, triggered: bool) {
-        let mut c = self.lock();
-        c.compactions += 1;
+        self.registry.counter_add(COMPACTIONS, None, 1);
         if triggered {
-            c.triggered_compactions += 1;
+            self.registry.counter_add(TRIGGERED, None, 1);
         }
     }
 
     /// Records learned inserts merged into the resident base.
     pub fn record_merged_inserts(&self, inserts: u64) {
-        self.lock().kb_merged_inserts += inserts;
+        self.registry.counter_add(MERGED_INSERTS, None, inserts);
     }
 
     /// Records a request's oracle traffic: gold-reference cache
     /// hits/misses and the executed/cached judgement split.
     pub fn record_oracle(&self, hits: u64, misses: u64, executed: u64, cached: u64) {
-        let mut c = self.lock();
-        c.cache_hits += hits;
-        c.cache_misses += misses;
-        c.oracle_executed += executed;
-        c.oracle_cached += cached;
+        let reg = &self.registry;
+        reg.counter_add(CACHE_LOOKUPS, Some(("result", "hit")), hits);
+        reg.counter_add(CACHE_LOOKUPS, Some(("result", "miss")), misses);
+        reg.counter_add(ORACLE_JUDGEMENTS, Some(("result", "executed")), executed);
+        reg.counter_add(ORACLE_JUDGEMENTS, Some(("result", "cached")), cached);
     }
 
-    /// Snapshots the counters. The knowledge-base gauges (resident
-    /// shards, entries, weight, shard loads) are the caller's — the
-    /// recorder only holds what it observed itself.
+    /// Snapshots the counters by reading them back from the registry.
+    /// The knowledge-base gauges (resident shards, entries, weight,
+    /// shard loads) are the caller's — the recorder only holds what it
+    /// observed itself.
     #[must_use]
     pub fn snapshot(&self) -> ServeStats {
-        let c = self.lock();
-        let (p50, p99, max) = percentiles(&c.latencies);
+        let reg = &self.registry;
+        let verb = |label: &str| reg.counter(REQUESTS, Some(("verb", label)));
+        let requests = reg
+            .label_values(REQUESTS)
+            .iter()
+            .map(|v| verb(v))
+            .sum::<u64>();
+        let (p50, p99, max) = self.ring().percentiles();
         ServeStats {
             uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
-            requests: c.requests,
-            errors: c.errors,
-            repairs: c.repairs,
-            batches: c.batches,
-            batch_cases: c.batch_cases,
-            compactions: c.compactions,
-            triggered_compactions: c.triggered_compactions,
+            requests,
+            errors: verb("error"),
+            repairs: verb("repair"),
+            batches: verb("batch"),
+            batch_cases: reg.counter(BATCH_CASES, None),
+            compactions: reg.counter(COMPACTIONS, None),
+            triggered_compactions: reg.counter(TRIGGERED, None),
             p50_ms: p50,
             p99_ms: p99,
             max_ms: max,
@@ -246,18 +348,17 @@ impl StatsRecorder {
             shard_loads: 0,
             kb_entries: 0,
             kb_weight: 0,
-            kb_merged_inserts: c.kb_merged_inserts,
-            cache_hits: c.cache_hits,
-            cache_misses: c.cache_misses,
-            oracle_executed: c.oracle_executed,
-            oracle_cached: c.oracle_cached,
+            kb_merged_inserts: reg.counter(MERGED_INSERTS, None),
+            cache_hits: reg.counter(CACHE_LOOKUPS, Some(("result", "hit"))),
+            cache_misses: reg.counter(CACHE_LOOKUPS, Some(("result", "miss"))),
+            oracle_executed: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "executed"))),
+            oracle_cached: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "cached"))),
         }
     }
 }
 
-/// `(p50, p99, max)` over the sample ring (zeros when empty). The
-/// nearest-rank method on a sorted copy — the ring is small and
-/// snapshots are rare, so simplicity beats cleverness.
+/// `(p50, p99, max)` over a sample slice (zeros when empty) by the
+/// nearest-rank method on a sorted copy.
 fn percentiles(samples: &[f64]) -> (f64, f64, f64) {
     if samples.is_empty() {
         return (0.0, 0.0, 0.0);
@@ -281,13 +382,14 @@ mod tests {
         rec.record_request(Verb::Repair, 3.0);
         rec.record_request(Verb::Batch(42), 10.0);
         rec.record_request(Verb::Stats, 1.0);
+        rec.record_request(Verb::Metrics, 0.2);
         rec.record_request(Verb::Error, 0.5);
         rec.record_compaction(false);
         rec.record_compaction(true);
         rec.record_merged_inserts(5);
         rec.record_oracle(3, 1, 10, 2);
         let s = rec.snapshot();
-        assert_eq!(s.requests, 4);
+        assert_eq!(s.requests, 5);
         assert_eq!(s.repairs, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.batch_cases, 42);
@@ -300,6 +402,28 @@ mod tests {
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.max_ms, 10.0);
         assert!(s.uptime_ms >= 0.0);
+        // The snapshot numbers ARE the registry's: no parallel tally to
+        // drift out of sync.
+        let text = rec.registry().prometheus();
+        assert!(
+            text.contains("rustbrain_serve_requests_total{verb=\"repair\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rustbrain_serve_request_us_count{verb=\"batch\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn recorders_are_hermetic() {
+        // Two daemons in one process (the integration tests do this)
+        // must never see each other's counts.
+        let a = StatsRecorder::new();
+        let b = StatsRecorder::new();
+        a.record_request(Verb::Repair, 1.0);
+        assert_eq!(a.snapshot().requests, 1);
+        assert_eq!(b.snapshot().requests, 0);
     }
 
     #[test]
@@ -315,11 +439,81 @@ mod tests {
         for i in 0..(LATENCY_RING + 100) {
             rec.record_request(Verb::Stats, i as f64);
         }
-        let c = rec.lock();
-        assert_eq!(c.latencies.len(), LATENCY_RING, "ring must stay bounded");
+        let ring = rec.ring();
+        assert_eq!(ring.len(), LATENCY_RING, "ring must stay bounded");
         // The oldest samples were overwritten by the newest.
-        assert!(c.latencies.contains(&(LATENCY_RING as f64 + 99.0)));
-        assert!(!c.latencies.contains(&0.0));
+        assert!(ring.samples().contains(&(LATENCY_RING as f64 + 99.0)));
+        assert!(!ring.samples().contains(&0.0));
+    }
+
+    #[test]
+    fn empty_ring_reports_zeros() {
+        let ring = LatencyRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.percentiles(), (0.0, 0.0, 0.0));
+        // A 0-request stats dump is all zeros and still valid JSON.
+        let s = StatsRecorder::new().snapshot();
+        assert_eq!((s.requests, s.errors), (0, 0));
+        assert_eq!((s.p50_ms, s.p99_ms, s.max_ms), (0.0, 0.0, 0.0));
+        assert_eq!(s.cache_hit_rate(), 0.0, "0/0 must not be NaN");
+        let json = s.to_json();
+        assert!(crate::json::parse(&json).is_ok(), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn single_sample_is_all_three_percentiles() {
+        let mut ring = LatencyRing::new(8);
+        ring.push(7.5);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.percentiles(), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn wrap_around_at_exact_capacity_overwrites_oldest_first() {
+        let mut ring = LatencyRing::new(4);
+        for v in 1..=4 {
+            ring.push(f64::from(v));
+        }
+        assert_eq!(ring.samples(), &[1.0, 2.0, 3.0, 4.0]);
+        // The next push lands exactly on slot 0 (the oldest sample).
+        ring.push(5.0);
+        assert_eq!(ring.samples(), &[5.0, 2.0, 3.0, 4.0]);
+        ring.push(6.0);
+        assert_eq!(ring.samples(), &[5.0, 6.0, 3.0, 4.0]);
+        // A full second lap overwrites everything once, in order.
+        for v in 7..=10 {
+            ring.push(f64::from(v));
+        }
+        assert_eq!(ring.samples(), &[9.0, 10.0, 7.0, 8.0]);
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn percentile_order_holds_under_randomized_fill() {
+        // Deterministic LCG so the "random" fill is reproducible.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) % 10_000) as f64 / 10.0
+        };
+        let mut ring = LatencyRing::new(64);
+        for round in 1..=500 {
+            ring.push(next());
+            let (p50, p99, max) = ring.percentiles();
+            assert!(
+                p50 <= p99 && p99 <= max,
+                "round {round}: p50 {p50} p99 {p99} max {max}"
+            );
+            let true_max = ring
+                .samples()
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(max, true_max, "round {round}");
+        }
     }
 
     #[test]

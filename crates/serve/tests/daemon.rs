@@ -1,5 +1,5 @@
 //! End-to-end daemon test: a real TCP server on an ephemeral port,
-//! driven through all five protocol verbs.
+//! driven through all six protocol verbs.
 //!
 //! The load-bearing pin: the daemon opens its knowledge store *lazily*,
 //! so two sequential `repair` requests for the same UB class read that
@@ -16,7 +16,8 @@ use rb_engine::{results_to_json, Engine, SystemSpec};
 use rb_llm::ModelId;
 use rb_miri::UbClass;
 use rb_serve::client::{
-    batch_request, compact_request, repair_request, shutdown_request, stats_request,
+    batch_request, compact_request, metrics_request, repair_request, shutdown_request,
+    stats_request,
 };
 use rb_serve::json::{parse, Value};
 use rb_serve::server::{corpus_requests, seed_store};
@@ -142,6 +143,39 @@ fn daemon_faults_in_only_the_shards_traffic_touches() {
     let response = client.call(&stats_request()).unwrap();
     assert_eq!(kb_gauge(&response, "resident_shards"), 2);
     assert_eq!(kb_gauge(&response, "shard_loads"), 2);
+
+    // The metrics verb answers with a Prometheus-style exposition that
+    // carries a repair-latency histogram for every class this daemon's
+    // traffic touched, plus the daemon's own request counters.
+    let response = client.call(&metrics_request()).unwrap();
+    let v = parse(&response).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{response}"
+    );
+    let exposition = v
+        .get("exposition")
+        .and_then(Value::as_str)
+        .expect("metrics response carries exposition text");
+    for class in CLASSES {
+        let series = format!(
+            "rustbrain_repair_latency_sim_ms_count{{class=\"{}\"}}",
+            class.label()
+        );
+        assert!(
+            exposition.contains(&series),
+            "no {series} in exposition:\n{exposition}"
+        );
+    }
+    assert!(
+        exposition.contains("rustbrain_serve_requests_total{verb=\"repair\"} 2"),
+        "{exposition}"
+    );
+    assert!(
+        v.get("serve").and_then(|s| s.get("counters")).is_some(),
+        "metrics response carries the serve registry as JSON: {response}"
+    );
 
     // An explicit compact faults everything in and persists.
     let response = client.call(&compact_request()).unwrap();

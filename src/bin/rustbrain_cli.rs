@@ -24,8 +24,8 @@
 //!                                               triggered compaction)
 //!   rustbrain client <verb> [options]           send one request to a
 //!                                               daemon: repair <file.mrs>,
-//!                                               batch, stats, compact, or
-//!                                               shutdown
+//!                                               batch, stats, metrics,
+//!                                               compact, or shutdown
 //!
 //! OPTIONS:
 //!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
@@ -41,6 +41,9 @@
 //!   --stats-out <file>                          write batch EngineStats JSON
 //!   --results-out <file>                        write deterministic per-case
 //!                                               results JSON (telemetry-free)
+//!   --trace-out <file>                          batch/serve: write a
+//!                                               structured JSONL span trace
+//!                                               (observational only)
 //!   --no-cache                                  judge through the direct
 //!                                               oracle, bypassing the cache
 //!   --cache-cap <N>                             bound the oracle cache to N
@@ -109,6 +112,8 @@ struct Cli {
     compact_secs: u64,
     /// `client batch`: restrict the sweep to these UB classes.
     classes: Option<Vec<rb_miri::UbClass>>,
+    /// `batch`/`serve`: write a structured JSONL span trace here.
+    trace_out: Option<String>,
 }
 
 /// Where `serve` listens and `client` connects unless `--addr` says
@@ -195,6 +200,7 @@ enum ClientVerb {
     Repair(String),
     Batch,
     Stats,
+    Metrics,
     Compact,
     Shutdown,
 }
@@ -249,6 +255,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         compact_entries: 0,
         compact_secs: 0,
         classes: None,
+        trace_out: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -292,12 +299,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
                 Some("batch") => ClientVerb::Batch,
                 Some("stats") => ClientVerb::Stats,
+                Some("metrics") => ClientVerb::Metrics,
                 Some("compact") => ClientVerb::Compact,
                 Some("shutdown") => ClientVerb::Shutdown,
                 Some(other) => return Err(format!("unknown client verb `{other}`")),
                 None => {
                     return Err(
-                        "`client` needs a verb (repair|batch|stats|compact|shutdown)".into(),
+                        "`client` needs a verb (repair|batch|stats|metrics|compact|shutdown)"
+                            .into(),
                     )
                 }
             };
@@ -359,6 +368,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--results-out" => {
                 let v = it.next().ok_or("--results-out needs a value")?;
                 cli.results_out = Some(v.clone());
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a value")?;
+                cli.trace_out = Some(v.clone());
             }
             "--no-cache" => cli.use_cache = false,
             "--cache-cap" => {
@@ -447,6 +460,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if cli.classes.is_some() && !matches!(cli.command, Command::Client(ClientVerb::Batch)) {
         return Err("--classes only applies to `client batch`".into());
     }
+    if cli.trace_out.is_some() && !matches!(cli.command, Command::Batch | Command::Serve) {
+        return Err("--trace-out only applies to `batch` and `serve`".into());
+    }
     Ok(cli)
 }
 
@@ -479,7 +495,8 @@ USAGE:
                                             lazy knowledge shards)
   rustbrain client <verb> [options]         send one request to a daemon:
                                             repair <file.mrs> | batch |
-                                            stats | compact | shutdown
+                                            stats | metrics | compact |
+                                            shutdown
 
 OPTIONS:
   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
@@ -493,6 +510,11 @@ OPTIONS:
   --stats-out <file>                         write batch EngineStats JSON
   --results-out <file>                       write deterministic per-case
                                              results JSON (telemetry-free)
+  --trace-out <file>                         batch/serve: write a structured
+                                             JSONL span trace (one JSON object
+                                             per span; observational only —
+                                             results are byte-identical with
+                                             or without it)
   --no-cache                                 bypass the oracle verdict cache
   --cache-cap <N>                            bound the cache to N entries
                                              (rounded up; minimum 16)
@@ -574,6 +596,7 @@ fn main() -> ExitCode {
                 ))
             }),
             ClientVerb::Stats => client_call(&cli, |_| Ok(rb_serve::client::stats_request())),
+            ClientVerb::Metrics => client_call(&cli, |_| Ok(rb_serve::client::metrics_request())),
             ClientVerb::Compact => client_call(&cli, |_| Ok(rb_serve::client::compact_request())),
             ClientVerb::Shutdown => client_call(&cli, |_| Ok(rb_serve::client::shutdown_request())),
         },
@@ -637,7 +660,22 @@ fn batch(cli: &Cli) -> ExitCode {
     // engine injects its oracle into every system it builds — the whole
     // repair stack, not just gold references, shares one cache.
     let mode = cli.cache_mode();
-    let engine = mode.engine(cli.jobs);
+    let mut engine = mode.engine(cli.jobs);
+    // Tracing observes only: the results documents below are
+    // byte-identical whether or not a tracer is attached.
+    let tracer = match &cli.trace_out {
+        Some(path) => match rb_obs::Tracer::to_file(Path::new(path)) {
+            Ok(tracer) => {
+                engine = engine.with_tracer(tracer.clone());
+                Some(tracer)
+            }
+            Err(e) => {
+                eprintln!("error: cannot open trace file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     println!(
         "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s) | oracle {} | kb {}",
         corpus.len(),
@@ -695,6 +733,10 @@ fn batch(cli: &Cli) -> ExitCode {
             return ExitCode::from(2);
         }
         println!("deterministic results written to {path}");
+    }
+    if let (Some(tracer), Some(path)) = (&tracer, &cli.trace_out) {
+        tracer.flush();
+        println!("span trace written to {path}");
     }
     let stats_json = outcome.stats.to_json();
     match &cli.stats_out {
@@ -883,6 +925,7 @@ fn serve(cli: &Cli) -> ExitCode {
         kb_path: cli.kb.as_deref().map(std::path::PathBuf::from),
         compact_entries: cli.compact_entries,
         compact_secs: cli.compact_secs,
+        trace_out: cli.trace_out.as_deref().map(std::path::PathBuf::from),
     };
     let kb_label = cli.kb.clone().unwrap_or_else(|| "in-memory".to_owned());
     let server = match rb_serve::Server::bind(config) {
@@ -1193,7 +1236,7 @@ mod tests {
             Some(vec![rb_miri::UbClass::Alloc, rb_miri::UbClass::Panic])
         );
         assert_eq!(cli.results_out.as_deref(), Some("r.json"));
-        for verb in ["stats", "compact", "shutdown"] {
+        for verb in ["stats", "metrics", "compact", "shutdown"] {
             assert!(
                 parse_cli(&argv(&format!("client {verb}"))).is_ok(),
                 "{verb}"
@@ -1215,6 +1258,18 @@ mod tests {
         assert!(parse_cli(&argv("serve --classes alloc")).is_err());
         // But --addr works on both sides of the socket.
         assert!(parse_cli(&argv("client stats --addr 127.0.0.1:4700")).is_ok());
+    }
+
+    #[test]
+    fn trace_out_is_scoped_to_batch_and_serve() {
+        let cli = parse_cli(&argv("batch --trace-out trace.jsonl")).unwrap();
+        assert_eq!(cli.trace_out.as_deref(), Some("trace.jsonl"));
+        let cli = parse_cli(&argv("serve --trace-out trace.jsonl")).unwrap();
+        assert_eq!(cli.trace_out.as_deref(), Some("trace.jsonl"));
+        assert!(parse_cli(&argv("demo --trace-out t.jsonl")).is_err());
+        assert!(parse_cli(&argv("repair a.mrs --trace-out t.jsonl")).is_err());
+        assert!(parse_cli(&argv("client stats --trace-out t.jsonl")).is_err());
+        assert!(parse_cli(&argv("batch --trace-out")).is_err());
     }
 
     #[test]
