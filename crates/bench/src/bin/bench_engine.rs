@@ -19,33 +19,53 @@
 //! on that flag), and `--trace-out` writes a structured JSONL span
 //! trace of the timed parallel sweep.
 //!
+//! Since PR 8 the bench compares the engine's scheduling policies (FIFO
+//! baseline, cost-ordered LPT, work-stealing) on the same warm cache:
+//! the `sched.policies` rows carry each policy's measured wall speedup
+//! *and* a `modeled_speedup` — a deterministic virtual-clock replay of
+//! the policy's dispatch over the serial sweep's measured per-job wall
+//! times, which is the honest scheduler comparison when the host lacks a
+//! core per worker. `sched.cost_model` reports predicted vs observed
+//! per-class milliseconds, `--repeat N` amplifies the corpus (N clones
+//! of the 42 templates with varied case ids/sizes) so the signal beats
+//! wall-clock noise, and `--cost-table PATH` seeds the cost model from a
+//! persisted table and rewrites it from this run's observations.
+//!
 //! ```text
-//! USAGE: bench_engine [--jobs N] [--per-class N] [--out PATH]
-//!                     [--trace-out PATH]
+//! USAGE: bench_engine [--jobs N] [--per-class N] [--repeat N]
+//!                     [--out PATH] [--trace-out PATH]
+//!                     [--cost-table PATH]
 //! ```
 
 use rb_bench::overall_rates;
 use rb_dataset::Corpus;
-use rb_engine::{BatchOutcome, Engine, OracleCache, SystemSpec};
+use rb_engine::{
+    model_schedule, BatchOutcome, CostModel, Engine, OracleCache, SchedPolicy, SystemSpec,
+};
 use rb_llm::ModelId;
 use rb_miri::UbClass;
 use rustbrain::{KnowledgeBase, MergePolicy, RustBrainConfig};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 struct Args {
     jobs: usize,
     per_class: usize,
+    repeat: usize,
     out: String,
     trace_out: Option<String>,
+    cost_table: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         jobs: std::thread::available_parallelism().map_or(4, usize::from),
         per_class: 3,
+        repeat: 1,
         out: "BENCH_engine.json".to_owned(),
         trace_out: None,
+        cost_table: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,25 +79,33 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --per-class")?;
             }
+            "--repeat" => {
+                args.repeat = value("--repeat")?.parse().map_err(|_| "bad --repeat")?;
+            }
             "--out" => args.out = value("--out")?,
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--cost-table" => args.cost_table = Some(value("--cost-table")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.jobs == 0 || args.per_class == 0 {
-        return Err("--jobs and --per-class must be positive".into());
+    if args.jobs == 0 || args.per_class == 0 || args.repeat == 0 {
+        return Err("--jobs, --per-class and --repeat must be positive".into());
     }
     Ok(args)
 }
 
 fn sweep(
     workers: usize,
+    policy: SchedPolicy,
+    model: &CostModel,
     cache: &Arc<OracleCache>,
     spec: &SystemSpec,
     corpus: &Corpus,
     tracer: Option<&rb_obs::Tracer>,
 ) -> BatchOutcome {
-    let mut engine = Engine::with_cache(workers, Arc::clone(cache));
+    let mut engine = Engine::with_cache(workers, Arc::clone(cache))
+        .with_policy(policy)
+        .with_cost_model(model.clone());
     if let Some(tracer) = tracer {
         engine = engine.with_tracer(tracer.clone());
     }
@@ -221,6 +249,89 @@ fn warm_start_json(
     (json, summary)
 }
 
+/// Per-class mean *measured* wall milliseconds of a sweep's jobs.
+fn observed_class_ms(outcome: &BatchOutcome) -> BTreeMap<UbClass, f64> {
+    let mut sums: BTreeMap<UbClass, (f64, usize)> = BTreeMap::new();
+    for j in &outcome.jobs {
+        let entry = sums.entry(j.result.class).or_insert((0.0, 0));
+        entry.0 += j.wall_ms;
+        entry.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(class, (sum, n))| (class, sum / n as f64))
+        .collect()
+}
+
+/// One measured policy run plus its virtual-clock replay.
+struct PolicyRun {
+    policy: SchedPolicy,
+    outcome: BatchOutcome,
+    modeled_speedup: f64,
+    modeled_steals: u64,
+}
+
+/// The `sched.policies` rows: measured wall speedup vs the serial sweep
+/// alongside the modeled (virtual-clock) speedup, per policy.
+fn policy_rows_json(runs: &[PolicyRun], serial_wall_ms: f64) -> String {
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|run| {
+            let s = &run.outcome.stats;
+            let wall_speedup = if s.wall_ms > 0.0 {
+                serial_wall_ms / s.wall_ms
+            } else {
+                0.0
+            };
+            format!(
+                concat!(
+                    "{{\"policy\":\"{}\",\"wall_ms\":{:.4},\"speedup\":{:.4},",
+                    "\"modeled_speedup\":{:.4},\"modeled_steals\":{},",
+                    "\"steals\":{},\"max_queue_depth\":{},\"imbalance\":{}}}"
+                ),
+                run.policy.label(),
+                s.wall_ms,
+                wall_speedup,
+                run.modeled_speedup,
+                run.modeled_steals,
+                s.sched.steals,
+                s.sched.max_queue_depth,
+                s.imbalance
+                    .map_or_else(|| "null".to_owned(), |r| format!("{r:.4}")),
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(",\n  "))
+}
+
+/// The `sched.cost_model` rows: what the dispatch predicted per class vs
+/// what the serial sweep measured (scheduling-independent ground truth).
+fn cost_model_rows_json(
+    predicted: &BTreeMap<UbClass, f64>,
+    observed: &BTreeMap<UbClass, f64>,
+) -> String {
+    let rows: Vec<String> = observed
+        .iter()
+        .map(|(class, &obs_ms)| {
+            let pred_ms = predicted
+                .get(class)
+                .copied()
+                .unwrap_or(rb_engine::sched::DEFAULT_COST_MS);
+            let ratio = if obs_ms > 0.0 { pred_ms / obs_ms } else { 0.0 };
+            format!(
+                concat!(
+                    "{{\"class\":\"{}\",\"predicted_ms\":{:.4},",
+                    "\"observed_ms\":{:.4},\"ratio\":{:.4}}}"
+                ),
+                class.label(),
+                pred_ms,
+                obs_ms,
+                ratio,
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(",\n  "))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -230,9 +341,27 @@ fn main() -> ExitCode {
         }
     };
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    let corpus = Corpus::generate_full(42, args.per_class);
+    // --repeat amplifies the corpus: the generator cycles each class's
+    // template families with seed-derived size/id variation, so N
+    // repeats yield N× structurally distinct cases per class.
+    let corpus = Corpus::generate_full(42, args.per_class * args.repeat);
     let spec = SystemSpec::brain(RustBrainConfig::for_model(ModelId::Gpt4, 0));
     let cache = Arc::new(OracleCache::new());
+
+    // The cost model: persisted table if given and present, static
+    // defaults otherwise; either way the warmup sweep below fills the
+    // wall-time histograms the live refinement reads.
+    let table_path = args.cost_table.as_ref().map(std::path::PathBuf::from);
+    let mut cost_model = match &table_path {
+        Some(path) if path.exists() => match CostModel::load(path) {
+            Ok(model) => model,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => CostModel::defaults(),
+    };
 
     let tracer = match &args.trace_out {
         Some(path) => match rb_obs::Tracer::to_file(std::path::Path::new(path)) {
@@ -245,21 +374,86 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    // Warm-up sweep (untimed): populates the oracle cache so both timed
-    // sweeps run under identical, fully-warm cache conditions.
-    let warmup = sweep(args.jobs, &cache, &spec, &corpus, None);
+    // Warm-up sweep (untimed): populates the oracle cache so all timed
+    // sweeps run under identical, fully-warm cache conditions — and
+    // fills the per-class wall-time histograms the cost model's live
+    // refinement learns from.
+    let warmup = sweep(
+        args.jobs,
+        SchedPolicy::Stealing,
+        &cost_model,
+        &cache,
+        &spec,
+        &corpus,
+        None,
+    );
 
-    // Only the timed parallel sweep is traced — spans on the serial
-    // reference would skew exactly the comparison the bench exists for.
-    let serial = sweep(1, &cache, &spec, &corpus, None);
-    let parallel = sweep(args.jobs, &cache, &spec, &corpus, tracer.as_ref());
+    // The serial reference is FIFO by construction (one worker drains
+    // in submission order); it doubles as the ground truth for per-job
+    // durations and per-class observed costs.
+    let serial = sweep(
+        1,
+        SchedPolicy::Fifo,
+        &cost_model,
+        &cache,
+        &spec,
+        &corpus,
+        None,
+    );
+
+    // One timed parallel sweep per policy, all on the same warm cache.
+    // Only the stealing sweep (the headline) is traced — spans on the
+    // others would skew exactly the comparison the bench exists for.
+    let predicted_table = cost_model.effective();
+    let durations: Vec<f64> = serial.jobs.iter().map(|j| j.wall_ms).collect();
+    let predicted_per_job: Vec<f64> = serial
+        .jobs
+        .iter()
+        .map(|j| {
+            predicted_table
+                .get(&j.result.class)
+                .copied()
+                .unwrap_or(rb_engine::sched::DEFAULT_COST_MS)
+        })
+        .collect();
+    let mut runs: Vec<PolicyRun> = Vec::new();
+    let mut identical = warmup.results == serial.results;
+    for policy in SchedPolicy::ALL {
+        let traced = if policy == SchedPolicy::Stealing {
+            tracer.as_ref()
+        } else {
+            None
+        };
+        let outcome = sweep(
+            args.jobs,
+            policy,
+            &cost_model,
+            &cache,
+            &spec,
+            &corpus,
+            traced,
+        );
+        identical = identical && outcome.results == serial.results;
+        let modeled = model_schedule(policy, &predicted_per_job, &durations, args.jobs);
+        runs.push(PolicyRun {
+            policy,
+            outcome,
+            modeled_speedup: modeled.speedup(),
+            modeled_steals: modeled.steals,
+        });
+    }
     if let Some(tracer) = &tracer {
         tracer.flush();
     }
-    let identical = serial.results == parallel.results && warmup.results == serial.results;
+    let parallel = &runs
+        .iter()
+        .find(|r| r.policy == SchedPolicy::Stealing)
+        .expect("stealing run present")
+        .outcome;
 
     // An honest speedup needs a core per worker: oversubscribed runs
-    // time-slice, and the ratio stops measuring the scheduler.
+    // time-slice, and the ratio stops measuring the scheduler (the
+    // modeled_speedup rows carry the virtual-clock comparison instead).
     let speedup_degraded = args.jobs > cores;
 
     let speedup = if parallel.stats.wall_ms > 0.0 {
@@ -267,19 +461,38 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+    let modeled_speedup = runs
+        .iter()
+        .find(|r| r.policy == SchedPolicy::Stealing)
+        .map_or(0.0, |r| r.modeled_speedup);
+    let observed = observed_class_ms(&serial);
+    // Persist what this run learned: blend the serial sweep's per-class
+    // means into the table and rewrite it for the next run.
+    if let Some(path) = &table_path {
+        for (&class, &ms) in &observed {
+            cost_model.observe(class, ms);
+        }
+        if let Err(e) = cost_model.save(path) {
+            eprintln!("error: cannot write cost table {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     let cache_stats = cache.stats();
     let (pass, exec) = overall_rates(&parallel.results);
-    let (warm_json, warm_summary) = warm_start_json(args.jobs, &cache, &spec, &corpus, &parallel);
+    let (warm_json, warm_summary) = warm_start_json(args.jobs, &cache, &spec, &corpus, parallel);
 
     let json = format!(
         concat!(
             "{{\"bench\":\"engine\",\"cases\":{},\"available_cores\":{},",
-            "\"requested_jobs\":{},\n",
+            "\"requested_jobs\":{},\"repeat\":{},\n",
             " \"identical_results\":{},\n",
             " \"pass_rate\":{:.4},\"exec_rate\":{:.4},\n",
             " \"serial\":{},\n",
             " \"parallel\":{},\n",
-            " \"speedup\":{:.4},\"speedup_degraded\":{},\n",
+            " \"speedup\":{:.4},\"speedup_degraded\":{},",
+            "\"modeled_speedup\":{:.4},\n",
+            " \"sched\":{{\"policies\":{},\n",
+            "  \"cost_model\":{}}},\n",
             " \"per_class\":{},\n",
             " \"warm_start\":{},\n",
             " \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
@@ -288,6 +501,7 @@ fn main() -> ExitCode {
         corpus.len(),
         cores,
         args.jobs,
+        args.repeat,
         identical,
         pass.value(),
         exec.value(),
@@ -295,7 +509,10 @@ fn main() -> ExitCode {
         parallel.stats.to_json(),
         speedup,
         speedup_degraded,
-        class_rows_json(&parallel),
+        modeled_speedup,
+        policy_rows_json(&runs, serial.stats.wall_ms),
+        cost_model_rows_json(&predicted_table, &observed),
+        class_rows_json(parallel),
         warm_json,
         cache_stats.hits,
         cache_stats.misses,
@@ -310,8 +527,9 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "engine bench: {} cases | {} cores | 1 worker: {:.0} ms ({:.1} cases/s) | {} workers: {:.0} ms ({:.1} cases/s) | speedup {speedup:.2}x",
+        "engine bench: {} cases (repeat {}) | {} cores | 1 worker: {:.0} ms ({:.1} cases/s) | {} workers: {:.0} ms ({:.1} cases/s) | speedup {speedup:.2}x",
         corpus.len(),
+        args.repeat,
         cores,
         serial.stats.wall_ms,
         serial.stats.cases_per_sec,
@@ -319,11 +537,31 @@ fn main() -> ExitCode {
         parallel.stats.wall_ms,
         parallel.stats.cases_per_sec,
     );
+    for run in &runs {
+        let s = &run.outcome.stats;
+        println!(
+            "  sched {:>12}: wall {:>7.1} ms | speedup {:.2}x (modeled {:.2}x) | steals {} | imbalance {}",
+            run.policy.label(),
+            s.wall_ms,
+            if s.wall_ms > 0.0 {
+                serial.stats.wall_ms / s.wall_ms
+            } else {
+                0.0
+            },
+            run.modeled_speedup,
+            s.sched.steals,
+            s.imbalance
+                .map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}")),
+        );
+    }
     if speedup_degraded {
         println!(
-            "note: {} workers on {cores} core(s) — speedup is degraded by oversubscription and not gated",
+            "note: {} workers on {cores} core(s) — wall speedup is degraded by oversubscription and not gated; modeled_speedup carries the scheduler comparison",
             args.jobs,
         );
+    }
+    if let Some(path) = &table_path {
+        println!("cost table written to {}", path.display());
     }
     println!(
         "oracle cache: {} hits / {} misses ({:.1}% hit rate) | parallel sweep: {} executed / {} cached | results identical: {identical} | wrote {}",

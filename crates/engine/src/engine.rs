@@ -17,13 +17,13 @@
 
 use crate::cache::{CachedOracle, OracleCache};
 use crate::job::{JobResult, JobSpec};
+use crate::sched::{CostModel, Dispatcher, SchedPolicy, SchedStats};
 use crate::stats::{EngineStats, KbMergeStats};
 use crate::system::{CaseResult, System, SystemSpec};
 use rb_dataset::UbCase;
 use rb_miri::{DirectOracle, Oracle, OracleUse};
 use rustbrain::{KbDelta, KnowledgeBase, MergePolicy, StoreError};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -60,6 +60,12 @@ pub struct Engine {
     /// from all workers interleave into one trace stream. Purely
     /// observational: results are byte-identical with or without it.
     tracer: Option<rb_obs::Tracer>,
+    /// How a batch's jobs reach the workers (see [`crate::sched`]).
+    /// Scheduling only reorders execution — the determinism contract
+    /// pins results for every policy.
+    policy: SchedPolicy,
+    /// Predicts per-class job cost for the cost-aware policies.
+    cost_model: CostModel,
 }
 
 impl Engine {
@@ -80,6 +86,8 @@ impl Engine {
             use_cache: true,
             merge_policy: MergePolicy::default(),
             tracer: None,
+            policy: SchedPolicy::default(),
+            cost_model: CostModel::defaults(),
         }
     }
 
@@ -100,6 +108,8 @@ impl Engine {
             use_cache: false,
             merge_policy: MergePolicy::default(),
             tracer: None,
+            policy: SchedPolicy::default(),
+            cost_model: CostModel::defaults(),
         }
     }
 
@@ -125,6 +135,35 @@ impl Engine {
     pub fn with_tracer(mut self, tracer: rb_obs::Tracer) -> Engine {
         self.tracer = Some(tracer);
         self
+    }
+
+    /// Replaces the scheduling policy (builder-style). The default is
+    /// [`SchedPolicy::Stealing`]; [`SchedPolicy::Fifo`] reproduces the
+    /// pre-scheduler shared-counter dispatch as a baseline.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Engine {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the cost model the cost-aware policies order by
+    /// (builder-style) — e.g. one loaded from a persisted cost table.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: CostModel) -> Engine {
+        self.cost_model = model;
+        self
+    }
+
+    /// The scheduling policy batches dispatch under.
+    #[must_use]
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// The cost model the cost-aware policies order by.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
     }
 
     /// Worker threads this engine schedules onto.
@@ -200,7 +239,21 @@ impl Engine {
         snapshot: &KnowledgeBase,
     ) -> BatchOutcome {
         let started = Instant::now();
-        let next = AtomicUsize::new(0);
+        // Predicted per-job costs (submission order) drive the cost-
+        // aware policies. Predictions only reorder execution: seeds
+        // derive from case ids and merges restore submission order, so
+        // a wrong prediction costs balance, never correctness.
+        let cost_table = self.cost_model.effective();
+        let costs: Vec<f64> = jobs
+            .iter()
+            .map(|j| {
+                cost_table
+                    .get(&j.case.class)
+                    .copied()
+                    .unwrap_or(crate::sched::DEFAULT_COST_MS)
+            })
+            .collect();
+        let dispatcher = Dispatcher::build(self.policy, &costs, self.workers);
         let (tx, rx) = mpsc::channel::<JobResult>();
         let oracle = self.shared_oracle();
 
@@ -208,7 +261,7 @@ impl Engine {
         std::thread::scope(|scope| {
             for worker in 0..self.workers {
                 let tx = tx.clone();
-                let next = &next;
+                let dispatcher = &dispatcher;
                 let oracle = &oracle;
                 let tracer = self.tracer.clone();
                 scope.spawn(move || {
@@ -216,9 +269,8 @@ impl Engine {
                     // whole lifetime; every span the jobs open lands in
                     // the shared sink.
                     let _trace_scope = tracer.as_ref().map(rb_obs::trace::scope);
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(index) else { break };
+                    for index in dispatcher.lane(worker) {
+                        let job = &jobs[index];
                         let job_started = Instant::now();
                         let mut job_span = rb_obs::span("engine.job");
                         job_span.tag("case", job.case.id.clone());
@@ -321,16 +373,7 @@ impl Engine {
             } else {
                 0.0
             },
-            worker_utilization: busy_ms
-                .iter()
-                .map(|b| {
-                    if wall_ms > 0.0 {
-                        (b / wall_ms).min(1.0)
-                    } else {
-                        0.0
-                    }
-                })
-                .collect(),
+            worker_utilization: EngineStats::utilization_of(&busy_ms, wall_ms),
             imbalance: EngineStats::imbalance_of(&worker_cases),
             worker_cases,
             simulated_overhead_ms: results.iter().map(|r| r.overhead_ms).sum(),
@@ -339,14 +382,27 @@ impl Engine {
             oracle_cached: batch_use.cached as u64,
             kb,
             cache,
+            sched: SchedStats {
+                policy: self.policy.label().to_owned(),
+                steals: dispatcher.steals(),
+                max_queue_depth: dispatcher.max_queue_depth(),
+            },
         };
         // Batch-level gauges for the scheduler cost model: the latest
         // imbalance ratio and pool size (the per-class latency
-        // histograms were filled at the repair call sites).
+        // histograms were filled at the repair call sites), plus the
+        // dispatch telemetry the serve `metrics` verb exposes.
+        let m = rb_obs::metrics();
         if let Some(ratio) = stats.imbalance {
-            rb_obs::metrics().gauge_set("rustbrain_engine_imbalance", None, ratio);
+            m.gauge_set("rustbrain_engine_imbalance", None, ratio);
         }
-        rb_obs::metrics().gauge_set("rustbrain_engine_workers", None, self.workers as f64);
+        m.gauge_set("rustbrain_engine_workers", None, self.workers as f64);
+        m.counter_add("rustbrain_sched_steals_total", None, stats.sched.steals);
+        m.gauge_set(
+            "rustbrain_sched_queue_depth",
+            None,
+            stats.sched.max_queue_depth as f64,
+        );
         BatchOutcome {
             results,
             jobs: executed,

@@ -1,0 +1,904 @@
+//! Cost-aware batch scheduling: a per-class cost model, cost-ordered
+//! (LPT) dispatch, and hand-rolled work-stealing deques.
+//!
+//! PR 7's bench made the problem concrete: per-class repair throughput
+//! spans 18× (datarace ~608 cases/s vs validity ~11,074 cases/s), and a
+//! bare shared counter hands jobs out in submission order — the corpus
+//! groups cases by class, so one worker draws the expensive tail while
+//! the others idle (worker case counts `[4, 1, 16, 21]`, utilization
+//! 0.05–0.81). The fix is classic scheduling, hand-rolled because the
+//! workspace vendors all deps (no crossbeam):
+//!
+//! 1. a [`CostModel`] predicts per-class job cost, seeded from static
+//!    defaults (PR 7's measured per-class throughput) and refined from
+//!    the `rb_obs` histograms the repair pipeline and engine already
+//!    fill (`rustbrain_engine_job_wall_us`, with
+//!    `rustbrain_repair_latency_sim_ms` as a relative fallback), or from
+//!    a cost table persisted between runs;
+//! 2. [`SchedPolicy::CostOrdered`] dispatches longest-predicted-first
+//!    (LPT), so the expensive datarace/concurrency cases start first
+//!    instead of last;
+//! 3. [`SchedPolicy::Stealing`] (the default) seeds per-worker deques by
+//!    greedy LPT assignment, workers self-pop in small chunks from the
+//!    front, and an idle worker steals single jobs from the back of the
+//!    busiest victim's deque — one mutex per deque, which at
+//!    hundreds-of-jobs scale is far below contention.
+//!
+//! None of this can change results: seeds derive from case ids, jobs
+//! start from the same read-only knowledge snapshot, and merges are
+//! pinned to submission order — a policy only changes *when* a job runs,
+//! never *what* it computes. The engine's determinism suite pins every
+//! policy × worker count against the serial reference.
+//!
+//! [`model_schedule`] replays a policy's dispatch decisions under a
+//! deterministic virtual clock over *measured* per-job durations — the
+//! honest way to compare policies on a host without a core per worker
+//! (where real wall-clock time-slices and the bench flags
+//! `speedup_degraded`).
+
+use rb_miri::UbClass;
+use rb_obs::MetricsRegistry;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Cost assumed for a class the model knows nothing about, in
+/// milliseconds (roughly the corpus-wide mean of the static table).
+pub const DEFAULT_COST_MS: f64 = 0.25;
+
+/// Jobs a worker pops from its own deque per lock acquisition. Small
+/// enough that a late steal can still rebalance the tail, large enough
+/// that cheap jobs do not serialize on the deque mutex.
+const SELF_POP_CHUNK: usize = 4;
+
+/// Static per-class cost seed, in milliseconds per case: the reciprocal
+/// of PR 7's measured per-class throughput (BENCH_engine.json
+/// `per_class` rows). Only the *relative* magnitudes matter — LPT orders
+/// by them and the live refinement replaces them with measured means as
+/// soon as histograms exist.
+const STATIC_COST_MS: [(UbClass, f64); 14] = [
+    (UbClass::Alloc, 0.26),
+    (UbClass::DanglingPointer, 0.45),
+    (UbClass::Panic, 0.23),
+    (UbClass::Provenance, 0.42),
+    (UbClass::Uninit, 0.22),
+    (UbClass::BothBorrow, 0.19),
+    (UbClass::DataRace, 1.64),
+    (UbClass::FuncCall, 0.18),
+    (UbClass::FuncPointer, 0.19),
+    (UbClass::StackBorrow, 0.10),
+    (UbClass::Validity, 0.09),
+    (UbClass::Unaligned, 0.41),
+    (UbClass::TailCall, 0.16),
+    (UbClass::Concurrency, 0.54),
+];
+
+/// Registry series the live refinement reads: real per-job wall time.
+const JOB_WALL_US: &str = "rustbrain_engine_job_wall_us";
+/// Fallback series: simulated repair latency (relative signal only).
+const REPAIR_SIM_MS: &str = "rustbrain_repair_latency_sim_ms";
+
+/// How a batch's jobs are handed to workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Submission order off a shared counter — PR 2's original dispatch,
+    /// kept as the comparison baseline.
+    Fifo,
+    /// Longest-predicted-first off a shared counter: the cost model
+    /// orders jobs descending, so expensive classes start first.
+    CostOrdered,
+    /// Per-worker deques seeded by greedy LPT assignment, chunked
+    /// self-pops, single-job steals from the busiest victim.
+    #[default]
+    Stealing,
+}
+
+impl SchedPolicy {
+    /// Every policy, in bench/report order.
+    pub const ALL: [SchedPolicy; 3] = [
+        SchedPolicy::Fifo,
+        SchedPolicy::CostOrdered,
+        SchedPolicy::Stealing,
+    ];
+
+    /// The wire/CLI/JSON label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::CostOrdered => "cost-ordered",
+            SchedPolicy::Stealing => "stealing",
+        }
+    }
+
+    /// Parses a CLI/wire label (the inverse of [`SchedPolicy::label`],
+    /// plus common shorthands).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedPolicy::Fifo),
+            "cost-ordered" | "cost" | "lpt" => Some(SchedPolicy::CostOrdered),
+            "stealing" | "steal" => Some(SchedPolicy::Stealing),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A typed cost-table error: the scheduler must never silently fall
+/// back to defaults when the user pointed it at a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostTableError(pub String);
+
+impl std::fmt::Display for CostTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cost table: {}", self.0)
+    }
+}
+
+impl std::error::Error for CostTableError {}
+
+/// Predicted per-class job cost in milliseconds.
+///
+/// Seeded from [`STATIC_COST_MS`] (or a persisted table), and — when
+/// live refinement is on — overlaid at dispatch time with the measured
+/// per-class means from the process-wide metrics registry, so a resident
+/// daemon's scheduling sharpens as traffic accumulates. Predictions only
+/// order jobs; a wrong prediction costs balance, never correctness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    costs: BTreeMap<UbClass, f64>,
+    live: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::defaults()
+    }
+}
+
+impl CostModel {
+    /// The static seed table with live refinement on.
+    #[must_use]
+    pub fn defaults() -> CostModel {
+        CostModel {
+            costs: STATIC_COST_MS.iter().copied().collect(),
+            live: true,
+        }
+    }
+
+    /// A fixed table (no live refinement) — for tests and comparisons
+    /// that must not depend on process-global metrics state.
+    #[must_use]
+    pub fn fixed(costs: BTreeMap<UbClass, f64>) -> CostModel {
+        CostModel { costs, live: false }
+    }
+
+    /// Toggles dispatch-time refinement from the process-global metrics
+    /// registry (builder-style).
+    #[must_use]
+    pub fn with_live_refinement(mut self, live: bool) -> CostModel {
+        self.live = live;
+        self
+    }
+
+    /// The stored (pre-refinement) prediction for `class`.
+    #[must_use]
+    pub fn cost_ms(&self, class: UbClass) -> f64 {
+        self.costs.get(&class).copied().unwrap_or(DEFAULT_COST_MS)
+    }
+
+    /// The stored table (pre-refinement), for reporting.
+    #[must_use]
+    pub fn table(&self) -> &BTreeMap<UbClass, f64> {
+        &self.costs
+    }
+
+    /// Folds an observed per-class mean into the stored table: a 50/50
+    /// blend with the prior when one exists (so one noisy batch cannot
+    /// erase history), the observation itself otherwise. Non-finite or
+    /// non-positive observations are ignored.
+    pub fn observe(&mut self, class: UbClass, observed_ms: f64) {
+        if !observed_ms.is_finite() || observed_ms <= 0.0 {
+            return;
+        }
+        let blended = match self.costs.get(&class) {
+            Some(prior) => 0.5 * prior + 0.5 * observed_ms,
+            None => observed_ms,
+        };
+        self.costs.insert(class, blended);
+    }
+
+    /// The table a dispatch actually orders by: the stored costs, with
+    /// per-class measured means from `registry` overlaid when live
+    /// refinement is on. Real wall time (`rustbrain_engine_job_wall_us`)
+    /// wins; classes with only simulated-latency history
+    /// (`rustbrain_repair_latency_sim_ms`) get the sim mean rescaled
+    /// through the classes that have both (relative signal only).
+    #[must_use]
+    pub fn effective_from(&self, registry: &MetricsRegistry) -> BTreeMap<UbClass, f64> {
+        let mut table = self.costs.clone();
+        if !self.live {
+            return table;
+        }
+        let all: Vec<UbClass> = UbClass::ALL
+            .iter()
+            .copied()
+            .chain([UbClass::Compile])
+            .collect();
+        let mean = |name: &str, class: UbClass| {
+            registry
+                .histogram(name, Some(("class", class.label())))
+                .filter(|h| h.count > 0)
+                .map(|h| h.sum / h.count as f64)
+        };
+        let mut wall_anchor = 0.0f64; // Σ wall ms over classes with both
+        let mut sim_anchor = 0.0f64; // Σ sim ms over the same classes
+        let mut sim_only: Vec<(UbClass, f64)> = Vec::new();
+        for &class in &all {
+            let wall_ms = mean(JOB_WALL_US, class).map(|us| us / 1e3);
+            let sim_ms = mean(REPAIR_SIM_MS, class);
+            match (wall_ms, sim_ms) {
+                (Some(wall), sim) => {
+                    table.insert(class, wall);
+                    if let Some(sim) = sim {
+                        wall_anchor += wall;
+                        sim_anchor += sim;
+                    }
+                }
+                (None, Some(sim)) => sim_only.push((class, sim)),
+                (None, None) => {}
+            }
+        }
+        if sim_anchor > 0.0 {
+            let scale = wall_anchor / sim_anchor;
+            for (class, sim) in sim_only {
+                table.insert(class, sim * scale);
+            }
+        }
+        table
+    }
+
+    /// [`CostModel::effective_from`] against the process-global registry.
+    #[must_use]
+    pub fn effective(&self) -> BTreeMap<UbClass, f64> {
+        self.effective_from(rb_obs::metrics())
+    }
+
+    /// Loads a persisted cost table (see [`CostModel::save`] for the
+    /// format). The loaded model keeps live refinement on — the table is
+    /// the seed, fresher histograms still win.
+    pub fn load(path: &Path) -> Result<CostModel, CostTableError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CostTableError(format!("cannot read {}: {e}", path.display())))?;
+        let mut costs = BTreeMap::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(label), Some(value), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(CostTableError(format!(
+                    "line {}: expected `<class> <ms>`, got `{line}`",
+                    n + 1
+                )));
+            };
+            let class = UbClass::ALL
+                .iter()
+                .copied()
+                .chain([UbClass::Compile])
+                .find(|c| c.label() == label)
+                .ok_or_else(|| {
+                    CostTableError(format!("line {}: unknown class `{label}`", n + 1))
+                })?;
+            let ms: f64 = value
+                .parse()
+                .map_err(|_| CostTableError(format!("line {}: bad cost `{value}`", n + 1)))?;
+            if !ms.is_finite() || ms <= 0.0 {
+                return Err(CostTableError(format!(
+                    "line {}: cost must be a positive finite number, got `{value}`",
+                    n + 1
+                )));
+            }
+            costs.insert(class, ms);
+        }
+        if costs.is_empty() {
+            return Err(CostTableError(format!(
+                "{} holds no cost entries",
+                path.display()
+            )));
+        }
+        Ok(CostModel { costs, live: true })
+    }
+
+    /// Persists the stored table: a `#`-comment header plus one
+    /// `<class-label> <ms>` line per class, sorted by class. The next
+    /// run's [`CostModel::load`] round-trips it.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::from("# rustbrain cost table v1: <class-label> <mean-ms-per-case>\n");
+        for (class, ms) in &self.costs {
+            out.push_str(&format!("{} {ms:.6}\n", class.label()));
+        }
+        std::fs::write(path, out)
+    }
+}
+
+/// Telemetry of one dispatch: how the policy actually moved jobs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// The policy the batch dispatched under (its label).
+    pub policy: String,
+    /// Jobs taken from another worker's deque (always 0 for the shared-
+    /// counter policies).
+    pub steals: u64,
+    /// Deepest per-worker deque at seeding time (for the shared-counter
+    /// policies: the whole queue).
+    pub max_queue_depth: usize,
+}
+
+/// Greedy LPT assignment: indices in descending predicted cost, each to
+/// the worker with the least total predicted cost so far (ties to the
+/// lowest worker index). Returns one cost-descending deque per worker.
+fn lpt_assign(costs: &[f64], workers: usize) -> Vec<VecDeque<usize>> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    sort_by_cost_desc(&mut order, costs);
+    let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut load = vec![0.0f64; workers];
+    for index in order {
+        let target = (0..workers)
+            .min_by(|&a, &b| {
+                load[a]
+                    .partial_cmp(&load[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(0);
+        load[target] += costs[index];
+        queues[target].push_back(index);
+    }
+    queues
+}
+
+/// Sorts job indices by descending predicted cost, submission index as
+/// the deterministic tie-break.
+fn sort_by_cost_desc(order: &mut [usize], costs: &[f64]) {
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+/// One worker's deque: the job queue behind a mutex plus a lock-free
+/// depth mirror so steal victims can be picked without taking every
+/// lock.
+struct WorkQueue {
+    jobs: Mutex<VecDeque<usize>>,
+    depth: AtomicUsize,
+}
+
+impl WorkQueue {
+    fn new(jobs: VecDeque<usize>) -> WorkQueue {
+        let depth = AtomicUsize::new(jobs.len());
+        WorkQueue {
+            jobs: Mutex::new(jobs),
+            depth,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        self.jobs.lock().expect("work deque lock poisoned")
+    }
+}
+
+enum Kind {
+    /// One shared queue in `order`, consumed through an atomic cursor
+    /// (FIFO and cost-ordered dispatch differ only in the order).
+    Shared {
+        order: Vec<usize>,
+        next: AtomicUsize,
+    },
+    /// One deque per worker (work stealing).
+    Deques { queues: Vec<WorkQueue> },
+}
+
+/// A built dispatch for one batch: hand each worker a [`WorkerLane`] and
+/// drain it. Every submitted job index comes out of exactly one lane
+/// exactly once, in a policy-dependent order.
+pub struct Dispatcher {
+    kind: Kind,
+    steals: AtomicU64,
+    max_queue_depth: usize,
+}
+
+impl Dispatcher {
+    /// Builds the dispatch for `costs.len()` jobs across `workers`
+    /// workers under `policy`. `costs` are the per-job predicted costs
+    /// in submission order (only their relative order matters).
+    #[must_use]
+    pub fn build(policy: SchedPolicy, costs: &[f64], workers: usize) -> Dispatcher {
+        let workers = workers.max(1);
+        let (kind, max_queue_depth) = match policy {
+            SchedPolicy::Fifo => {
+                let order: Vec<usize> = (0..costs.len()).collect();
+                let depth = order.len();
+                (
+                    Kind::Shared {
+                        order,
+                        next: AtomicUsize::new(0),
+                    },
+                    depth,
+                )
+            }
+            SchedPolicy::CostOrdered => {
+                let mut order: Vec<usize> = (0..costs.len()).collect();
+                sort_by_cost_desc(&mut order, costs);
+                let depth = order.len();
+                (
+                    Kind::Shared {
+                        order,
+                        next: AtomicUsize::new(0),
+                    },
+                    depth,
+                )
+            }
+            SchedPolicy::Stealing => {
+                let queues = lpt_assign(costs, workers);
+                let depth = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+                (
+                    Kind::Deques {
+                        queues: queues.into_iter().map(WorkQueue::new).collect(),
+                    },
+                    depth,
+                )
+            }
+        };
+        Dispatcher {
+            kind,
+            steals: AtomicU64::new(0),
+            max_queue_depth,
+        }
+    }
+
+    /// The lane worker `worker` drains (callable once per worker).
+    #[must_use]
+    pub fn lane(&self, worker: usize) -> WorkerLane<'_> {
+        WorkerLane {
+            dispatcher: self,
+            worker,
+            local: VecDeque::new(),
+        }
+    }
+
+    /// Jobs stolen across workers so far (0 under shared-counter
+    /// policies).
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Deepest queue at seeding time.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+}
+
+/// One worker's view of the dispatch: pops its own work (chunked, so
+/// cheap jobs amortize the deque lock) and steals when dry.
+pub struct WorkerLane<'a> {
+    dispatcher: &'a Dispatcher,
+    worker: usize,
+    local: VecDeque<usize>,
+}
+
+impl Iterator for WorkerLane<'_> {
+    type Item = usize;
+
+    /// The next job index for this worker, or `None` when the batch is
+    /// drained. Jobs held in another lane's local chunk are *not* up for
+    /// stealing — they are owned and will be executed by that worker.
+    fn next(&mut self) -> Option<usize> {
+        if let Some(index) = self.local.pop_front() {
+            return Some(index);
+        }
+        match &self.dispatcher.kind {
+            Kind::Shared { order, next } => {
+                let at = next.fetch_add(1, Ordering::Relaxed);
+                order.get(at).copied()
+            }
+            Kind::Deques { queues } => self.pop_or_steal(queues),
+        }
+    }
+}
+
+impl WorkerLane<'_> {
+    fn pop_or_steal(&mut self, queues: &[WorkQueue]) -> Option<usize> {
+        // Own deque first: take a small chunk from the front under one
+        // lock acquisition.
+        if let Some(own) = queues.get(self.worker) {
+            let mut jobs = own.lock();
+            let take = SELF_POP_CHUNK.min(jobs.len());
+            for _ in 0..take {
+                self.local
+                    .push_back(jobs.pop_front().expect("len-checked pop"));
+            }
+            drop(jobs);
+            if take > 0 {
+                own.depth.fetch_sub(take, Ordering::Relaxed);
+                return self.local.pop_front();
+            }
+        }
+        // Steal: single jobs from the back of the deepest victim, until
+        // every deque is observably empty. The depth mirrors are
+        // heuristic — a raced-away victim just means another scan.
+        loop {
+            let victim = queues
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != self.worker)
+                .map(|(i, q)| (q.depth.load(Ordering::Relaxed), i))
+                .filter(|(depth, _)| *depth > 0)
+                .max_by_key(|&(depth, i)| (depth, std::cmp::Reverse(i)));
+            let (_, victim) = victim?;
+            let stolen = {
+                let mut jobs = queues[victim].lock();
+                jobs.pop_back()
+            };
+            if let Some(index) = stolen {
+                queues[victim].depth.fetch_sub(1, Ordering::Relaxed);
+                self.dispatcher.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(index);
+            }
+            // Lost the race to the victim's own pops; rescan.
+        }
+    }
+}
+
+/// Outcome of a virtual-clock replay of one policy (see
+/// [`model_schedule`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModeledSchedule {
+    /// Modeled batch wall time: the busiest worker's finish time.
+    pub makespan_ms: f64,
+    /// Modeled per-worker busy time, worker order.
+    pub busy_ms: Vec<f64>,
+    /// Modeled per-worker case counts, worker order.
+    pub worker_cases: Vec<usize>,
+    /// Steals the modeled stealing run performed (0 for shared-counter
+    /// policies).
+    pub steals: u64,
+}
+
+impl ModeledSchedule {
+    /// Modeled speedup over a serial run of the same jobs: total work
+    /// divided by the makespan (0 for an empty batch).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let total: f64 = self.busy_ms.iter().sum();
+        if self.makespan_ms > 0.0 {
+            total / self.makespan_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Replays `policy`'s dispatch decisions under a deterministic virtual
+/// clock: `predicted` orders the jobs (what the scheduler knew),
+/// `durations` advances the clock (what actually happened, e.g. measured
+/// per-job wall times from a serial sweep). The free-earliest worker
+/// always takes the next job — an idealized N-core machine, which is
+/// exactly what a host without N free cores cannot measure directly.
+#[must_use]
+pub fn model_schedule(
+    policy: SchedPolicy,
+    predicted: &[f64],
+    durations: &[f64],
+    workers: usize,
+) -> ModeledSchedule {
+    assert_eq!(predicted.len(), durations.len(), "one prediction per job");
+    let workers = workers.max(1);
+    let mut clock = vec![0.0f64; workers];
+    let mut cases = vec![0usize; workers];
+    let mut steals = 0u64;
+
+    // The next free worker, ties to the lowest index (matches the
+    // atomic-counter race resolution only statistically, but the model
+    // is deterministic — which is the point).
+    let next_worker = |clock: &[f64]| {
+        (0..clock.len())
+            .min_by(|&a, &b| {
+                clock[a]
+                    .partial_cmp(&clock[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or(0)
+    };
+
+    match policy {
+        SchedPolicy::Fifo | SchedPolicy::CostOrdered => {
+            let mut order: Vec<usize> = (0..predicted.len()).collect();
+            if policy == SchedPolicy::CostOrdered {
+                sort_by_cost_desc(&mut order, predicted);
+            }
+            for index in order {
+                let w = next_worker(&clock);
+                clock[w] += durations[index];
+                cases[w] += 1;
+            }
+        }
+        SchedPolicy::Stealing => {
+            let mut queues = lpt_assign(predicted, workers);
+            let mut remaining: Vec<f64> = queues
+                .iter()
+                .map(|q| q.iter().map(|&i| predicted[i]).sum())
+                .collect();
+            let mut left: usize = queues.iter().map(VecDeque::len).sum();
+            while left > 0 {
+                let w = next_worker(&clock);
+                let index = if let Some(index) = queues[w].pop_front() {
+                    remaining[w] -= predicted[index];
+                    index
+                } else {
+                    // Steal one job from the back of the deque with the
+                    // most predicted work remaining.
+                    let victim = (0..workers)
+                        .filter(|&v| v != w && !queues[v].is_empty())
+                        .max_by(|&a, &b| {
+                            remaining[a]
+                                .partial_cmp(&remaining[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(b.cmp(&a))
+                        })
+                        .expect("left > 0 implies a non-empty deque");
+                    let index = queues[victim].pop_back().expect("victim is non-empty");
+                    remaining[victim] -= predicted[index];
+                    steals += 1;
+                    index
+                };
+                clock[w] += durations[index];
+                cases[w] += 1;
+                left -= 1;
+            }
+        }
+    }
+    let makespan_ms = clock.iter().copied().fold(0.0f64, f64::max);
+    ModeledSchedule {
+        makespan_ms,
+        busy_ms: clock,
+        worker_cases: cases,
+        steals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for policy in SchedPolicy::ALL {
+            assert_eq!(SchedPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(SchedPolicy::parse("lpt"), Some(SchedPolicy::CostOrdered));
+        assert_eq!(SchedPolicy::parse("steal"), Some(SchedPolicy::Stealing));
+        assert_eq!(SchedPolicy::parse("frobnicate"), None);
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Stealing);
+    }
+
+    #[test]
+    fn static_costs_order_expensive_classes_first() {
+        let model = CostModel::defaults();
+        // The 18× spread the bench measured must survive in the seed.
+        assert!(model.cost_ms(UbClass::DataRace) > 10.0 * model.cost_ms(UbClass::Validity));
+        assert!(model.cost_ms(UbClass::Concurrency) > model.cost_ms(UbClass::StackBorrow));
+        // Unknown classes cost the default, not zero (zero would sort
+        // them last *and* starve LPT of information).
+        assert!(model.cost_ms(UbClass::Compile) > 0.0);
+    }
+
+    #[test]
+    fn cost_table_round_trips_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("rb_sched_table_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("costs.tbl");
+        let mut model = CostModel::defaults();
+        model.observe(UbClass::DataRace, 3.0);
+        model.save(&path).unwrap();
+        let loaded = CostModel::load(&path).unwrap();
+        assert_eq!(loaded.table(), model.table());
+
+        std::fs::write(&path, "frobnicate 1.0\n").unwrap();
+        assert!(CostModel::load(&path).is_err(), "unknown class accepted");
+        std::fs::write(&path, "alloc not-a-number\n").unwrap();
+        assert!(CostModel::load(&path).is_err(), "bad float accepted");
+        std::fs::write(&path, "alloc -1.0\n").unwrap();
+        assert!(CostModel::load(&path).is_err(), "negative cost accepted");
+        std::fs::write(&path, "# only comments\n").unwrap();
+        assert!(CostModel::load(&path).is_err(), "empty table accepted");
+        assert!(
+            CostModel::load(&dir.join("missing.tbl")).is_err(),
+            "missing file must be a typed error, not a silent default"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observe_blends_with_the_prior() {
+        let mut model = CostModel::fixed([(UbClass::Alloc, 1.0)].into_iter().collect());
+        model.observe(UbClass::Alloc, 3.0);
+        assert!((model.cost_ms(UbClass::Alloc) - 2.0).abs() < 1e-12);
+        // First sighting of a class takes the observation outright.
+        model.observe(UbClass::Panic, 7.0);
+        assert!((model.cost_ms(UbClass::Panic) - 7.0).abs() < 1e-12);
+        // Garbage observations change nothing.
+        model.observe(UbClass::Alloc, f64::NAN);
+        model.observe(UbClass::Alloc, -1.0);
+        assert!((model.cost_ms(UbClass::Alloc) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn live_refinement_prefers_wall_history() {
+        let reg = MetricsRegistry::new();
+        // alloc: wall history says 2 ms/case (vs the 0.26 ms seed).
+        for _ in 0..4 {
+            reg.observe(
+                JOB_WALL_US,
+                Some(("class", "alloc")),
+                2_000.0,
+                rb_obs::REAL_US_BUCKETS,
+            );
+            reg.observe(
+                REPAIR_SIM_MS,
+                Some(("class", "alloc")),
+                40_000.0,
+                rb_obs::SIM_MS_BUCKETS,
+            );
+        }
+        // panic: only simulated history, at half alloc's sim cost — the
+        // anchor classes (alloc) set the sim→wall scale.
+        reg.observe(
+            REPAIR_SIM_MS,
+            Some(("class", "panic")),
+            20_000.0,
+            rb_obs::SIM_MS_BUCKETS,
+        );
+        let table = CostModel::defaults().effective_from(&reg);
+        assert!((table[&UbClass::Alloc] - 2.0).abs() < 1e-9);
+        assert!((table[&UbClass::Panic] - 1.0).abs() < 1e-9);
+        // Classes with no history keep their seed.
+        assert!((table[&UbClass::DataRace] - 1.64).abs() < 1e-12);
+        // A non-live model ignores the registry entirely.
+        let frozen = CostModel::defaults().with_live_refinement(false);
+        assert!((frozen.effective_from(&reg)[&UbClass::Alloc] - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_assignment_balances_predicted_load() {
+        // One huge job and six small ones across two workers: LPT puts
+        // the huge job alone and spreads the rest.
+        let costs = [0.1, 0.1, 6.0, 0.1, 0.1, 0.1, 0.1];
+        let queues = lpt_assign(&costs, 2);
+        let loads: Vec<f64> = queues
+            .iter()
+            .map(|q| q.iter().map(|&i| costs[i]).sum())
+            .collect();
+        assert!((loads[0] - 6.0).abs() < 1e-9, "{loads:?}");
+        assert!((loads[1] - 0.6).abs() < 1e-9, "{loads:?}");
+        // Every job assigned exactly once.
+        let mut all: Vec<usize> = queues.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_policy_drains_every_job_exactly_once() {
+        let costs: Vec<f64> = (0..97).map(|i| f64::from(i % 7) + 0.1).collect();
+        for policy in SchedPolicy::ALL {
+            for workers in [1usize, 3, 8] {
+                let dispatcher = Dispatcher::build(policy, &costs, workers);
+                let mut seen: Vec<usize> = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let dispatcher = &dispatcher;
+                            scope.spawn(move || dispatcher.lane(w).collect::<Vec<usize>>())
+                        })
+                        .collect();
+                    for handle in handles {
+                        seen.extend(handle.join().unwrap());
+                    }
+                });
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    (0..costs.len()).collect::<Vec<_>>(),
+                    "{policy} at {workers} workers lost or duplicated jobs"
+                );
+                if policy != SchedPolicy::Stealing {
+                    assert_eq!(dispatcher.steals(), 0, "{policy} cannot steal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_ordered_dispatch_is_longest_first() {
+        let costs = [1.0, 5.0, 3.0, 5.0];
+        let dispatcher = Dispatcher::build(SchedPolicy::CostOrdered, &costs, 1);
+        let order: Vec<usize> = dispatcher.lane(0).collect();
+        // Descending cost, submission index breaking the 5.0 tie.
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_poisoned_seed() {
+        // Adversarial predictions: the model thinks job 0 is huge so LPT
+        // gives worker 0 only job 0 — but *every* job is actually cheap,
+        // so worker 0 finishes instantly and must steal to stay busy.
+        let predicted = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let dispatcher = Dispatcher::build(SchedPolicy::Stealing, &predicted, 2);
+        let got: Vec<usize> = dispatcher.lane(0).collect();
+        // Worker 0 drained its own job and then stole the rest (worker 1
+        // never ran).
+        assert_eq!(got.len(), predicted.len());
+        assert!(dispatcher.steals() > 0, "idle worker never stole");
+    }
+
+    #[test]
+    fn modeled_stealing_beats_fifo_on_skewed_costs() {
+        // The bench's shape in miniature: a long expensive tail at the
+        // end of submission order (the corpus groups classes together).
+        let mut durations = vec![0.1f64; 60];
+        durations.extend([2.0; 6]);
+        let predicted = durations.clone(); // a perfect model
+        let fifo = model_schedule(SchedPolicy::Fifo, &predicted, &durations, 4);
+        let lpt = model_schedule(SchedPolicy::CostOrdered, &predicted, &durations, 4);
+        let steal = model_schedule(SchedPolicy::Stealing, &predicted, &durations, 4);
+        let total: f64 = durations.iter().sum();
+        for m in [&fifo, &lpt, &steal] {
+            // Work is conserved and the makespan bounded by serial time.
+            assert!((m.busy_ms.iter().sum::<f64>() - total).abs() < 1e-9);
+            assert_eq!(m.worker_cases.iter().sum::<usize>(), durations.len());
+            assert!(m.makespan_ms <= total + 1e-9);
+        }
+        assert!(
+            lpt.makespan_ms <= fifo.makespan_ms + 1e-9,
+            "LPT must not lose to FIFO: {} vs {}",
+            lpt.makespan_ms,
+            fifo.makespan_ms
+        );
+        assert!(
+            steal.makespan_ms <= fifo.makespan_ms + 1e-9,
+            "stealing must not lose to FIFO: {} vs {}",
+            steal.makespan_ms,
+            fifo.makespan_ms
+        );
+        // On this shape FIFO strands the tail on few workers; the
+        // cost-aware policies land near the perfect split.
+        assert!(steal.speedup() > fifo.speedup());
+        assert!(steal.speedup() > 2.0, "speedup {}", steal.speedup());
+    }
+
+    #[test]
+    fn modeled_empty_and_single_worker_edges() {
+        let empty = model_schedule(SchedPolicy::Stealing, &[], &[], 4);
+        assert_eq!(empty.makespan_ms, 0.0);
+        assert_eq!(empty.speedup(), 0.0);
+        let one = model_schedule(SchedPolicy::Stealing, &[1.0, 2.0], &[1.0, 2.0], 1);
+        assert!((one.makespan_ms - 3.0).abs() < 1e-12);
+        assert!((one.speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(one.steals, 0);
+    }
+}

@@ -7,6 +7,7 @@
 //! strictly valid JSON (finite numbers only, no trailing commas).
 
 use crate::cache::CacheStats;
+use crate::sched::SchedStats;
 use crate::system::CaseResult;
 
 /// Knowledge-base accounting of one batch: how the shared snapshot grew
@@ -79,6 +80,9 @@ pub struct EngineStats {
     /// while `entries`/`evictions`/`capacity` are the cache's absolute
     /// state when the batch finished.
     pub cache: CacheStats,
+    /// Dispatch telemetry: the policy the batch ran under, jobs stolen
+    /// across workers, and the deepest queue at seeding time.
+    pub sched: SchedStats,
 }
 
 /// Formats a float as a finite JSON number (non-finite values collapse to
@@ -129,6 +133,31 @@ impl EngineStats {
         Some(max as f64 / min as f64)
     }
 
+    /// Per-worker utilization for a busy-time distribution: each
+    /// worker's busy milliseconds over the batch wall-clock, clamped to
+    /// `[0, 1]`. Degenerate batches (zero or negative wall, non-finite
+    /// busy times) report 0.0 rather than leaking `NaN`/`inf` into
+    /// BENCH_engine.json — the same infinity-safety contract
+    /// [`EngineStats::imbalance_of`] keeps.
+    #[must_use]
+    pub fn utilization_of(busy_ms: &[f64], wall_ms: f64) -> Vec<f64> {
+        busy_ms
+            .iter()
+            .map(|b| {
+                if wall_ms > 0.0 {
+                    let ratio = b / wall_ms;
+                    if ratio.is_finite() {
+                        ratio.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
     /// Serializes the telemetry to a single-line JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -144,7 +173,9 @@ impl EngineStats {
                 "\"contributing_jobs\":{},\"coalesced\":{},\"final_entries\":{},",
                 "\"shards_written\":{},\"shards_skipped\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
-                "\"evictions\":{},\"capacity\":{},\"hit_rate\":{}}}}}"
+                "\"evictions\":{},\"capacity\":{},\"hit_rate\":{}}},",
+                "\"sched\":{{\"policy\":{},\"steals\":{},",
+                "\"max_queue_depth\":{}}}}}"
             ),
             self.workers,
             self.cases,
@@ -170,6 +201,9 @@ impl EngineStats {
             self.cache.evictions,
             self.cache.capacity,
             json_num(self.cache.hit_rate()),
+            json_str(&self.sched.policy),
+            self.sched.steals,
+            self.sched.max_queue_depth,
         )
     }
 }
@@ -234,10 +268,18 @@ mod tests {
                 evictions: 4,
                 capacity: 64,
             },
+            sched: SchedStats {
+                policy: "stealing".to_owned(),
+                steals: 5,
+                max_queue_depth: 2,
+            },
         };
         let json = stats.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"workers\":2"));
+        assert!(
+            json.contains("\"sched\":{\"policy\":\"stealing\",\"steals\":5,\"max_queue_depth\":2}")
+        );
         assert!(json.contains("\"worker_utilization\":[0.9000,0.8000]"));
         assert!(json.contains("\"imbalance\":2.0000"));
         assert!(json.contains("\"oracle\":{\"executed\":7,\"cached\":21}"));
@@ -282,6 +324,32 @@ mod tests {
             "{}",
             stats.to_json()
         );
+    }
+
+    #[test]
+    fn utilization_is_clamped_on_degenerate_batches() {
+        // The normal case divides and clamps per worker.
+        let u = EngineStats::utilization_of(&[5.0, 20.0], 10.0);
+        assert_eq!(u, vec![0.5, 1.0]);
+        // Zero-wall and empty batches must not emit NaN/inf into
+        // BENCH_engine.json.
+        assert_eq!(
+            EngineStats::utilization_of(&[5.0, 0.0], 0.0),
+            vec![0.0, 0.0]
+        );
+        assert_eq!(EngineStats::utilization_of(&[], 12.0), Vec::<f64>::new());
+        // Pathological inputs (non-finite busy or wall) collapse to 0.
+        assert_eq!(
+            EngineStats::utilization_of(&[f64::NAN, f64::INFINITY], 10.0),
+            vec![0.0, 0.0]
+        );
+        assert_eq!(EngineStats::utilization_of(&[1.0], f64::NAN), vec![0.0]);
+        let stats = EngineStats {
+            workers: 1,
+            worker_utilization: EngineStats::utilization_of(&[3.0], 0.0),
+            ..EngineStats::default()
+        };
+        assert!(stats.to_json().contains("\"worker_utilization\":[0.0000]"));
     }
 
     #[test]

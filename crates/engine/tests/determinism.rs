@@ -1,19 +1,20 @@
-//! The engine's central contract, property-tested: for any corpus and any
-//! base seed, the parallel engine at 1, 2 and 4 workers produces the same
-//! aggregate `CaseResult` vector — byte for byte — as the plain serial
-//! reference loop (fresh per-case systems, direct oracle, no threads, no
-//! cache).
+//! The engine's central contract, property-tested: for any corpus, any
+//! base seed, any worker count in {1, 2, 4, 8} and any scheduling policy
+//! (FIFO, cost-ordered, work-stealing), the parallel engine produces the
+//! same aggregate `CaseResult` vector — byte for byte — as the plain
+//! serial reference loop (fresh per-case systems, direct oracle, no
+//! threads, no cache), and merges the same knowledge base.
 
 use proptest::prelude::*;
 use rb_dataset::Corpus;
-use rb_engine::{run_serial_reference, Engine, OracleCache, SystemSpec};
+use rb_engine::{run_serial_reference, Engine, OracleCache, SchedPolicy, SystemSpec};
 use rb_llm::ModelId;
 use rb_miri::UbClass;
 use rustbrain::RustBrainConfig;
 use std::sync::Arc;
 
 /// Classes sampled by the property (kept small: every proptest case runs
-/// 3 engine sweeps + 1 serial sweep of the corpus).
+/// 4 worker counts × 3 policies of engine sweeps + 1 serial sweep).
 const CLASS_POOL: [UbClass; 4] = [
     UbClass::Alloc,
     UbClass::Panic,
@@ -51,13 +52,29 @@ proptest! {
         };
         let corpus = Corpus::generate(corpus_seed, per_class, &classes);
         let serial = run_serial_reference(&spec, &corpus.cases, base_seed);
-        for jobs in [1usize, 2, 4] {
-            let out = Engine::new(jobs).run_batch(&spec, &corpus.cases, base_seed);
-            prop_assert_eq!(
-                &out.results, &serial,
-                "{} workers diverged from the serial runner (spec {})",
-                jobs, spec.label()
-            );
+        // The 1-worker FIFO run is the reference for the merged KB:
+        // scheduling must not change what a batch learns either.
+        let kb_reference = Engine::new(1)
+            .with_policy(SchedPolicy::Fifo)
+            .run_batch(&spec, &corpus.cases, base_seed);
+        prop_assert_eq!(&kb_reference.results, &serial);
+        for jobs in [1usize, 2, 4, 8] {
+            for policy in SchedPolicy::ALL {
+                let out = Engine::new(jobs)
+                    .with_policy(policy)
+                    .run_batch(&spec, &corpus.cases, base_seed);
+                prop_assert_eq!(
+                    &out.results, &serial,
+                    "{} workers under {} diverged from the serial runner (spec {})",
+                    jobs, policy, spec.label()
+                );
+                prop_assert_eq!(
+                    format!("{:?}", out.knowledge),
+                    format!("{:?}", kb_reference.knowledge),
+                    "{} workers under {} merged a different knowledge base (spec {})",
+                    jobs, policy, spec.label()
+                );
+            }
         }
     }
 }

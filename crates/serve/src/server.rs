@@ -69,6 +69,10 @@ pub struct ServeConfig {
     /// Write a structured JSONL trace of every request (and the repair
     /// spans nested under it) to this file. `None` disables tracing.
     pub trace_out: Option<PathBuf>,
+    /// Scheduling policy the resident engine dispatches batch requests
+    /// under (defaults to work-stealing; results are byte-identical
+    /// under every policy).
+    pub sched: rb_engine::SchedPolicy,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +85,7 @@ impl Default for ServeConfig {
             compact_entries: 0,
             compact_secs: 0,
             trace_out: None,
+            sched: rb_engine::SchedPolicy::default(),
         }
     }
 }
@@ -137,7 +142,7 @@ impl Server {
             ),
             None => None,
         };
-        let mut engine = Engine::with_global_cache(config.jobs);
+        let mut engine = Engine::with_global_cache(config.jobs).with_policy(config.sched);
         if let Some(tracer) = &tracer {
             engine = engine.with_tracer(tracer.clone());
         }
@@ -424,6 +429,10 @@ fn handle_batch(
         outcome.stats.oracle_executed,
         outcome.stats.oracle_cached,
     );
+    state.stats.record_sched(
+        outcome.stats.sched.steals,
+        outcome.stats.sched.max_queue_depth as u64,
+    );
     maybe_compact(state);
     let (pass_rate, exec_rate) = rates(&outcome.results);
     let cases = outcome.results.len() as u64;
@@ -464,6 +473,7 @@ fn rates(results: &[rb_engine::CaseResult]) -> (f64, f64) {
 /// the base itself knows.
 fn serve_stats(state: &Arc<ServeState>) -> ServeStats {
     let mut stats = state.stats.snapshot();
+    stats.sched_policy = state.config.sched.label().to_owned();
     let kb = state.lock_kb();
     stats.resident_shards = kb.resident_shards();
     stats.shard_loads = kb.total_shard_loads();

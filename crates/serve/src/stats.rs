@@ -33,6 +33,8 @@ const MERGED_INSERTS: &str = "rustbrain_serve_kb_merged_inserts_total";
 const CACHE_LOOKUPS: &str = "rustbrain_serve_cache_lookups_total";
 const ORACLE_JUDGEMENTS: &str = "rustbrain_serve_oracle_judgements_total";
 const REQUEST_LATENCY_US: &str = "rustbrain_serve_request_us";
+const SCHED_STEALS: &str = "rustbrain_serve_sched_steals_total";
+const SCHED_QUEUE_DEPTH: &str = "rustbrain_serve_sched_queue_depth";
 
 /// A point-in-time snapshot of the daemon's counters.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -77,6 +79,14 @@ pub struct ServeStats {
     pub oracle_executed: u64,
     /// Oracle judgements served from the verdict cache.
     pub oracle_cached: u64,
+    /// Scheduling policy the daemon's batch engine dispatches under
+    /// (the server fills this from its config; a bare recorder snapshot
+    /// leaves it empty).
+    pub sched_policy: String,
+    /// Jobs stolen across workers, summed over all batch requests.
+    pub sched_steals: u64,
+    /// Deepest per-worker queue the most recent batch seeded.
+    pub sched_queue_depth: u64,
 }
 
 impl ServeStats {
@@ -105,7 +115,9 @@ impl ServeStats {
                 "\"kb\":{{\"resident_shards\":{},\"shard_loads\":{},",
                 "\"entries\":{},\"weight\":{},\"merged_inserts\":{}}},",
                 "\"oracle\":{{\"cache_hits\":{},\"cache_misses\":{},",
-                "\"cache_hit_rate\":{},\"executed\":{},\"cached\":{}}}}}"
+                "\"cache_hit_rate\":{},\"executed\":{},\"cached\":{}}},",
+                "\"scheduler\":{{\"policy\":{},\"steals\":{},",
+                "\"queue_depth\":{}}}}}"
             ),
             fmt_num(self.uptime_ms),
             self.requests,
@@ -128,6 +140,9 @@ impl ServeStats {
             fmt_num(self.cache_hit_rate()),
             self.oracle_executed,
             self.oracle_cached,
+            crate::json::fmt_str(&self.sched_policy),
+            self.sched_steals,
+            self.sched_queue_depth,
         )
     }
 }
@@ -308,6 +323,15 @@ impl StatsRecorder {
         self.registry.counter_add(MERGED_INSERTS, None, inserts);
     }
 
+    /// Records a batch's dispatch telemetry: steals accumulate (the
+    /// daemon's lifetime total), queue depth is a gauge (the most recent
+    /// batch's deepest seed).
+    pub fn record_sched(&self, steals: u64, queue_depth: u64) {
+        self.registry.counter_add(SCHED_STEALS, None, steals);
+        self.registry
+            .gauge_set(SCHED_QUEUE_DEPTH, None, queue_depth as f64);
+    }
+
     /// Records a request's oracle traffic: gold-reference cache
     /// hits/misses and the executed/cached judgement split.
     pub fn record_oracle(&self, hits: u64, misses: u64, executed: u64, cached: u64) {
@@ -353,6 +377,9 @@ impl StatsRecorder {
             cache_misses: reg.counter(CACHE_LOOKUPS, Some(("result", "miss"))),
             oracle_executed: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "executed"))),
             oracle_cached: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "cached"))),
+            sched_policy: String::new(),
+            sched_steals: reg.counter(SCHED_STEALS, None),
+            sched_queue_depth: reg.gauge(SCHED_QUEUE_DEPTH, None).unwrap_or(0.0) as u64,
         }
     }
 }
@@ -412,6 +439,35 @@ mod tests {
         assert!(
             text.contains("rustbrain_serve_request_us_count{verb=\"batch\"} 1"),
             "{text}"
+        );
+    }
+
+    #[test]
+    fn sched_telemetry_accumulates_steals_and_tracks_last_depth() {
+        let rec = StatsRecorder::new();
+        rec.record_sched(3, 9);
+        rec.record_sched(2, 4);
+        let mut s = rec.snapshot();
+        // Steals are a lifetime counter; depth is the latest batch's.
+        assert_eq!(s.sched_steals, 5);
+        assert_eq!(s.sched_queue_depth, 4);
+        assert_eq!(s.sched_policy, "", "a bare recorder knows no policy");
+        s.sched_policy = "stealing".to_owned();
+        let v = crate::json::parse(&s.to_json()).unwrap();
+        let sched = v.get("scheduler").expect("scheduler section");
+        assert_eq!(
+            sched.get("policy").and_then(crate::json::Value::as_str),
+            Some("stealing")
+        );
+        assert_eq!(
+            sched.get("steals").and_then(crate::json::Value::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            sched
+                .get("queue_depth")
+                .and_then(crate::json::Value::as_u64),
+            Some(4)
         );
     }
 

@@ -144,6 +144,31 @@ fn daemon_faults_in_only_the_shards_traffic_touches() {
     assert_eq!(kb_gauge(&response, "resident_shards"), 2);
     assert_eq!(kb_gauge(&response, "shard_loads"), 2);
 
+    // After a batch the stats snapshot carries the scheduler gauges: the
+    // configured policy (the default, work-stealing) plus the lifetime
+    // steal counter and last-batch queue depth the engine reported.
+    let v = parse(&response).unwrap();
+    let scheduler = v
+        .get("serve")
+        .and_then(|s| s.get("scheduler"))
+        .unwrap_or_else(|| panic!("no serve.scheduler in {response}"));
+    assert_eq!(
+        scheduler.get("policy").and_then(Value::as_str),
+        Some("stealing"),
+        "{response}"
+    );
+    assert!(
+        scheduler.get("steals").and_then(Value::as_u64).is_some(),
+        "{response}"
+    );
+    assert!(
+        scheduler
+            .get("queue_depth")
+            .and_then(Value::as_u64)
+            .is_some(),
+        "{response}"
+    );
+
     // The metrics verb answers with a Prometheus-style exposition that
     // carries a repair-latency histogram for every class this daemon's
     // traffic touched, plus the daemon's own request counters.
@@ -170,6 +195,17 @@ fn daemon_faults_in_only_the_shards_traffic_touches() {
     }
     assert!(
         exposition.contains("rustbrain_serve_requests_total{verb=\"repair\"} 2"),
+        "{exposition}"
+    );
+    // The scheduler series exist even when the tiny batch stole nothing:
+    // recording a zero-delta still registers the counter, and the depth
+    // gauge is set on every batch.
+    assert!(
+        exposition.contains("rustbrain_serve_sched_steals_total"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("rustbrain_serve_sched_queue_depth"),
         "{exposition}"
     );
     assert!(

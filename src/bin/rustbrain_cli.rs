@@ -44,6 +44,11 @@
 //!   --trace-out <file>                          batch/serve: write a
 //!                                               structured JSONL span trace
 //!                                               (observational only)
+//!   --sched <fifo|cost-ordered|stealing>        batch/serve: scheduling
+//!                                               policy [stealing]
+//!   --cost-table <file>                         batch: seed the scheduler
+//!                                               cost model from this table
+//!                                               and rewrite it afterwards
 //!   --no-cache                                  judge through the direct
 //!                                               oracle, bypassing the cache
 //!   --cache-cap <N>                             bound the oracle cache to N
@@ -68,7 +73,9 @@
 //! with `--no-cache` the direct interpreter — the results are
 //! byte-identical either way (CI diffs the two `--results-out` files).
 
-use rb_engine::{results_to_json, CachedOracle, Engine, OracleCache, SystemSpec};
+use rb_engine::{
+    results_to_json, CachedOracle, CostModel, Engine, OracleCache, SchedPolicy, SystemSpec,
+};
 use rb_lang::parser::parse_program;
 use rb_lang::printer::print_program;
 use rb_llm::ModelId;
@@ -114,6 +121,14 @@ struct Cli {
     classes: Option<Vec<rb_miri::UbClass>>,
     /// `batch`/`serve`: write a structured JSONL span trace here.
     trace_out: Option<String>,
+    /// `batch`/`serve`: scheduling policy for batch dispatch. `Some`
+    /// only when `--sched` was passed explicitly (so the flag still
+    /// errors on subcommands that never dispatch a batch); the engine
+    /// default is work-stealing.
+    sched: Option<SchedPolicy>,
+    /// `batch`: persisted cost-table path — loaded (when present) to
+    /// seed the scheduler's cost model, rewritten at batch end.
+    cost_table: Option<String>,
 }
 
 /// Where `serve` listens and `client` connects unless `--addr` says
@@ -256,6 +271,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         compact_secs: 0,
         classes: None,
         trace_out: None,
+        sched: None,
+        cost_table: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -373,6 +390,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--trace-out needs a value")?;
                 cli.trace_out = Some(v.clone());
             }
+            "--sched" => {
+                let v = it.next().ok_or("--sched needs a value")?;
+                cli.sched = Some(SchedPolicy::parse(v).ok_or_else(|| {
+                    format!("unknown --sched policy `{v}` (fifo|cost-ordered|stealing)")
+                })?);
+            }
+            "--cost-table" => {
+                let v = it.next().ok_or("--cost-table needs a value")?;
+                cli.cost_table = Some(v.clone());
+            }
             "--no-cache" => cli.use_cache = false,
             "--cache-cap" => {
                 let v = it.next().ok_or("--cache-cap needs a value")?;
@@ -463,6 +490,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if cli.trace_out.is_some() && !matches!(cli.command, Command::Batch | Command::Serve) {
         return Err("--trace-out only applies to `batch` and `serve`".into());
     }
+    if cli.sched.is_some() && !matches!(cli.command, Command::Batch | Command::Serve) {
+        return Err("--sched only applies to `batch` and `serve`".into());
+    }
+    if cli.cost_table.is_some() && cli.command != Command::Batch {
+        return Err("--cost-table only applies to `batch`".into());
+    }
     Ok(cli)
 }
 
@@ -515,6 +548,15 @@ OPTIONS:
                                              per span; observational only —
                                              results are byte-identical with
                                              or without it)
+  --sched <fifo|cost-ordered|stealing>       batch/serve: how batch jobs
+                                             reach the workers [stealing];
+                                             results are byte-identical
+                                             under every policy
+  --cost-table <file>                        batch: load the scheduler's
+                                             per-class cost table from this
+                                             file when it exists, and write
+                                             the blended observations back
+                                             at batch end
   --no-cache                                 bypass the oracle verdict cache
   --cache-cap <N>                            bound the cache to N entries
                                              (rounded up; minimum 16)
@@ -660,7 +702,26 @@ fn batch(cli: &Cli) -> ExitCode {
     // engine injects its oracle into every system it builds — the whole
     // repair stack, not just gold references, shares one cache.
     let mode = cli.cache_mode();
-    let mut engine = mode.engine(cli.jobs);
+    // The scheduler: the engine's default (work-stealing) unless --sched
+    // says otherwise, with the cost model seeded from --cost-table when
+    // the file exists (first runs start from the static defaults and
+    // write the table below). Dispatch order never changes results.
+    let policy = cli.sched.unwrap_or_default();
+    let table_path = cli.cost_table.as_ref().map(std::path::PathBuf::from);
+    let mut cost_model = match &table_path {
+        Some(path) if path.exists() => match CostModel::load(path) {
+            Ok(model) => model,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => CostModel::defaults(),
+    };
+    let mut engine = mode
+        .engine(cli.jobs)
+        .with_policy(policy)
+        .with_cost_model(cost_model.clone());
     // Tracing observes only: the results documents below are
     // byte-identical whether or not a tracer is attached.
     let tracer = match &cli.trace_out {
@@ -677,12 +738,13 @@ fn batch(cli: &Cli) -> ExitCode {
         None => None,
     };
     println!(
-        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s) | oracle {} | kb {}",
+        "batch: {} cases ({} classes, {} per class) | system {} | {} worker(s) | sched {} | oracle {} | kb {}",
         corpus.len(),
         corpus.stats().len(),
         cli.per_class,
         spec.label(),
         cli.jobs,
+        policy.label(),
         mode.label(),
         match &cli.kb_in {
             Some(path) => format!("warm ({path})"),
@@ -721,11 +783,35 @@ fn batch(cli: &Cli) -> ExitCode {
         outcome.stats.kb.final_entries,
         outcome.stats.kb_query_ms,
     );
+    println!(
+        "scheduler: {} | steals: {} | max queue depth: {}",
+        outcome.stats.sched.policy, outcome.stats.sched.steals, outcome.stats.sched.max_queue_depth,
+    );
     if let Some(path) = &cli.kb_out {
         println!(
             "knowledge store written to {path} ({} segment(s) rewritten, {} already clean)",
             outcome.stats.kb.shards_written, outcome.stats.kb.shards_skipped,
         );
+    }
+    // Persist what this batch learned about per-class cost: blend the
+    // observed per-class mean wall times into the table so the next
+    // run's LPT seeding starts from measured reality.
+    if let Some(path) = &table_path {
+        let mut sums: std::collections::BTreeMap<rb_miri::UbClass, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for j in &outcome.jobs {
+            let entry = sums.entry(j.result.class).or_insert((0.0, 0));
+            entry.0 += j.wall_ms;
+            entry.1 += 1;
+        }
+        for (class, (sum, n)) in sums {
+            cost_model.observe(class, sum / n as f64);
+        }
+        if let Err(e) = cost_model.save(path) {
+            eprintln!("error: cannot write cost table {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("cost table written to {}", path.display());
     }
     if let Some(path) = &cli.results_out {
         if let Err(e) = std::fs::write(path, format!("{}\n", results_to_json(&outcome.results))) {
@@ -926,7 +1012,9 @@ fn serve(cli: &Cli) -> ExitCode {
         compact_entries: cli.compact_entries,
         compact_secs: cli.compact_secs,
         trace_out: cli.trace_out.as_deref().map(std::path::PathBuf::from),
+        sched: cli.sched.unwrap_or_default(),
     };
+    let sched_label = config.sched.label();
     let kb_label = cli.kb.clone().unwrap_or_else(|| "in-memory".to_owned());
     let server = match rb_serve::Server::bind(config) {
         Ok(server) => server,
@@ -938,7 +1026,7 @@ fn serve(cli: &Cli) -> ExitCode {
     // The smoke harness waits for this exact line before connecting, so
     // it goes out flushed and before any request is served.
     println!(
-        "serving on {} | {} worker(s) | kb {kb_label}",
+        "serving on {} | {} worker(s) | sched {sched_label} | kb {kb_label}",
         server.local_addr(),
         cli.jobs,
     );
@@ -1270,6 +1358,39 @@ mod tests {
         assert!(parse_cli(&argv("repair a.mrs --trace-out t.jsonl")).is_err());
         assert!(parse_cli(&argv("client stats --trace-out t.jsonl")).is_err());
         assert!(parse_cli(&argv("batch --trace-out")).is_err());
+    }
+
+    #[test]
+    fn parses_scheduler_flags() {
+        // Every accepted spelling of every policy, on both batch and serve.
+        for (spelling, policy) in [
+            ("fifo", SchedPolicy::Fifo),
+            ("cost-ordered", SchedPolicy::CostOrdered),
+            ("cost", SchedPolicy::CostOrdered),
+            ("lpt", SchedPolicy::CostOrdered),
+            ("stealing", SchedPolicy::Stealing),
+            ("steal", SchedPolicy::Stealing),
+        ] {
+            let cli = parse_cli(&argv(&format!("batch --sched {spelling}"))).unwrap();
+            assert_eq!(cli.sched, Some(policy), "{spelling}");
+            let cli = parse_cli(&argv(&format!("serve --sched {spelling}"))).unwrap();
+            assert_eq!(cli.sched, Some(policy), "{spelling}");
+        }
+        // Unset means the engine default (work-stealing) at dispatch.
+        assert_eq!(parse_cli(&argv("batch")).unwrap().sched, None);
+        assert!(parse_cli(&argv("batch --sched frobnicate")).is_err());
+        assert!(parse_cli(&argv("batch --sched")).is_err());
+        assert!(parse_cli(&argv("demo --sched fifo")).is_err());
+        assert!(parse_cli(&argv("client stats --sched fifo")).is_err());
+    }
+
+    #[test]
+    fn cost_table_is_scoped_to_batch() {
+        let cli = parse_cli(&argv("batch --cost-table costs.tbl")).unwrap();
+        assert_eq!(cli.cost_table.as_deref(), Some("costs.tbl"));
+        assert!(parse_cli(&argv("serve --cost-table costs.tbl")).is_err());
+        assert!(parse_cli(&argv("demo --cost-table costs.tbl")).is_err());
+        assert!(parse_cli(&argv("batch --cost-table")).is_err());
     }
 
     #[test]
