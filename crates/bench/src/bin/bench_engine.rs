@@ -31,6 +31,16 @@
 //! wall-clock noise, and `--cost-table PATH` seeds the cost model from a
 //! persisted table and rewrites it from this run's observations.
 //!
+//! Since PR 9 a traced run re-reads its own flushed trace through
+//! `rb_obs::analyze` and writes a `critical_path` section: the
+//! per-worker lane bound on achievable speedup, printed and gated next
+//! to `model_schedule`'s modeled stealing speedup (the two independent
+//! estimates must agree within 10% when the host has a core per
+//! worker). Every run also appends one compact row — date, corpus
+//! size, policy, speedup, hit rate — to `BENCH_history.jsonl` beside
+//! the output file, so the perf trajectory accumulates across PRs
+//! without diffing full BENCH files.
+//!
 //! ```text
 //! USAGE: bench_engine [--jobs N] [--per-class N] [--repeat N]
 //!                     [--out PATH] [--trace-out PATH]
@@ -249,6 +259,94 @@ fn warm_start_json(
     (json, summary)
 }
 
+/// Today's UTC civil date as `YYYY-MM-DD`, from the epoch second count
+/// alone (no date dependency in the tree). Days-to-civil conversion per
+/// Howard Hinnant's `civil_from_days`.
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// The trace-side critical path of the stealing sweep: re-reads the
+/// flushed trace through the analysis layer and bounds the achievable
+/// speedup from the per-worker lanes. The consistency comparison is
+/// apples-to-apples with `rustbrain trace critical-path`: the modeled
+/// side replays the trace's own *simulated* per-job charges (which are
+/// deterministic) through the virtual clock, so the only noise in the
+/// divergence is the live dispatcher's placement, not host wall-time
+/// jitter. Returns the JSON section, a console line, the sim-side
+/// speedup bound, and whether the bound agrees with the modeled speedup
+/// within 10% (the CI consistency gate when the host isn't
+/// oversubscribed).
+fn critical_path_json(trace_path: &str) -> Result<(String, String, f64, bool), String> {
+    let spans = rb_obs::analyze::read_file(std::path::Path::new(trace_path))
+        .map_err(|e| format!("trace {trace_path}: {e}"))?;
+    let tree =
+        rb_obs::analyze::SpanTree::build(spans).map_err(|e| format!("trace {trace_path}: {e}"))?;
+    let cp = rb_obs::analyze::critical_path(&tree);
+    if cp.lanes.is_empty() {
+        return Err(format!("trace {trace_path}: no engine.job spans"));
+    }
+    let sims: Vec<f64> = tree
+        .spans()
+        .iter()
+        .filter(|s| s.name == "engine.job")
+        .map(|s| s.sim_ms)
+        .collect();
+    let modeled_speedup =
+        model_schedule(SchedPolicy::Stealing, &sims, &sims, cp.lanes.len()).speedup();
+    let bound = cp.speedup_bound_sim();
+    let divergence = if modeled_speedup > 0.0 {
+        (bound - modeled_speedup).abs() / modeled_speedup
+    } else {
+        0.0
+    };
+    let within = divergence <= 0.10;
+    let json = format!(
+        concat!(
+            "{{\"lanes\":{},\"jobs\":{},\"stolen\":{},",
+            "\"total_sim_ms\":{:.4},\"busiest_lane_sim_ms\":{:.4},",
+            "\"speedup_bound_sim\":{:.4},\"speedup_bound_wall\":{:.4},",
+            "\"modeled_speedup\":{:.4},\"divergence\":{:.4},",
+            "\"bound_matches_model\":{}}}"
+        ),
+        cp.lanes.len(),
+        cp.jobs,
+        cp.stolen,
+        cp.total_sim_ms,
+        cp.critical_sim_ms,
+        bound,
+        cp.speedup_bound_wall(),
+        modeled_speedup,
+        divergence,
+        within,
+    );
+    let line = format!(
+        "critical path: {} lanes | bound {:.2}x (sim) {:.2}x (wall) | modeled {:.2}x | {}",
+        cp.lanes.len(),
+        bound,
+        cp.speedup_bound_wall(),
+        modeled_speedup,
+        if within {
+            "agrees within 10%".to_owned()
+        } else {
+            format!("diverges {:.0}%", divergence * 100.0)
+        },
+    );
+    Ok((json, line, bound, within))
+}
+
 /// Per-class mean *measured* wall milliseconds of a sweep's jobs.
 fn observed_class_ms(outcome: &BatchOutcome) -> BTreeMap<UbClass, f64> {
     let mut sums: BTreeMap<UbClass, (f64, usize)> = BTreeMap::new();
@@ -465,6 +563,19 @@ fn main() -> ExitCode {
         .iter()
         .find(|r| r.policy == SchedPolicy::Stealing)
         .map_or(0.0, |r| r.modeled_speedup);
+    // The trace-side view of the same stealing sweep: lanes read back
+    // from the flushed spans must bound speedup consistently with the
+    // virtual-clock model fed the same batch.
+    let critical_path = match args.trace_out.as_deref() {
+        Some(path) => match critical_path_json(path) {
+            Ok(cp) => Some(cp),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let observed = observed_class_ms(&serial);
     // Persist what this run learned: blend the serial sweep's per-class
     // means into the table and rewrite it for the next run.
@@ -491,6 +602,7 @@ fn main() -> ExitCode {
             " \"parallel\":{},\n",
             " \"speedup\":{:.4},\"speedup_degraded\":{},",
             "\"modeled_speedup\":{:.4},\n",
+            " \"critical_path\":{},\n",
             " \"sched\":{{\"policies\":{},\n",
             "  \"cost_model\":{}}},\n",
             " \"per_class\":{},\n",
@@ -510,6 +622,9 @@ fn main() -> ExitCode {
         speedup,
         speedup_degraded,
         modeled_speedup,
+        critical_path
+            .as_ref()
+            .map_or_else(|| "null".to_owned(), |(json, ..)| json.clone()),
         policy_rows_json(&runs, serial.stats.wall_ms),
         cost_model_rows_json(&predicted_table, &observed),
         class_rows_json(parallel),
@@ -554,6 +669,9 @@ fn main() -> ExitCode {
                 .map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}")),
         );
     }
+    if let Some((_, line, ..)) = &critical_path {
+        println!("{line}");
+    }
     if speedup_degraded {
         println!(
             "note: {} workers on {cores} core(s) — wall speedup is degraded by oversubscription and not gated; modeled_speedup carries the scheduler comparison",
@@ -573,6 +691,43 @@ fn main() -> ExitCode {
         args.out,
     );
     println!("{warm_summary}");
+
+    // The running history: one compact JSONL row per invocation, beside
+    // the full output file, so the speedup/hit-rate trajectory across
+    // PRs reads off one file without diffing BENCH snapshots.
+    let history_path = std::path::Path::new(&args.out).with_file_name("BENCH_history.jsonl");
+    let history_row = format!(
+        concat!(
+            "{{\"date\":\"{}\",\"cases\":{},\"jobs\":{},\"repeat\":{},",
+            "\"policy\":\"{}\",\"speedup\":{:.4},\"modeled_speedup\":{:.4},",
+            "\"speedup_bound_sim\":{},\"cache_hit_rate\":{:.4},",
+            "\"exec_rate\":{:.4},\"speedup_degraded\":{}}}\n"
+        ),
+        utc_date(),
+        corpus.len(),
+        args.jobs,
+        args.repeat,
+        SchedPolicy::Stealing.label(),
+        speedup,
+        modeled_speedup,
+        critical_path.as_ref().map_or_else(
+            || "null".to_owned(),
+            |(_, _, bound, _)| format!("{bound:.4}")
+        ),
+        cache_stats.hit_rate(),
+        exec.value(),
+        speedup_degraded,
+    );
+    let append = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, history_row.as_bytes()));
+    if let Err(e) = append {
+        eprintln!("error: cannot append to {}: {e}", history_path.display());
+        return ExitCode::from(2);
+    }
+    println!("history row appended to {}", history_path.display());
     if identical {
         ExitCode::SUCCESS
     } else {

@@ -269,12 +269,14 @@ impl Engine {
                     // whole lifetime; every span the jobs open lands in
                     // the shared sink.
                     let _trace_scope = tracer.as_ref().map(rb_obs::trace::scope);
-                    for index in dispatcher.lane(worker) {
+                    for assignment in dispatcher.lane(worker) {
+                        let index = assignment.index;
                         let job = &jobs[index];
                         let job_started = Instant::now();
                         let mut job_span = rb_obs::span("engine.job");
                         job_span.tag("case", job.case.id.clone());
                         job_span.tag("worker", worker.to_string());
+                        job_span.tag("stolen", assignment.stolen.to_string());
                         let (result, oracle_use, cache_hit, kb_delta) =
                             Engine::execute(job, oracle, snapshot);
                         let wall_s = job_started.elapsed().as_secs_f64();

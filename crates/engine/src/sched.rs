@@ -493,6 +493,20 @@ impl Dispatcher {
     }
 }
 
+/// One dispatched job as seen by the worker that will run it: the
+/// submission index plus whether the lane took it from another worker's
+/// deque. The flag feeds trace enrichment (`engine.job` spans carry
+/// `stolen`) so placement analyses can tell seeded work from rebalanced
+/// work; shared-counter policies never steal, so it is always `false`
+/// there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Index of the job in submission order.
+    pub index: usize,
+    /// `true` iff this job came off another worker's deque.
+    pub stolen: bool,
+}
+
 /// One worker's view of the dispatch: pops its own work (chunked, so
 /// cheap jobs amortize the deque lock) and steals when dry.
 pub struct WorkerLane<'a> {
@@ -502,19 +516,25 @@ pub struct WorkerLane<'a> {
 }
 
 impl Iterator for WorkerLane<'_> {
-    type Item = usize;
+    type Item = Assignment;
 
-    /// The next job index for this worker, or `None` when the batch is
+    /// The next job for this worker, or `None` when the batch is
     /// drained. Jobs held in another lane's local chunk are *not* up for
     /// stealing — they are owned and will be executed by that worker.
-    fn next(&mut self) -> Option<usize> {
+    fn next(&mut self) -> Option<Assignment> {
         if let Some(index) = self.local.pop_front() {
-            return Some(index);
+            return Some(Assignment {
+                index,
+                stolen: false,
+            });
         }
         match &self.dispatcher.kind {
             Kind::Shared { order, next } => {
                 let at = next.fetch_add(1, Ordering::Relaxed);
-                order.get(at).copied()
+                order.get(at).copied().map(|index| Assignment {
+                    index,
+                    stolen: false,
+                })
             }
             Kind::Deques { queues } => self.pop_or_steal(queues),
         }
@@ -522,7 +542,7 @@ impl Iterator for WorkerLane<'_> {
 }
 
 impl WorkerLane<'_> {
-    fn pop_or_steal(&mut self, queues: &[WorkQueue]) -> Option<usize> {
+    fn pop_or_steal(&mut self, queues: &[WorkQueue]) -> Option<Assignment> {
         // Own deque first: take a small chunk from the front under one
         // lock acquisition.
         if let Some(own) = queues.get(self.worker) {
@@ -535,7 +555,10 @@ impl WorkerLane<'_> {
             drop(jobs);
             if take > 0 {
                 own.depth.fetch_sub(take, Ordering::Relaxed);
-                return self.local.pop_front();
+                return self.local.pop_front().map(|index| Assignment {
+                    index,
+                    stolen: false,
+                });
             }
         }
         // Steal: single jobs from the back of the deepest victim, until
@@ -557,7 +580,10 @@ impl WorkerLane<'_> {
             if let Some(index) = stolen {
                 queues[victim].depth.fetch_sub(1, Ordering::Relaxed);
                 self.dispatcher.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(index);
+                return Some(Assignment {
+                    index,
+                    stolen: true,
+                });
             }
             // Lost the race to the victim's own pops; rescan.
         }
@@ -808,21 +834,31 @@ mod tests {
         for policy in SchedPolicy::ALL {
             for workers in [1usize, 3, 8] {
                 let dispatcher = Dispatcher::build(policy, &costs, workers);
-                let mut seen: Vec<usize> = Vec::new();
+                let mut seen: Vec<Assignment> = Vec::new();
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers)
                         .map(|w| {
                             let dispatcher = &dispatcher;
-                            scope.spawn(move || dispatcher.lane(w).collect::<Vec<usize>>())
+                            scope.spawn(move || dispatcher.lane(w).collect::<Vec<Assignment>>())
                         })
                         .collect();
                     for handle in handles {
                         seen.extend(handle.join().unwrap());
                     }
                 });
-                seen.sort_unstable();
+                // The stolen flags must agree with the dispatcher's own
+                // steal counter — they are the same events, observed
+                // from the two ends.
+                let flagged = seen.iter().filter(|a| a.stolen).count() as u64;
                 assert_eq!(
-                    seen,
+                    flagged,
+                    dispatcher.steals(),
+                    "{policy} at {workers} workers miscounted steals"
+                );
+                let mut indices: Vec<usize> = seen.iter().map(|a| a.index).collect();
+                indices.sort_unstable();
+                assert_eq!(
+                    indices,
                     (0..costs.len()).collect::<Vec<_>>(),
                     "{policy} at {workers} workers lost or duplicated jobs"
                 );
@@ -837,7 +873,7 @@ mod tests {
     fn cost_ordered_dispatch_is_longest_first() {
         let costs = [1.0, 5.0, 3.0, 5.0];
         let dispatcher = Dispatcher::build(SchedPolicy::CostOrdered, &costs, 1);
-        let order: Vec<usize> = dispatcher.lane(0).collect();
+        let order: Vec<usize> = dispatcher.lane(0).map(|a| a.index).collect();
         // Descending cost, submission index breaking the 5.0 tie.
         assert_eq!(order, vec![1, 3, 2, 0]);
     }
@@ -849,11 +885,17 @@ mod tests {
         // so worker 0 finishes instantly and must steal to stay busy.
         let predicted = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         let dispatcher = Dispatcher::build(SchedPolicy::Stealing, &predicted, 2);
-        let got: Vec<usize> = dispatcher.lane(0).collect();
+        let got: Vec<Assignment> = dispatcher.lane(0).collect();
         // Worker 0 drained its own job and then stole the rest (worker 1
         // never ran).
         assert_eq!(got.len(), predicted.len());
         assert!(dispatcher.steals() > 0, "idle worker never stole");
+        // Everything beyond worker 0's seeded deque carries the flag.
+        assert!(got.iter().any(|a| a.stolen), "steals left no stolen flags");
+        assert!(
+            got.iter().filter(|a| a.stolen).count() as u64 == dispatcher.steals(),
+            "stolen flags disagree with the steal counter"
+        );
     }
 
     #[test]

@@ -17,13 +17,21 @@
 //!   a private registry instead (the serve daemon does, to keep its
 //!   per-server counters hermetic).
 //!
+//! On top of the emitting half sits [`analyze`]: a streaming JSONL trace
+//! reader with typed errors (never panics on truncated or corrupt
+//! input), a span-tree builder that re-validates the tracer's contract,
+//! and flamegraph / critical-path / trace-diff analyses — the read side
+//! that `rustbrain trace` exposes on the command line.
+//!
 //! The cardinal rule of both halves: **observe, never perturb**. Nothing
 //! in this crate feeds back into repair decisions, simulated costs, or
 //! result bytes — enabling tracing or metrics must leave every result
 //! stream byte-identical.
 
+pub mod analyze;
 pub mod metrics;
 pub mod trace;
 
+pub use analyze::{AnalyzeError, SpanTree, TraceSpan};
 pub use metrics::{metrics, metrics_arc, MetricsRegistry, REAL_US_BUCKETS, SIM_MS_BUCKETS};
 pub use trace::{event, scope, span, ScopeGuard, Span, Tracer};

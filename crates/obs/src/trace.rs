@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Escapes a string into a JSON string literal (with quotes).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -54,7 +54,7 @@ fn json_escape(s: &str) -> String {
 /// Formats a simulated-milliseconds value for the wire: fixed four
 /// decimals, and non-finite inputs (which instrumented code should never
 /// produce) clamp to zero rather than emitting invalid JSON.
-fn fmt_sim_ms(ms: f64) -> String {
+pub(crate) fn fmt_sim_ms(ms: f64) -> String {
     if ms.is_finite() {
         format!("{ms:.4}")
     } else {
@@ -70,6 +70,7 @@ enum Sink {
 struct TracerInner {
     sink: Mutex<Sink>,
     next_id: AtomicU64,
+    emitted: AtomicU64,
     epoch: Instant,
 }
 
@@ -94,6 +95,7 @@ impl Tracer {
             inner: Arc::new(TracerInner {
                 sink: Mutex::new(sink),
                 next_id: AtomicU64::new(1),
+                emitted: AtomicU64::new(0),
                 epoch: Instant::now(),
             }),
         }
@@ -146,6 +148,15 @@ impl Tracer {
             }
             Sink::Memory(lines) => lines.push(line.to_owned()),
         }
+        self.inner.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Span records emitted so far across every clone of this tracer —
+    /// the resident daemon reports this through `stats` so operators can
+    /// see the trace growing without touching the file.
+    #[must_use]
+    pub fn spans_emitted(&self) -> u64 {
+        self.inner.emitted.load(Ordering::Relaxed)
     }
 
     fn next_id(&self) -> u64 {

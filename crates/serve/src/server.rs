@@ -470,10 +470,15 @@ fn rates(results: &[rb_engine::CaseResult]) -> (f64, f64) {
 }
 
 /// Snapshots the recorder and fills in the knowledge-base gauges only
-/// the base itself knows.
+/// the base itself knows, plus the resident tracer's span counts when
+/// `--trace-out` is active.
 fn serve_stats(state: &Arc<ServeState>) -> ServeStats {
     let mut stats = state.stats.snapshot();
     stats.sched_policy = state.config.sched.label().to_owned();
+    if let Some(tracer) = &state.tracer {
+        stats.trace_active = true;
+        stats.trace_spans = tracer.spans_emitted();
+    }
     let kb = state.lock_kb();
     stats.resident_shards = kb.resident_shards();
     stats.shard_loads = kb.total_shard_loads();

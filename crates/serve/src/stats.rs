@@ -87,6 +87,13 @@ pub struct ServeStats {
     pub sched_steals: u64,
     /// Deepest per-worker queue the most recent batch seeded.
     pub sched_queue_depth: u64,
+    /// Whether the daemon runs with a resident tracer (`--trace-out`).
+    /// The server fills this from its config; a bare recorder snapshot
+    /// leaves it false.
+    pub trace_active: bool,
+    /// Spans the resident tracer has emitted since startup (0 when
+    /// tracing is off).
+    pub trace_spans: u64,
 }
 
 impl ServeStats {
@@ -117,7 +124,8 @@ impl ServeStats {
                 "\"oracle\":{{\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_hit_rate\":{},\"executed\":{},\"cached\":{}}},",
                 "\"scheduler\":{{\"policy\":{},\"steals\":{},",
-                "\"queue_depth\":{}}}}}"
+                "\"queue_depth\":{}}},",
+                "\"trace\":{{\"active\":{},\"spans\":{}}}}}"
             ),
             fmt_num(self.uptime_ms),
             self.requests,
@@ -143,6 +151,8 @@ impl ServeStats {
             crate::json::fmt_str(&self.sched_policy),
             self.sched_steals,
             self.sched_queue_depth,
+            self.trace_active,
+            self.trace_spans,
         )
     }
 }
@@ -380,6 +390,8 @@ impl StatsRecorder {
             sched_policy: String::new(),
             sched_steals: reg.counter(SCHED_STEALS, None),
             sched_queue_depth: reg.gauge(SCHED_QUEUE_DEPTH, None).unwrap_or(0.0) as u64,
+            trace_active: false,
+            trace_spans: 0,
         }
     }
 }
@@ -570,6 +582,25 @@ mod tests {
                 .fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(max, true_max, "round {round}");
         }
+    }
+
+    #[test]
+    fn trace_section_reports_resident_tracer_counts() {
+        let mut s = StatsRecorder::new().snapshot();
+        assert!(!s.trace_active, "a bare recorder has no tracer");
+        assert_eq!(s.trace_spans, 0);
+        s.trace_active = true;
+        s.trace_spans = 123;
+        let v = crate::json::parse(&s.to_json()).unwrap();
+        let trace = v.get("trace").expect("trace section");
+        assert_eq!(
+            trace.get("active").and_then(crate::json::Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            trace.get("spans").and_then(crate::json::Value::as_u64),
+            Some(123)
+        );
     }
 
     #[test]

@@ -308,3 +308,57 @@ fn socket_batch_results_match_an_eager_in_process_run() {
         "socket batch must be byte-identical to the eager engine run"
     );
 }
+
+#[test]
+fn traced_daemon_reports_span_counts_through_stats() {
+    let trace_path = scratch("serve_trace.jsonl");
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs: 2,
+        handlers: 1,
+        trace_out: Some(trace_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let trace_gauge = |response: &str, field: &str| -> Value {
+        parse(response)
+            .unwrap()
+            .get("serve")
+            .and_then(|s| s.get("trace"))
+            .and_then(|t| t.get(field))
+            .cloned()
+            .unwrap_or_else(|| panic!("no serve.trace.{field} in {response}"))
+    };
+
+    // Before any traffic: the tracer is resident but idle.
+    let response = client.call(&stats_request()).unwrap();
+    assert_eq!(trace_gauge(&response, "active").as_bool(), Some(true));
+    assert_eq!(trace_gauge(&response, "spans").as_u64(), Some(0));
+
+    // A batch emits spans; the next stats snapshot counts them.
+    let response = client
+        .call(&batch_request(SEED, PER_CLASS, Some(&[UbClass::Panic])))
+        .unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+    let response = client.call(&stats_request()).unwrap();
+    let spans = trace_gauge(&response, "spans")
+        .as_u64()
+        .expect("span count must be numeric");
+    assert!(spans > 0, "a traced batch must raise the span count");
+
+    client.call(&shutdown_request()).unwrap();
+    daemon.join().unwrap();
+    // The counted spans are the ones on disk.
+    let on_disk = std::fs::read_to_string(&trace_path)
+        .unwrap()
+        .lines()
+        .count() as u64;
+    assert!(
+        on_disk >= spans,
+        "stats reported {spans} spans but the file holds {on_disk}"
+    );
+}

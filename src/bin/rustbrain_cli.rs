@@ -26,6 +26,12 @@
 //!                                               daemon: repair <file.mrs>,
 //!                                               batch, stats, metrics,
 //!                                               compact, or shutdown
+//!   rustbrain trace <verb> ...                  analyze a JSONL span trace:
+//!                                               check <t> (re-validate the
+//!                                               tracer's invariants),
+//!                                               summarize <t>, flamegraph <t>,
+//!                                               critical-path <t>,
+//!                                               diff <a> <b>
 //!
 //! OPTIONS:
 //!   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>   backing model   [gpt-4]
@@ -129,6 +135,19 @@ struct Cli {
     /// `batch`: persisted cost-table path — loaded (when present) to
     /// seed the scheduler's cost model, rewritten at batch end.
     cost_table: Option<String>,
+    /// `trace flamegraph`: emit collapsed-stack lines instead of the
+    /// text table.
+    collapsed: bool,
+    /// `trace flamegraph`/`trace diff`: rows to print (0 = all).
+    /// `Some` only when `--top` was passed explicitly.
+    top: Option<usize>,
+    /// `trace check`: required child-sim coverage of repair spans.
+    /// `Some` only when `--coverage` was passed explicitly.
+    coverage: Option<f64>,
+    /// `trace check`: span names that must appear in the trace.
+    require: Option<Vec<String>>,
+    /// `trace flamegraph --collapsed`: which measure to charge.
+    measure: Option<rb_obs::analyze::Measure>,
 }
 
 /// Where `serve` listens and `client` connects unless `--addr` says
@@ -205,7 +224,23 @@ enum Command {
     KbCompact(String),
     Serve,
     Client(ClientVerb),
+    Trace(TraceVerb),
     Help,
+}
+
+/// Which trace analysis `rustbrain trace` runs.
+#[derive(Debug, PartialEq)]
+enum TraceVerb {
+    /// Re-validate the tracer's structural invariants (the CI gate).
+    Check(String),
+    /// Check report + top flamegraph paths + critical path.
+    Summarize(String),
+    /// Inclusive/self cost by span path and class.
+    Flamegraph(String),
+    /// Per-worker lanes and the speedup bound, next to the modeled one.
+    CriticalPath(String),
+    /// Per-path deltas between two traces (baseline, candidate).
+    Diff(String, String),
 }
 
 /// Which daemon verb `rustbrain client` sends.
@@ -273,6 +308,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         trace_out: None,
         sched: None,
         cost_table: None,
+        collapsed: false,
+        top: None,
+        coverage: None,
+        require: None,
+        measure: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
@@ -308,6 +348,45 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             cli.command = Command::Corpus(dir.clone());
         }
         Some("serve") => cli.command = Command::Serve,
+        Some("trace") => {
+            let verb = match it.next().map(String::as_str) {
+                Some("check") => {
+                    let t = it.next().ok_or("`trace check` needs a trace file")?;
+                    TraceVerb::Check(t.clone())
+                }
+                Some("summarize") => {
+                    let t = it.next().ok_or("`trace summarize` needs a trace file")?;
+                    TraceVerb::Summarize(t.clone())
+                }
+                Some("flamegraph") => {
+                    let t = it.next().ok_or("`trace flamegraph` needs a trace file")?;
+                    TraceVerb::Flamegraph(t.clone())
+                }
+                Some("critical-path") => {
+                    let t = it
+                        .next()
+                        .ok_or("`trace critical-path` needs a trace file")?;
+                    TraceVerb::CriticalPath(t.clone())
+                }
+                Some("diff") => {
+                    let a = it
+                        .next()
+                        .ok_or("`trace diff` needs <baseline> and <candidate>")?;
+                    let b = it
+                        .next()
+                        .ok_or("`trace diff` needs <baseline> and <candidate>")?;
+                    TraceVerb::Diff(a.clone(), b.clone())
+                }
+                Some(other) => return Err(format!("unknown trace verb `{other}`")),
+                None => {
+                    return Err(
+                        "`trace` needs a verb (check|summarize|flamegraph|critical-path|diff)"
+                            .into(),
+                    )
+                }
+            };
+            cli.command = Command::Trace(verb);
+        }
         Some("client") => {
             let verb = match it.next().map(String::as_str) {
                 Some("repair") => {
@@ -399,6 +478,40 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--cost-table" => {
                 let v = it.next().ok_or("--cost-table needs a value")?;
                 cli.cost_table = Some(v.clone());
+            }
+            "--collapsed" => cli.collapsed = true,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                cli.top = Some(v.parse::<usize>().map_err(|_| format!("bad --top `{v}`"))?);
+            }
+            "--coverage" => {
+                let v = it.next().ok_or("--coverage needs a value")?;
+                let c = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --coverage `{v}`"))?;
+                if !(0.0..=1.0).contains(&c) {
+                    return Err("--coverage must be in [0, 1]".into());
+                }
+                cli.coverage = Some(c);
+            }
+            "--require" => {
+                let v = it.next().ok_or("--require needs a value")?;
+                let names: Vec<String> = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if names.is_empty() {
+                    return Err("--require must name at least one span kind".into());
+                }
+                cli.require = Some(names);
+            }
+            "--measure" => {
+                let v = it.next().ok_or("--measure needs a value")?;
+                cli.measure = Some(
+                    rb_obs::analyze::Measure::parse(v)
+                        .ok_or_else(|| format!("unknown --measure `{v}` (sim|wall)"))?,
+                );
             }
             "--no-cache" => cli.use_cache = false,
             "--cache-cap" => {
@@ -496,6 +609,24 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if cli.cost_table.is_some() && cli.command != Command::Batch {
         return Err("--cost-table only applies to `batch`".into());
     }
+    if (cli.coverage.is_some() || cli.require.is_some())
+        && !matches!(cli.command, Command::Trace(TraceVerb::Check(_)))
+    {
+        return Err("--coverage/--require only apply to `trace check`".into());
+    }
+    if (cli.collapsed || cli.measure.is_some())
+        && !matches!(cli.command, Command::Trace(TraceVerb::Flamegraph(_)))
+    {
+        return Err("--collapsed/--measure only apply to `trace flamegraph`".into());
+    }
+    if cli.top.is_some()
+        && !matches!(
+            cli.command,
+            Command::Trace(TraceVerb::Flamegraph(_) | TraceVerb::Diff(_, _))
+        )
+    {
+        return Err("--top only applies to `trace flamegraph` and `trace diff`".into());
+    }
     Ok(cli)
 }
 
@@ -530,6 +661,18 @@ USAGE:
                                             repair <file.mrs> | batch |
                                             stats | metrics | compact |
                                             shutdown
+  rustbrain trace check <t.jsonl>           re-validate a span trace's
+                                            invariants (nesting, unique ids,
+                                            >=95% repair-overhead coverage)
+  rustbrain trace summarize <t.jsonl>       check report + top paths +
+                                            critical path, one shot
+  rustbrain trace flamegraph <t.jsonl>      inclusive/self sim-ms and wall-us
+                                            by span path and by class
+  rustbrain trace critical-path <t.jsonl>   per-worker engine.job lanes and
+                                            the max-speedup bound, next to
+                                            the modeled stealing speedup
+  rustbrain trace diff <a.jsonl> <b.jsonl>  per-path cost deltas, sorted by
+                                            regression magnitude
 
 OPTIONS:
   --model <gpt-3.5|gpt-4|gpt-o1|claude-3.5>  backing model   [gpt-4]
@@ -578,7 +721,21 @@ OPTIONS:
   --compact-secs <N>                         serve: compact every N seconds
                                              of wall clock [off]
   --classes <c1,c2,...>                      client batch: restrict the sweep
-                                             to these UB classes [all]"
+                                             to these UB classes [all]
+  --coverage <0.0..1.0>                      trace check: required repair
+                                             child-sim coverage [0.95]
+  --require <name1,name2,...>                trace check: span kinds that must
+                                             appear (CI uses
+                                             engine.job,repair,fast)
+  --collapsed                                trace flamegraph: emit
+                                             collapsed-stack lines (for
+                                             flamegraph tooling) instead of
+                                             the text table
+  --measure <sim|wall>                       trace flamegraph --collapsed:
+                                             charge simulated or wall
+                                             microseconds [sim]
+  --top <N>                                  trace flamegraph/diff: rows to
+                                             print (0 = all) [40]"
 }
 
 fn main() -> ExitCode {
@@ -620,6 +777,7 @@ fn main() -> ExitCode {
             cli.jobs,
         ),
         Command::Serve => serve(&cli),
+        Command::Trace(ref verb) => trace_cmd(&cli, verb),
         Command::Client(ref verb) => match verb {
             ClientVerb::Repair(file) => client_call(&cli, |cli| {
                 let src = std::fs::read_to_string(file)
@@ -677,6 +835,134 @@ fn export_corpus(dir: &str, seed: u64) -> ExitCode {
         corpus.stats().len()
     );
     ExitCode::SUCCESS
+}
+
+/// Loads and parses a trace file, printing the typed error on failure.
+fn load_trace(path: &str) -> Result<Vec<rb_obs::TraceSpan>, ExitCode> {
+    rb_obs::analyze::read_file(Path::new(path)).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// Builds the span tree, printing the typed error on failure.
+fn load_tree(path: &str) -> Result<rb_obs::SpanTree, ExitCode> {
+    rb_obs::SpanTree::build(load_trace(path)?).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn trace_cmd(cli: &Cli, verb: &TraceVerb) -> ExitCode {
+    use rb_obs::analyze;
+    match verb {
+        TraceVerb::Check(path) => {
+            let spans = match load_trace(path) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let opts = analyze::CheckOptions {
+                coverage: cli.coverage.unwrap_or(analyze::DEFAULT_COVERAGE),
+                require_names: cli.require.clone().unwrap_or_default(),
+                ..analyze::CheckOptions::default()
+            };
+            let report = analyze::check(&spans, &opts);
+            print!("{}", report.render());
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        TraceVerb::Summarize(path) => {
+            let spans = match load_trace(path) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            match rb_obs::SpanTree::build(spans.clone()) {
+                Ok(tree) => {
+                    print!("{}", analyze::render_summary(&spans, &tree));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        TraceVerb::Flamegraph(path) => {
+            let tree = match load_tree(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let aggs = analyze::flamegraph(&tree);
+            if cli.collapsed {
+                let measure = cli.measure.unwrap_or(analyze::Measure::Sim);
+                print!("{}", analyze::render_collapsed(&aggs, measure));
+            } else {
+                let classes = analyze::class_breakdown(&tree);
+                print!(
+                    "{}",
+                    analyze::render_flamegraph(&aggs, &classes, cli.top.unwrap_or(40))
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        TraceVerb::CriticalPath(path) => {
+            let tree = match load_tree(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let cp = analyze::critical_path(&tree);
+            if cp.lanes.is_empty() {
+                eprintln!("error: no engine.job spans in {path} — not a batch trace");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", cp.render());
+            // The modeled counterpart: replay the same simulated
+            // durations through PR 8's virtual clock on the same worker
+            // count. The trace bound and the model should agree within
+            // tolerance — divergence means placement went wrong.
+            let sims: Vec<f64> = tree
+                .spans()
+                .iter()
+                .filter(|s| s.name == "engine.job")
+                .map(|s| s.sim_ms)
+                .collect();
+            let workers = cp.lanes.len();
+            let modeled = rb_engine::model_schedule(SchedPolicy::Stealing, &sims, &sims, workers);
+            let bound = cp.speedup_bound_sim();
+            let modeled_speedup = modeled.speedup();
+            let divergence = if modeled_speedup > 0.0 {
+                (bound - modeled_speedup).abs() / modeled_speedup
+            } else {
+                0.0
+            };
+            if divergence <= 0.10 {
+                println!(
+                    "  modeled stealing speedup ({workers} workers): {modeled_speedup:.2}x — trace bound agrees within 10%"
+                );
+            } else {
+                println!(
+                    "  modeled stealing speedup ({workers} workers): {modeled_speedup:.2}x — trace bound DIVERGES beyond 10%"
+                );
+                println!(
+                    "    bound {bound:.2}x vs modeled {modeled_speedup:.2}x ({:.0}% apart)",
+                    divergence * 100.0
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        TraceVerb::Diff(a, b) => {
+            let (tree_a, tree_b) = match (load_tree(a), load_tree(b)) {
+                (Ok(ta), Ok(tb)) => (ta, tb),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            let rows = analyze::diff(&analyze::flamegraph(&tree_a), &analyze::flamegraph(&tree_b));
+            print!("{}", analyze::render_diff(&rows, cli.top.unwrap_or(40)));
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn batch(cli: &Cli) -> ExitCode {
@@ -1391,6 +1677,74 @@ mod tests {
         assert!(parse_cli(&argv("serve --cost-table costs.tbl")).is_err());
         assert!(parse_cli(&argv("demo --cost-table costs.tbl")).is_err());
         assert!(parse_cli(&argv("batch --cost-table")).is_err());
+    }
+
+    #[test]
+    fn parses_trace_subcommands() {
+        let cli = parse_cli(&argv("trace check t.jsonl --coverage 0.9 --require a,b")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace(TraceVerb::Check("t.jsonl".into()))
+        );
+        assert_eq!(cli.coverage, Some(0.9));
+        assert_eq!(cli.require, Some(vec!["a".to_owned(), "b".to_owned()]));
+
+        let cli = parse_cli(&argv("trace summarize t.jsonl")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace(TraceVerb::Summarize("t.jsonl".into()))
+        );
+
+        let cli = parse_cli(&argv(
+            "trace flamegraph t.jsonl --collapsed --measure wall --top 5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace(TraceVerb::Flamegraph("t.jsonl".into()))
+        );
+        assert!(cli.collapsed);
+        assert_eq!(cli.measure, Some(rb_obs::analyze::Measure::Wall));
+        assert_eq!(cli.top, Some(5));
+
+        let cli = parse_cli(&argv("trace critical-path t.jsonl")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace(TraceVerb::CriticalPath("t.jsonl".into()))
+        );
+
+        let cli = parse_cli(&argv("trace diff a.jsonl b.jsonl --top 0")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace(TraceVerb::Diff("a.jsonl".into(), "b.jsonl".into()))
+        );
+        assert_eq!(cli.top, Some(0));
+
+        // Missing operands and unknown verbs are errors.
+        assert!(parse_cli(&argv("trace")).is_err());
+        assert!(parse_cli(&argv("trace check")).is_err());
+        assert!(parse_cli(&argv("trace diff only_one.jsonl")).is_err());
+        assert!(parse_cli(&argv("trace frobnicate t.jsonl")).is_err());
+        // Bad flag values are errors.
+        assert!(parse_cli(&argv("trace check t.jsonl --coverage 1.5")).is_err());
+        assert!(parse_cli(&argv("trace check t.jsonl --require")).is_err());
+        assert!(parse_cli(&argv("trace flamegraph t.jsonl --measure frobnicate")).is_err());
+        assert!(parse_cli(&argv("trace flamegraph t.jsonl --top nope")).is_err());
+    }
+
+    #[test]
+    fn trace_flags_are_scoped_to_their_verbs() {
+        assert!(parse_cli(&argv("trace flamegraph t.jsonl --coverage 0.9")).is_err());
+        assert!(parse_cli(&argv("trace check t.jsonl --collapsed")).is_err());
+        assert!(parse_cli(&argv("trace check t.jsonl --measure sim")).is_err());
+        assert!(parse_cli(&argv("trace check t.jsonl --top 5")).is_err());
+        assert!(parse_cli(&argv("trace summarize t.jsonl --top 5")).is_err());
+        assert!(parse_cli(&argv("batch --coverage 0.9")).is_err());
+        assert!(parse_cli(&argv("demo --collapsed")).is_err());
+        assert!(parse_cli(&argv("serve --top 5")).is_err());
+        // And the trace family rejects flags from other commands.
+        assert!(parse_cli(&argv("trace check t.jsonl --trace-out x.jsonl")).is_err());
+        assert!(parse_cli(&argv("trace check t.jsonl --sched fifo")).is_err());
     }
 
     #[test]
