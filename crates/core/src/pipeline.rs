@@ -33,19 +33,24 @@ pub struct RepairOutcome {
     pub oracle_runs: usize,
     /// Oracle judgements that executed the interpreter fresh.
     ///
-    /// Together with `oracle_cached` this covers *every* judgement the
-    /// repair made — the initial detection, each verification counted in
-    /// `oracle_runs`, and rollback re-verifications — so
-    /// `oracle_executed + oracle_cached >= oracle_runs`, with the total
-    /// itself identical across oracles. The executed/cached split is pure
+    /// Together with `oracle_cached` and `oracle_prevetoed` this covers
+    /// *every* judgement the repair made — the initial detection, each
+    /// verification counted in `oracle_runs`, and rollback
+    /// re-verifications — so `oracle_executed + oracle_cached +
+    /// oracle_prevetoed >= oracle_runs`, with the total itself identical
+    /// across oracles and preflight settings. The three-way split is pure
     /// telemetry and is the *only* part of the outcome allowed to differ
-    /// between a caching oracle and [`DirectOracle`] (everything else is
-    /// bit-identical — property-tested in `rb_engine`'s
-    /// oracle-equivalence suite).
+    /// between a caching oracle and [`DirectOracle`], or between preflight
+    /// on and off (everything else is bit-identical — property-tested in
+    /// `rb_engine`'s oracle-equivalence and preflight-equivalence suites).
     pub oracle_executed: usize,
     /// Oracle judgements served from a cache (always 0 under
     /// [`DirectOracle`]).
     pub oracle_cached: usize,
+    /// Judgements the static preflight resolved without the oracle:
+    /// `rb_lint` proved the candidate's exact verdict, so the interpreter
+    /// (and any cache) was never consulted.
+    pub oracle_prevetoed: usize,
     /// Solutions attempted before stopping.
     pub solutions_tried: usize,
     /// Knowledge-base lookups this repair made: the up-front S3→F
@@ -68,6 +73,13 @@ pub struct RepairOutcome {
     pub best_solution: Option<Solution>,
     /// UB class of the problem (from the initial report).
     pub class: UbClass,
+    /// Class of the lint's top finding on the input program (static
+    /// triage), `None` when the lint found nothing.
+    pub lint_class: Option<UbClass>,
+    /// Whether static triage agreed with the oracle on the input program:
+    /// a sound top finding whose class the report confirms, or a proven
+    /// clean on a passing program.
+    pub lint_agrees: bool,
 }
 
 /// Records one finished repair into the process-wide metrics registry:
@@ -207,6 +219,7 @@ impl RustBrain {
             &mut self.model,
             kb,
             self.config.rollback,
+            self.config.preflight,
             program,
             report,
             solution,
@@ -235,6 +248,23 @@ impl RustBrain {
         let report: Arc<MiriReport> = self.oracle.judge_recording(program, &mut oracle_use);
         let class = report.primary().map_or(UbClass::Compile, |e| e.class());
         repair_span.tag("class", class.label());
+        // Static triage: consult the lint on the input program before any
+        // model call. A sound agreeing diagnosis means fast thinking gets
+        // the defect class for free (one model call instead of two, below);
+        // the agreement itself is recorded per case as precision telemetry.
+        let lint = rb_lint::analyze(program);
+        let lint_class = lint.top().map(|f| f.class);
+        let lint_agrees = if report.passes() {
+            lint.proves_clean()
+        } else {
+            lint.agrees_with(&report)
+        };
+        repair_span.tag("lint_agrees", lint_agrees.to_string());
+        rb_obs::metrics().counter_add(
+            "rustbrain_triage_total",
+            Some(("agrees", if lint_agrees { "true" } else { "false" })),
+            1,
+        );
         if report.passes() {
             repair_span.tag("outcome", "already-passing");
             record_repair_metrics(class, 0.0);
@@ -246,6 +276,7 @@ impl RustBrain {
                 oracle_runs: 1,
                 oracle_executed: oracle_use.executed,
                 oracle_cached: oracle_use.cached,
+                oracle_prevetoed: oracle_use.prevetoed,
                 solutions_tried: 0,
                 kb_queries: 0,
                 kb_query_time_ms: 0.0,
@@ -255,18 +286,24 @@ impl RustBrain {
                 rollbacks: 0,
                 best_solution: None,
                 class,
+                lint_class,
+                lint_agrees,
             };
         }
 
-        // Fast thinking itself is two model calls (feature extraction and
-        // solution generation); charge their latency.
+        // Fast thinking is normally two model calls (feature/class
+        // extraction and solution generation); when static triage already
+        // produced a sound agreeing diagnosis the class prediction is free
+        // and only the generation call's latency is charged.
         let profile = self.model.profile().clone();
         let fast_tokens = rb_llm::tokens::count_tokens(&rb_lang::printer::print_program(program));
-        let fast_cost =
-            2.0 * (profile.latency_base_ms + profile.latency_per_token_ms * fast_tokens as f64);
+        let fast_calls = if lint_agrees { 1.0 } else { 2.0 };
+        let fast_cost = fast_calls
+            * (profile.latency_base_ms + profile.latency_per_token_ms * fast_tokens as f64);
         let solutions = {
             let mut fast_span = rb_obs::span("fast");
             fast_span.add_sim_ms(fast_cost);
+            fast_span.tag("triage", if lint_agrees { "static" } else { "model" });
             let solutions = self.generate_solutions(program, &report);
             fast_span.tag("solutions", solutions.len().to_string());
             solutions
@@ -394,6 +431,7 @@ impl RustBrain {
             oracle_runs: total_runs,
             oracle_executed: oracle_use.executed,
             oracle_cached: oracle_use.cached,
+            oracle_prevetoed: oracle_use.prevetoed,
             solutions_tried: tried,
             kb_queries: kb_consults + (self.knowledge.queries() - kb_queries_before),
             kb_query_time_ms: kb_consult_ms + (self.knowledge.query_time_ms() - kb_time_before),
@@ -403,6 +441,8 @@ impl RustBrain {
             rollbacks,
             best_solution: eval.accuracy.then(|| best.solution.clone()),
             class,
+            lint_class,
+            lint_agrees,
         }
     }
 }
@@ -468,7 +508,7 @@ mod tests {
         // The split covers every judgement (initial detection, inner
         // verifications, rollback re-verifications) — at least the
         // budget-counted runs, plus the initial detection.
-        assert!(out.oracle_executed + out.oracle_cached > out.oracle_runs);
+        assert!(out.oracle_executed + out.oracle_cached + out.oracle_prevetoed > out.oracle_runs);
         // The default DirectOracle never serves from a cache.
         assert_eq!(out.oracle_cached, 0);
 
@@ -477,6 +517,36 @@ mod tests {
         assert_eq!(
             (out.oracle_runs, out.oracle_executed, out.oracle_cached),
             (1, 1, 0)
+        );
+        assert_eq!(out.oracle_prevetoed, 0);
+    }
+
+    #[test]
+    fn triage_is_recorded_and_preflight_preserves_results() {
+        let (p, gold) = double_free();
+        // On the corpus-style double free the lint's diagnosis is sound
+        // and matches the oracle's class.
+        let mut rb = RustBrain::new(RustBrainConfig::for_model(ModelId::Gpt4, 42));
+        let on = rb.repair(&p, &gold);
+        assert!(on.lint_agrees, "lint class: {:?}", on.lint_class);
+        assert_eq!(on.lint_class, Some(UbClass::Alloc));
+
+        // Preflight off: identical repair results; only the three-way
+        // oracle split may shift (prevetoed judgements become executed).
+        let mut config = RustBrainConfig::for_model(ModelId::Gpt4, 42);
+        config.preflight = false;
+        let mut rb_off = RustBrain::new(config);
+        let off = rb_off.repair(&p, &gold);
+        assert_eq!(off.oracle_prevetoed, 0);
+        assert_eq!(on.passed, off.passed);
+        assert_eq!(on.acceptable, off.acceptable);
+        assert_eq!(on.overhead_ms, off.overhead_ms);
+        assert_eq!(on.oracle_runs, off.oracle_runs);
+        assert_eq!(on.error_history, off.error_history);
+        assert_eq!(on.final_program, off.final_program);
+        assert_eq!(
+            on.oracle_executed + on.oracle_cached + on.oracle_prevetoed,
+            off.oracle_executed + off.oracle_cached
         );
     }
 

@@ -167,6 +167,57 @@ impl RollbackTracker {
         }
         rolled
     }
+
+    /// Observes a candidate that the static preflight vetoed: `rb_lint`
+    /// proved the candidate's oracle verdict would carry exactly `n_new`
+    /// errors — a strict regression — so the oracle was never consulted.
+    ///
+    /// Performs the *same* state transition [`observe`] would have made
+    /// with the real report. Callers must only veto strict regressions
+    /// under a rollback policy other than [`RollbackPolicy::None`]: a
+    /// regression makes both remaining policies roll back to an anchor
+    /// state (initial or best) the tracker already holds a report for, so
+    /// no synthetic report is ever needed and trajectories stay
+    /// bit-identical to an unvetoed run.
+    ///
+    /// [`observe`]: RollbackTracker::observe
+    pub fn observe_vetoed(&mut self, n_new: usize) -> bool {
+        let n_cur = self.current_report.error_count();
+        debug_assert!(
+            n_new > n_cur && self.policy != RollbackPolicy::None,
+            "preflight veto requires a strict regression under a rollback policy"
+        );
+        self.trace.error_counts.push(n_new);
+        self.since_anchor += 1;
+        // `n_new > n_cur >= best` — the best-state update can never fire.
+        match self.policy {
+            RollbackPolicy::None => return false,
+            RollbackPolicy::ToInitial => {
+                self.trace.rollbacks += 1;
+                self.trace.discarded_thoughts += self.since_anchor;
+                self.since_anchor = 0;
+                self.current = self.initial.clone();
+                self.current_report = self.initial_report.clone();
+            }
+            RollbackPolicy::Adaptive => {
+                self.trace.rollbacks += 1;
+                self.trace.discarded_thoughts += 1;
+                self.since_anchor = 0;
+                self.current = self.best.clone();
+                self.current_report = self.best_report.clone();
+            }
+        }
+        rb_obs::event(
+            "rollback",
+            &[
+                ("policy", &format!("{:?}", self.policy)),
+                ("errors_new", &n_new.to_string()),
+                ("errors_current", &n_cur.to_string()),
+            ],
+        );
+        rb_obs::metrics().counter_add("rustbrain_rollbacks_total", None, 1);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +282,25 @@ mod tests {
         t.observe(prog(3), fake_report(2)); // worse than best(1) but better than 5? current is best(1) -> regression
         t.observe(prog(4), fake_report(0));
         assert_eq!(t.best().1.error_count(), 0);
+    }
+
+    #[test]
+    fn vetoed_observation_mirrors_real_observation() {
+        for policy in [RollbackPolicy::Adaptive, RollbackPolicy::ToInitial] {
+            let mut real = RollbackTracker::new(policy, prog(0), fake_report(3));
+            let mut veto = RollbackTracker::new(policy, prog(0), fake_report(3));
+            real.observe(prog(1), fake_report(1));
+            veto.observe(prog(1), fake_report(1));
+            let rolled = real.observe(prog(2), fake_report(5));
+            let vetoed = veto.observe_vetoed(5);
+            assert_eq!(rolled, vetoed);
+            assert_eq!(real.current().0, veto.current().0, "{policy:?}");
+            assert_eq!(
+                real.current().1.error_count(),
+                veto.current().1.error_count()
+            );
+            assert_eq!(real.trace, veto.trace, "{policy:?}");
+        }
     }
 
     #[test]

@@ -74,12 +74,22 @@ pub struct SolutionOutcome {
 ///
 /// Steps run in order; the solution is cycled (up to three passes) while it
 /// keeps making progress — the paper's "fine-tune solution" refinement.
+///
+/// With `preflight` on, each candidate first goes through `rb_lint`: when
+/// the static analysis is *complete* (every finding sound and exhaustive)
+/// and proves the candidate a strict regression whose findings include the
+/// diagnosed class, the oracle call is skipped and the judgement is booked
+/// as `prevetoed`. The veto replays exactly the state transition the real
+/// verdict would have caused (see [`RollbackTracker::observe_vetoed`]), so
+/// repair results are bit-identical with the flag on or off — only the
+/// executed/cached/prevetoed split of the oracle accounting moves.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_solution(
     oracle: &dyn Oracle,
     model: &mut dyn LanguageModel,
     mut kb: Option<&mut KnowledgeBase>,
     policy: RollbackPolicy,
+    preflight: bool,
     program: &Program,
     report: &Arc<MiriReport>,
     solution: &Solution,
@@ -158,20 +168,53 @@ pub fn execute_solution(
             }
             match applied {
                 Some((rule, candidate)) => {
-                    let creport = oracle.judge_recording(&candidate, &mut oracle_use);
+                    // Static preflight: veto only when the lint *proves*
+                    // the exact verdict — a complete analysis (all
+                    // findings sound and exhaustive) showing a strict
+                    // regression that still carries the diagnosed class.
+                    // Both remaining policies then roll back to an
+                    // already-judged anchor, so the skipped report is
+                    // never needed.
+                    let vetoed_errors = if preflight && policy != RollbackPolicy::None {
+                        let a = rb_lint::analyze(&candidate);
+                        (a.complete
+                            && a.findings.len() > cur_report.error_count()
+                            && a.findings.iter().any(|f| f.class == primary.class()))
+                        .then_some(a.findings.len())
+                    } else {
+                        None
+                    };
                     oracle_runs += 1;
-                    // Simulated cost is charged per *judgement*, cached or
-                    // not — the cache dodges real interpreter work, never
-                    // the modelled Miri latency (determinism depends on it).
+                    // Simulated cost is charged per *judgement*, vetoed,
+                    // cached or not — preflight and the cache dodge real
+                    // interpreter work, never the modelled Miri latency
+                    // (determinism depends on it).
                     overhead += ORACLE_RUN_MS;
                     step_span.add_sim_ms(ORACLE_RUN_MS);
-                    let errors_after = creport.error_count();
-                    if errors_after == 0 {
-                        fixing_rule = Some(rule);
-                    }
+                    let errors_after = match vetoed_errors {
+                        Some(errors_after) => {
+                            oracle_use.prevetoed += 1;
+                            rb_obs::metrics().counter_add(
+                                "rustbrain_oracle_judgements_total",
+                                Some(("result", "prevetoed")),
+                                1,
+                            );
+                            step_span.tag("prevetoed", "true");
+                            tracker.observe_vetoed(errors_after);
+                            errors_after
+                        }
+                        None => {
+                            let creport = oracle.judge_recording(&candidate, &mut oracle_use);
+                            let errors_after = creport.error_count();
+                            if errors_after == 0 {
+                                fixing_rule = Some(rule);
+                            }
+                            tracker.observe(candidate, creport);
+                            errors_after
+                        }
+                    };
                     step_span.tag("rule", format!("{rule:?}"));
                     step_span.tag("errors_after", errors_after.to_string());
-                    tracker.observe(candidate, creport);
                     steps.push(StepRecord {
                         agent,
                         rule: Some(rule),
@@ -247,6 +290,7 @@ mod tests {
             &mut model,
             None,
             RollbackPolicy::Adaptive,
+            true,
             &p,
             &r,
             &sol,
@@ -276,6 +320,7 @@ mod tests {
             &mut model,
             None,
             RollbackPolicy::Adaptive,
+            true,
             &p,
             &r,
             &sol,
@@ -295,6 +340,7 @@ mod tests {
             &mut model,
             None,
             RollbackPolicy::Adaptive,
+            true,
             &p,
             &r,
             &sol,

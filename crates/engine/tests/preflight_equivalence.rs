@@ -1,0 +1,102 @@
+//! The preflight seam's core contract, property-tested: a batch run with
+//! the static repair preflight enabled produces byte-identical results to
+//! the same run with it disabled — same final programs, same pass rates,
+//! same per-case documents — across worker counts. The veto is only
+//! allowed to move judgements between the `executed`/`cached` and
+//! `prevetoed` columns of the oracle telemetry split: a vetoed candidate
+//! receives exactly the verdict the oracle would have handed it, derived
+//! from `rb_lint`'s sound findings instead of an interpreter run.
+
+use proptest::prelude::*;
+use rb_dataset::Corpus;
+use rb_engine::{results_to_json, Engine, OracleCache, SystemSpec};
+use rb_llm::ModelId;
+use rb_miri::UbClass;
+use rustbrain::RustBrainConfig;
+use std::sync::Arc;
+
+const JOBS: [usize; 3] = [1, 2, 4];
+
+const CLASS_POOL: [UbClass; 6] = [
+    UbClass::Alloc,
+    UbClass::Panic,
+    UbClass::DanglingPointer,
+    UbClass::DataRace,
+    UbClass::Uninit,
+    UbClass::StackBorrow,
+];
+
+fn spec(seed: u64, preflight: bool) -> SystemSpec {
+    let mut config = RustBrainConfig::for_model(ModelId::Gpt4, seed);
+    config.preflight = preflight;
+    SystemSpec::brain(config)
+}
+
+/// One batch on a fresh cache; returns the deterministic results document
+/// and the oracle telemetry split (executed, cached, prevetoed).
+fn run(jobs: usize, corpus: &Corpus, seed: u64, preflight: bool) -> (String, (u64, u64, u64)) {
+    let engine = Engine::with_cache(jobs, Arc::new(OracleCache::new()));
+    let outcome = engine.run_batch(&spec(seed, preflight), &corpus.cases, corpus.seed);
+    (
+        results_to_json(&outcome.results),
+        (
+            outcome.stats.oracle_executed,
+            outcome.stats.oracle_cached,
+            outcome.stats.oracle_prevetoed,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn preflight_on_and_off_are_bit_identical(
+        corpus_seed in 0u64..500,
+        brain_seed in 0u64..500,
+        class_pick in 0usize..CLASS_POOL.len(),
+    ) {
+        let classes = vec![
+            CLASS_POOL[class_pick],
+            CLASS_POOL[(class_pick + corpus_seed as usize) % CLASS_POOL.len()],
+        ];
+        let corpus = Corpus::generate(corpus_seed, 1, &classes);
+        for jobs in JOBS {
+            let (on_results, (on_x, on_c, on_p)) = run(jobs, &corpus, brain_seed, true);
+            let (off_results, (off_x, off_c, off_p)) = run(jobs, &corpus, brain_seed, false);
+            prop_assert_eq!(&on_results, &off_results, "jobs={}", jobs);
+            // With the preflight off, nothing may be vetoed; with it on,
+            // the total judgement count is conserved — vetoes relabel
+            // judgements, they never add or remove any.
+            prop_assert_eq!(off_p, 0, "jobs={}", jobs);
+            prop_assert_eq!(on_x + on_c + on_p, off_x + off_c, "jobs={}", jobs);
+        }
+    }
+}
+
+/// The full seed corpus at the CI seed: identical results at every worker
+/// count, and the preflight must actually fire somewhere — a veto count
+/// of zero would mean the whole seam is dead code.
+#[test]
+fn preflight_fires_and_preserves_results_on_the_seed_corpus() {
+    let corpus = Corpus::generate_full(42, 2);
+    let mut vetoed_total = 0u64;
+    let mut documents = Vec::new();
+    for jobs in JOBS {
+        let (on_results, (on_x, on_c, on_p)) = run(jobs, &corpus, 42, true);
+        let (off_results, (off_x, off_c, off_p)) = run(jobs, &corpus, 42, false);
+        assert_eq!(on_results, off_results, "jobs={jobs}");
+        assert_eq!(off_p, 0, "jobs={jobs}");
+        assert_eq!(on_x + on_c + on_p, off_x + off_c, "jobs={jobs}");
+        vetoed_total += on_p;
+        documents.push(on_results);
+    }
+    // Worker count must not change the documents either (the existing
+    // determinism contract), nor the veto set (it is decided statically
+    // per candidate, independent of scheduling).
+    assert!(documents.windows(2).all(|w| w[0] == w[1]));
+    assert!(
+        vetoed_total > 0,
+        "the preflight never vetoed a candidate on the seed corpus"
+    );
+}

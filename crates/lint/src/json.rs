@@ -1,0 +1,74 @@
+//! Hand-rolled JSON rendering for analyses (matching the stack's
+//! no-serde-json convention).
+
+use crate::{Analysis, Finding};
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One finding as a JSON object.
+#[must_use]
+pub fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"class\":\"{}\",\"kind\":\"{:?}\",\"confidence\":\"{}\",\"rule\":\"{}\",\
+         \"path\":{},\"message\":\"{}\"}}",
+        f.class.label(),
+        f.kind,
+        f.confidence.label(),
+        escape(f.rule),
+        f.path
+            .as_ref()
+            .map_or("null".to_owned(), |p| format!("\"{p}\"")),
+        escape(&f.message)
+    )
+}
+
+/// A whole analysis as a JSON object.
+#[must_use]
+pub fn analysis_json(a: &Analysis) -> String {
+    let findings: Vec<String> = a.findings.iter().map(finding_json).collect();
+    format!(
+        "{{\"complete\":{},\"sound_findings\":{},\"findings\":[{}]}}",
+        a.complete,
+        a.sound_count(),
+        findings.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_analysis_renders() {
+        let a = Analysis {
+            findings: vec![],
+            complete: true,
+        };
+        assert_eq!(
+            analysis_json(&a),
+            "{\"complete\":true,\"sound_findings\":0,\"findings\":[]}"
+        );
+    }
+}

@@ -1,0 +1,917 @@
+//! The data-driven lint rule table and its walker matchers.
+//!
+//! Every lint is registered as data in [`RULES`] — a `(id, class,
+//! description, matcher)` row — rather than as ad-hoc code, following the
+//! visitor+matcher engine architecture. A rule with a matcher is a *walker*
+//! lint: one traversal over [`rb_lang::visit`], purely syntactic, emitting
+//! [`Confidence::Heuristic`] findings. Rules without a matcher are
+//! *flow-only*: the defect needs value tracking, so only the flow pass can
+//! produce it — the row still exists so findings, docs and JSON output all
+//! attribute to a registered rule id.
+
+use crate::{Confidence, Finding};
+use rb_lang::ast::{BinOp, BuiltinKind, Expr, Lit, Mutability, Stmt, Ty};
+use rb_lang::check::ty_size;
+use rb_lang::visit::{
+    child_block, child_branches, for_each_expr_in_stmt, for_each_stmt, walk_expr,
+};
+use rb_lang::{Block, Program, StmtPath};
+use rb_miri::{UbClass, UbKind};
+use std::collections::{HashMap, HashSet};
+
+/// A matcher walks the program and returns heuristic findings.
+pub type Matcher = fn(&Program) -> Vec<Finding>;
+
+/// One registered lint rule.
+pub struct LintRule {
+    /// Stable kebab-case identifier (findings, JSON, docs).
+    pub id: &'static str,
+    /// The UB class the rule detects.
+    pub class: UbClass,
+    /// One-line description for docs and `analyze` output.
+    pub description: &'static str,
+    /// Walker matcher; `None` for flow-only rules.
+    pub matcher: Option<Matcher>,
+}
+
+/// The rule registry. Walker rules first (in the order they run), then the
+/// flow-only rules that exist for attribution.
+pub static RULES: &[LintRule] = &[
+    LintRule {
+        id: "uninit-read",
+        class: UbClass::Uninit,
+        description: "read of heap memory never written since allocation (def-before-use)",
+        matcher: Some(match_uninit_read),
+    },
+    LintRule {
+        id: "dangling-local-escape",
+        class: UbClass::DanglingPointer,
+        description: "address of a scope-local escapes to an outer binding",
+        matcher: Some(match_dangling_local_escape),
+    },
+    LintRule {
+        id: "const-oob-index",
+        class: UbClass::Panic,
+        description: "array index with a constant out-of-bounds subscript",
+        matcher: Some(match_const_oob_index),
+    },
+    LintRule {
+        id: "div-by-zero",
+        class: UbClass::Panic,
+        description: "division or remainder by a literal zero",
+        matcher: Some(match_div_by_zero),
+    },
+    LintRule {
+        id: "double-free",
+        class: UbClass::Alloc,
+        description: "the same pointer binding is deallocated twice",
+        matcher: Some(match_double_free),
+    },
+    LintRule {
+        id: "dealloc-layout-mismatch",
+        class: UbClass::Alloc,
+        description: "dealloc layout constants differ from the alloc site's",
+        matcher: Some(match_layout_mismatch),
+    },
+    LintRule {
+        id: "int-to-ptr",
+        class: UbClass::Provenance,
+        description: "integer-to-pointer cast forges a pointer without provenance",
+        matcher: Some(match_int_to_ptr),
+    },
+    LintRule {
+        id: "conflicting-mut-reborrows",
+        class: UbClass::BothBorrow,
+        description: "two `&mut` borrows of the same local in one statement",
+        matcher: Some(match_conflicting_mut_reborrows),
+    },
+    LintRule {
+        id: "static-race",
+        class: UbClass::DataRace,
+        description: "unsynchronised static access inside a spawned block",
+        matcher: Some(match_static_race),
+    },
+    LintRule {
+        id: "misaligned-cast",
+        class: UbClass::Unaligned,
+        description: "pointer cast to a type with stricter alignment than its source",
+        matcher: Some(match_misaligned_cast),
+    },
+    LintRule {
+        id: "fn-ptr-sig",
+        class: UbClass::FuncPointer,
+        description: "function pointer bound or transmuted to a mismatched signature",
+        matcher: Some(match_fn_ptr_sig),
+    },
+    LintRule {
+        id: "transmute-size",
+        class: UbClass::Validity,
+        description: "transmute between types of different (or unsized) sizes",
+        matcher: Some(match_transmute_size),
+    },
+    LintRule {
+        id: "tail-call-mismatch",
+        class: UbClass::TailCall,
+        description: "tail call to a function with a different signature",
+        matcher: Some(match_tail_call_mismatch),
+    },
+    LintRule {
+        id: "const-unchecked-overflow",
+        class: UbClass::FuncCall,
+        description: "unchecked arithmetic with constant operands that overflow",
+        matcher: Some(match_const_unchecked_overflow),
+    },
+    LintRule {
+        id: "copy-overlap",
+        class: UbClass::FuncCall,
+        description: "copy_nonoverlapping where source and destination alias",
+        matcher: Some(match_copy_overlap),
+    },
+    // Flow-only rules: these defects need value/borrow tracking.
+    LintRule {
+        id: "use-after-free",
+        class: UbClass::DanglingPointer,
+        description: "access through a pointer to a freed or dead allocation",
+        matcher: None,
+    },
+    LintRule {
+        id: "oob-pointer-arith",
+        class: UbClass::DanglingPointer,
+        description: "pointer arithmetic leaves the allocation's bounds",
+        matcher: None,
+    },
+    LintRule {
+        id: "cross-allocation",
+        class: UbClass::Provenance,
+        description: "pointer arithmetic lands inside a different allocation",
+        matcher: None,
+    },
+    LintRule {
+        id: "leak",
+        class: UbClass::Alloc,
+        description: "heap allocation still live at program exit",
+        matcher: None,
+    },
+    LintRule {
+        id: "stack-borrow",
+        class: UbClass::StackBorrow,
+        description:
+            "stacked-borrows discipline violated (invalidated tag or write through shared)",
+        matcher: None,
+    },
+    LintRule {
+        id: "heap-race",
+        class: UbClass::Concurrency,
+        description: "data race on shared heap memory",
+        matcher: None,
+    },
+    LintRule {
+        id: "invalid-value",
+        class: UbClass::Validity,
+        description: "constructing an invalid value (bad bool, null/dangling reference)",
+        matcher: None,
+    },
+    LintRule {
+        id: "invalid-fn-ptr",
+        class: UbClass::FuncPointer,
+        description: "calling a function pointer that is not a function",
+        matcher: None,
+    },
+    LintRule {
+        id: "precondition",
+        class: UbClass::FuncCall,
+        description: "unsafe builtin contract violated",
+        matcher: None,
+    },
+    LintRule {
+        id: "panic",
+        class: UbClass::Panic,
+        description: "runtime panic (assert, overflow, index, division)",
+        matcher: None,
+    },
+    LintRule {
+        id: "ill-formed",
+        class: UbClass::Compile,
+        description: "program rejected by the static checker or interpreter limits",
+        matcher: None,
+    },
+];
+
+/// Looks up a registered rule by id.
+#[must_use]
+pub fn rule_for_id(id: &str) -> Option<&'static LintRule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The registered rule id that explains a precise failure kind (used by the
+/// flow pass to attribute its findings to the rule table).
+#[must_use]
+pub fn rule_id_for_kind(kind: UbKind) -> &'static str {
+    match kind {
+        UbKind::UseAfterFree | UbKind::UseAfterScope => "use-after-free",
+        UbKind::OutOfBounds => "oob-pointer-arith",
+        UbKind::DoubleFree => "double-free",
+        UbKind::BadDealloc => "dealloc-layout-mismatch",
+        UbKind::Leak => "leak",
+        UbKind::UnalignedAccess => "misaligned-cast",
+        UbKind::InvalidValue | UbKind::InvalidRef => "invalid-value",
+        UbKind::TransmuteSize => "transmute-size",
+        UbKind::UninitRead => "uninit-read",
+        UbKind::NoProvenance => "int-to-ptr",
+        UbKind::CrossAllocation => "cross-allocation",
+        UbKind::StackBorrowViolation | UbKind::WriteThroughShared => "stack-borrow",
+        UbKind::ConflictingMutBorrows => "conflicting-mut-reborrows",
+        UbKind::RaceOnStatic => "static-race",
+        UbKind::RaceOnHeap => "heap-race",
+        UbKind::UncheckedOverflow => "const-unchecked-overflow",
+        UbKind::Precondition => "precondition",
+        UbKind::InvalidFnPtr => "invalid-fn-ptr",
+        UbKind::FnSigMismatch => "fn-ptr-sig",
+        UbKind::TailCallMismatch => "tail-call-mismatch",
+        UbKind::PanicDivZero => "div-by-zero",
+        UbKind::PanicIndex => "const-oob-index",
+        UbKind::PanicAssert | UbKind::PanicOverflow => "panic",
+        UbKind::IllFormed | UbKind::ResourceExhausted => "ill-formed",
+    }
+}
+
+/// Runs every walker rule over the program, collecting heuristic findings.
+#[must_use]
+pub fn walk(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rule in RULES {
+        if let Some(m) = rule.matcher {
+            out.extend(m(prog));
+        }
+    }
+    out
+}
+
+fn heuristic(rule: &'static str, kind: UbKind, path: Option<StmtPath>, message: String) -> Finding {
+    Finding {
+        class: kind.class(),
+        kind,
+        path,
+        confidence: Confidence::Heuristic,
+        rule,
+        message,
+    }
+}
+
+/// The variable a pointer-valued argument names, if it is (a cast of) one.
+fn root_var(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Var(n) => Some(n),
+        Expr::Cast(inner, _) => root_var(inner),
+        _ => None,
+    }
+}
+
+/// Whether the expression (or a sub-expression) calls the given builtin.
+fn contains_builtin(e: &Expr, b: BuiltinKind) -> bool {
+    let mut hit = false;
+    walk_expr(e, &mut |x| {
+        if let Expr::Builtin(k, ..) = x {
+            if *k == b {
+                hit = true;
+            }
+        }
+    });
+    hit
+}
+
+// ---- walker matchers -------------------------------------------------------
+
+/// Heap memory allocated with `alloc` and read (via `ptr_read` /
+/// `assume_init_read`) before any write reaches it. Straight-line,
+/// per-function, name-based — deliberately simple; the flow pass proves the
+/// exact cases.
+fn match_uninit_read(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let mut allocd: HashSet<String> = HashSet::new();
+        let mut written: HashSet<String> = HashSet::new();
+        for_each_stmt(prog, |stmt, path| {
+            if path.func != fi {
+                return;
+            }
+            if let Stmt::Let { name, init, .. } = stmt {
+                if contains_builtin(init, BuiltinKind::Alloc) {
+                    allocd.insert(name.clone());
+                    return;
+                }
+            }
+            for_each_expr_in_stmt(stmt, |e| {
+                if let Expr::Builtin(k, _, args) = e {
+                    match k {
+                        BuiltinKind::PtrWrite => {
+                            if let Some(n) = args.first().and_then(root_var) {
+                                written.insert(n.to_owned());
+                            }
+                        }
+                        BuiltinKind::CopyNonoverlapping => {
+                            if let Some(n) = args.get(1).and_then(root_var) {
+                                written.insert(n.to_owned());
+                            }
+                        }
+                        BuiltinKind::PtrRead | BuiltinKind::AssumeInitRead => {
+                            if let Some(n) = args.first().and_then(root_var) {
+                                if allocd.contains(n) && !written.contains(n) {
+                                    out.push(heuristic(
+                                        "uninit-read",
+                                        UbKind::UninitRead,
+                                        Some(path.clone()),
+                                        format!(
+                                            "`{n}` is read before any byte of its allocation \
+                                             is written"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            });
+        });
+    }
+    out
+}
+
+/// Inside a `Scope` block, `&local` / `&raw local` of a binding declared in
+/// that scope assigned to a place that outlives it.
+fn match_dangling_local_escape(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        let Stmt::Scope(b) = stmt else { return };
+        let mut declared: HashSet<&str> = HashSet::new();
+        for s in &b.stmts {
+            if let Stmt::Let { name, .. } = s {
+                declared.insert(name);
+            }
+        }
+        for (i, s) in b.stmts.iter().enumerate() {
+            let Stmt::Assign { place, value } = s else {
+                continue;
+            };
+            let Expr::Var(target) = place else { continue };
+            if declared.contains(target.as_str()) {
+                continue;
+            }
+            let mut escapes = false;
+            walk_expr(value, &mut |e| {
+                if let Expr::AddrOf(_, inner) | Expr::RawAddrOf(_, inner) = e {
+                    if let Expr::Var(n) = inner.as_ref() {
+                        if declared.contains(n.as_str()) {
+                            escapes = true;
+                        }
+                    }
+                }
+            });
+            if escapes {
+                out.push(heuristic(
+                    "dangling-local-escape",
+                    UbKind::UseAfterScope,
+                    Some(path.child(i, 0)),
+                    format!("address of a scope-local escapes into `{target}`"),
+                ));
+            }
+        }
+    });
+    out
+}
+
+/// Declared array types per binding, for constant-index checks.
+fn let_types(prog: &Program, fi: usize) -> HashMap<String, Ty> {
+    let mut tys = HashMap::new();
+    if let Some(f) = prog.funcs.get(fi) {
+        for (n, t) in &f.params {
+            tys.insert(n.clone(), t.clone());
+        }
+    }
+    for_each_stmt(prog, |stmt, path| {
+        if path.func == fi {
+            if let Stmt::Let { name, ty, .. } = stmt {
+                tys.insert(name.clone(), ty.clone());
+            }
+        }
+    });
+    tys
+}
+
+fn match_const_oob_index(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let tys = let_types(prog, fi);
+        for_each_stmt(prog, |stmt, path| {
+            if path.func != fi {
+                return;
+            }
+            for_each_expr_in_stmt(stmt, |e| {
+                let Expr::Index(base, idx) = e else { return };
+                let Expr::Lit(Lit::Int(iv, _)) = idx.as_ref() else {
+                    return;
+                };
+                let len = match base.as_ref() {
+                    Expr::ArrayLit(xs) => Some(xs.len()),
+                    Expr::ArrayRepeat(_, n) => Some(*n),
+                    Expr::Var(n) => match tys.get(n) {
+                        Some(Ty::Array(_, len)) => Some(*len),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(len) = len {
+                    if *iv < 0 || *iv >= len as i128 {
+                        out.push(heuristic(
+                            "const-oob-index",
+                            UbKind::PanicIndex,
+                            Some(path.clone()),
+                            format!("constant index {iv} out of bounds for length {len}"),
+                        ));
+                    }
+                }
+            });
+        });
+    }
+    out
+}
+
+fn match_div_by_zero(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        for_each_expr_in_stmt(stmt, |e| {
+            if let Expr::Binary(op @ (BinOp::Div | BinOp::Rem), _, rhs) = e {
+                if matches!(rhs.as_ref(), Expr::Lit(Lit::Int(0, _))) {
+                    out.push(heuristic(
+                        "div-by-zero",
+                        UbKind::PanicDivZero,
+                        Some(path.clone()),
+                        format!("{op:?} by a literal zero"),
+                    ));
+                }
+            }
+        });
+    });
+    out
+}
+
+/// Frees (dealloc / drop_box) keyed by the pointer binding they free.
+fn match_double_free(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let mut freed: HashMap<String, usize> = HashMap::new();
+        for_each_stmt(prog, |stmt, path| {
+            if path.func != fi {
+                return;
+            }
+            for_each_expr_in_stmt(stmt, |e| {
+                if let Expr::Builtin(BuiltinKind::Dealloc | BuiltinKind::DropBox, _, args) = e {
+                    if let Some(n) = args.first().and_then(root_var) {
+                        let c = freed.entry(n.to_owned()).or_insert(0);
+                        *c += 1;
+                        if *c == 2 {
+                            out.push(heuristic(
+                                "double-free",
+                                UbKind::DoubleFree,
+                                Some(path.clone()),
+                                format!("`{n}` is freed more than once"),
+                            ));
+                        }
+                    }
+                }
+            });
+        });
+    }
+    out
+}
+
+/// Constant alloc/dealloc layout pairs that disagree.
+fn match_layout_mismatch(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let mut layouts: HashMap<String, (i128, i128)> = HashMap::new();
+        for_each_stmt(prog, |stmt, path| {
+            if path.func != fi {
+                return;
+            }
+            if let Stmt::Let { name, init, .. } = stmt {
+                let mut found = None;
+                walk_expr(init, &mut |e| {
+                    if let Expr::Builtin(BuiltinKind::Alloc, _, args) = e {
+                        if let (Some(Expr::Lit(Lit::Int(s, _))), Some(Expr::Lit(Lit::Int(a, _)))) =
+                            (args.first(), args.get(1))
+                        {
+                            found = Some((*s, *a));
+                        }
+                    }
+                });
+                if let Some(l) = found {
+                    layouts.insert(name.clone(), l);
+                }
+            }
+            for_each_expr_in_stmt(stmt, |e| {
+                if let Expr::Builtin(BuiltinKind::Dealloc, _, args) = e {
+                    let (Some(n), Some(Expr::Lit(Lit::Int(s, _))), Some(Expr::Lit(Lit::Int(a, _)))) =
+                        (args.first().and_then(root_var), args.get(1), args.get(2))
+                    else {
+                        return;
+                    };
+                    if let Some((als, ala)) = layouts.get(n) {
+                        if (als, ala) != (s, a) {
+                            out.push(heuristic(
+                                "dealloc-layout-mismatch",
+                                UbKind::BadDealloc,
+                                Some(path.clone()),
+                                format!(
+                                    "`{n}` allocated with layout ({als}, {ala}) but freed \
+                                     with ({s}, {a})"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            });
+        });
+    }
+    out
+}
+
+/// Whether an expression is integer-valued on its face (no type inference).
+fn looks_integer(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(Lit::Int(..)) => true,
+        Expr::Cast(_, Ty::Int(_)) => true,
+        Expr::Builtin(BuiltinKind::PtrAddr, ..) => true,
+        Expr::Binary(op, a, b) => !op.is_comparison() && (looks_integer(a) || looks_integer(b)),
+        Expr::Unary(_, a) => looks_integer(a),
+        _ => false,
+    }
+}
+
+fn match_int_to_ptr(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        for_each_expr_in_stmt(stmt, |e| {
+            if let Expr::Cast(inner, Ty::RawPtr(..)) = e {
+                if looks_integer(inner) {
+                    out.push(heuristic(
+                        "int-to-ptr",
+                        UbKind::NoProvenance,
+                        Some(path.clone()),
+                        "integer-to-pointer cast produces a pointer without provenance".into(),
+                    ));
+                }
+            }
+        });
+    });
+    out
+}
+
+fn match_conflicting_mut_reborrows(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for_each_expr_in_stmt(stmt, |e| {
+            if let Expr::AddrOf(Mutability::Mut, inner) = e {
+                if let Expr::Var(n) = inner.as_ref() {
+                    *counts.entry(n.clone()).or_insert(0) += 1;
+                }
+            }
+        });
+        for (n, c) in counts {
+            if c >= 2 {
+                out.push(heuristic(
+                    "conflicting-mut-reborrows",
+                    UbKind::ConflictingMutBorrows,
+                    Some(path.clone()),
+                    format!("`{n}` is mutably borrowed {c} times in one statement"),
+                ));
+            }
+        }
+    });
+    out
+}
+
+/// Non-atomic static accesses inside a block, skipping `lock` regions and
+/// the direct operands of atomic builtins.
+fn unsynced_static_access(b: &Block) -> bool {
+    fn expr_hits(e: &Expr) -> bool {
+        match e {
+            Expr::StaticRef(_) => true,
+            Expr::Builtin(BuiltinKind::AtomicLoad | BuiltinKind::AtomicStore, _, args) => {
+                // The static operand itself is synchronised; nested
+                // expressions (value argument) still count.
+                args.iter()
+                    .skip(1)
+                    .any(|a| !matches!(a, Expr::StaticRef(_)) && expr_hits(a))
+            }
+            Expr::Unary(_, a)
+            | Expr::Cast(a, _)
+            | Expr::AddrOf(_, a)
+            | Expr::RawAddrOf(_, a)
+            | Expr::Deref(a)
+            | Expr::Field(a, _)
+            | Expr::UnionField(a, _)
+            | Expr::ArrayRepeat(a, _)
+            | Expr::UnionLit(_, _, a) => expr_hits(a),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => expr_hits(a) || expr_hits(b),
+            Expr::Tuple(xs) | Expr::ArrayLit(xs) | Expr::Call(_, xs) => xs.iter().any(expr_hits),
+            Expr::CallPtr(c, xs) => expr_hits(c) || xs.iter().any(expr_hits),
+            Expr::Builtin(_, _, xs) => xs.iter().any(expr_hits),
+            Expr::Lit(_) | Expr::Var(_) => false,
+        }
+    }
+    fn stmt_hits(s: &Stmt) -> bool {
+        if matches!(s, Stmt::Lock(..)) {
+            return false;
+        }
+        let mut hit = false;
+        for_each_expr_in_stmt(s, |e| {
+            // for_each_expr_in_stmt visits roots; recurse manually so the
+            // atomic-operand exemption can prune.
+            hit = hit || expr_hits(e);
+        });
+        if hit {
+            return true;
+        }
+        for br in 0..=child_branches(s) {
+            if let Some(b) = child_block(s, br) {
+                if b.stmts.iter().any(stmt_hits) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    b.stmts.iter().any(stmt_hits)
+}
+
+fn match_static_race(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        if let Stmt::Spawn(b) = stmt {
+            if unsynced_static_access(b) {
+                out.push(heuristic(
+                    "static-race",
+                    UbKind::RaceOnStatic,
+                    Some(path.clone()),
+                    "spawned block accesses a static without a lock or atomics".into(),
+                ));
+            }
+        }
+    });
+    out
+}
+
+fn match_misaligned_cast(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let tys = let_types(prog, fi);
+        for_each_stmt(prog, |stmt, path| {
+            if path.func != fi {
+                return;
+            }
+            for_each_expr_in_stmt(stmt, |e| {
+                let Expr::Cast(inner, Ty::RawPtr(to, _)) = e else {
+                    return;
+                };
+                let Expr::Var(n) = inner.as_ref() else { return };
+                let Some(Ty::RawPtr(from, _)) = tys.get(n) else {
+                    return;
+                };
+                if let (Some(fa), Some(ta)) = (from.align(), to.align()) {
+                    if ta > fa {
+                        out.push(heuristic(
+                            "misaligned-cast",
+                            UbKind::UnalignedAccess,
+                            Some(path.clone()),
+                            format!(
+                                "`{n}` cast from align-{fa} to align-{ta} pointee; the \
+                                 address may not satisfy the stricter alignment"
+                            ),
+                        ));
+                    }
+                }
+            });
+        });
+    }
+    out
+}
+
+fn match_fn_ptr_sig(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        if let Stmt::Let { ty, init, .. } = stmt {
+            if let (Ty::FnPtr(..), Expr::Var(fname)) = (ty, init) {
+                if let Some(f) = prog.func(fname) {
+                    if &f.fn_ptr_ty() != ty {
+                        out.push(heuristic(
+                            "fn-ptr-sig",
+                            UbKind::FnSigMismatch,
+                            Some(path.clone()),
+                            format!(
+                                "`{fname}` bound to a function-pointer type with a \
+                                     different signature"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for_each_expr_in_stmt(stmt, |e| {
+            if let Expr::Builtin(BuiltinKind::Transmute, tys, _) = e {
+                if let (Some(a @ Ty::FnPtr(..)), Some(b @ Ty::FnPtr(..))) =
+                    (tys.first(), tys.get(1))
+                {
+                    if a != b {
+                        out.push(heuristic(
+                            "fn-ptr-sig",
+                            UbKind::FnSigMismatch,
+                            Some(path.clone()),
+                            "transmute changes a function pointer's signature".into(),
+                        ));
+                    }
+                }
+            }
+        });
+    });
+    out
+}
+
+fn match_transmute_size(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        for_each_expr_in_stmt(stmt, |e| {
+            if let Expr::Builtin(BuiltinKind::Transmute, tys, _) = e {
+                if tys.len() == 2 {
+                    let sf = ty_size(prog, &tys[0]);
+                    let st = ty_size(prog, &tys[1]);
+                    if sf != st || sf.is_none() {
+                        out.push(heuristic(
+                            "transmute-size",
+                            UbKind::TransmuteSize,
+                            Some(path.clone()),
+                            format!(
+                                "transmute between sizes {} and {}",
+                                sf.map_or("?".into(), |v| v.to_string()),
+                                st.map_or("?".into(), |v| v.to_string())
+                            ),
+                        ));
+                    }
+                }
+            }
+        });
+    });
+    out
+}
+
+fn match_tail_call_mismatch(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        let Stmt::TailCall(name, _) = stmt else {
+            return;
+        };
+        let (Some(cur), Some(tgt)) = (prog.funcs.get(path.func), prog.func(name)) else {
+            return;
+        };
+        if cur.fn_ptr_ty() != tgt.fn_ptr_ty() {
+            out.push(heuristic(
+                "tail-call-mismatch",
+                UbKind::TailCallMismatch,
+                Some(path.clone()),
+                format!(
+                    "tail call from `{}` to `{}` with mismatched signature",
+                    cur.name, tgt.name
+                ),
+            ));
+        }
+    });
+    out
+}
+
+fn match_const_unchecked_overflow(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        for_each_expr_in_stmt(stmt, |e| {
+            let Expr::Builtin(
+                b @ (BuiltinKind::UncheckedAdd
+                | BuiltinKind::UncheckedSub
+                | BuiltinKind::UncheckedMul),
+                _,
+                args,
+            ) = e
+            else {
+                return;
+            };
+            let (Some(Expr::Lit(Lit::Int(x, t))), Some(Expr::Lit(Lit::Int(y, _)))) =
+                (args.first(), args.get(1))
+            else {
+                return;
+            };
+            let r = match b {
+                BuiltinKind::UncheckedAdd => x.checked_add(*y),
+                BuiltinKind::UncheckedSub => x.checked_sub(*y),
+                _ => x.checked_mul(*y),
+            };
+            if !r.is_some_and(|v| t.in_range(v)) {
+                out.push(heuristic(
+                    "const-unchecked-overflow",
+                    UbKind::UncheckedOverflow,
+                    Some(path.clone()),
+                    format!("`{}` of constants overflows {t}", b.name()),
+                ));
+            }
+        });
+    });
+    out
+}
+
+fn match_copy_overlap(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for_each_stmt(prog, |stmt, path| {
+        for_each_expr_in_stmt(stmt, |e| {
+            let Expr::Builtin(BuiltinKind::CopyNonoverlapping, _, args) = e else {
+                return;
+            };
+            let (Some(src), Some(dst)) = (
+                args.first().and_then(root_var),
+                args.get(1).and_then(root_var),
+            ) else {
+                return;
+            };
+            if src == dst {
+                out.push(heuristic(
+                    "copy-overlap",
+                    UbKind::Precondition,
+                    Some(path.clone()),
+                    format!("`{src}` is both source and destination of copy_nonoverlapping"),
+                ));
+            }
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_maps_to_registered_rule() {
+        // Exhaustive: a new UbKind without a table entry should fail here.
+        let kinds = [
+            UbKind::UseAfterFree,
+            UbKind::UseAfterScope,
+            UbKind::OutOfBounds,
+            UbKind::DoubleFree,
+            UbKind::BadDealloc,
+            UbKind::Leak,
+            UbKind::UnalignedAccess,
+            UbKind::InvalidValue,
+            UbKind::InvalidRef,
+            UbKind::TransmuteSize,
+            UbKind::UninitRead,
+            UbKind::NoProvenance,
+            UbKind::CrossAllocation,
+            UbKind::StackBorrowViolation,
+            UbKind::ConflictingMutBorrows,
+            UbKind::WriteThroughShared,
+            UbKind::RaceOnStatic,
+            UbKind::RaceOnHeap,
+            UbKind::UncheckedOverflow,
+            UbKind::Precondition,
+            UbKind::InvalidFnPtr,
+            UbKind::FnSigMismatch,
+            UbKind::TailCallMismatch,
+            UbKind::PanicAssert,
+            UbKind::PanicOverflow,
+            UbKind::PanicDivZero,
+            UbKind::PanicIndex,
+            UbKind::IllFormed,
+            UbKind::ResourceExhausted,
+        ];
+        for k in kinds {
+            let id = rule_id_for_kind(k);
+            assert!(rule_for_id(id).is_some(), "unregistered rule id `{id}`");
+        }
+    }
+
+    #[test]
+    fn rule_ids_unique() {
+        let mut seen = HashSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate rule id `{}`", r.id);
+        }
+    }
+
+    #[test]
+    fn walker_covers_ten_classes() {
+        let classes: HashSet<UbClass> = RULES
+            .iter()
+            .filter(|r| r.matcher.is_some())
+            .map(|r| r.class)
+            .collect();
+        assert!(classes.len() >= 10, "only {} classes", classes.len());
+    }
+}

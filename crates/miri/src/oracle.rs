@@ -107,6 +107,9 @@ pub struct OracleUse {
     pub executed: usize,
     /// Judgements served from a cache.
     pub cached: usize,
+    /// Judgements that never reached the oracle: the repair preflight
+    /// vetoed the candidate on static evidence alone (`rb_lint`).
+    pub prevetoed: usize,
 }
 
 impl OracleUse {
@@ -120,16 +123,17 @@ impl OracleUse {
         }
     }
 
-    /// Total judgements recorded.
+    /// Total judgements recorded, including statically prevetoed ones.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.executed + self.cached
+        self.executed + self.cached + self.prevetoed
     }
 
     /// Folds another counter into this one.
     pub fn absorb(&mut self, other: OracleUse) {
         self.executed += other.executed;
         self.cached += other.cached;
+        self.prevetoed += other.prevetoed;
     }
 }
 
@@ -152,7 +156,7 @@ mod tests {
             used,
             OracleUse {
                 executed: 1,
-                cached: 0
+                ..OracleUse::default()
             }
         );
     }
@@ -180,7 +184,8 @@ mod tests {
             used,
             OracleUse {
                 executed: 1,
-                cached: 2
+                cached: 2,
+                ..OracleUse::default()
             }
         );
         assert_eq!(used.total(), 3);

@@ -78,6 +78,12 @@ pub fn batch_request(seed: u64, per_class: usize, classes: Option<&[UbClass]>) -
     }
 }
 
+/// Builds an `analyze` request line (static lint, no oracle).
+#[must_use]
+pub fn analyze_request(source: &str) -> String {
+    format!("{{\"verb\":\"analyze\",\"source\":{}}}", fmt_str(source))
+}
+
 /// Builds a `stats` request line.
 #[must_use]
 pub fn stats_request() -> String {
@@ -134,6 +140,12 @@ mod tests {
                 classes: None,
             }
         });
+        assert_eq!(
+            parse_request(&analyze_request("fn main() {}")).unwrap(),
+            Request::Analyze {
+                source: "fn main() {}".into(),
+            }
+        );
         assert_eq!(parse_request(&stats_request()).unwrap(), Request::Stats);
         assert_eq!(parse_request(&metrics_request()).unwrap(), Request::Metrics);
         assert_eq!(parse_request(&compact_request()).unwrap(), Request::Compact);

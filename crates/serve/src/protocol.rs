@@ -4,11 +4,12 @@
 //! Every request carries a `"verb"` field; everything else is
 //! verb-specific. Responses always carry `"ok"` (and `"verb"` echoed
 //! back), with failures shaped as `{"ok":false,"error":"..."}` so a
-//! scripting client needs exactly one code path. The six verbs:
+//! scripting client needs exactly one code path. The seven verbs:
 //!
 //! ```text
 //! {"verb":"repair","source":"fn main() { ... }","reference":["5"],"seed":7}
 //! {"verb":"batch","seed":42,"per_class":2,"classes":["alloc","panic"]}
+//! {"verb":"analyze","source":"fn main() { ... }"}
 //! {"verb":"stats"}
 //! {"verb":"metrics"}
 //! {"verb":"compact"}
@@ -48,6 +49,12 @@ pub enum Request {
         per_class: usize,
         /// Restrict the corpus to these classes (`None` = all classes).
         classes: Option<Vec<UbClass>>,
+    },
+    /// Statically analyse one mini-Rust source string with `rb_lint`
+    /// (no oracle run, no repair).
+    Analyze {
+        /// The program's source text.
+        source: String,
     },
     /// Report the daemon's [`crate::stats::ServeStats`] snapshot.
     Stats,
@@ -156,12 +163,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 classes,
             })
         }
+        "analyze" => {
+            let source = value
+                .get("source")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "`analyze` needs a string `source` field".to_owned())?
+                .to_owned();
+            Ok(Request::Analyze { source })
+        }
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "compact" => Ok(Request::Compact),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown verb `{other}` (expected repair|batch|stats|metrics|compact|shutdown)"
+            "unknown verb `{other}` (expected repair|batch|analyze|stats|metrics|compact|shutdown)"
         )),
     }
 }
@@ -180,7 +195,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_all_six_verbs() {
+    fn parses_all_seven_verbs() {
         let r = parse_request(
             r#"{"verb":"repair","source":"fn main() {}","reference":["5","true"],"seed":7}"#,
         )
@@ -201,6 +216,12 @@ mod tests {
                 seed: DEFAULT_SEED,
                 per_class: 2,
                 classes: Some(vec![UbClass::Alloc, UbClass::Panic]),
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"analyze","source":"fn main() {}"}"#).unwrap(),
+            Request::Analyze {
+                source: "fn main() {}".into(),
             }
         );
         assert_eq!(
@@ -260,6 +281,8 @@ mod tests {
             r#"{"verb":"repair"}"#,
             r#"{"verb":"repair","source":5}"#,
             r#"{"verb":"repair","source":"x","reference":"not-an-array"}"#,
+            r#"{"verb":"analyze"}"#,
+            r#"{"verb":"analyze","source":7}"#,
             r#"{"verb":"batch","per_class":0}"#,
             r#"{"verb":"batch","per_class":-3}"#,
             r#"{"verb":"batch","classes":[]}"#,

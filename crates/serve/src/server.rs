@@ -288,6 +288,10 @@ fn dispatch(state: &Arc<ServeState>, line: &str) -> (String, Verb) {
             Ok((response, cases)) => (response, Verb::Batch(cases)),
             Err(e) => (error_response(&e), Verb::Error),
         },
+        Request::Analyze { source } => match handle_analyze(&source) {
+            Ok(response) => (response, Verb::Analyze),
+            Err(e) => (error_response(&e), Verb::Error),
+        },
         Request::Stats => (stats_response(state), Verb::Stats),
         Request::Metrics => (metrics_response(state), Verb::Metrics),
         Request::Compact => match compact_now(state, false) {
@@ -359,6 +363,7 @@ fn handle_repair(
         0,
         outcome.oracle_executed as u64,
         outcome.oracle_cached as u64,
+        outcome.oracle_prevetoed as u64,
     );
     maybe_compact(state);
     Ok(format!(
@@ -375,6 +380,22 @@ fn handle_repair(
         outcome.solutions_tried,
         outcome.kb_queries,
         fmt_str(&print_program(&outcome.final_program)),
+    ))
+}
+
+/// The `analyze` verb: run `rb_lint` on the source and return the full
+/// analysis document — entirely static, so no engine or knowledge-base
+/// state is touched and no oracle judgement is recorded.
+fn handle_analyze(source: &str) -> Result<String, String> {
+    let program = parse_program(source).map_err(|e| format!("parse error: {e}"))?;
+    let analysis = rb_lint::analyze(&program);
+    let top_class = analysis
+        .top()
+        .map_or_else(|| "null".to_owned(), |f| fmt_str(f.class.label()));
+    Ok(format!(
+        "{{\"ok\":true,\"verb\":\"analyze\",\"top_class\":{},\"analysis\":{}}}",
+        top_class,
+        rb_lint::json::analysis_json(&analysis),
     ))
 }
 
@@ -428,6 +449,7 @@ fn handle_batch(
         outcome.stats.cache.misses,
         outcome.stats.oracle_executed,
         outcome.stats.oracle_cached,
+        outcome.stats.oracle_prevetoed,
     );
     state.stats.record_sched(
         outcome.stats.sched.steals,

@@ -49,6 +49,8 @@ pub struct ServeStats {
     pub repairs: u64,
     /// `batch` requests handled.
     pub batches: u64,
+    /// `analyze` requests handled (static lint, no oracle).
+    pub analyzes: u64,
     /// Cases swept across all `batch` requests.
     pub batch_cases: u64,
     /// Compactions run — the `compact` verb plus threshold-triggered.
@@ -79,6 +81,9 @@ pub struct ServeStats {
     pub oracle_executed: u64,
     /// Oracle judgements served from the verdict cache.
     pub oracle_cached: u64,
+    /// Oracle judgements the repair preflight resolved statically
+    /// (`rb_lint`) without running or caching the interpreter.
+    pub oracle_prevetoed: u64,
     /// Scheduling policy the daemon's batch engine dispatches under
     /// (the server fills this from its config; a bare recorder snapshot
     /// leaves it empty).
@@ -116,13 +121,15 @@ impl ServeStats {
         format!(
             concat!(
                 "{{\"uptime_ms\":{},\"requests\":{},\"errors\":{},",
-                "\"repairs\":{},\"batches\":{},\"batch_cases\":{},",
+                "\"repairs\":{},\"batches\":{},\"analyzes\":{},",
+                "\"batch_cases\":{},",
                 "\"compactions\":{},\"triggered_compactions\":{},",
                 "\"latency\":{{\"p50_ms\":{},\"p99_ms\":{},\"max_ms\":{}}},",
                 "\"kb\":{{\"resident_shards\":{},\"shard_loads\":{},",
                 "\"entries\":{},\"weight\":{},\"merged_inserts\":{}}},",
                 "\"oracle\":{{\"cache_hits\":{},\"cache_misses\":{},",
-                "\"cache_hit_rate\":{},\"executed\":{},\"cached\":{}}},",
+                "\"cache_hit_rate\":{},\"executed\":{},\"cached\":{},",
+                "\"prevetoed\":{}}},",
                 "\"scheduler\":{{\"policy\":{},\"steals\":{},",
                 "\"queue_depth\":{}}},",
                 "\"trace\":{{\"active\":{},\"spans\":{}}}}}"
@@ -132,6 +139,7 @@ impl ServeStats {
             self.errors,
             self.repairs,
             self.batches,
+            self.analyzes,
             self.batch_cases,
             self.compactions,
             self.triggered_compactions,
@@ -148,6 +156,7 @@ impl ServeStats {
             fmt_num(self.cache_hit_rate()),
             self.oracle_executed,
             self.oracle_cached,
+            self.oracle_prevetoed,
             crate::json::fmt_str(&self.sched_policy),
             self.sched_steals,
             self.sched_queue_depth,
@@ -164,6 +173,8 @@ pub enum Verb {
     Repair,
     /// A `batch` request; the payload is its case count.
     Batch(u64),
+    /// An `analyze` request (static lint).
+    Analyze,
     /// A `stats` request.
     Stats,
     /// A `metrics` request (registry exposition).
@@ -183,6 +194,7 @@ impl Verb {
         match self {
             Verb::Repair => "repair",
             Verb::Batch(_) => "batch",
+            Verb::Analyze => "analyze",
             Verb::Stats => "stats",
             Verb::Metrics => "metrics",
             Verb::Compact => "compact",
@@ -343,13 +355,21 @@ impl StatsRecorder {
     }
 
     /// Records a request's oracle traffic: gold-reference cache
-    /// hits/misses and the executed/cached judgement split.
-    pub fn record_oracle(&self, hits: u64, misses: u64, executed: u64, cached: u64) {
+    /// hits/misses and the executed/cached/prevetoed judgement split.
+    pub fn record_oracle(
+        &self,
+        hits: u64,
+        misses: u64,
+        executed: u64,
+        cached: u64,
+        prevetoed: u64,
+    ) {
         let reg = &self.registry;
         reg.counter_add(CACHE_LOOKUPS, Some(("result", "hit")), hits);
         reg.counter_add(CACHE_LOOKUPS, Some(("result", "miss")), misses);
         reg.counter_add(ORACLE_JUDGEMENTS, Some(("result", "executed")), executed);
         reg.counter_add(ORACLE_JUDGEMENTS, Some(("result", "cached")), cached);
+        reg.counter_add(ORACLE_JUDGEMENTS, Some(("result", "prevetoed")), prevetoed);
     }
 
     /// Snapshots the counters by reading them back from the registry.
@@ -372,6 +392,7 @@ impl StatsRecorder {
             errors: verb("error"),
             repairs: verb("repair"),
             batches: verb("batch"),
+            analyzes: verb("analyze"),
             batch_cases: reg.counter(BATCH_CASES, None),
             compactions: reg.counter(COMPACTIONS, None),
             triggered_compactions: reg.counter(TRIGGERED, None),
@@ -387,6 +408,7 @@ impl StatsRecorder {
             cache_misses: reg.counter(CACHE_LOOKUPS, Some(("result", "miss"))),
             oracle_executed: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "executed"))),
             oracle_cached: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "cached"))),
+            oracle_prevetoed: reg.counter(ORACLE_JUDGEMENTS, Some(("result", "prevetoed"))),
             sched_policy: String::new(),
             sched_steals: reg.counter(SCHED_STEALS, None),
             sched_queue_depth: reg.gauge(SCHED_QUEUE_DEPTH, None).unwrap_or(0.0) as u64,
@@ -420,15 +442,16 @@ mod tests {
         let rec = StatsRecorder::new();
         rec.record_request(Verb::Repair, 3.0);
         rec.record_request(Verb::Batch(42), 10.0);
+        rec.record_request(Verb::Analyze, 0.1);
         rec.record_request(Verb::Stats, 1.0);
         rec.record_request(Verb::Metrics, 0.2);
         rec.record_request(Verb::Error, 0.5);
         rec.record_compaction(false);
         rec.record_compaction(true);
         rec.record_merged_inserts(5);
-        rec.record_oracle(3, 1, 10, 2);
+        rec.record_oracle(3, 1, 10, 2, 4);
         let s = rec.snapshot();
-        assert_eq!(s.requests, 5);
+        assert_eq!(s.requests, 6);
         assert_eq!(s.repairs, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.batch_cases, 42);
@@ -438,6 +461,8 @@ mod tests {
         assert_eq!(s.kb_merged_inserts, 5);
         assert_eq!((s.cache_hits, s.cache_misses), (3, 1));
         assert_eq!((s.oracle_executed, s.oracle_cached), (10, 2));
+        assert_eq!(s.oracle_prevetoed, 4);
+        assert_eq!(s.analyzes, 1);
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.max_ms, 10.0);
         assert!(s.uptime_ms >= 0.0);

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerates the committed CI trace baseline (ci/trace_baseline.jsonl).
+#
+# The engine-smoke job traces a batch at these exact parameters and
+# diffs it against the committed file, gating on zero sim-ms drift:
+# simulated costs are deterministic by construction, so any drift means
+# repair trajectories changed. After an *intentional* trajectory change
+# (new rules, new model behaviour, pipeline reshaping), run this script
+# and commit the refreshed baseline alongside the change that caused it.
+#
+# Wall-clock fields in the baseline are machine-specific and ignored by
+# the gate; only span counts and simulated milliseconds are compared.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release
+./target/release/rustbrain batch --jobs 2 --per-class 2 \
+    --trace-out ci/trace_baseline.jsonl >/dev/null
+echo "wrote ci/trace_baseline.jsonl"

@@ -3,6 +3,12 @@
 //! ```text
 //! USAGE:
 //!   rustbrain check  <file.mrs>                 run the UB oracle only
+//!   rustbrain analyze <file.mrs|--corpus>       static UB lint (`rb_lint`):
+//!                                               findings with class, rule and
+//!                                               confidence, no oracle run;
+//!                                               `--corpus` sweeps the seed
+//!                                               corpus (agreement table +
+//!                                               repair-rule audit)
 //!   rustbrain repair <file.mrs> [options]       detect and repair
 //!   rustbrain demo                              repair a built-in example
 //!   rustbrain corpus <dir> [--seed N]           export the benchmark corpus
@@ -24,8 +30,9 @@
 //!                                               triggered compaction)
 //!   rustbrain client <verb> [options]           send one request to a
 //!                                               daemon: repair <file.mrs>,
-//!                                               batch, stats, metrics,
-//!                                               compact, or shutdown
+//!                                               batch, analyze <file.mrs>,
+//!                                               stats, metrics, compact,
+//!                                               or shutdown
 //!   rustbrain trace <verb> ...                  analyze a JSONL span trace:
 //!                                               check <t> (re-validate the
 //!                                               tracer's invariants),
@@ -148,6 +155,12 @@ struct Cli {
     require: Option<Vec<String>>,
     /// `trace flamegraph --collapsed`: which measure to charge.
     measure: Option<rb_obs::analyze::Measure>,
+    /// `analyze`: emit JSON instead of the text report.
+    json: bool,
+    /// `repair`/`demo`/`batch`: the static repair preflight. `Some` only
+    /// when `--preflight`/`--no-preflight` was passed explicitly; the
+    /// pipeline default is on.
+    preflight: Option<bool>,
 }
 
 /// Where `serve` listens and `client` connects unless `--addr` says
@@ -215,6 +228,7 @@ impl Cli {
 #[derive(Debug, PartialEq)]
 enum Command {
     Check(String),
+    Analyze(AnalyzeTarget),
     Repair(String),
     Demo,
     Corpus(String),
@@ -226,6 +240,18 @@ enum Command {
     Client(ClientVerb),
     Trace(TraceVerb),
     Help,
+}
+
+/// What `rustbrain analyze` lints.
+#[derive(Debug, PartialEq)]
+enum AnalyzeTarget {
+    /// One `.mrs` file.
+    File(String),
+    /// The generated seed corpus: per-class oracle-agreement table, the
+    /// zero-false-positive gate over gold programs, and the repair-rule
+    /// audit (which library rules produce edits that still trip the lint
+    /// they target).
+    Corpus,
 }
 
 /// Which trace analysis `rustbrain trace` runs.
@@ -248,6 +274,8 @@ enum TraceVerb {
 enum ClientVerb {
     /// Repair a local `.mrs` file over the socket.
     Repair(String),
+    /// Statically lint a local `.mrs` file over the socket.
+    Analyze(String),
     Batch,
     Stats,
     Metrics,
@@ -313,12 +341,28 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         coverage: None,
         require: None,
         measure: None,
+        json: false,
+        preflight: None,
     };
     let mut it = args.iter().peekable();
     match it.next().map(String::as_str) {
         Some("check") => {
             let file = it.next().ok_or("`check` needs a file argument")?;
             cli.command = Command::Check(file.clone());
+        }
+        Some("analyze") => {
+            let target = match it.peek().map(|s| s.as_str()) {
+                Some("--corpus") => {
+                    it.next();
+                    AnalyzeTarget::Corpus
+                }
+                Some(s) if !s.starts_with("--") => {
+                    let file = it.next().expect("peeked");
+                    AnalyzeTarget::File(file.clone())
+                }
+                _ => return Err("`analyze` needs a file argument or --corpus".into()),
+            };
+            cli.command = Command::Analyze(target);
         }
         Some("repair") => {
             let file = it.next().ok_or("`repair` needs a file argument")?;
@@ -393,18 +437,20 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     let file = it.next().ok_or("`client repair` needs a file argument")?;
                     ClientVerb::Repair(file.clone())
                 }
+                Some("analyze") => {
+                    let file = it.next().ok_or("`client analyze` needs a file argument")?;
+                    ClientVerb::Analyze(file.clone())
+                }
                 Some("batch") => ClientVerb::Batch,
                 Some("stats") => ClientVerb::Stats,
                 Some("metrics") => ClientVerb::Metrics,
                 Some("compact") => ClientVerb::Compact,
                 Some("shutdown") => ClientVerb::Shutdown,
                 Some(other) => return Err(format!("unknown client verb `{other}`")),
-                None => {
-                    return Err(
-                        "`client` needs a verb (repair|batch|stats|metrics|compact|shutdown)"
-                            .into(),
-                    )
-                }
+                None => return Err(
+                    "`client` needs a verb (repair|batch|analyze|stats|metrics|compact|shutdown)"
+                        .into(),
+                ),
             };
             cli.command = Command::Client(verb);
         }
@@ -513,6 +559,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                         .ok_or_else(|| format!("unknown --measure `{v}` (sim|wall)"))?,
                 );
             }
+            "--json" => cli.json = true,
+            "--preflight" => cli.preflight = Some(true),
+            "--no-preflight" => cli.preflight = Some(false),
             "--no-cache" => cli.use_cache = false,
             "--cache-cap" => {
                 let v = it.next().ok_or("--cache-cap needs a value")?;
@@ -583,6 +632,17 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if !cli.use_cache && cli.cache_cap.is_some() {
         return Err("--cache-cap conflicts with --no-cache".into());
     }
+    if cli.json && !matches!(cli.command, Command::Analyze(_)) {
+        return Err("--json only applies to `analyze`".into());
+    }
+    if cli.preflight.is_some()
+        && !matches!(
+            cli.command,
+            Command::Repair(_) | Command::Demo | Command::Batch
+        )
+    {
+        return Err("--preflight/--no-preflight only apply to `repair`, `demo` and `batch`".into());
+    }
     if (cli.kb_in.is_some() || cli.kb_out.is_some()) && cli.command != Command::Batch {
         return Err("--kb-in/--kb-out only apply to `batch`".into());
     }
@@ -641,6 +701,13 @@ fn usage() -> &'static str {
 
 USAGE:
   rustbrain check  <file.mrs>               run the UB oracle only
+  rustbrain analyze <file.mrs|--corpus>     static UB lint (rb_lint): findings
+                                            with class, rule and confidence,
+                                            no oracle run; --corpus sweeps the
+                                            seed corpus (per-class agreement
+                                            table, the zero-false-positive
+                                            gate over gold programs, and the
+                                            repair-rule audit)
   rustbrain repair <file.mrs> [options]     detect and repair
   rustbrain demo                            repair a built-in example
   rustbrain corpus <dir> [--seed N]         export the benchmark corpus
@@ -659,8 +726,8 @@ USAGE:
                                             lazy knowledge shards)
   rustbrain client <verb> [options]         send one request to a daemon:
                                             repair <file.mrs> | batch |
-                                            stats | metrics | compact |
-                                            shutdown
+                                            analyze <file.mrs> | stats |
+                                            metrics | compact | shutdown
   rustbrain trace check <t.jsonl>           re-validate a span trace's
                                             invariants (nesting, unique ids,
                                             >=95% repair-overhead coverage)
@@ -700,6 +767,14 @@ OPTIONS:
                                              file when it exists, and write
                                              the blended observations back
                                              at batch end
+  --json                                     analyze: emit the report as one
+                                             JSON document instead of text
+  --preflight / --no-preflight               repair/demo/batch: toggle the
+                                             static repair preflight (veto
+                                             provably regressive candidates
+                                             before the oracle) [on]; repair
+                                             trajectories are byte-identical
+                                             either way
   --no-cache                                 bypass the oracle verdict cache
   --cache-cap <N>                            bound the cache to N entries
                                              (rounded up; minimum 16)
@@ -759,6 +834,14 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Command::Analyze(AnalyzeTarget::File(ref file)) => match std::fs::read_to_string(file) {
+            Ok(src) => analyze_file(file, &src, &cli),
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Command::Analyze(AnalyzeTarget::Corpus) => analyze_corpus(&cli),
         Command::Repair(ref file) => match std::fs::read_to_string(file) {
             Ok(src) => repair(&src, &cli),
             Err(e) => {
@@ -787,6 +870,11 @@ fn main() -> ExitCode {
                     &cli.reference,
                     cli.seed,
                 ))
+            }),
+            ClientVerb::Analyze(file) => client_call(&cli, |_| {
+                let src = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                Ok(rb_serve::client::analyze_request(&src))
             }),
             ClientVerb::Batch => client_call(&cli, |cli| {
                 Ok(rb_serve::client::batch_request(
@@ -972,6 +1060,7 @@ fn batch(cli: &Cli) -> ExitCode {
             let mut config = RustBrainConfig::for_model(cli.model, cli.seed);
             config.temperature = cli.temperature;
             config.use_knowledge = cli.use_knowledge;
+            config.preflight = cli.preflight.unwrap_or(true);
             SystemSpec::brain(config)
         }
         BatchSystem::LlmOnly => SystemSpec::Llm {
@@ -1060,9 +1149,10 @@ fn batch(cli: &Cli) -> ExitCode {
         outcome.stats.cache.hit_rate() * 100.0,
     );
     println!(
-        "oracle judgements: {} executed / {} cached | knowledge: {} seeded + {} learned - {} coalesced = {} entries | kb query time: {:.0} ms",
+        "oracle judgements: {} executed / {} cached / {} prevetoed | knowledge: {} seeded + {} learned - {} coalesced = {} entries | kb query time: {:.0} ms",
         outcome.stats.oracle_executed,
         outcome.stats.oracle_cached,
+        outcome.stats.oracle_prevetoed,
         outcome.stats.kb.seeded_entries,
         outcome.stats.kb.merged_inserts,
         outcome.stats.kb.coalesced,
@@ -1387,6 +1477,166 @@ fn client_call(cli: &Cli, build: impl FnOnce(&Cli) -> Result<String, String>) ->
     }
 }
 
+/// `rustbrain analyze <file.mrs>`: run the static lint over one program
+/// and print its findings — no oracle run, no repair. Exit code mirrors
+/// `check`: success iff the lint raises nothing.
+fn analyze_file(file: &str, src: &str, cli: &Cli) -> ExitCode {
+    let program = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = rb_lint::analyze(&program);
+    if cli.json {
+        println!("{}", rb_lint::json::analysis_json(&analysis));
+    } else {
+        let verdict = if analysis.proves_clean() {
+            "proven clean".to_owned()
+        } else if analysis.complete {
+            format!("{} finding(s) — exact", analysis.findings.len())
+        } else {
+            format!(
+                "{} finding(s) ({} sound) — best effort",
+                analysis.findings.len(),
+                analysis.sound_count()
+            )
+        };
+        println!("{file}: {verdict}");
+        for f in &analysis.findings {
+            let at = f
+                .path
+                .as_ref()
+                .map_or(String::new(), |p| format!(" (at {p})"));
+            println!(
+                "  [{}] {}: {}{} <{}>",
+                f.confidence.label(),
+                f.class.label(),
+                f.message,
+                at,
+                f.rule,
+            );
+        }
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `rustbrain analyze --corpus`: the lint's precision harness. Sweeps the
+/// generated seed corpus, tabulating per class how often the lint's top
+/// sound finding agrees with the oracle's diagnosis and how often the
+/// flow pass proved the full error multiset, then counts sound findings
+/// on gold programs (every one is a false positive by construction) and
+/// audits the repair-rule library. Exit code enforces the soundness
+/// contract: failure iff any gold program draws a sound finding.
+fn analyze_corpus(cli: &Cli) -> ExitCode {
+    let corpus = rb_dataset::Corpus::generate_full(cli.seed, cli.per_class);
+    // Per class: [cases, agree, complete, gold sound findings].
+    let mut rows: std::collections::BTreeMap<rb_miri::UbClass, [usize; 4]> =
+        std::collections::BTreeMap::new();
+    for case in &corpus.cases {
+        let analysis = rb_lint::analyze(&case.buggy);
+        let report = case.run_buggy();
+        let agree = if report.passes() {
+            analysis.proves_clean()
+        } else {
+            analysis.agrees_with(&report)
+        };
+        let gold_fp = rb_lint::analyze(&case.gold).sound_count();
+        let row = rows.entry(case.class).or_insert([0; 4]);
+        row[0] += 1;
+        row[1] += usize::from(agree);
+        row[2] += usize::from(analysis.complete);
+        row[3] += gold_fp;
+    }
+    let total = rows.values().fold([0usize; 4], |acc, r| {
+        [acc[0] + r[0], acc[1] + r[1], acc[2] + r[2], acc[3] + r[3]]
+    });
+    let audit_cases: Vec<(String, rb_lang::Program)> = corpus
+        .cases
+        .iter()
+        .map(|c| (c.id.clone(), c.buggy.clone()))
+        .collect();
+    let audits = rb_lint::rulecheck::audit_rules(&audit_cases);
+    let flagged: Vec<&rb_lint::rulecheck::RuleAudit> =
+        audits.iter().filter(|a| a.flagged()).collect();
+    if cli.json {
+        let by_class: Vec<String> = rows
+            .iter()
+            .map(|(class, r)| {
+                format!(
+                    "{{\"class\":\"{}\",\"cases\":{},\"agree\":{},\"complete\":{},\
+                     \"gold_sound_findings\":{}}}",
+                    class.label(),
+                    r[0],
+                    r[1],
+                    r[2],
+                    r[3],
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{},\"per_class\":{},\"cases\":{},\"agree\":{},\"complete\":{},\
+             \"gold_sound_findings\":{},\"by_class\":[{}],\"rule_audit\":{}}}",
+            cli.seed,
+            cli.per_class,
+            total[0],
+            total[1],
+            total[2],
+            total[3],
+            by_class.join(","),
+            rb_lint::rulecheck::audits_json(&audits),
+        );
+    } else {
+        println!(
+            "analyze: {} cases ({} classes, {} per class) | seed {}\n",
+            total[0],
+            rows.len(),
+            cli.per_class,
+            cli.seed,
+        );
+        println!("class            cases  agree  complete  gold-FPs");
+        for (class, r) in &rows {
+            println!(
+                "{:<16} {:>5} {:>6} {:>9} {:>9}",
+                class.label(),
+                r[0],
+                r[1],
+                r[2],
+                r[3],
+            );
+        }
+        println!(
+            "\noverall: agree {}/{} | complete {}/{} | sound findings on gold programs: {}",
+            total[1], total[0], total[2], total[0], total[3],
+        );
+        println!(
+            "rule audit: {} rules, {} produced edits that still trip their own lint",
+            audits.len(),
+            flagged.len(),
+        );
+        for audit in &flagged {
+            println!(
+                "  {:<30} edits {:>2}, still tripping {:>2} ({})",
+                audit.rule,
+                audit.edits_produced,
+                audit.still_trips,
+                audit.tripped_cases.join(", "),
+            );
+        }
+    }
+    if total[3] == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: sound findings on gold programs — the lint broke its soundness contract");
+        ExitCode::FAILURE
+    }
+}
+
 fn check(src: &str, cli: &Cli) -> ExitCode {
     let program = match parse_program(src) {
         Ok(p) => p,
@@ -1422,8 +1672,20 @@ fn repair(src: &str, cli: &Cli) -> ExitCode {
     let mut config = RustBrainConfig::for_model(cli.model, cli.seed);
     config.temperature = cli.temperature;
     config.use_knowledge = cli.use_knowledge;
+    config.preflight = cli.preflight.unwrap_or(true);
     let mut brain = RustBrain::with_oracle(config, oracle);
     let outcome = brain.repair(&program, &cli.reference);
+    if let Some(class) = outcome.lint_class {
+        println!(
+            "static triage: {} ({})",
+            class.label(),
+            if outcome.lint_agrees {
+                "agrees with the oracle"
+            } else {
+                "heuristic only"
+            },
+        );
+    }
     println!(
         "\n== repaired program ==\n{}",
         print_program(&outcome.final_program)
@@ -1441,6 +1703,12 @@ fn repair(src: &str, cli: &Cli) -> ExitCode {
         outcome.solutions_tried,
         outcome.oracle_runs
     );
+    if outcome.oracle_prevetoed > 0 {
+        println!(
+            "preflight vetoed {} candidate(s) before the oracle",
+            outcome.oracle_prevetoed
+        );
+    }
     if outcome.passed {
         ExitCode::SUCCESS
     } else {
@@ -1745,6 +2013,58 @@ mod tests {
         // And the trace family rejects flags from other commands.
         assert!(parse_cli(&argv("trace check t.jsonl --trace-out x.jsonl")).is_err());
         assert!(parse_cli(&argv("trace check t.jsonl --sched fifo")).is_err());
+    }
+
+    #[test]
+    fn parses_analyze_command() {
+        let cli = parse_cli(&argv("analyze prog.mrs")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Analyze(AnalyzeTarget::File("prog.mrs".into()))
+        );
+        assert!(!cli.json);
+        let cli = parse_cli(&argv("analyze prog.mrs --json")).unwrap();
+        assert!(cli.json);
+        let cli = parse_cli(&argv("analyze --corpus --json --seed 7 --per-class 2")).unwrap();
+        assert_eq!(cli.command, Command::Analyze(AnalyzeTarget::Corpus));
+        assert!(cli.json);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.per_class, 2);
+        // A file operand is required unless --corpus stands in for it.
+        assert!(parse_cli(&argv("analyze")).is_err());
+        assert!(parse_cli(&argv("analyze --json")).is_err());
+        // --json is analyze-only.
+        assert!(parse_cli(&argv("batch --json")).is_err());
+        assert!(parse_cli(&argv("check a.mrs --json")).is_err());
+        assert!(parse_cli(&argv("client stats --json")).is_err());
+    }
+
+    #[test]
+    fn parses_client_analyze_verb() {
+        let cli = parse_cli(&argv("client analyze prog.mrs --addr 127.0.0.1:4700")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Client(ClientVerb::Analyze("prog.mrs".into()))
+        );
+        assert_eq!(cli.addr.as_deref(), Some("127.0.0.1:4700"));
+        assert!(parse_cli(&argv("client analyze")).is_err());
+    }
+
+    #[test]
+    fn parses_preflight_flags() {
+        // Unset means the pipeline default (on) at dispatch.
+        assert_eq!(parse_cli(&argv("batch")).unwrap().preflight, None);
+        for cmd in ["repair a.mrs", "demo", "batch"] {
+            let cli = parse_cli(&argv(&format!("{cmd} --no-preflight"))).unwrap();
+            assert_eq!(cli.preflight, Some(false), "{cmd}");
+            let cli = parse_cli(&argv(&format!("{cmd} --preflight"))).unwrap();
+            assert_eq!(cli.preflight, Some(true), "{cmd}");
+        }
+        // Scoped to the commands that run the repair pipeline locally.
+        assert!(parse_cli(&argv("check a.mrs --no-preflight")).is_err());
+        assert!(parse_cli(&argv("analyze a.mrs --preflight")).is_err());
+        assert!(parse_cli(&argv("serve --no-preflight")).is_err());
+        assert!(parse_cli(&argv("client batch --no-preflight")).is_err());
     }
 
     #[test]
